@@ -1,0 +1,183 @@
+// Ablation A3: personalization vs privacy cost — the substitution-validity
+// check from DESIGN.md.
+//
+// The synthetic datasets correlate preferences with social communities
+// (homophily). Sweeping that correlation changes how *personalized* the
+// recommendation task is: at homophily 0 every user's ideal list is the
+// same global-popularity ranking (averaging is trivially accurate and
+// noise barely matters); at high homophily different communities want
+// different items and each utility query rides on fewer, more local
+// edges.
+//
+// This reproduces, inside one generator, the paper's Section 4 argument
+// for why social recommendation is hard: "personalization implies
+// significantly higher sensitivity, and hence more noise". Expected
+// output: personalization (inter-community list divergence) rises with
+// homophily; NDCG@50 at ε = 0.1 falls as the task gets more personal; and
+// the ε = ∞ accuracy stays high throughout, confirming that Louvain
+// clusters track the taste communities at every homophily level.
+//
+//   ./bench_ablation_homophily [--trials=3] [--users=1892]
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "community/louvain.h"
+#include "core/cluster_recommender.h"
+#include "core/exact_recommender.h"
+#include "data/synthetic.h"
+#include "eval/exact_reference.h"
+#include "eval/table.h"
+
+namespace privrec {
+namespace {
+
+// 1 - mean Jaccard similarity of exact top-50 lists across users in
+// different Louvain clusters: 0 = everyone gets the global list, 1 =
+// fully community-specific lists.
+double Personalization(const std::vector<core::RecommendationList>& lists,
+                       const std::vector<graph::NodeId>& users,
+                       const community::Partition& partition) {
+  double total = 0.0;
+  int64_t pairs = 0;
+  for (size_t a = 0; a < users.size(); a += 7) {
+    for (size_t b = a + 1; b < users.size(); b += 13) {
+      if (partition.ClusterOf(users[a]) == partition.ClusterOf(users[b])) {
+        continue;
+      }
+      std::set<graph::ItemId> sa;
+      std::set<graph::ItemId> sb;
+      for (const auto& r : lists[a]) sa.insert(r.item);
+      for (const auto& r : lists[b]) sb.insert(r.item);
+      if (sa.empty() || sb.empty()) continue;
+      std::vector<graph::ItemId> shared;
+      std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                            std::back_inserter(shared));
+      double unions =
+          static_cast<double>(sa.size() + sb.size() - shared.size());
+      total += 1.0 - static_cast<double>(shared.size()) / unions;
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+  const int64_t num_users = flags.GetInt("users", 1892);
+  const int64_t eval_count = flags.GetInt("eval_users", 800);
+  if (!flags.Validate()) return 1;
+
+  std::cout << "=== Ablation A3: personalization vs privacy cost "
+               "(homophily sweep, Last.fm shape, CN, NDCG@50) ===\n\n";
+  eval::TablePrinter table({"homophily", "personalization",
+                            "NDCG@50 eps=inf", "NDCG@50 eps=0.1"});
+  for (double homophily : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    data::SyntheticLastFmOptions opt;
+    opt.num_users = num_users;
+    opt.num_items = 6000;  // smaller catalog keeps the sweep quick
+    opt.homophily = homophily;
+    data::Dataset dataset = data::MakeSyntheticLastFm(opt);
+    std::vector<graph::NodeId> users =
+        bench::SampleUsers(dataset.social.num_nodes(), eval_count, 41);
+    auto measure = bench::MakeMeasure("CN");
+    similarity::SimilarityWorkload workload =
+        similarity::SimilarityWorkload::ComputeForUsers(dataset.social,
+                                                        *measure, users);
+    core::RecommenderContext context{&dataset.social, &dataset.preferences,
+                                     &workload};
+    eval::ExactReference reference =
+        eval::ExactReference::Compute(context, users, 50);
+    community::LouvainResult louvain =
+        community::RunLouvain(dataset.social, {.restarts = 5, .seed = 81});
+
+    core::ExactRecommender exact(context);
+    double personalization = Personalization(exact.Recommend(users, 50),
+                                             users, louvain.partition);
+
+    std::vector<std::string> row = {FormatDouble(homophily, 2),
+                                    FormatDouble(personalization, 3)};
+    for (double eps : {dp::kEpsilonInfinity, 0.1}) {
+      core::ClusterRecommender rec(context, louvain.partition,
+                                   {.epsilon = eps, .seed = 82});
+      RunningStats stats;
+      int reps = eps == dp::kEpsilonInfinity ? 1 : trials;
+      for (int t = 0; t < reps; ++t) {
+        stats.Add(reference.MeanNdcg(rec.Recommend(users, 50)));
+      }
+      row.push_back(FormatDouble(stats.mean(), 3));
+    }
+    table.AddRow(row);
+    std::cout << "  homophily " << homophily << " done\n";
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout
+      << "\nreading: homophily drives personalization (distinct lists per "
+         "community). More personalization = a harder privacy problem "
+         "(NDCG at eps=0.1 falls), echoing the paper's Section 4 point "
+         "that personalized queries carry higher sensitivity; meanwhile "
+         "eps=inf stays high because Louvain clusters track the taste "
+         "communities at every level.\n";
+
+  // Part 2: taste granularity. Tastes can be FINER than the graph
+  // communities Louvain can resolve (its resolution limit hides small
+  // sub-communities); the cluster averages then blend several taste
+  // groups — the mechanism behind real data's approximation error.
+  std::cout << "\n--- taste granularity (taste groups per detected "
+               "community; eps = inf isolates approximation error) ---\n\n";
+  eval::TablePrinter gran({"taste groups", "found clusters",
+                           "NDCG@50 eps=inf", "NDCG@50 eps=0.1"});
+  for (int64_t groups : {1, 3, 6, 10}) {
+    data::SyntheticLastFmOptions opt;
+    opt.num_users = num_users;
+    opt.num_items = 6000;
+    opt.taste_groups_per_community = groups;
+    data::Dataset dataset = data::MakeSyntheticLastFm(opt);
+    std::vector<graph::NodeId> users =
+        bench::SampleUsers(dataset.social.num_nodes(), eval_count, 43);
+    auto measure = bench::MakeMeasure("CN");
+    similarity::SimilarityWorkload workload =
+        similarity::SimilarityWorkload::ComputeForUsers(dataset.social,
+                                                        *measure, users);
+    core::RecommenderContext context{&dataset.social, &dataset.preferences,
+                                     &workload};
+    eval::ExactReference reference =
+        eval::ExactReference::Compute(context, users, 50);
+    community::LouvainResult louvain =
+        community::RunLouvain(dataset.social, {.restarts = 5, .seed = 83});
+    std::vector<std::string> row = {
+        std::to_string(groups),
+        std::to_string(louvain.partition.num_clusters())};
+    for (double eps : {dp::kEpsilonInfinity, 0.1}) {
+      core::ClusterRecommender rec(context, louvain.partition,
+                                   {.epsilon = eps, .seed = 84});
+      RunningStats stats;
+      int reps = eps == dp::kEpsilonInfinity ? 1 : trials;
+      for (int t = 0; t < reps; ++t) {
+        stats.Add(reference.MeanNdcg(rec.Recommend(users, 50)));
+      }
+      row.push_back(FormatDouble(stats.mean(), 3));
+    }
+    gran.AddRow(row);
+    std::cout << "  " << groups << " groups done\n";
+  }
+  std::cout << "\n";
+  gran.Print(std::cout);
+  std::cout << "\nreading: Louvain finds the same ~35 clusters regardless "
+               "(the sub-structure is below its resolution limit), so "
+               "finer taste groups translate directly into approximation "
+               "error — the knob that separates 'easy' synthetic data "
+               "from realistic data.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::Main(argc, argv); }

@@ -1,0 +1,120 @@
+// Ablation A4: weighted preference edges (the paper's stated extension —
+// "extend our framework to handle weighted preference edges (e.g.,
+// ratings) and evaluate the impact of different weighting schemes").
+//
+// Generates a Flixster-shaped dataset whose edges carry 1-5 star ratings,
+// then evaluates the cluster framework under three weighting schemes:
+//   binary      w = 1 for every kept edge (the paper's preprocessing;
+//               sensitivity 1)
+//   raw         w = rating in [1, 5] (sensitivity 5: one edge can move a
+//               cluster sum by up to 5)
+//   normalized  w = rating / 5 in (0, 1] (sensitivity 1 again, but the
+//               average signal is ~0.75 of binary)
+// Each scheme defines its own ground truth, so NDCG is measured against
+// that scheme's exact recommender. The interesting question is how the
+// sensitivity/signal ratio moves the privacy-utility trade-off.
+//
+//   ./bench_ablation_weighted [--trials=3] [--users=4000]
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "community/louvain.h"
+#include "core/cluster_recommender.h"
+#include "data/synthetic.h"
+#include "eval/exact_reference.h"
+#include "eval/table.h"
+#include "graph/generators/planted_partition.h"
+#include "graph/generators/preference_generator.h"
+
+namespace privrec {
+namespace {
+
+graph::PreferenceGraph Reweight(const graph::PreferenceGraph& rated,
+                                const std::string& scheme) {
+  std::vector<graph::PreferenceEdge> edges = rated.WeightedEdges();
+  if (scheme == "binary") {
+    for (auto& e : edges) e.weight = 1.0;
+  } else if (scheme == "normalized") {
+    for (auto& e : edges) e.weight /= 5.0;
+  }  // "raw": keep ratings
+  return graph::PreferenceGraph::FromWeightedEdges(
+      rated.num_users(), rated.num_items(), edges);
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+  const int64_t num_users = flags.GetInt("users", 4000);
+  const int64_t eval_count = flags.GetInt("eval_users", 600);
+  if (!flags.Validate()) return 1;
+
+  std::cout << "=== Ablation A4: weighted preference edges (Flixster "
+               "shape with 1-5 star ratings, CN, NDCG@50) ===\n\n";
+
+  // Social graph + rated preferences.
+  graph::PlantedPartitionOptions social_opt;
+  social_opt.num_nodes = num_users;
+  social_opt.num_communities = 24;
+  social_opt.mean_degree = 18.5;
+  social_opt.degree_exponent = 2.0;
+  social_opt.seed = 91;
+  graph::PlantedPartitionResult planted =
+      graph::GeneratePlantedPartition(social_opt);
+  graph::PreferenceGeneratorOptions pref_opt;
+  pref_opt.num_items = 4000;
+  pref_opt.mean_prefs_per_user = 54.8;
+  pref_opt.homophily = 0.8;
+  pref_opt.max_rating = 5;  // the weighted extension
+  pref_opt.seed = 92;
+  graph::PreferenceGraph rated =
+      graph::GeneratePreferences(planted.community_of, pref_opt);
+
+  std::vector<graph::NodeId> users =
+      bench::SampleUsers(num_users, eval_count, 47);
+  auto measure = bench::MakeMeasure("CN");
+  similarity::SimilarityWorkload workload =
+      similarity::SimilarityWorkload::ComputeForUsers(planted.graph,
+                                                      *measure, users);
+  community::LouvainResult louvain =
+      community::RunLouvain(planted.graph, {.restarts = 5, .seed = 93});
+
+  eval::TablePrinter table({"scheme", "w_max", "NDCG@50 eps=inf",
+                            "NDCG@50 eps=1.0", "NDCG@50 eps=0.1"});
+  for (std::string scheme : {"binary", "raw", "normalized"}) {
+    graph::PreferenceGraph prefs = Reweight(rated, scheme);
+    core::RecommenderContext context{&planted.graph, &prefs, &workload};
+    eval::ExactReference reference =
+        eval::ExactReference::Compute(context, users, 50);
+    std::vector<std::string> row = {scheme,
+                                    FormatDouble(prefs.max_weight(), 1)};
+    for (double eps : {dp::kEpsilonInfinity, 1.0, 0.1}) {
+      core::ClusterRecommender rec(context, louvain.partition,
+                                   {.epsilon = eps, .seed = 94});
+      RunningStats stats;
+      int reps = eps == dp::kEpsilonInfinity ? 1 : trials;
+      for (int t = 0; t < reps; ++t) {
+        stats.Add(reference.MeanNdcg(rec.Recommend(users, 50)));
+      }
+      row.push_back(FormatDouble(stats.mean(), 3));
+    }
+    table.AddRow(row);
+    std::cout << "  scheme " << scheme << " done\n";
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout
+      << "\nreading: each scheme is scored against its own ground truth. "
+         "Raw ratings raise per-edge sensitivity to 5 while the mean "
+         "signal only grows ~4x, so binary/normalized weighting buys a "
+         "better privacy-utility trade-off — quantifying why the paper "
+         "binarizes.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::Main(argc, argv); }

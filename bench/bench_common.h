@@ -1,0 +1,73 @@
+// Shared helpers for the experiment-reproduction bench binaries.
+
+#ifndef PRIVREC_BENCH_BENCH_COMMON_H_
+#define PRIVREC_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "dp/mechanisms.h"
+#include "graph/social_graph.h"
+#include "similarity/adamic_adar.h"
+#include "similarity/common_neighbors.h"
+#include "similarity/graph_distance.h"
+#include "similarity/katz.h"
+
+namespace privrec::bench {
+
+// The paper's four instantiations, in its citation order.
+inline const std::vector<std::string>& MeasureNames() {
+  static const std::vector<std::string> kNames = {"CN", "GD", "AA", "KZ"};
+  return kNames;
+}
+
+inline std::unique_ptr<similarity::SimilarityMeasure> MakeMeasure(
+    const std::string& name) {
+  if (name == "CN") return std::make_unique<similarity::CommonNeighbors>();
+  if (name == "GD") return std::make_unique<similarity::GraphDistance>(2);
+  if (name == "AA") return std::make_unique<similarity::AdamicAdar>();
+  if (name == "KZ") return std::make_unique<similarity::Katz>(3, 0.05);
+  PRIVREC_CHECK_MSG(false, "unknown measure");
+  return nullptr;
+}
+
+inline std::string EpsilonLabel(double epsilon) {
+  if (epsilon == dp::kEpsilonInfinity) return "inf";
+  return FormatDouble(epsilon, 2);
+}
+
+// The evaluation grid of Section 6.3.
+inline std::vector<double> PaperEpsilons() {
+  return {dp::kEpsilonInfinity, 1.0, 0.6, 0.1, 0.05, 0.01};
+}
+
+inline std::vector<graph::NodeId> AllUsers(graph::NodeId n) {
+  std::vector<graph::NodeId> users(static_cast<size_t>(n));
+  for (graph::NodeId u = 0; u < n; ++u) users[static_cast<size_t>(u)] = u;
+  return users;
+}
+
+// Uniform random user sample without replacement (the paper evaluates a
+// random 10,000-user subset of Flixster).
+inline std::vector<graph::NodeId> SampleUsers(graph::NodeId n,
+                                              int64_t count,
+                                              uint64_t seed) {
+  if (count >= n) return AllUsers(n);
+  Rng rng(seed);
+  std::vector<graph::NodeId> users;
+  for (uint64_t raw :
+       rng.SampleWithoutReplacement(static_cast<uint64_t>(n),
+                                    static_cast<uint64_t>(count))) {
+    users.push_back(static_cast<graph::NodeId>(raw));
+  }
+  return users;
+}
+
+}  // namespace privrec::bench
+
+#endif  // PRIVREC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,115 @@
+// Extension E3: recommendations over dynamic graphs — the paper's first
+// future-work item, realized as the sequential-composition baseline
+// (DynamicRecommenderSession).
+//
+// Simulates a growing service: the preference graph arrives in T nested
+// snapshots (the social graph is fixed), and the provider re-releases
+// recommendations at every snapshot under ONE total budget ε_total = 1.0.
+// Compares:
+//   uniform     ε_t = ε_total / T — every release equally noisy;
+//   geometric   ε_t decaying — early releases sharp, later ones noisy;
+//   no-compose  a privacy-INVALID strawman that spends ε_total on every
+//               snapshot (what a system that ignored composition would
+//               report) — the upper envelope.
+// NDCG at each snapshot is measured against that snapshot's own exact
+// recommender.
+//
+//   ./bench_extension_dynamic [--snapshots=6] [--users=1892]
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "community/louvain.h"
+#include "core/cluster_recommender.h"
+#include "core/dynamic_recommender.h"
+#include "data/synthetic.h"
+#include "eval/exact_reference.h"
+#include "eval/table.h"
+
+namespace privrec {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int64_t snapshots = flags.GetInt("snapshots", 6);
+  const int64_t num_users = flags.GetInt("users", 1892);
+  const int64_t eval_count = flags.GetInt("eval_users", 600);
+  const double total_epsilon = flags.GetDouble("total_epsilon", 1.0);
+  if (!flags.Validate()) return 1;
+
+  std::cout << "=== Extension E3: dynamic graphs under one budget "
+               "(eps_total = " << total_epsilon << ", " << snapshots
+            << " snapshots, Last.fm shape, CN, NDCG@50) ===\n\n";
+  data::SyntheticLastFmOptions opt;
+  opt.num_users = num_users;
+  opt.num_items = 8000;
+  data::Dataset dataset = data::MakeSyntheticLastFm(opt);
+  auto pref_snapshots = data::GrowingPreferenceSnapshots(
+      dataset.preferences, snapshots, 101);
+  std::vector<graph::NodeId> users =
+      bench::SampleUsers(dataset.social.num_nodes(), eval_count, 67);
+  auto measure = bench::MakeMeasure("CN");
+  // Social graph is fixed across snapshots -> one workload & clustering.
+  similarity::SimilarityWorkload workload =
+      similarity::SimilarityWorkload::ComputeForUsers(dataset.social,
+                                                      *measure, users);
+  community::LouvainResult louvain =
+      community::RunLouvain(dataset.social, {.restarts = 5, .seed = 69});
+
+  core::DynamicRecommenderOptions uniform_opt;
+  uniform_opt.total_epsilon = total_epsilon;
+  uniform_opt.planned_snapshots = snapshots;
+  uniform_opt.louvain.restarts = 3;
+  uniform_opt.seed = 71;
+  core::DynamicRecommenderSession uniform(uniform_opt);
+
+  core::DynamicRecommenderOptions geometric_opt = uniform_opt;
+  geometric_opt.allocation = core::BudgetAllocation::kGeometric;
+  geometric_opt.geometric_ratio = 0.6;
+  core::DynamicRecommenderSession geometric(geometric_opt);
+
+  eval::TablePrinter table({"snapshot", "|E_p|", "uniform eps_t",
+                            "uniform NDCG", "geometric eps_t",
+                            "geometric NDCG", "no-compose NDCG (invalid)"});
+  for (int64_t t = 0; t < snapshots; ++t) {
+    const graph::PreferenceGraph& prefs =
+        pref_snapshots[static_cast<size_t>(t)];
+    core::RecommenderContext context{&dataset.social, &prefs, &workload};
+    eval::ExactReference reference =
+        eval::ExactReference::Compute(context, users, 50);
+
+    auto uniform_release = uniform.ProcessSnapshot(context, users, 50);
+    auto geometric_release = geometric.ProcessSnapshot(context, users, 50);
+    PRIVREC_CHECK(uniform_release.ok());
+    PRIVREC_CHECK(geometric_release.ok());
+
+    // The invalid strawman: full budget every time.
+    core::ClusterRecommender fresh(
+        context, louvain.partition,
+        {.epsilon = total_epsilon,
+         .seed = 73 + static_cast<uint64_t>(t)});
+
+    table.AddRow(
+        {std::to_string(t), std::to_string(prefs.num_edges()),
+         FormatDouble(uniform_release->epsilon_spent, 3),
+         FormatDouble(reference.MeanNdcg(uniform_release->lists), 3),
+         FormatDouble(geometric_release->epsilon_spent, 3),
+         FormatDouble(reference.MeanNdcg(geometric_release->lists), 3),
+         FormatDouble(reference.MeanNdcg(fresh.Recommend(users, 50)), 3)});
+    std::cout << "  snapshot " << t << " done\n";
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\nreading: sequential composition (Theorem 2) is the real "
+               "cost of freshness — with T releases each one gets eps/T. "
+               "Geometric allocation front-loads accuracy; the no-compose "
+               "column shows what ignoring composition would claim, at "
+               "the price of an actual guarantee of T * eps.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::Main(argc, argv); }

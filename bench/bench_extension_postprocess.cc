@@ -1,0 +1,130 @@
+// Extension E2: clustering post-processing — the paper's future-work item
+// "(2) investigating post-processing heuristics to clean up the
+// clustering by, for example, pruning low-quality clusters".
+//
+// Small clusters are the framework's weak spot: noise scales as
+// 1/(|c|·ε), so Last.fm's tiny 2-7-node components drown at small ε.
+// This bench sweeps a minimum-cluster-size threshold: clusters below the
+// threshold are merged into their best-connected neighbor (isolated ones
+// pooled), using only the public graph. Expected: at ε = 0.01-0.05,
+// merging lifts accuracy for the affected users; at ε = ∞ it costs a
+// little approximation error.
+//
+//   ./bench_extension_postprocess [--trials=3] [--eval_users=1000]
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "community/louvain.h"
+#include "community/postprocess.h"
+#include "core/cluster_recommender.h"
+#include "data/synthetic.h"
+#include "eval/exact_reference.h"
+#include "eval/table.h"
+
+namespace privrec {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+  const int64_t eval_count = flags.GetInt("eval_users", 1000);
+  if (!flags.Validate()) return 1;
+
+  std::cout << "=== Extension E2: minimum-cluster-size post-processing "
+               "(Last.fm, CN, NDCG@50, " << trials << " trials) ===\n\n";
+  data::Dataset dataset = data::MakeSyntheticLastFm();
+  std::vector<graph::NodeId> users =
+      bench::SampleUsers(dataset.social.num_nodes(), eval_count, 59);
+  auto measure = bench::MakeMeasure("CN");
+  similarity::SimilarityWorkload workload =
+      similarity::SimilarityWorkload::ComputeForUsers(dataset.social,
+                                                      *measure, users);
+  core::RecommenderContext context{&dataset.social, &dataset.preferences,
+                                   &workload};
+  eval::ExactReference reference =
+      eval::ExactReference::Compute(context, users, 50);
+  community::LouvainResult louvain =
+      community::RunLouvain(dataset.social, {.restarts = 10, .seed = 57});
+  std::cout << "base clustering: " << louvain.partition.num_clusters()
+            << " clusters\n\n";
+
+  // The merge only changes outcomes for users whose cluster membership
+  // changed; report them separately so the effect is not washed out by
+  // the (unchanged) majority.
+  eval::TablePrinter table({"min size", "clusters", "smallest",
+                            "NDCG@50 eps=inf", "eps=0.1", "eps=0.05",
+                            "eps=0.01", "affected users",
+                            "affected eps=0.05 before>after"});
+  for (int64_t min_size : {1, 4, 8, 16, 32, 64}) {
+    community::Partition merged = community::MergeSmallClusters(
+        dataset.social, louvain.partition, {.min_size = min_size});
+    int64_t smallest = merged.num_nodes();
+    for (int64_t c = 0; c < merged.num_clusters(); ++c) {
+      smallest = std::min(smallest, merged.ClusterSize(c));
+    }
+    // Affected = evaluation users whose original cluster was undersized.
+    std::vector<size_t> affected;
+    for (size_t k = 0; k < users.size(); ++k) {
+      int64_t c = louvain.partition.ClusterOf(users[k]);
+      if (louvain.partition.ClusterSize(c) < min_size) {
+        affected.push_back(k);
+      }
+    }
+    std::vector<std::string> row = {std::to_string(min_size),
+                                    std::to_string(merged.num_clusters()),
+                                    std::to_string(smallest)};
+    double affected_ndcg_at_005 = 0.0;
+    for (double eps : {dp::kEpsilonInfinity, 0.1, 0.05, 0.01}) {
+      core::ClusterRecommender rec(context, merged,
+                                   {.epsilon = eps, .seed = 58});
+      RunningStats stats;
+      RunningStats affected_stats;
+      int reps = eps == dp::kEpsilonInfinity ? 1 : trials;
+      for (int t = 0; t < reps; ++t) {
+        auto lists = rec.Recommend(users, 50);
+        stats.Add(reference.MeanNdcg(lists));
+        for (size_t k : affected) {
+          affected_stats.Add(reference.Ndcg(users[k], lists[k]));
+        }
+      }
+      row.push_back(FormatDouble(stats.mean(), 3));
+      if (eps == 0.05) affected_ndcg_at_005 = affected_stats.mean();
+    }
+    // Baseline for the affected users: the unmerged clustering at 0.05.
+    double affected_before = 0.0;
+    if (!affected.empty()) {
+      core::ClusterRecommender base_rec(context, louvain.partition,
+                                        {.epsilon = 0.05, .seed = 58});
+      RunningStats before;
+      for (int t = 0; t < trials; ++t) {
+        auto lists = base_rec.Recommend(users, 50);
+        for (size_t k : affected) {
+          before.Add(reference.Ndcg(users[k], lists[k]));
+        }
+      }
+      affected_before = before.mean();
+    }
+    row.push_back(std::to_string(affected.size()));
+    row.push_back(affected.empty()
+                      ? "-"
+                      : FormatDouble(affected_before, 3) + " > " +
+                            FormatDouble(affected_ndcg_at_005, 3));
+    table.AddRow(row);
+    std::cout << "  min size " << min_size << " done\n";
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\nreading: the whole-population columns move little "
+               "because few users sit in undersized clusters; the "
+               "affected-user column shows what merging buys exactly "
+               "where the noise bites.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::Main(argc, argv); }

@@ -1,0 +1,218 @@
+// P1: google-benchmark microbenchmarks for the performance-critical
+// building blocks: noise sampling, similarity rows, Louvain, the noisy
+// cluster averages (module A_w) and end-to-end private recommendation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "community/louvain.h"
+#include "core/cluster_recommender.h"
+#include "core/exact_recommender.h"
+#include "data/synthetic.h"
+#include "graph/generators/planted_partition.h"
+#include "core/item_cf_recommender.h"
+#include "community/kmeans.h"
+#include "eval/exact_reference.h"
+#include "similarity/adamic_adar.h"
+#include "similarity/common_neighbors.h"
+#include "similarity/graph_distance.h"
+#include "similarity/katz.h"
+#include "similarity/personalized_pagerank.h"
+#include "similarity/workload.h"
+
+namespace privrec {
+namespace {
+
+void BM_LaplaceSampling(benchmark::State& state) {
+  Rng rng(1);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.Laplace(1.0);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_LaplaceSampling);
+
+void BM_ZipfSampling(benchmark::State& state) {
+  Rng rng(2);
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += rng.Zipf(100000, 1.05);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ZipfSampling);
+
+const data::Dataset& SharedDataset() {
+  static const data::Dataset& dataset =
+      *new data::Dataset(data::MakeTinyDataset(1000, 2000, 3));
+  return dataset;
+}
+
+template <typename Measure>
+void BM_SimilarityRow(benchmark::State& state) {
+  const data::Dataset& dataset = SharedDataset();
+  Measure measure;
+  similarity::DenseScratch scratch;
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    auto row = measure.Row(dataset.social, u, &scratch);
+    benchmark::DoNotOptimize(row.data());
+    u = (u + 1) % dataset.social.num_nodes();
+  }
+}
+BENCHMARK_TEMPLATE(BM_SimilarityRow, similarity::CommonNeighbors);
+BENCHMARK_TEMPLATE(BM_SimilarityRow, similarity::AdamicAdar);
+BENCHMARK_TEMPLATE(BM_SimilarityRow, similarity::GraphDistance);
+BENCHMARK_TEMPLATE(BM_SimilarityRow, similarity::Katz);
+BENCHMARK_TEMPLATE(BM_SimilarityRow, similarity::PersonalizedPageRank);
+
+void BM_WorkloadCompute(benchmark::State& state) {
+  const data::Dataset& dataset = SharedDataset();
+  similarity::CommonNeighbors measure;
+  for (auto _ : state) {
+    auto workload =
+        similarity::SimilarityWorkload::Compute(dataset.social, measure);
+    benchmark::DoNotOptimize(workload.TotalEntries());
+  }
+}
+BENCHMARK(BM_WorkloadCompute);
+
+void BM_Louvain(benchmark::State& state) {
+  graph::PlantedPartitionOptions opt;
+  opt.num_nodes = state.range(0);
+  opt.num_communities = 16;
+  opt.mean_degree = 14.0;
+  opt.seed = 4;
+  auto planted = graph::GeneratePlantedPartition(opt);
+  for (auto _ : state) {
+    auto result =
+        community::RunLouvain(planted.graph, {.restarts = 1, .seed = 5});
+    benchmark::DoNotOptimize(result.modularity);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Louvain)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity();
+
+struct RecommenderFixture {
+  RecommenderFixture()
+      : dataset(SharedDataset()),
+        workload(similarity::SimilarityWorkload::Compute(
+            dataset.social, similarity::CommonNeighbors())),
+        context{&dataset.social, &dataset.preferences, &workload},
+        louvain(community::RunLouvain(dataset.social,
+                                      {.restarts = 2, .seed = 6})) {}
+
+  const data::Dataset& dataset;
+  similarity::SimilarityWorkload workload;
+  core::RecommenderContext context;
+  community::LouvainResult louvain;
+};
+
+RecommenderFixture& SharedFixture() {
+  static RecommenderFixture& fixture = *new RecommenderFixture();
+  return fixture;
+}
+
+void BM_NoisyClusterAverages(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  core::ClusterRecommender rec(f.context, f.louvain.partition,
+                               {.epsilon = 0.1, .seed = 7});
+  for (auto _ : state) {
+    auto averages = rec.ComputeNoisyClusterAverages();
+    benchmark::DoNotOptimize(averages.data());
+  }
+}
+BENCHMARK(BM_NoisyClusterAverages);
+
+void BM_ClusterRecommendPerUser(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  core::ClusterRecommender rec(f.context, f.louvain.partition,
+                               {.epsilon = 0.1, .seed = 8});
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 200; ++u) users.push_back(u);
+  for (auto _ : state) {
+    auto lists = rec.Recommend(users, 50);
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_ClusterRecommendPerUser);
+
+void BM_ItemCfRecommendPerUser(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  core::ItemCfRecommender rec(f.context,
+                              {.epsilon = 0.5, .tau = 20, .seed = 9});
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 50; ++u) users.push_back(u);
+  for (auto _ : state) {
+    auto lists = rec.Recommend(users, 50);
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_ItemCfRecommendPerUser);
+
+void BM_NdcgEvaluation(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 200; ++u) users.push_back(u);
+  eval::ExactReference ref =
+      eval::ExactReference::Compute(f.context, users, 50);
+  core::ClusterRecommender rec(f.context, f.louvain.partition,
+                               {.epsilon = 0.5, .seed = 10});
+  auto lists = rec.Recommend(users, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.MeanNdcg(lists));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_NdcgEvaluation);
+
+void BM_TopNAccumulator(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> utilities(10000);
+  for (double& u : utilities) u = rng.Normal();
+  for (auto _ : state) {
+    core::TopNAccumulator acc(50);
+    for (size_t i = 0; i < utilities.size(); ++i) {
+      acc.Offer(static_cast<graph::ItemId>(i), utilities[i]);
+    }
+    auto list = acc.Take();
+    benchmark::DoNotOptimize(list.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(utilities.size()));
+}
+BENCHMARK(BM_TopNAccumulator);
+
+void BM_SpectralKMeans(benchmark::State& state) {
+  const data::Dataset& dataset = SharedDataset();
+  for (auto _ : state) {
+    auto partition = community::SpectralKMeans(dataset.social, 8, 12);
+    benchmark::DoNotOptimize(partition.num_clusters());
+  }
+}
+BENCHMARK(BM_SpectralKMeans);
+
+void BM_ExactRecommendPerUser(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  core::ExactRecommender rec(f.context);
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 200; ++u) users.push_back(u);
+  for (auto _ : state) {
+    auto lists = rec.Recommend(users, 50);
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_ExactRecommendPerUser);
+
+}  // namespace
+}  // namespace privrec
+
+BENCHMARK_MAIN();

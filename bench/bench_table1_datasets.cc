@@ -1,0 +1,118 @@
+// Reproduces Table 1: summary statistics of the two datasets.
+//
+// The synthetic substitutes are generated at the published scale for
+// Last.fm and at a reduced (configurable) scale for Flixster; the paper's
+// published numbers are printed alongside for comparison. If the real
+// dataset directories are supplied, their statistics are reported too.
+//
+//   ./bench_table1_datasets [--flixster_users=12000] [--flixster_items=8000]
+//                           [--lastfm_dir=...] [--flixster_dir=...]
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "data/flixster.h"
+#include "data/hetrec_lastfm.h"
+#include "data/synthetic.h"
+#include "eval/table.h"
+#include "graph/metrics.h"
+
+namespace privrec {
+namespace {
+
+std::vector<std::string> SummaryRow(const std::string& label,
+                                    const data::DatasetSummary& s) {
+  return {label,
+          std::to_string(s.num_users),
+          std::to_string(s.num_social_edges),
+          FormatDouble(s.avg_user_degree, 1) + " (" +
+              FormatDouble(s.user_degree_stddev, 1) + ")",
+          std::to_string(s.num_items),
+          std::to_string(s.num_preference_edges),
+          FormatDouble(s.avg_prefs_per_user, 1) + " (" +
+              FormatDouble(s.prefs_per_user_stddev, 1) + ")",
+          FormatDouble(s.sparsity, 3)};
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int64_t flixster_users = flags.GetInt("flixster_users", 12000);
+  const int64_t flixster_items = flags.GetInt("flixster_items", 8000);
+  const std::string lastfm_dir = flags.GetString("lastfm_dir", "");
+  const std::string flixster_dir = flags.GetString("flixster_dir", "");
+  if (!flags.Validate()) return 1;
+
+  std::cout << "=== Table 1: Summary of data sets ===\n\n";
+  eval::TablePrinter table({"dataset", "|U|", "|E_s|", "avg deg (std)",
+                            "|I|", "|E_p|", "prefs/user (std)",
+                            "sparsity"});
+
+  // Published values, for side-by-side comparison.
+  table.AddRow({"lastfm (paper)", "1892", "12717", "13.4 (17.3)", "17632",
+                "92198", "48.7 (6.9)", "0.997"});
+  data::Dataset lastfm = data::MakeSyntheticLastFm();
+  table.AddRow(SummaryRow("lastfm-synth", data::Summarize(lastfm)));
+  if (!lastfm_dir.empty()) {
+    auto real = data::LoadHetRecLastFm(lastfm_dir);
+    if (real.ok()) {
+      table.AddRow(SummaryRow("lastfm (real)", data::Summarize(*real)));
+    } else {
+      std::cerr << "lastfm load failed: " << real.status().ToString()
+                << "\n";
+    }
+  }
+
+  table.AddRow({"flixster (paper)", "137372", "1269076", "18.5 (31.1)",
+                "48756", "7527931", "54.8 (218.2)", "0.999"});
+  data::SyntheticFlixsterOptions fopt;
+  fopt.num_users = flixster_users;
+  fopt.num_items = flixster_items;
+  data::Dataset flixster = data::MakeSyntheticFlixster(fopt);
+  table.AddRow(SummaryRow("flixster-synth", data::Summarize(flixster)));
+  if (!flixster_dir.empty()) {
+    auto real = data::LoadFlixster(flixster_dir);
+    if (real.ok()) {
+      table.AddRow(SummaryRow("flixster (real)", data::Summarize(*real)));
+    } else {
+      std::cerr << "flixster load failed: " << real.status().ToString()
+                << "\n";
+    }
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nNote: flixster-synth is scale-reduced (see DESIGN.md); "
+               "the shape-relevant ratios (degrees, prefs/user) track the "
+               "published values.\n";
+
+  // Structural validation: the small-world properties the paper leans on
+  // (Section 2.2 — "the number of reachable users explodes after 2 hops").
+  std::cout << "\n=== structural validation (small-world properties) ===\n\n";
+  eval::TablePrinter structure({"graph", "clustering coeff",
+                                "avg distance", "1-hop cover",
+                                "2-hop cover", "3-hop cover"});
+  auto structural_row = [&](const std::string& label,
+                            const graph::SocialGraph& g) {
+    graph::PathLengthStats paths =
+        graph::SampleShortestPaths(g, 40, 777);
+    structure.AddRow(
+        {label, FormatDouble(graph::GlobalClusteringCoefficient(g), 3),
+         FormatDouble(paths.average_distance, 2),
+         FormatDouble(graph::MeanNeighborhoodCoverage(g, 1, 40, 778), 3),
+         FormatDouble(graph::MeanNeighborhoodCoverage(g, 2, 40, 778), 3),
+         FormatDouble(graph::MeanNeighborhoodCoverage(g, 3, 40, 778), 3)});
+  };
+  structural_row("lastfm-synth", lastfm.social);
+  structural_row("flixster-synth", flixster.social);
+  structure.Print(std::cout);
+  std::cout << "\nreading: short average distances with high clustering = "
+               "small-world; the 2->3 hop coverage jump is why the paper "
+               "cuts GD and Katz off at 2-3 hops.\n";
+  return 0;
+}
+
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::Main(argc, argv); }

@@ -1,0 +1,91 @@
+// Measure explorer: how the ten similarity measures see the same user.
+//
+// Builds a small community-structured graph, picks a user, and prints
+// each measure's top similar users plus the workload statistics that
+// drive DP sensitivity (row size, row sum, max column sum). A compact way
+// to develop intuition for why the cluster framework's behaviour is so
+// stable across measures (E1) while NOU's sensitivity varies wildly (A2).
+//
+//   ./measure_explorer [--user=10] [--top=6]
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "data/synthetic.h"
+#include "similarity/adamic_adar.h"
+#include "similarity/common_neighbors.h"
+#include "similarity/extra_measures.h"
+#include "similarity/graph_distance.h"
+#include "similarity/katz.h"
+#include "similarity/personalized_pagerank.h"
+#include "similarity/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace privrec;
+  FlagParser flags(argc, argv);
+  const graph::NodeId user =
+      static_cast<graph::NodeId>(flags.GetInt("user", 10));
+  const int64_t top = flags.GetInt("top", 6);
+  if (!flags.Validate()) return 1;
+
+  data::Dataset d = data::MakeTinyDataset(250, 200, 12);
+  if (user < 0 || user >= d.social.num_nodes()) {
+    std::fprintf(stderr, "--user must be in [0, %lld)\n",
+                 static_cast<long long>(d.social.num_nodes()));
+    return 1;
+  }
+  std::printf("graph: %lld users, %lld edges; exploring user %lld "
+              "(degree %lld)\n\n",
+              static_cast<long long>(d.social.num_nodes()),
+              static_cast<long long>(d.social.num_edges()),
+              static_cast<long long>(user),
+              static_cast<long long>(d.social.Degree(user)));
+
+  std::vector<std::unique_ptr<similarity::SimilarityMeasure>> measures;
+  measures.push_back(std::make_unique<similarity::CommonNeighbors>());
+  measures.push_back(std::make_unique<similarity::GraphDistance>(2));
+  measures.push_back(std::make_unique<similarity::AdamicAdar>());
+  measures.push_back(std::make_unique<similarity::Katz>(3, 0.05));
+  measures.push_back(std::make_unique<similarity::Jaccard>());
+  measures.push_back(std::make_unique<similarity::SaltonCosine>());
+  measures.push_back(std::make_unique<similarity::Sorensen>());
+  measures.push_back(std::make_unique<similarity::ResourceAllocation>());
+  measures.push_back(std::make_unique<similarity::HubPromoted>());
+  measures.push_back(
+      std::make_unique<similarity::PersonalizedPageRank>(0.2, 1e-5));
+
+  std::printf("%-5s %-10s %-10s %-12s top similar users (score)\n",
+              "name", "|sim(u)|", "row sum", "sensitivity");
+  for (const auto& measure : measures) {
+    similarity::SimilarityWorkload workload =
+        similarity::SimilarityWorkload::Compute(d.social, *measure);
+    auto row = workload.Row(user);
+    std::vector<similarity::SimilarityEntry> sorted(row.begin(), row.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.score > b.score; });
+    std::string preview;
+    for (int64_t k = 0; k < top && k < static_cast<int64_t>(sorted.size());
+         ++k) {
+      char cell[48];
+      std::snprintf(cell, sizeof(cell), "%lld(%.3g) ",
+                    static_cast<long long>(sorted[static_cast<size_t>(k)]
+                                               .user),
+                    sorted[static_cast<size_t>(k)].score);
+      preview += cell;
+    }
+    std::printf("%-5s %-10zu %-10.3g %-12.3g %s\n",
+                measure->Name().c_str(), row.size(),
+                workload.RowSum(user), workload.MaxColumnSum(),
+                preview.c_str());
+  }
+  std::printf(
+      "\nsensitivity = max_v sum_u sim(u,v): what NOU must noise against. "
+      "Note how it spans orders of magnitude across measures while the "
+      "similar-user SETS barely change — exactly why the framework "
+      "(whose noise ignores this quantity) is measure-robust.\n");
+  return 0;
+}

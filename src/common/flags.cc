@@ -1,0 +1,89 @@
+#include "common/flags.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace privrec {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "flags: positional argument not supported: %s\n",
+                   argv[i]);
+      parse_error_ = true;
+      continue;
+    }
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      // Bare --flag means boolean true.
+      values_[std::string(arg)] = "true";
+    } else {
+      values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t default_value) {
+  known_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  int64_t v = 0;
+  if (!ParseInt64(it->second, &v)) {
+    std::fprintf(stderr, "flags: --%s=%s is not an integer\n", name.c_str(),
+                 it->second.c_str());
+    parse_error_ = true;
+    return default_value;
+  }
+  return v;
+}
+
+double FlagParser::GetDouble(const std::string& name, double default_value) {
+  known_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  double v = 0;
+  if (!ParseDouble(it->second, &v)) {
+    std::fprintf(stderr, "flags: --%s=%s is not a number\n", name.c_str(),
+                 it->second.c_str());
+    parse_error_ = true;
+    return default_value;
+  }
+  return v;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) {
+  known_.insert(name);
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) {
+  known_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  std::fprintf(stderr, "flags: --%s=%s is not a boolean\n", name.c_str(),
+               it->second.c_str());
+  parse_error_ = true;
+  return default_value;
+}
+
+bool FlagParser::Validate() const {
+  bool ok = !parse_error_;
+  for (const auto& [name, value] : values_) {
+    if (known_.count(name) == 0) {
+      std::fprintf(stderr, "flags: unknown flag --%s=%s\n", name.c_str(),
+                   value.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace privrec

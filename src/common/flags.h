@@ -1,0 +1,48 @@
+// A tiny --key=value command-line flag parser for the bench and example
+// binaries (which want e.g. --trials=3 --users=5000 without pulling in a
+// flags dependency).
+//
+// Usage:
+//   FlagParser flags(argc, argv);
+//   int trials = flags.GetInt("trials", 10);
+//   if (!flags.Validate()) return 1;   // rejects unknown flags
+
+#ifndef PRIVREC_COMMON_FLAGS_H_
+#define PRIVREC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace privrec {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  // Accessors record the flag name as "known"; unknown flags on the command
+  // line are reported by Validate().
+  int64_t GetInt(const std::string& name, int64_t default_value);
+  double GetDouble(const std::string& name, double default_value);
+  std::string GetString(const std::string& name,
+                        const std::string& default_value);
+  bool GetBool(const std::string& name, bool default_value);
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  // Returns false (and prints to stderr) if any parse error occurred or any
+  // flag supplied on the command line was never consumed.
+  bool Validate() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> known_;
+  bool parse_error_ = false;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_FLAGS_H_

@@ -1,0 +1,39 @@
+// Assertion macros used throughout privrec.
+//
+// Library code does not throw exceptions; invariant violations terminate the
+// process with a diagnostic. PRIVREC_CHECK is always on; PRIVREC_DCHECK
+// compiles away in NDEBUG builds.
+
+#ifndef PRIVREC_COMMON_MACROS_H_
+#define PRIVREC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PRIVREC_CHECK(condition)                                          \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "PRIVREC_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define PRIVREC_CHECK_MSG(condition, msg)                                 \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "PRIVREC_CHECK failed at %s:%d: %s (%s)\n",    \
+                   __FILE__, __LINE__, #condition, msg);                  \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define PRIVREC_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#else
+#define PRIVREC_DCHECK(condition) PRIVREC_CHECK(condition)
+#endif
+
+#endif  // PRIVREC_COMMON_MACROS_H_

@@ -1,0 +1,116 @@
+// Status / Result<T>: exception-free error propagation for fallible
+// operations (I/O, parsing, user-supplied configuration).
+//
+// Usage:
+//   Result<Dataset> r = LoadHetRecLastFm(dir);
+//   if (!r.ok()) { std::cerr << r.status().message(); return; }
+//   Dataset d = std::move(r).value();
+
+#ifndef PRIVREC_COMMON_STATUS_H_
+#define PRIVREC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace privrec {
+
+// Coarse error taxonomy; sufficient for a library of this size.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying a code and a message. Ok statuses carry no
+// message and never allocate.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a T or a non-ok Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    PRIVREC_CHECK_MSG(!std::get<Status>(rep_).ok(),
+                      "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    PRIVREC_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    PRIVREC_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    PRIVREC_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_STATUS_H_

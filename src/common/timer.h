@@ -1,0 +1,29 @@
+// Wall-clock timer for experiment reporting.
+
+#ifndef PRIVREC_COMMON_TIMER_H_
+#define PRIVREC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace privrec {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_TIMER_H_

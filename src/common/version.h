@@ -1,0 +1,15 @@
+// Library version.
+
+#ifndef PRIVREC_COMMON_VERSION_H_
+#define PRIVREC_COMMON_VERSION_H_
+
+namespace privrec {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_VERSION_H_

@@ -1,0 +1,62 @@
+#include "community/label_propagation.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+
+namespace privrec::community {
+
+Partition RunLabelPropagation(const graph::SocialGraph& g,
+                              const LabelPropagationOptions& options) {
+  const graph::NodeId n = g.num_nodes();
+  Rng rng(options.seed);
+  std::vector<int64_t> label(static_cast<size_t>(n));
+  std::iota(label.begin(), label.end(), 0);
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  // Dense scratch for label frequencies.
+  std::vector<int64_t> freq(static_cast<size_t>(n), 0);
+  std::vector<int64_t> touched;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    rng.Shuffle(order);
+    bool changed = false;
+    for (graph::NodeId u : order) {
+      auto nbrs = g.Neighbors(u);
+      if (nbrs.empty()) continue;
+      touched.clear();
+      for (graph::NodeId v : nbrs) {
+        int64_t lv = label[static_cast<size_t>(v)];
+        if (freq[static_cast<size_t>(lv)] == 0) touched.push_back(lv);
+        ++freq[static_cast<size_t>(lv)];
+      }
+      // Argmax with uniform tie breaking (reservoir over ties).
+      int64_t best = -1;
+      int64_t best_count = 0;
+      int64_t num_ties = 0;
+      for (int64_t l : touched) {
+        int64_t c = freq[static_cast<size_t>(l)];
+        if (c > best_count) {
+          best_count = c;
+          best = l;
+          num_ties = 1;
+        } else if (c == best_count) {
+          ++num_ties;
+          if (rng.UniformInt(static_cast<uint64_t>(num_ties)) == 0) best = l;
+        }
+      }
+      for (int64_t l : touched) freq[static_cast<size_t>(l)] = 0;
+      if (best != label[static_cast<size_t>(u)]) {
+        label[static_cast<size_t>(u)] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return Partition(label);
+}
+
+}  // namespace privrec::community

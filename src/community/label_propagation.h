@@ -1,0 +1,25 @@
+// Label propagation (Raghavan et al. 2007): a fast clustering baseline for
+// the A1 ablation. Each node repeatedly adopts the most frequent label
+// among its neighbors (ties broken uniformly at random) until stable.
+
+#ifndef PRIVREC_COMMUNITY_LABEL_PROPAGATION_H_
+#define PRIVREC_COMMUNITY_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "community/partition.h"
+#include "graph/social_graph.h"
+
+namespace privrec::community {
+
+struct LabelPropagationOptions {
+  int max_iterations = 100;
+  uint64_t seed = 23;
+};
+
+Partition RunLabelPropagation(const graph::SocialGraph& g,
+                              const LabelPropagationOptions& options = {});
+
+}  // namespace privrec::community
+
+#endif  // PRIVREC_COMMUNITY_LABEL_PROPAGATION_H_

@@ -1,0 +1,38 @@
+#include "community/modularity.h"
+
+namespace privrec::community {
+
+double Modularity(const graph::SocialGraph& g, const Partition& partition) {
+  return GeneralizedModularity(g, partition, 1.0);
+}
+
+double GeneralizedModularity(const graph::SocialGraph& g,
+                             const Partition& partition, double resolution) {
+  PRIVREC_CHECK(partition.num_nodes() == g.num_nodes());
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) return 0.0;
+
+  std::vector<double> intra(static_cast<size_t>(partition.num_clusters()),
+                            0.0);
+  std::vector<double> degree_sum(
+      static_cast<size_t>(partition.num_clusters()), 0.0);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    int64_t cu = partition.ClusterOf(u);
+    degree_sum[static_cast<size_t>(cu)] +=
+        static_cast<double>(g.Degree(u));
+    for (graph::NodeId v : g.Neighbors(u)) {
+      if (u < v && partition.ClusterOf(v) == cu) {
+        intra[static_cast<size_t>(cu)] += 1.0;
+      }
+    }
+  }
+  double q = 0.0;
+  for (int64_t c = 0; c < partition.num_clusters(); ++c) {
+    double frac_intra = intra[static_cast<size_t>(c)] / m;
+    double frac_degree = degree_sum[static_cast<size_t>(c)] / (2.0 * m);
+    q += frac_intra - resolution * frac_degree * frac_degree;
+  }
+  return q;
+}
+
+}  // namespace privrec::community

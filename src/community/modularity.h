@@ -1,0 +1,24 @@
+// Modularity (Equation 8): the quality function maximized by Louvain,
+//   Q(Φ) = Σ_c [ e_c / m − (d_c / 2m)² ]
+// where m = |E_s|, e_c = number of intra-cluster edges and d_c = total
+// degree of cluster c. Q ∈ [-1/2, 1).
+
+#ifndef PRIVREC_COMMUNITY_MODULARITY_H_
+#define PRIVREC_COMMUNITY_MODULARITY_H_
+
+#include "community/partition.h"
+#include "graph/social_graph.h"
+
+namespace privrec::community {
+
+double Modularity(const graph::SocialGraph& g, const Partition& partition);
+
+// Generalized modularity (Reichardt & Bornholdt) with resolution γ:
+//   Q_γ(Φ) = Σ_c [ e_c / m − γ (d_c / 2m)² ].
+// γ = 1 recovers the standard definition.
+double GeneralizedModularity(const graph::SocialGraph& g,
+                             const Partition& partition, double resolution);
+
+}  // namespace privrec::community
+
+#endif  // PRIVREC_COMMUNITY_MODULARITY_H_

@@ -1,0 +1,90 @@
+#include "community/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace privrec::community {
+
+Partition::Partition(const std::vector<int64_t>& cluster_of_node) {
+  cluster_of_.resize(cluster_of_node.size());
+  std::unordered_map<int64_t, int64_t> dense;
+  for (size_t u = 0; u < cluster_of_node.size(); ++u) {
+    int64_t raw = cluster_of_node[u];
+    PRIVREC_CHECK_MSG(raw >= 0, "negative cluster label");
+    auto [it, inserted] =
+        dense.try_emplace(raw, static_cast<int64_t>(dense.size()));
+    cluster_of_[u] = it->second;
+  }
+  num_clusters_ = static_cast<int64_t>(dense.size());
+  sizes_.assign(static_cast<size_t>(num_clusters_), 0);
+  for (int64_t c : cluster_of_) ++sizes_[static_cast<size_t>(c)];
+}
+
+Partition Partition::Singletons(graph::NodeId n) {
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (graph::NodeId u = 0; u < n; ++u) labels[static_cast<size_t>(u)] = u;
+  return Partition(labels);
+}
+
+Partition Partition::Whole(graph::NodeId n) {
+  return Partition(std::vector<int64_t>(static_cast<size_t>(n), 0));
+}
+
+std::vector<std::vector<graph::NodeId>> Partition::Members() const {
+  std::vector<std::vector<graph::NodeId>> members(
+      static_cast<size_t>(num_clusters_));
+  for (size_t c = 0; c < members.size(); ++c) {
+    members[c].reserve(static_cast<size_t>(sizes_[c]));
+  }
+  for (graph::NodeId u = 0; u < num_nodes(); ++u) {
+    members[static_cast<size_t>(cluster_of_[static_cast<size_t>(u)])]
+        .push_back(u);
+  }
+  return members;
+}
+
+double Partition::AverageClusterSize() const {
+  if (num_clusters_ == 0) return 0.0;
+  return static_cast<double>(num_nodes()) /
+         static_cast<double>(num_clusters_);
+}
+
+double Partition::ClusterSizeStddev() const {
+  if (num_clusters_ == 0) return 0.0;
+  double mean = AverageClusterSize();
+  double acc = 0.0;
+  for (int64_t s : sizes_) {
+    double d = static_cast<double>(s) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(num_clusters_));
+}
+
+int64_t Partition::LargestClusterSize() const {
+  int64_t best = 0;
+  for (int64_t s : sizes_) best = std::max(best, s);
+  return best;
+}
+
+bool Partition::SamePartitionAs(const Partition& other) const {
+  if (num_nodes() != other.num_nodes()) return false;
+  if (num_clusters_ != other.num_clusters_) return false;
+  // Two partitions are equal up to relabeling iff the map from this
+  // cluster id to the other's is a consistent bijection.
+  std::vector<int64_t> fwd(static_cast<size_t>(num_clusters_), -1);
+  std::vector<int64_t> bwd(static_cast<size_t>(num_clusters_), -1);
+  for (graph::NodeId u = 0; u < num_nodes(); ++u) {
+    int64_t a = ClusterOf(u);
+    int64_t b = other.ClusterOf(u);
+    if (fwd[static_cast<size_t>(a)] == -1) fwd[static_cast<size_t>(a)] = b;
+    if (bwd[static_cast<size_t>(b)] == -1) bwd[static_cast<size_t>(b)] = a;
+    if (fwd[static_cast<size_t>(a)] != b ||
+        bwd[static_cast<size_t>(b)] != a) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace privrec::community

@@ -1,0 +1,66 @@
+// Partition: a disjoint clustering of user nodes — the Φ of Algorithm 1.
+// Cluster ids are dense in [0, num_clusters) and every node belongs to
+// exactly one cluster, which is exactly the property the privacy proof
+// (Theorem 4) relies on for parallel composition across clusters.
+
+#ifndef PRIVREC_COMMUNITY_PARTITION_H_
+#define PRIVREC_COMMUNITY_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace privrec::community {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  // Builds from per-node labels (any non-negative values); labels are
+  // compacted to dense ids in first-appearance order.
+  explicit Partition(const std::vector<int64_t>& cluster_of_node);
+
+  // The all-singletons partition of n nodes.
+  static Partition Singletons(graph::NodeId n);
+  // The single-cluster partition of n nodes.
+  static Partition Whole(graph::NodeId n);
+
+  graph::NodeId num_nodes() const {
+    return static_cast<graph::NodeId>(cluster_of_.size());
+  }
+  int64_t num_clusters() const { return num_clusters_; }
+
+  int64_t ClusterOf(graph::NodeId u) const {
+    PRIVREC_DCHECK(u >= 0 && u < num_nodes());
+    return cluster_of_[static_cast<size_t>(u)];
+  }
+
+  int64_t ClusterSize(int64_t c) const {
+    PRIVREC_DCHECK(c >= 0 && c < num_clusters_);
+    return sizes_[static_cast<size_t>(c)];
+  }
+
+  const std::vector<int64_t>& cluster_of() const { return cluster_of_; }
+  const std::vector<int64_t>& sizes() const { return sizes_; }
+
+  // Members of each cluster (computed on demand, cached nowhere).
+  std::vector<std::vector<graph::NodeId>> Members() const;
+
+  double AverageClusterSize() const;
+  double ClusterSizeStddev() const;
+  int64_t LargestClusterSize() const;
+
+  // True if `other` assigns two nodes together exactly when this one does
+  // (i.e. equal up to cluster relabeling).
+  bool SamePartitionAs(const Partition& other) const;
+
+ private:
+  std::vector<int64_t> cluster_of_;
+  std::vector<int64_t> sizes_;
+  int64_t num_clusters_ = 0;
+};
+
+}  // namespace privrec::community
+
+#endif  // PRIVREC_COMMUNITY_PARTITION_H_

@@ -1,0 +1,68 @@
+#include "community/partition_io.h"
+
+#include <fstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace privrec::community {
+
+Status SavePartition(const Partition& partition, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# privrec partition: " << partition.num_nodes() << " nodes, "
+      << partition.num_clusters() << " clusters\n";
+  for (graph::NodeId u = 0; u < partition.num_nodes(); ++u) {
+    out << u << '\t' << partition.ClusterOf(u) << '\n';
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<Partition> LoadPartition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<int64_t> labels;
+  std::vector<bool> seen;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = SplitWhitespace(sv);
+    if (fields.size() < 2) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": expected node and cluster");
+    }
+    int64_t node = 0;
+    int64_t cluster = 0;
+    if (!ParseInt64(fields[0], &node) || !ParseInt64(fields[1], &cluster)) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": non-integer field");
+    }
+    if (node < 0 || cluster < 0) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": negative id");
+    }
+    if (node >= static_cast<int64_t>(labels.size())) {
+      labels.resize(static_cast<size_t>(node) + 1, -1);
+      seen.resize(static_cast<size_t>(node) + 1, false);
+    }
+    if (seen[static_cast<size_t>(node)]) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": duplicate node " + std::to_string(node));
+    }
+    seen[static_cast<size_t>(node)] = true;
+    labels[static_cast<size_t>(node)] = cluster;
+  }
+  for (size_t u = 0; u < labels.size(); ++u) {
+    if (!seen[u]) {
+      return Status::ParseError(path + ": missing assignment for node " +
+                                std::to_string(u));
+    }
+  }
+  return Partition(labels);
+}
+
+}  // namespace privrec::community

@@ -1,0 +1,25 @@
+// Partition serialization: save/load cluster assignments as TSV
+// ("node<TAB>cluster" per line). Lets a deployment cluster the social
+// graph once and reuse the (public, privacy-free) result across many
+// recommendation releases — re-running Louvain per release is pure waste
+// since the input is the same public graph.
+
+#ifndef PRIVREC_COMMUNITY_PARTITION_IO_H_
+#define PRIVREC_COMMUNITY_PARTITION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "community/partition.h"
+
+namespace privrec::community {
+
+Status SavePartition(const Partition& partition, const std::string& path);
+
+// Node ids must be exactly 0..n-1, each appearing once; cluster labels
+// are compacted on load.
+Result<Partition> LoadPartition(const std::string& path);
+
+}  // namespace privrec::community
+
+#endif  // PRIVREC_COMMUNITY_PARTITION_IO_H_

@@ -1,0 +1,22 @@
+#include "community/simple_clusterings.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+
+namespace privrec::community {
+
+Partition RandomClusters(graph::NodeId num_nodes, int64_t k, uint64_t seed) {
+  PRIVREC_CHECK(k >= 1 && k <= num_nodes);
+  Rng rng(seed);
+  std::vector<int64_t> slots(static_cast<size_t>(num_nodes));
+  // Round-robin labels, then shuffle for random membership of equal sizes.
+  for (graph::NodeId u = 0; u < num_nodes; ++u) {
+    slots[static_cast<size_t>(u)] = u % k;
+  }
+  rng.Shuffle(slots);
+  return Partition(slots);
+}
+
+}  // namespace privrec::community

@@ -1,0 +1,26 @@
+// Degenerate clustering strategies used as baselines and in ablations.
+//
+// All of these operate only on public information (node count / seed), so
+// plugging any of them into Algorithm 1 preserves the privacy guarantee —
+// they only change the approximation/perturbation trade-off:
+//   - Singletons: clusters of size 1; Algorithm 1 degenerates to NOE.
+//   - Whole: one giant cluster; maximal smoothing, minimal noise.
+//   - RandomClusters: k random equal-size clusters, ignoring graph
+//     structure (isolates the value of community detection).
+
+#ifndef PRIVREC_COMMUNITY_SIMPLE_CLUSTERINGS_H_
+#define PRIVREC_COMMUNITY_SIMPLE_CLUSTERINGS_H_
+
+#include <cstdint>
+
+#include "community/partition.h"
+
+namespace privrec::community {
+
+// k clusters of (near-)equal size with uniformly random membership.
+// Requires 1 <= k <= n.
+Partition RandomClusters(graph::NodeId num_nodes, int64_t k, uint64_t seed);
+
+}  // namespace privrec::community
+
+#endif  // PRIVREC_COMMUNITY_SIMPLE_CLUSTERINGS_H_

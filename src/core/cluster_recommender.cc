@@ -1,0 +1,94 @@
+#include "core/cluster_recommender.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dp/mechanisms.h"
+
+namespace privrec::core {
+
+ClusterRecommender::ClusterRecommender(
+    const RecommenderContext& context, community::Partition partition,
+    const ClusterRecommenderOptions& options)
+    : context_(context),
+      partition_(std::move(partition)),
+      options_(options) {
+  context_.CheckValid();
+  PRIVREC_CHECK(partition_.num_nodes() == context_.social->num_nodes());
+  PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
+}
+
+std::vector<double> ClusterRecommender::ComputeNoisyClusterAverages() {
+  const int64_t num_clusters = partition_.num_clusters();
+  const graph::ItemId num_items = context_.preferences->num_items();
+  // Fresh noise stream per invocation keeps repeated trials independent
+  // while the whole object stays deterministic under a fixed seed.
+  dp::LaplaceMechanism laplace(options_.epsilon,
+                               Rng(options_.seed).Fork(invocation_++));
+
+  // Lines 2-6 of Algorithm 1: per-(cluster, item) edge-weight sums via one
+  // pass over the preference edges.
+  std::vector<double> averages(
+      static_cast<size_t>(num_clusters * num_items), 0.0);
+  for (graph::NodeId v = 0; v < context_.preferences->num_users(); ++v) {
+    int64_t c = partition_.ClusterOf(v);
+    double* row = averages.data() + c * num_items;
+    auto items = context_.preferences->ItemsOf(v);
+    auto weights = context_.preferences->WeightsOf(v);
+    for (size_t k = 0; k < items.size(); ++k) {
+      row[items[k]] += weights[k];
+    }
+  }
+  // Line 7: divide by cluster size and add Lap(w_max / (|c| * eps)). The
+  // sensitivity of a cluster average is w_max/|c| because one preference
+  // edge changes exactly one cluster's sum by at most the largest allowed
+  // weight (cluster membership is data-independent); w_max = 1 in the
+  // paper's unweighted model.
+  const double w_max = context_.preferences->max_weight();
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    double size = static_cast<double>(partition_.ClusterSize(c));
+    double sensitivity = w_max / size;
+    double* row = averages.data() + c * num_items;
+    for (graph::ItemId i = 0; i < num_items; ++i) {
+      row[i] = laplace.Release(row[i] / size, sensitivity);
+    }
+  }
+  return averages;
+}
+
+std::vector<RecommendationList> ClusterRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  const int64_t num_clusters = partition_.num_clusters();
+  const graph::ItemId num_items = context_.preferences->num_items();
+  std::vector<double> averages = ComputeNoisyClusterAverages();
+
+  // Lines 8-20: per-user reconstruction. sim_sum per cluster is sparse (a
+  // user's similarity set touches few clusters); the item-utility vector is
+  // dense because every noisy average is nonzero.
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  std::vector<double> sim_sum(static_cast<size_t>(num_clusters), 0.0);
+  std::vector<int64_t> touched;
+  std::vector<double> utilities(static_cast<size_t>(num_items));
+  for (graph::NodeId u : users) {
+    touched.clear();
+    for (const similarity::SimilarityEntry& e : context_.workload->Row(u)) {
+      int64_t c = partition_.ClusterOf(e.user);
+      if (sim_sum[static_cast<size_t>(c)] == 0.0) touched.push_back(c);
+      sim_sum[static_cast<size_t>(c)] += e.score;
+    }
+    std::fill(utilities.begin(), utilities.end(), 0.0);
+    for (int64_t c : touched) {
+      double s = sim_sum[static_cast<size_t>(c)];
+      const double* row = averages.data() + c * num_items;
+      for (graph::ItemId i = 0; i < num_items; ++i) {
+        utilities[static_cast<size_t>(i)] += s * row[i];
+      }
+      sim_sum[static_cast<size_t>(c)] = 0.0;
+    }
+    out.push_back(TopNFromDense(utilities, top_n));
+  }
+  return out;
+}
+
+}  // namespace privrec::core

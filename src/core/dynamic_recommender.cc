@@ -1,0 +1,68 @@
+#include "core/dynamic_recommender.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+#include "core/cluster_recommender.h"
+
+namespace privrec::core {
+
+DynamicRecommenderSession::DynamicRecommenderSession(
+    const DynamicRecommenderOptions& options)
+    : options_(options), budget_(options.total_epsilon) {
+  PRIVREC_CHECK(options.total_epsilon > 0.0);
+  PRIVREC_CHECK(options.planned_snapshots >= 1);
+  PRIVREC_CHECK(options.geometric_ratio > 0.0 &&
+                options.geometric_ratio < 1.0);
+}
+
+double DynamicRecommenderSession::EpsilonForSnapshot(int64_t t) const {
+  PRIVREC_CHECK(t >= 0);
+  switch (options_.allocation) {
+    case BudgetAllocation::kUniform:
+      return options_.total_epsilon /
+             static_cast<double>(options_.planned_snapshots);
+    case BudgetAllocation::kGeometric:
+      return options_.total_epsilon * (1.0 - options_.geometric_ratio) *
+             std::pow(options_.geometric_ratio, static_cast<double>(t));
+  }
+  return 0.0;
+}
+
+Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
+    const RecommenderContext& context,
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  context.CheckValid();
+  const int64_t t = snapshots_processed_;
+  const double epsilon = EpsilonForSnapshot(t);
+  if (epsilon <= 0.0 || !budget_.Charge(kGroup, epsilon)) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted after " + std::to_string(t) +
+        " snapshots (spent " + std::to_string(epsilon_spent()) + " of " +
+        std::to_string(options_.total_epsilon) + ")");
+  }
+
+  // Re-cluster the public social graph for this snapshot.
+  community::LouvainOptions louvain_options = options_.louvain;
+  louvain_options.seed =
+      SplitMix64(options_.seed ^ static_cast<uint64_t>(t));
+  community::LouvainResult louvain =
+      community::RunLouvain(*context.social, louvain_options);
+
+  ClusterRecommender recommender(
+      context, louvain.partition,
+      {.epsilon = epsilon,
+       .seed = SplitMix64(options_.seed + 0x9e37 +
+                          static_cast<uint64_t>(t))});
+  SnapshotRelease release;
+  release.lists = recommender.Recommend(users, top_n);
+  release.epsilon_spent = epsilon;
+  release.cumulative_epsilon = epsilon_spent();
+  release.snapshot_index = t;
+  release.num_clusters = louvain.partition.num_clusters();
+  ++snapshots_processed_;
+  return release;
+}
+
+}  // namespace privrec::core

@@ -1,0 +1,91 @@
+// Dynamic-graph extension (the paper's first future-work item).
+//
+// The paper computes recommendations over a single static snapshot and
+// notes that "enforcing differential privacy over dynamic graphs is a
+// non-trivial extension". This module provides the natural baseline for
+// that extension: a session that releases recommendations over a sequence
+// of graph snapshots under ONE total privacy budget, paying for each
+// release by sequential composition (Theorem 2 — the same preference edge
+// can appear in every snapshot, so the per-snapshot epsilons add).
+//
+// Two allocation policies:
+//   kUniform    ε_t = ε_total / planned_snapshots; exactly
+//               planned_snapshots releases are possible.
+//   kGeometric  ε_t = ε_total · (1 - γ) · γ^t; the series sums below
+//               ε_total, so the session never exhausts — each release is
+//               noisier than the last, an explicit freshness/privacy
+//               trade-off.
+//
+// Each snapshot re-clusters the (public) social graph with Louvain and
+// runs Algorithm 1 at the allocated ε_t. The session refuses to release
+// once the accountant would be overdrawn.
+
+#ifndef PRIVREC_CORE_DYNAMIC_RECOMMENDER_H_
+#define PRIVREC_CORE_DYNAMIC_RECOMMENDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "community/louvain.h"
+#include "core/recommender.h"
+#include "dp/budget.h"
+
+namespace privrec::core {
+
+enum class BudgetAllocation {
+  kUniform,
+  kGeometric,
+};
+
+struct DynamicRecommenderOptions {
+  double total_epsilon = 1.0;
+  BudgetAllocation allocation = BudgetAllocation::kUniform;
+  // kUniform: the number of snapshot releases the budget is divided over.
+  int64_t planned_snapshots = 10;
+  // kGeometric: the decay ratio γ in (0, 1).
+  double geometric_ratio = 0.7;
+  community::LouvainOptions louvain;
+  uint64_t seed = 600;
+};
+
+struct SnapshotRelease {
+  std::vector<RecommendationList> lists;
+  // The ε charged for this release and the cumulative total so far.
+  double epsilon_spent = 0.0;
+  double cumulative_epsilon = 0.0;
+  int64_t snapshot_index = 0;
+  int64_t num_clusters = 0;
+};
+
+class DynamicRecommenderSession {
+ public:
+  explicit DynamicRecommenderSession(
+      const DynamicRecommenderOptions& options);
+
+  // Releases top-`top_n` lists for `users` from the given snapshot.
+  // The context's graphs/workload represent the snapshot at this instant
+  // and must stay alive only for the duration of the call. Fails with
+  // FAILED_PRECONDITION once the budget cannot cover the next allocation.
+  Result<SnapshotRelease> ProcessSnapshot(
+      const RecommenderContext& context,
+      const std::vector<graph::NodeId>& users, int64_t top_n);
+
+  // ε allocated to snapshot t (0-based) under the configured policy.
+  double EpsilonForSnapshot(int64_t t) const;
+
+  int64_t snapshots_processed() const { return snapshots_processed_; }
+  double epsilon_spent() const { return budget_.GroupSpent(kGroup); }
+  double epsilon_remaining() const { return budget_.Remaining(); }
+
+ private:
+  static constexpr const char* kGroup = "snapshots";
+
+  DynamicRecommenderOptions options_;
+  dp::PrivacyBudget budget_;
+  int64_t snapshots_processed_ = 0;
+};
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_DYNAMIC_RECOMMENDER_H_

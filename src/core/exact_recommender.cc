@@ -1,0 +1,40 @@
+#include "core/exact_recommender.h"
+
+namespace privrec::core {
+
+ExactRecommender::ExactRecommender(const RecommenderContext& context)
+    : context_(context) {
+  context_.CheckValid();
+}
+
+std::vector<std::pair<graph::ItemId, double>> ExactRecommender::UtilityRow(
+    graph::NodeId u) {
+  // mu_u = sum_{v in sim(u)} sim(u, v) * w(v, ·): scatter each similar
+  // user's weighted item list into the dense item scratch.
+  item_scratch_.Resize(context_.preferences->num_items());
+  for (const similarity::SimilarityEntry& e : context_.workload->Row(u)) {
+    auto items = context_.preferences->ItemsOf(e.user);
+    auto weights = context_.preferences->WeightsOf(e.user);
+    for (size_t k = 0; k < items.size(); ++k) {
+      item_scratch_.Accumulate(items[k], e.score * weights[k]);
+    }
+  }
+  std::vector<similarity::SimilarityEntry> raw =
+      item_scratch_.TakeSortedPositive();
+  std::vector<std::pair<graph::ItemId, double>> row;
+  row.reserve(raw.size());
+  for (const auto& e : raw) row.emplace_back(e.user, e.score);
+  return row;
+}
+
+std::vector<RecommendationList> ExactRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  for (graph::NodeId u : users) {
+    out.push_back(TopNFromSparse(UtilityRow(u), top_n));
+  }
+  return out;
+}
+
+}  // namespace privrec::core

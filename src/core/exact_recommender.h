@@ -1,0 +1,39 @@
+// ExactRecommender: the non-private top-N social recommender of
+// Definition 4 — utility query Equation (1) evaluated exactly. It is both
+// the accuracy reference for NDCG (Section 2.4) and the algorithm A that
+// the private mechanisms approximate.
+
+#ifndef PRIVREC_CORE_EXACT_RECOMMENDER_H_
+#define PRIVREC_CORE_EXACT_RECOMMENDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/recommender.h"
+#include "similarity/similarity_measure.h"
+
+namespace privrec::core {
+
+class ExactRecommender final : public Recommender {
+ public:
+  explicit ExactRecommender(const RecommenderContext& context);
+
+  std::string Name() const override { return "Exact"; }
+
+  std::vector<RecommendationList> Recommend(
+      const std::vector<graph::NodeId>& users, int64_t top_n) override;
+
+  // The full sparse utility row of u: every item with mu_u^i > 0, sorted by
+  // item id. Used by the NDCG evaluator to look up ideal utilities of
+  // arbitrary recommended items.
+  std::vector<std::pair<graph::ItemId, double>> UtilityRow(
+      graph::NodeId u);
+
+ private:
+  RecommenderContext context_;
+  similarity::DenseScratch item_scratch_;
+};
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_EXACT_RECOMMENDER_H_

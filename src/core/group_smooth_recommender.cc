@@ -1,0 +1,121 @@
+#include "core/group_smooth_recommender.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "dp/mechanisms.h"
+
+namespace privrec::core {
+
+GroupSmoothRecommender::GroupSmoothRecommender(
+    const RecommenderContext& context,
+    const GroupSmoothRecommenderOptions& options)
+    : context_(context),
+      options_(options),
+      max_entry_(context.workload->MaxEntry()),
+      max_column_sum_(context.workload->MaxColumnSum()) {
+  context_.CheckValid();
+  PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
+  PRIVREC_CHECK(options_.group_size >= 1);
+}
+
+std::vector<RecommendationList> GroupSmoothRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  const graph::NodeId num_users = context_.preferences->num_users();
+  const graph::ItemId num_items = context_.preferences->num_items();
+  const int64_t m =
+      std::min<int64_t>(options_.group_size, num_users);
+  Rng rng = Rng(options_.seed).Fork(invocation_++);
+  // Budget split: eps/2 on the rough estimates, eps/2 on the group means.
+  const double half_eps = options_.epsilon == dp::kEpsilonInfinity
+                              ? dp::kEpsilonInfinity
+                              : options_.epsilon / 2.0;
+  dp::LaplaceMechanism rough_mech(half_eps, rng.Fork(1));
+  dp::LaplaceMechanism group_mech(half_eps, rng.Fork(2));
+  const double w_max = context_.preferences->max_weight();
+  const double rough_sensitivity = std::max(max_entry_ * w_max, 1e-12);
+  const double group_sensitivity =
+      std::max(max_column_sum_ * w_max, 1e-12) / static_cast<double>(m);
+
+  // Per-user streaming top-N accumulators for the *requested* users.
+  std::vector<int64_t> accumulator_of(static_cast<size_t>(num_users), -1);
+  std::vector<TopNAccumulator> accumulators;
+  accumulators.reserve(users.size());
+  for (size_t k = 0; k < users.size(); ++k) {
+    PRIVREC_CHECK_MSG(
+        accumulator_of[static_cast<size_t>(users[k])] == -1,
+        "duplicate user in Recommend batch");
+    accumulator_of[static_cast<size_t>(users[k])] =
+        static_cast<int64_t>(k);
+    accumulators.emplace_back(top_n);
+  }
+
+  std::vector<double> true_utilities(static_cast<size_t>(num_users));
+  std::vector<double> rough(static_cast<size_t>(num_users));
+  std::vector<graph::NodeId> order(static_cast<size_t>(num_users));
+
+  for (graph::ItemId i = 0; i < num_items; ++i) {
+    std::fill(true_utilities.begin(), true_utilities.end(), 0.0);
+    std::fill(rough.begin(), rough.end(), 0.0);
+
+    auto buyers = context_.preferences->UsersOf(i);
+    auto buyer_weights = context_.preferences->ItemWeights(i);
+    for (size_t b = 0; b < buyers.size(); ++b) {
+      graph::NodeId v = buyers[b];
+      double w = buyer_weights[b];
+      auto row = context_.workload->Row(v);
+      // True utilities: the edge (v, i) contributes sim(u, v) * w(v, i)
+      // to every user u similar to v (symmetric measure: row(v) gives
+      // sim(·, v)).
+      for (const similarity::SimilarityEntry& e : row) {
+        true_utilities[static_cast<size_t>(e.user)] += e.score * w;
+      }
+      // Rough estimates: (v, i) is used in exactly ONE randomly chosen
+      // query estimate.
+      if (!row.empty()) {
+        const similarity::SimilarityEntry& pick =
+            row[rng.UniformInt(row.size())];
+        rough[static_cast<size_t>(pick.user)] += pick.score * w;
+      }
+    }
+    for (graph::NodeId u = 0; u < num_users; ++u) {
+      rough[static_cast<size_t>(u)] = rough_mech.Release(
+          rough[static_cast<size_t>(u)], rough_sensitivity);
+    }
+
+    // Sort users by rough key and smooth consecutive groups of size m.
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](graph::NodeId a, graph::NodeId b) {
+                double ra = rough[static_cast<size_t>(a)];
+                double rb = rough[static_cast<size_t>(b)];
+                if (ra != rb) return ra > rb;
+                return a < b;
+              });
+    for (int64_t start = 0; start < num_users; start += m) {
+      int64_t end = std::min<int64_t>(start + m, num_users);
+      double sum = 0.0;
+      for (int64_t k = start; k < end; ++k) {
+        sum += true_utilities[static_cast<size_t>(
+            order[static_cast<size_t>(k)])];
+      }
+      double mean = sum / static_cast<double>(end - start);
+      double released = group_mech.Release(mean, group_sensitivity);
+      for (int64_t k = start; k < end; ++k) {
+        graph::NodeId u = order[static_cast<size_t>(k)];
+        int64_t slot = accumulator_of[static_cast<size_t>(u)];
+        if (slot >= 0) {
+          accumulators[static_cast<size_t>(slot)].Offer(i, released);
+        }
+      }
+    }
+  }
+
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  for (TopNAccumulator& acc : accumulators) out.push_back(acc.Take());
+  return out;
+}
+
+}  // namespace privrec::core

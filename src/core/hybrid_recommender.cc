@@ -1,0 +1,70 @@
+#include "core/hybrid_recommender.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "dp/mechanisms.h"
+
+namespace privrec::core {
+
+HybridRecommender::HybridRecommender(const RecommenderContext& context,
+                                     community::Partition partition,
+                                     const HybridRecommenderOptions& options)
+    : options_(options),
+      social_(context, std::move(partition),
+              {.epsilon = options.epsilon_social,
+               .seed = SplitMix64(options.seed ^ 0x50C1A1)}),
+      cf_(context, {.epsilon = options.epsilon_cf,
+                    .tau = options.cf_tau,
+                    .seed = SplitMix64(options.seed ^ 0xCF00)}) {
+  PRIVREC_CHECK(options_.alpha >= 0.0 && options_.alpha <= 1.0);
+  PRIVREC_CHECK(options_.rrf_k > 0.0);
+  PRIVREC_CHECK(options_.candidate_multiple >= 1);
+}
+
+double HybridRecommender::TotalEpsilon() const {
+  if (options_.epsilon_social == dp::kEpsilonInfinity ||
+      options_.epsilon_cf == dp::kEpsilonInfinity) {
+    return dp::kEpsilonInfinity;
+  }
+  // Sequential composition over the shared preference edges (Theorem 2);
+  // the accountant view: one group, two charges.
+  dp::PrivacyBudget budget(options_.epsilon_social + options_.epsilon_cf);
+  PRIVREC_CHECK(budget.Charge("preferences", options_.epsilon_social));
+  PRIVREC_CHECK(budget.Charge("preferences", options_.epsilon_cf));
+  return budget.Spent();
+}
+
+std::vector<RecommendationList> HybridRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  const int64_t candidates =
+      std::max<int64_t>(top_n * options_.candidate_multiple, 100);
+  std::vector<RecommendationList> social_lists =
+      social_.Recommend(users, candidates);
+  std::vector<RecommendationList> cf_lists =
+      cf_.Recommend(users, candidates);
+
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  std::unordered_map<graph::ItemId, double> fused;
+  for (size_t k = 0; k < users.size(); ++k) {
+    fused.clear();
+    for (size_t p = 0; p < social_lists[k].size(); ++p) {
+      fused[social_lists[k][p].item] +=
+          options_.alpha /
+          (options_.rrf_k + static_cast<double>(p) + 1.0);
+    }
+    for (size_t p = 0; p < cf_lists[k].size(); ++p) {
+      fused[cf_lists[k][p].item] +=
+          (1.0 - options_.alpha) /
+          (options_.rrf_k + static_cast<double>(p) + 1.0);
+    }
+    std::vector<std::pair<graph::ItemId, double>> entries(fused.begin(),
+                                                          fused.end());
+    out.push_back(TopNFromSparse(std::move(entries), top_n));
+  }
+  return out;
+}
+
+}  // namespace privrec::core

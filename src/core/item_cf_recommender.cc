@@ -1,0 +1,109 @@
+#include "core/item_cf_recommender.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "dp/mechanisms.h"
+#include "similarity/similarity_measure.h"
+
+namespace privrec::core {
+
+ItemCfRecommender::ItemCfRecommender(const RecommenderContext& context,
+                                     const ItemCfRecommenderOptions& options)
+    : context_(context), options_(options) {
+  context_.CheckValid();
+  PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
+  PRIVREC_CHECK(options_.tau >= 2);
+
+  // Clamp: keep each user's tau smallest item ids (lists are sorted).
+  const graph::NodeId num_users = context_.preferences->num_users();
+  const graph::ItemId num_items = context_.preferences->num_items();
+  clamp_offsets_.assign(1, 0);
+  clamp_offsets_.reserve(static_cast<size_t>(num_users) + 1);
+  for (graph::NodeId u = 0; u < num_users; ++u) {
+    auto items = context_.preferences->ItemsOf(u);
+    size_t keep = std::min<size_t>(items.size(),
+                                   static_cast<size_t>(options_.tau));
+    clamp_items_.insert(clamp_items_.end(), items.begin(),
+                        items.begin() + keep);
+    clamp_offsets_.push_back(clamp_items_.size());
+  }
+  // Reverse orientation.
+  std::vector<size_t> counts(static_cast<size_t>(num_items) + 1, 0);
+  for (graph::ItemId i : clamp_items_) {
+    ++counts[static_cast<size_t>(i) + 1];
+  }
+  item_offsets_.assign(static_cast<size_t>(num_items) + 1, 0);
+  for (size_t k = 1; k < item_offsets_.size(); ++k) {
+    item_offsets_[k] = item_offsets_[k - 1] + counts[k];
+  }
+  item_users_.resize(clamp_items_.size());
+  std::vector<size_t> cursor(item_offsets_.begin(), item_offsets_.end() - 1);
+  for (graph::NodeId u = 0; u < num_users; ++u) {
+    for (size_t k = clamp_offsets_[static_cast<size_t>(u)];
+         k < clamp_offsets_[static_cast<size_t>(u) + 1]; ++k) {
+      item_users_[cursor[static_cast<size_t>(clamp_items_[k])]++] = u;
+    }
+  }
+}
+
+std::span<const graph::ItemId> ItemCfRecommender::ClampedItems(
+    graph::NodeId u) const {
+  PRIVREC_DCHECK(u >= 0 && u < context_.preferences->num_users());
+  return {clamp_items_.data() + clamp_offsets_[static_cast<size_t>(u)],
+          clamp_items_.data() + clamp_offsets_[static_cast<size_t>(u) + 1]};
+}
+
+std::vector<double> ItemCfRecommender::ExactScores(graph::NodeId u) const {
+  const graph::ItemId num_items = context_.preferences->num_items();
+  std::vector<double> scores(static_cast<size_t>(num_items), 0.0);
+  // score(u, i) = sum_{j in clamp(u)} C(i, j): scatter the clamped list of
+  // every user holding j. The co-holder v contributes 1 to C(i, j) for
+  // each of v's clamped items i (excluding i == j, handled below).
+  for (graph::ItemId j : ClampedItems(u)) {
+    for (size_t k = item_offsets_[static_cast<size_t>(j)];
+         k < item_offsets_[static_cast<size_t>(j) + 1]; ++k) {
+      graph::NodeId v = item_users_[k];
+      for (graph::ItemId i : ClampedItems(v)) {
+        if (i != j) scores[static_cast<size_t>(i)] += 1.0;
+      }
+    }
+  }
+  return scores;
+}
+
+double ItemCfRecommender::PairNoise(graph::ItemId a, graph::ItemId b) const {
+  // Deterministic per unordered pair: the same noisy matrix entry is seen
+  // by every query.
+  uint64_t lo = static_cast<uint64_t>(std::min(a, b));
+  uint64_t hi = static_cast<uint64_t>(std::max(a, b));
+  Rng rng(SplitMix64(options_.seed ^ SplitMix64(lo * 0x1f123bb5u + hi)));
+  double scale = 2.0 * static_cast<double>(options_.tau) / options_.epsilon;
+  return rng.Laplace(scale);
+}
+
+std::vector<RecommendationList> ItemCfRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  const graph::ItemId num_items = context_.preferences->num_items();
+  const bool noiseless = options_.epsilon == dp::kEpsilonInfinity;
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  for (graph::NodeId u : users) {
+    std::vector<double> scores = ExactScores(u);
+    if (!noiseless) {
+      auto clamped = ClampedItems(u);
+      for (graph::ItemId i = 0; i < num_items; ++i) {
+        double noise = 0.0;
+        for (graph::ItemId j : clamped) {
+          if (i != j) noise += PairNoise(i, j);
+        }
+        scores[static_cast<size_t>(i)] += noise;
+      }
+    }
+    out.push_back(TopNFromDense(scores, top_n));
+  }
+  return out;
+}
+
+}  // namespace privrec::core

@@ -1,0 +1,78 @@
+// Item-based collaborative filtering, non-social — the McSherry & Mironov
+// (KDD'09) setting the paper contrasts itself against (Section 4), and
+// one half of the hybrid recommender the paper defers to future work
+// (Section 2.2).
+//
+// Scoring: score(u, i) = Σ_{j ∈ clamp_τ(u)} C(i, j), where C is the
+// item-item co-occurrence matrix (#users holding both items) built from
+// τ-clamped user lists. Clamping (keep each user's τ smallest item ids —
+// deterministic) bounds the influence of ONE preference edge on C to at
+// most 2(τ-1) unit changes (the edge's own ≤ τ-1 pairs, plus ≤ τ-1 pairs
+// of the item it displaces from the clamped set), so releasing
+// C̃ = C + Lap(2τ/ε) per entry is ε-DP — the global-matrix recipe of
+// McSherry & Mironov, with clamping playing the role of their per-user
+// weight normalization.
+//
+// C̃ is never materialized (|I|² entries): noise for entry (i, j) is
+// drawn from an RNG keyed on (seed, min(i,j), max(i,j)), so every query
+// observes the SAME noisy matrix at O(1) memory. Unlike the per-call
+// mechanisms, the matrix is released ONCE per recommender instance;
+// repeated Recommend calls are free post-processing of that single
+// ε-release (the McSherry-Mironov publication model).
+//
+// Note on owned items: like the paper's social recommenders, no
+// own-item exclusion is applied — filtering a user's own items out of
+// their list would reveal those items by absence to the Section 2.3
+// adversary, breaking the edge-level guarantee.
+
+#ifndef PRIVREC_CORE_ITEM_CF_RECOMMENDER_H_
+#define PRIVREC_CORE_ITEM_CF_RECOMMENDER_H_
+
+#include <cstdint>
+
+#include "core/recommender.h"
+
+namespace privrec::core {
+
+struct ItemCfRecommenderOptions {
+  double epsilon = 1.0;
+  // Per-user contribution clamp τ; per-entry sensitivity is 2τ.
+  int64_t tau = 20;
+  uint64_t seed = 700;
+};
+
+class ItemCfRecommender final : public Recommender {
+ public:
+  // The context's similarity workload is unused (CF is non-social) but
+  // must still be valid; pass the one you already have.
+  ItemCfRecommender(const RecommenderContext& context,
+                    const ItemCfRecommenderOptions& options);
+
+  std::string Name() const override { return "CF"; }
+
+  std::vector<RecommendationList> Recommend(
+      const std::vector<graph::NodeId>& users, int64_t top_n) override;
+
+  // The τ-clamped item list of u (ascending item ids).
+  std::span<const graph::ItemId> ClampedItems(graph::NodeId u) const;
+
+  // Exact (pre-noise) scores for one user, dense over items. Exposed for
+  // tests.
+  std::vector<double> ExactScores(graph::NodeId u) const;
+
+ private:
+  double PairNoise(graph::ItemId a, graph::ItemId b) const;
+
+  RecommenderContext context_;
+  ItemCfRecommenderOptions options_;
+  // Clamped lists in CSR form.
+  std::vector<size_t> clamp_offsets_;
+  std::vector<graph::ItemId> clamp_items_;
+  // Reverse orientation of the clamped lists: item -> users.
+  std::vector<size_t> item_offsets_;
+  std::vector<graph::NodeId> item_users_;
+};
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_ITEM_CF_RECOMMENDER_H_

@@ -1,0 +1,114 @@
+#include "core/low_rank_recommender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dp/mechanisms.h"
+#include "la/svd.h"
+
+namespace privrec::core {
+
+LowRankRecommender::LowRankRecommender(
+    const RecommenderContext& context,
+    const LowRankRecommenderOptions& options)
+    : context_(context), options_(options) {
+  context_.CheckValid();
+  PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
+  PRIVREC_CHECK(options_.target_rank >= 1);
+
+  const graph::NodeId n = context_.social->num_nodes();
+  // Materialize the dense workload W[u][v] = sim(u, v).
+  la::DenseMatrix w(n, n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (const similarity::SimilarityEntry& e : context_.workload->Row(u)) {
+      w(u, e.user) = e.score;
+    }
+  }
+
+  la::SvdOptions svd_options;
+  svd_options.rank = std::min<int64_t>(options_.target_rank, n);
+  svd_options.seed = options_.seed ^ 0x5fd1;
+  la::SvdResult svd = la::RandomizedSvd(w, svd_options);
+  rank_ = static_cast<int64_t>(svd.singular_values.size());
+
+  // B = U_r, L = diag(sigma) V_r^T.
+  b_ = std::move(svd.u);
+  l_ = std::move(svd.vt);
+  for (int64_t k = 0; k < rank_; ++k) {
+    double sigma = svd.singular_values[static_cast<size_t>(k)];
+    for (graph::NodeId v = 0; v < n; ++v) {
+      l_(k, v) *= sigma;
+    }
+  }
+  // One edge toggles coordinate v of D_i by at most w_max, shifting L*D_i
+  // by w_max times column v of L.
+  noise_sensitivity_ =
+      l_.MaxColumnL1Norm() * context_.preferences->max_weight();
+
+  // Factorization quality, for reporting: ||W - BL||_F / ||W||_F.
+  la::DenseMatrix approx = b_.Multiply(l_);
+  double num = 0.0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      double d = w(u, v) - approx(u, v);
+      num += d * d;
+    }
+  }
+  double den = w.FrobeniusNorm();
+  factorization_error_ = den > 0.0 ? std::sqrt(num) / den : 0.0;
+}
+
+std::vector<RecommendationList> LowRankRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  const graph::NodeId num_users = context_.preferences->num_users();
+  const graph::ItemId num_items = context_.preferences->num_items();
+  dp::LaplaceMechanism laplace(options_.epsilon,
+                               Rng(options_.seed).Fork(invocation_++));
+  const double sensitivity = std::max(noise_sensitivity_, 1e-12);
+
+  std::vector<TopNAccumulator> accumulators;
+  accumulators.reserve(users.size());
+  for (size_t k = 0; k < users.size(); ++k) {
+    PRIVREC_CHECK(users[k] >= 0 && users[k] < num_users);
+    accumulators.emplace_back(top_n);
+  }
+
+  std::vector<double> strategy(static_cast<size_t>(rank_));
+  for (graph::ItemId i = 0; i < num_items; ++i) {
+    // L D_i: weighted sum of L's columns over the users who prefer item i.
+    std::fill(strategy.begin(), strategy.end(), 0.0);
+    auto buyers = context_.preferences->UsersOf(i);
+    auto weights = context_.preferences->ItemWeights(i);
+    for (size_t b = 0; b < buyers.size(); ++b) {
+      graph::NodeId v = buyers[b];
+      double w = weights[b];
+      for (int64_t k = 0; k < rank_; ++k) {
+        strategy[static_cast<size_t>(k)] += w * l_(k, v);
+      }
+    }
+    // Noise on the strategy answers (this is where LRM wins when the rank
+    // is genuinely low: r noisy numbers instead of |U|).
+    for (int64_t k = 0; k < rank_; ++k) {
+      strategy[static_cast<size_t>(k)] =
+          laplace.Release(strategy[static_cast<size_t>(k)], sensitivity);
+    }
+    // ŷ_i = B * strategy; only requested users' coordinates are consumed.
+    for (size_t k = 0; k < users.size(); ++k) {
+      graph::NodeId u = users[k];
+      const double* row = b_.RowPtr(u);
+      double acc = 0.0;
+      for (int64_t r = 0; r < rank_; ++r) {
+        acc += row[r] * strategy[static_cast<size_t>(r)];
+      }
+      accumulators[k].Offer(i, acc);
+    }
+  }
+
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  for (TopNAccumulator& acc : accumulators) out.push_back(acc.Take());
+  return out;
+}
+
+}  // namespace privrec::core

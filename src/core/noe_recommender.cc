@@ -1,0 +1,68 @@
+#include "core/noe_recommender.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/mechanisms.h"
+
+namespace privrec::core {
+
+NoeRecommender::NoeRecommender(const RecommenderContext& context,
+                               const NoeRecommenderOptions& options)
+    : context_(context), options_(options) {
+  context_.CheckValid();
+  PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
+}
+
+std::vector<RecommendationList> NoeRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  const graph::NodeId num_users = context_.preferences->num_users();
+  const graph::ItemId num_items = context_.preferences->num_items();
+  Rng rng = Rng(options_.seed).Fork(invocation_++);
+
+  // Sanitized weights w(v, i) + Lap(w_max/eps) for the whole preference
+  // matrix (float: halves the footprint; the noise dominates any
+  // rounding). w_max = 1 in the paper's unweighted model.
+  const bool noiseless = options_.epsilon == dp::kEpsilonInfinity;
+  const double scale =
+      noiseless ? 0.0
+                : context_.preferences->max_weight() / options_.epsilon;
+  std::vector<float> sanitized(
+      static_cast<size_t>(num_users) * static_cast<size_t>(num_items), 0.0f);
+  if (!noiseless) {
+    for (float& w : sanitized) {
+      w = static_cast<float>(rng.Laplace(scale));
+    }
+  }
+  for (graph::NodeId v = 0; v < num_users; ++v) {
+    float* row = sanitized.data() +
+                 static_cast<size_t>(v) * static_cast<size_t>(num_items);
+    auto items = context_.preferences->ItemsOf(v);
+    auto weights = context_.preferences->WeightsOf(v);
+    for (size_t k = 0; k < items.size(); ++k) {
+      row[static_cast<size_t>(items[k])] +=
+          static_cast<float>(weights[k]);
+    }
+  }
+
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  std::vector<double> utilities(static_cast<size_t>(num_items));
+  for (graph::NodeId u : users) {
+    std::fill(utilities.begin(), utilities.end(), 0.0);
+    for (const similarity::SimilarityEntry& e : context_.workload->Row(u)) {
+      const float* row =
+          sanitized.data() +
+          static_cast<size_t>(e.user) * static_cast<size_t>(num_items);
+      double s = e.score;
+      for (graph::ItemId i = 0; i < num_items; ++i) {
+        utilities[static_cast<size_t>(i)] +=
+            s * static_cast<double>(row[static_cast<size_t>(i)]);
+      }
+    }
+    out.push_back(TopNFromDense(utilities, top_n));
+  }
+  return out;
+}
+
+}  // namespace privrec::core

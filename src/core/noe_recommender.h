@@ -1,0 +1,46 @@
+// NoeRecommender: the "Noise on Edges" strawman (Section 5.1.1).
+//
+// Injects independent Lap(1/ε) noise directly into the weight of *every*
+// potential preference edge (present edges have weight 1, absent ones 0 —
+// sensitivity 1 per edge), then runs the exact utility computation on the
+// sanitized weights:
+//   μ̂_u^i = Σ_{v ∈ sim(u)} sim(u, v) · (w(v, i) + Lap(1/ε)).
+//
+// The sanitized weight of an edge must be the SAME across every utility
+// query that reads it (it is released once); the noise matrix is therefore
+// materialized per invocation (float, |U| × |I|) rather than re-sampled
+// per query.
+
+#ifndef PRIVREC_CORE_NOE_RECOMMENDER_H_
+#define PRIVREC_CORE_NOE_RECOMMENDER_H_
+
+#include <cstdint>
+
+#include "core/recommender.h"
+
+namespace privrec::core {
+
+struct NoeRecommenderOptions {
+  double epsilon = 1.0;
+  uint64_t seed = 300;
+};
+
+class NoeRecommender final : public Recommender {
+ public:
+  NoeRecommender(const RecommenderContext& context,
+                 const NoeRecommenderOptions& options);
+
+  std::string Name() const override { return "NOE"; }
+
+  std::vector<RecommendationList> Recommend(
+      const std::vector<graph::NodeId>& users, int64_t top_n) override;
+
+ private:
+  RecommenderContext context_;
+  NoeRecommenderOptions options_;
+  uint64_t invocation_ = 0;
+};
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_NOE_RECOMMENDER_H_

@@ -1,0 +1,51 @@
+#include "core/nou_recommender.h"
+
+#include <algorithm>
+
+#include "dp/mechanisms.h"
+
+namespace privrec::core {
+
+NouRecommender::NouRecommender(const RecommenderContext& context,
+                               const NouRecommenderOptions& options)
+    : context_(context),
+      options_(options),
+      exact_(context),
+      // One weighted edge (v, i) shifts item i's utility by sim(u, v) *
+      // w(v, i) for every user u similar to v.
+      sensitivity_(context.workload->MaxColumnSum() *
+                   context.preferences->max_weight()) {
+  context_.CheckValid();
+  PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
+}
+
+std::vector<RecommendationList> NouRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  const graph::ItemId num_items = context_.preferences->num_items();
+  dp::LaplaceMechanism laplace(options_.epsilon,
+                               Rng(options_.seed).Fork(invocation_++));
+  // Degenerate sensitivity (no similarity mass at all) only happens on an
+  // edgeless graph where every utility is zero; release pure noise scaled
+  // to 1 to stay well-defined.
+  const double sensitivity = std::max(sensitivity_, 1e-12);
+
+  std::vector<RecommendationList> out;
+  out.reserve(users.size());
+  std::vector<double> utilities(static_cast<size_t>(num_items));
+  for (graph::NodeId u : users) {
+    std::fill(utilities.begin(), utilities.end(), 0.0);
+    for (auto [item, value] : exact_.UtilityRow(u)) {
+      utilities[static_cast<size_t>(item)] = value;
+    }
+    // Every utility query is released, including the zero ones: the item
+    // ranking depends on all of them.
+    for (graph::ItemId i = 0; i < num_items; ++i) {
+      utilities[static_cast<size_t>(i)] =
+          laplace.Release(utilities[static_cast<size_t>(i)], sensitivity);
+    }
+    out.push_back(TopNFromDense(utilities, top_n));
+  }
+  return out;
+}
+
+}  // namespace privrec::core

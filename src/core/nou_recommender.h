@@ -1,0 +1,48 @@
+// NouRecommender: the "Noise on Utility" strawman (Section 5.1.1).
+//
+// Applies the Laplace mechanism directly to the utility values:
+//   μ̂_u^i = μ_u^i + Lap(Δ_A / ε),  Δ_A = max_v Σ_u sim(u, v),
+// because adding/removing one preference edge (v, i) shifts the utility of
+// item i for every user similar to v, by sim(u, v) each — so the L1
+// sensitivity of the per-item utility vector is the largest column sum of
+// the similarity workload.
+
+#ifndef PRIVREC_CORE_NOU_RECOMMENDER_H_
+#define PRIVREC_CORE_NOU_RECOMMENDER_H_
+
+#include <cstdint>
+
+#include "core/exact_recommender.h"
+#include "core/recommender.h"
+
+namespace privrec::core {
+
+struct NouRecommenderOptions {
+  double epsilon = 1.0;
+  uint64_t seed = 200;
+};
+
+class NouRecommender final : public Recommender {
+ public:
+  NouRecommender(const RecommenderContext& context,
+                 const NouRecommenderOptions& options);
+
+  std::string Name() const override { return "NOU"; }
+
+  // The sensitivity used for the noise scale.
+  double sensitivity() const { return sensitivity_; }
+
+  std::vector<RecommendationList> Recommend(
+      const std::vector<graph::NodeId>& users, int64_t top_n) override;
+
+ private:
+  RecommenderContext context_;
+  NouRecommenderOptions options_;
+  ExactRecommender exact_;
+  double sensitivity_;
+  uint64_t invocation_ = 0;
+};
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_NOU_RECOMMENDER_H_

@@ -1,0 +1,66 @@
+#include "core/recommendation.h"
+
+#include <algorithm>
+
+namespace privrec::core {
+
+namespace {
+
+bool RankOrder(const Recommendation& a, const Recommendation& b) {
+  if (a.utility != b.utility) return a.utility > b.utility;
+  return a.item < b.item;
+}
+
+}  // namespace
+
+RecommendationList TopNFromDense(std::span<const double> utilities,
+                                 int64_t n) {
+  RecommendationList all;
+  all.reserve(utilities.size());
+  for (size_t i = 0; i < utilities.size(); ++i) {
+    all.push_back({static_cast<graph::ItemId>(i), utilities[i]});
+  }
+  int64_t keep = std::min<int64_t>(n, static_cast<int64_t>(all.size()));
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(), RankOrder);
+  all.resize(static_cast<size_t>(keep));
+  return all;
+}
+
+RecommendationList TopNFromSparse(
+    std::vector<std::pair<graph::ItemId, double>> entries, int64_t n) {
+  RecommendationList all;
+  all.reserve(entries.size());
+  for (auto [item, utility] : entries) all.push_back({item, utility});
+  int64_t keep = std::min<int64_t>(n, static_cast<int64_t>(all.size()));
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(), RankOrder);
+  all.resize(static_cast<size_t>(keep));
+  return all;
+}
+
+void TopNAccumulator::Offer(graph::ItemId item, double utility) {
+  Recommendation candidate{item, utility};
+  auto worse_on_heap = [this](const Recommendation& a,
+                              const Recommendation& b) {
+    // std::push_heap builds a max-heap; invert to keep the *worst* on top.
+    return Better(a, b);
+  };
+  if (static_cast<int64_t>(heap_.size()) < n_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), worse_on_heap);
+    return;
+  }
+  if (Better(candidate, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), worse_on_heap);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), worse_on_heap);
+  }
+}
+
+RecommendationList TopNAccumulator::Take() {
+  RecommendationList out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), RankOrder);
+  return out;
+}
+
+}  // namespace privrec::core

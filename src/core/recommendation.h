@@ -1,0 +1,63 @@
+// Recommendation lists and top-N selection utilities shared by all
+// recommenders.
+
+#ifndef PRIVREC_CORE_RECOMMENDATION_H_
+#define PRIVREC_CORE_RECOMMENDATION_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/preference_graph.h"
+
+namespace privrec::core {
+
+struct Recommendation {
+  graph::ItemId item;
+  // The (possibly noisy) utility the recommender ranked by.
+  double utility;
+
+  friend bool operator==(const Recommendation&,
+                         const Recommendation&) = default;
+};
+
+// Ranked best-first; at most N entries.
+using RecommendationList = std::vector<Recommendation>;
+
+// Selects the top `n` entries of a dense utility vector, ranked by utility
+// descending with item id as the deterministic tie-breaker.
+RecommendationList TopNFromDense(std::span<const double> utilities,
+                                 int64_t n);
+
+// Same, from a sparse (item, utility) set; entries need not be sorted.
+RecommendationList TopNFromSparse(
+    std::vector<std::pair<graph::ItemId, double>> entries, int64_t n);
+
+// Streaming top-N accumulator for mechanisms that produce utilities
+// item-by-item (GS, LRM): keeps the best N of everything offered.
+class TopNAccumulator {
+ public:
+  explicit TopNAccumulator(int64_t n) : n_(n) { PRIVREC_CHECK(n >= 1); }
+
+  void Offer(graph::ItemId item, double utility);
+
+  // Extracts the ranked list (descending utility, item id tie-break) and
+  // resets the accumulator.
+  RecommendationList Take();
+
+ private:
+  // True if a beats b in ranking order.
+  static bool Better(const Recommendation& a, const Recommendation& b) {
+    if (a.utility != b.utility) return a.utility > b.utility;
+    return a.item < b.item;
+  }
+
+  int64_t n_;
+  // Min-heap on ranking order: heap_[0] is the current worst kept entry.
+  std::vector<Recommendation> heap_;
+};
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_RECOMMENDATION_H_

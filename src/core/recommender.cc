@@ -1,0 +1,6 @@
+#include "core/recommender.h"
+
+// Recommender is header-only apart from the vtable anchor below; keeping
+// the key function here avoids emitting the vtable in every TU.
+
+namespace privrec::core {}  // namespace privrec::core

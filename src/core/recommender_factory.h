@@ -1,0 +1,42 @@
+// Name-based recommender construction: one entry point that maps the
+// mechanism names used throughout the paper ("Exact", "Cluster", "NOU",
+// "NOE", "GS", "LRM") to configured instances. Keeps bench/example/CLI
+// code free of per-mechanism wiring.
+
+#ifndef PRIVREC_CORE_RECOMMENDER_FACTORY_H_
+#define PRIVREC_CORE_RECOMMENDER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "community/partition.h"
+#include "core/recommender.h"
+
+namespace privrec::core {
+
+struct RecommenderSpec {
+  // One of MechanismNames(). Case-sensitive.
+  std::string mechanism = "Cluster";
+  // Ignored by "Exact".
+  double epsilon = 1.0;
+  uint64_t seed = 1;
+  // Required by "Cluster" (must cover the social graph's users).
+  const community::Partition* partition = nullptr;
+  // GS group size; LRM target rank.
+  int64_t gs_group_size = 128;
+  int64_t lrm_target_rank = 200;
+};
+
+// All constructible mechanism names, paper order.
+const std::vector<std::string>& MechanismNames();
+
+// Builds the requested recommender, or InvalidArgument for unknown names
+// / missing partition.
+Result<std::unique_ptr<Recommender>> MakeRecommender(
+    const RecommenderContext& context, const RecommenderSpec& spec);
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_RECOMMENDER_FACTORY_H_

@@ -1,0 +1,71 @@
+#include "core/sybil_attack.h"
+
+#include <algorithm>
+
+namespace privrec::core {
+
+SybilGadget InjectSybilGadget(const graph::SocialGraph& social,
+                              const graph::PreferenceGraph& preferences,
+                              graph::NodeId victim, int64_t chain_length) {
+  PRIVREC_CHECK(victim >= 0 && victim < social.num_nodes());
+  PRIVREC_CHECK(chain_length >= 1);
+  PRIVREC_CHECK(social.num_nodes() == preferences.num_users());
+
+  SybilGadget gadget;
+  gadget.victim = victim;
+  gadget.helper = social.num_nodes();
+  graph::NodeId next = gadget.helper + 1;
+
+  auto edges = social.Edges();
+  edges.emplace_back(victim, gadget.helper);
+  graph::NodeId prev = gadget.helper;
+  for (int64_t k = 0; k < chain_length; ++k) {
+    edges.emplace_back(prev, next);
+    prev = next;
+    ++next;
+  }
+  gadget.observer = prev;
+  gadget.social = graph::SocialGraph::FromEdges(next, edges);
+
+  // Helper and Sybils contribute no preference edges.
+  auto pref_edges = preferences.WeightedEdges();
+  gadget.preferences =
+      preferences.is_weighted()
+          ? graph::PreferenceGraph::FromWeightedEdges(
+                next, preferences.num_items(), pref_edges)
+          : graph::PreferenceGraph::FromEdges(
+                next, preferences.num_items(),
+                [&] {
+                  std::vector<std::pair<graph::NodeId, graph::ItemId>> e;
+                  e.reserve(pref_edges.size());
+                  for (const auto& edge : pref_edges) {
+                    e.emplace_back(edge.user, edge.item);
+                  }
+                  return e;
+                }());
+  return gadget;
+}
+
+AttackScore ScoreSybilInference(const RecommendationList& observed,
+                                const graph::PreferenceGraph& preferences,
+                                graph::NodeId victim) {
+  AttackScore score;
+  score.observed = static_cast<int64_t>(observed.size());
+  auto items = preferences.ItemsOf(victim);
+  for (const Recommendation& r : observed) {
+    if (std::binary_search(items.begin(), items.end(), r.item)) {
+      ++score.hits;
+    }
+  }
+  if (score.observed > 0) {
+    score.precision = static_cast<double>(score.hits) /
+                      static_cast<double>(score.observed);
+  }
+  if (!items.empty()) {
+    score.recall = static_cast<double>(score.hits) /
+                   static_cast<double>(items.size());
+  }
+  return score;
+}
+
+}  // namespace privrec::core

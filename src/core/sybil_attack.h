@@ -1,0 +1,62 @@
+// The Section 2.3 adversary, as a reusable library: gadget construction
+// for the Sybil / profile-cloning attack and inference scoring.
+//
+// Attack recipe (paper, Section 2.3): the adversary attaches a helper
+// node `a` whose only friends are the victim and a chain of Sybil
+// accounts b_1 ... b_k; the last Sybil's similarity set then contains
+// exactly the victim (chain length 1 suffices for CN/AA; GD and KZ need
+// d-1 / k-1 Sybils to stay within the distance cutoff while remaining
+// isolated from everyone else). Every recommendation the observer Sybil
+// receives from the *non-private* recommender is one of the victim's
+// preference edges; under the framework the observer sees only a noisy
+// community average.
+
+#ifndef PRIVREC_CORE_SYBIL_ATTACK_H_
+#define PRIVREC_CORE_SYBIL_ATTACK_H_
+
+#include <cstdint>
+
+#include "core/recommendation.h"
+#include "graph/preference_graph.h"
+#include "graph/social_graph.h"
+
+namespace privrec::core {
+
+struct SybilGadget {
+  // The input graphs with the gadget appended (victim untouched).
+  graph::SocialGraph social;
+  graph::PreferenceGraph preferences;
+  // The helper node `a` (friend of the victim).
+  graph::NodeId helper = -1;
+  // The Sybil whose recommendations the adversary reads (end of chain).
+  graph::NodeId observer = -1;
+  graph::NodeId victim = -1;
+};
+
+// Appends helper + `chain_length` Sybils (chain_length >= 1). The helper
+// and Sybils hold no preference edges.
+SybilGadget InjectSybilGadget(const graph::SocialGraph& social,
+                              const graph::PreferenceGraph& preferences,
+                              graph::NodeId victim,
+                              int64_t chain_length = 1);
+
+struct AttackScore {
+  // Recommendations observed / how many are the victim's private edges.
+  int64_t observed = 0;
+  int64_t hits = 0;
+  // hits / observed (0 when nothing was observed).
+  double precision = 0.0;
+  // hits / |victim's edges| — how much of the victim's history leaked.
+  double recall = 0.0;
+};
+
+// Scores the adversary's inference: every recommended item that is one of
+// the victim's preference edges counts as a successful membership
+// inference.
+AttackScore ScoreSybilInference(const RecommendationList& observed,
+                                const graph::PreferenceGraph& preferences,
+                                graph::NodeId victim);
+
+}  // namespace privrec::core
+
+#endif  // PRIVREC_CORE_SYBIL_ATTACK_H_

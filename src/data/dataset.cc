@@ -1,0 +1,35 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+namespace privrec::data {
+
+DatasetSummary Summarize(const Dataset& dataset) {
+  DatasetSummary s;
+  s.num_users = dataset.social.num_nodes();
+  s.num_social_edges = dataset.social.num_edges();
+  s.avg_user_degree = dataset.social.AverageDegree();
+  s.user_degree_stddev = dataset.social.DegreeStddev();
+  s.num_items = dataset.preferences.num_items();
+  s.num_preference_edges = dataset.preferences.num_edges();
+  s.avg_prefs_per_user = dataset.preferences.AverageUserDegree();
+  // Std of per-user preference counts.
+  double mean = s.avg_prefs_per_user;
+  double acc = 0.0;
+  for (graph::NodeId u = 0; u < dataset.preferences.num_users(); ++u) {
+    double d = static_cast<double>(dataset.preferences.UserDegree(u)) - mean;
+    acc += d * d;
+  }
+  s.prefs_per_user_stddev =
+      s.num_users > 0
+          ? std::sqrt(acc / static_cast<double>(s.num_users))
+          : 0.0;
+  s.sparsity = dataset.preferences.Sparsity();
+  return s;
+}
+
+bool IsAligned(const Dataset& dataset) {
+  return dataset.social.num_nodes() == dataset.preferences.num_users();
+}
+
+}  // namespace privrec::data

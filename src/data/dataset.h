@@ -1,0 +1,44 @@
+// Dataset: a social graph plus an aligned preference graph, with the
+// summary statistics reported in the paper's Table 1.
+
+#ifndef PRIVREC_DATA_DATASET_H_
+#define PRIVREC_DATA_DATASET_H_
+
+#include <string>
+
+#include "graph/preference_graph.h"
+#include "graph/social_graph.h"
+
+namespace privrec::data {
+
+struct Dataset {
+  std::string name;
+  graph::SocialGraph social;
+  graph::PreferenceGraph preferences;
+};
+
+// The row of Table 1 for one dataset. Note the paper's "avg. item degree"
+// is |E_p| / |U| (preferences per user): 92,198 / 1,892 = 48.7 for Last.fm
+// and 7,527,931 / 137,372 = 54.8 for Flixster both match that reading, not
+// |E_p| / |I|.
+struct DatasetSummary {
+  int64_t num_users = 0;
+  int64_t num_social_edges = 0;
+  double avg_user_degree = 0.0;
+  double user_degree_stddev = 0.0;
+  int64_t num_items = 0;
+  int64_t num_preference_edges = 0;
+  double avg_prefs_per_user = 0.0;
+  double prefs_per_user_stddev = 0.0;
+  double sparsity = 0.0;
+};
+
+DatasetSummary Summarize(const Dataset& dataset);
+
+// Validates the invariant the recommenders rely on: the preference graph's
+// user set is the social graph's node set.
+bool IsAligned(const Dataset& dataset);
+
+}  // namespace privrec::data
+
+#endif  // PRIVREC_DATA_DATASET_H_

@@ -1,0 +1,149 @@
+#include "data/export.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "graph/graph_io.h"
+
+namespace privrec::data {
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir);
+
+  Status s = graph::SaveSocialGraph(dataset.social, dir + "/social.tsv");
+  if (!s.ok()) return s;
+  s = graph::SavePreferenceGraph(dataset.preferences,
+                                 dir + "/preferences.tsv");
+  if (!s.ok()) return s;
+
+  std::ofstream meta(dir + "/meta.txt");
+  if (!meta) return Status::IoError("cannot open " + dir + "/meta.txt");
+  meta << "name\t" << dataset.name << '\n'
+       << "num_users\t" << dataset.social.num_nodes() << '\n'
+       << "num_items\t" << dataset.preferences.num_items() << '\n'
+       << "weighted\t" << (dataset.preferences.is_weighted() ? 1 : 0)
+       << '\n';
+  if (!meta) return Status::IoError("write failed for meta.txt");
+  return Status::Ok();
+}
+
+Result<Dataset> LoadDataset(const std::string& dir) {
+  // Meta first: it fixes the node/item universe.
+  std::ifstream meta(dir + "/meta.txt");
+  if (!meta) return Status::IoError("cannot open " + dir + "/meta.txt");
+  std::string name;
+  int64_t num_users = -1;
+  int64_t num_items = -1;
+  std::string line;
+  while (std::getline(meta, line)) {
+    auto fields = SplitWhitespace(line);
+    if (fields.size() < 2) continue;
+    if (fields[0] == "name") {
+      name = std::string(fields[1]);
+    } else if (fields[0] == "num_users") {
+      if (!ParseInt64(fields[1], &num_users)) {
+        return Status::ParseError(dir + "/meta.txt: bad num_users");
+      }
+    } else if (fields[0] == "num_items") {
+      if (!ParseInt64(fields[1], &num_items)) {
+        return Status::ParseError(dir + "/meta.txt: bad num_items");
+      }
+    }
+  }
+  if (num_users < 0 || num_items < 0) {
+    return Status::ParseError(dir + "/meta.txt: missing sizes");
+  }
+
+  // Social edges: ids in the saved format are already dense in
+  // [0, num_users).
+  auto read_social = [&]() -> Result<graph::SocialGraph> {
+    std::ifstream in(dir + "/social.tsv");
+    if (!in) return Status::IoError("cannot open " + dir + "/social.tsv");
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    std::string edge_line;
+    int64_t line_no = 0;
+    while (std::getline(in, edge_line)) {
+      ++line_no;
+      std::string_view sv = Trim(edge_line);
+      if (sv.empty() || sv[0] == '#') continue;
+      auto fields = SplitWhitespace(sv);
+      int64_t a = 0;
+      int64_t b = 0;
+      if (fields.size() < 2 || !ParseInt64(fields[0], &a) ||
+          !ParseInt64(fields[1], &b)) {
+        return Status::ParseError(dir + "/social.tsv:" +
+                                  std::to_string(line_no) + ": bad edge");
+      }
+      if (a < 0 || a >= num_users || b < 0 || b >= num_users) {
+        return Status::ParseError(dir + "/social.tsv:" +
+                                  std::to_string(line_no) +
+                                  ": node outside meta range");
+      }
+      edges.emplace_back(a, b);
+    }
+    return graph::SocialGraph::FromEdges(num_users, edges);
+  };
+
+  auto read_prefs = [&]() -> Result<graph::PreferenceGraph> {
+    std::ifstream in(dir + "/preferences.tsv");
+    if (!in) {
+      return Status::IoError("cannot open " + dir + "/preferences.tsv");
+    }
+    std::vector<graph::PreferenceEdge> edges;
+    bool weighted = false;
+    std::string edge_line;
+    int64_t line_no = 0;
+    while (std::getline(in, edge_line)) {
+      ++line_no;
+      std::string_view sv = Trim(edge_line);
+      if (sv.empty() || sv[0] == '#') continue;
+      auto fields = SplitWhitespace(sv);
+      int64_t u = 0;
+      int64_t i = 0;
+      double w = 1.0;
+      if (fields.size() < 2 || !ParseInt64(fields[0], &u) ||
+          !ParseInt64(fields[1], &i)) {
+        return Status::ParseError(dir + "/preferences.tsv:" +
+                                  std::to_string(line_no) + ": bad edge");
+      }
+      if (fields.size() >= 3) {
+        if (!ParseDouble(fields[2], &w) || w <= 0.0) {
+          return Status::ParseError(dir + "/preferences.tsv:" +
+                                    std::to_string(line_no) +
+                                    ": bad weight");
+        }
+        weighted = true;
+      }
+      if (u < 0 || u >= num_users || i < 0 || i >= num_items) {
+        return Status::ParseError(dir + "/preferences.tsv:" +
+                                  std::to_string(line_no) +
+                                  ": id outside meta range");
+      }
+      edges.push_back({u, i, w});
+    }
+    if (weighted) {
+      return graph::PreferenceGraph::FromWeightedEdges(num_users,
+                                                       num_items, edges);
+    }
+    std::vector<std::pair<graph::NodeId, graph::ItemId>> plain;
+    plain.reserve(edges.size());
+    for (const auto& e : edges) plain.emplace_back(e.user, e.item);
+    return graph::PreferenceGraph::FromEdges(num_users, num_items, plain);
+  };
+
+  auto social = read_social();
+  if (!social.ok()) return social.status();
+  auto prefs = read_prefs();
+  if (!prefs.ok()) return prefs.status();
+
+  Dataset out;
+  out.name = name;
+  out.social = std::move(*social);
+  out.preferences = std::move(*prefs);
+  return out;
+}
+
+}  // namespace privrec::data

@@ -1,0 +1,153 @@
+#include "data/flixster.h"
+
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "graph/components.h"
+
+namespace privrec::data {
+
+Result<Dataset> LoadFlixster(const std::string& dir,
+                             const FlixsterOptions& options) {
+  // Pass 1: ratings — collect users with >= 1 kept rating and raw edges.
+  struct RawRating {
+    int64_t user;
+    int64_t movie;
+    double rating;
+  };
+  std::vector<RawRating> kept_ratings;
+  std::unordered_set<int64_t> rated_users;
+  {
+    std::ifstream in(dir + "/ratings.txt");
+    if (!in) return Status::IoError("cannot open " + dir + "/ratings.txt");
+    std::string line;
+    int64_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      std::string_view sv = Trim(line);
+      if (sv.empty() || sv[0] == '#') continue;
+      auto fields = SplitWhitespace(sv);
+      if (fields.size() < 3) {
+        return Status::ParseError(dir + "/ratings.txt:" +
+                                  std::to_string(line_no) +
+                                  ": expected user movie rating");
+      }
+      int64_t user = 0;
+      int64_t movie = 0;
+      double rating = 0.0;
+      if (!ParseInt64(fields[0], &user) || !ParseInt64(fields[1], &movie) ||
+          !ParseDouble(fields[2], &rating)) {
+        return Status::ParseError(dir + "/ratings.txt:" +
+                                  std::to_string(line_no) + ": bad fields");
+      }
+      if (rating < options.min_rating) continue;
+      kept_ratings.push_back({user, movie, rating});
+      rated_users.insert(user);
+    }
+  }
+
+  // Pass 2: social links among rated users.
+  std::vector<std::pair<int64_t, int64_t>> raw_links;
+  {
+    std::ifstream in(dir + "/links.txt");
+    if (!in) return Status::IoError("cannot open " + dir + "/links.txt");
+    std::string line;
+    int64_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      std::string_view sv = Trim(line);
+      if (sv.empty() || sv[0] == '#') continue;
+      auto fields = SplitWhitespace(sv);
+      if (fields.size() < 2) {
+        return Status::ParseError(dir + "/links.txt:" +
+                                  std::to_string(line_no) +
+                                  ": expected two user ids");
+      }
+      int64_t a = 0;
+      int64_t b = 0;
+      if (!ParseInt64(fields[0], &a) || !ParseInt64(fields[1], &b)) {
+        return Status::ParseError(dir + "/links.txt:" +
+                                  std::to_string(line_no) + ": bad fields");
+      }
+      if (a == b) continue;
+      if (rated_users.count(a) && rated_users.count(b)) {
+        raw_links.emplace_back(a, b);
+      }
+    }
+  }
+
+  // Densify the induced user set and build the full induced social graph.
+  std::unordered_map<int64_t, graph::NodeId> user_index;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> social_edges;
+  auto user_id = [&](int64_t raw) {
+    auto [it, inserted] =
+        user_index.try_emplace(raw, static_cast<graph::NodeId>(
+                                        user_index.size()));
+    return it->second;
+  };
+  for (auto [a, b] : raw_links) {
+    social_edges.emplace_back(user_id(a), user_id(b));
+  }
+  graph::SocialGraph induced = graph::SocialGraph::FromEdges(
+      static_cast<graph::NodeId>(user_index.size()), social_edges);
+
+  // Keep the main connected component only.
+  graph::ComponentInfo comps = graph::ConnectedComponents(induced);
+  std::vector<graph::NodeId> keep;
+  for (graph::NodeId u = 0; u < induced.num_nodes(); ++u) {
+    if (comps.component_of[static_cast<size_t>(u)] == 0) keep.push_back(u);
+  }
+  graph::Subgraph main = graph::InducedSubgraph(induced, std::move(keep));
+
+  // Final user id = position in main component; map raw -> final.
+  std::unordered_map<int64_t, graph::NodeId> final_user;
+  {
+    // Invert user_index to recover raw ids of induced nodes.
+    std::vector<int64_t> raw_of_induced(user_index.size());
+    for (const auto& [raw, idx] : user_index) {
+      raw_of_induced[static_cast<size_t>(idx)] = raw;
+    }
+    for (size_t k = 0; k < main.old_of_new.size(); ++k) {
+      final_user[raw_of_induced[static_cast<size_t>(main.old_of_new[k])]] =
+          static_cast<graph::NodeId>(k);
+    }
+  }
+
+  std::unordered_map<int64_t, graph::ItemId> item_index;
+  std::vector<graph::PreferenceEdge> pref_edges;
+  for (const RawRating& r : kept_ratings) {
+    auto uit = final_user.find(r.user);
+    if (uit == final_user.end()) continue;
+    auto [iit, inserted] = item_index.try_emplace(
+        r.movie, static_cast<graph::ItemId>(item_index.size()));
+    pref_edges.push_back(
+        {uit->second, iit->second, options.binarize ? 1.0 : r.rating});
+  }
+
+  Dataset out;
+  out.name = "flixster";
+  out.social = std::move(main.graph);
+  out.preferences =
+      options.binarize
+          ? graph::PreferenceGraph::FromEdges(
+                out.social.num_nodes(),
+                static_cast<graph::ItemId>(item_index.size()),
+                [&] {
+                  std::vector<std::pair<graph::NodeId, graph::ItemId>> e;
+                  e.reserve(pref_edges.size());
+                  for (const auto& edge : pref_edges) {
+                    e.emplace_back(edge.user, edge.item);
+                  }
+                  return e;
+                }())
+          : graph::PreferenceGraph::FromWeightedEdges(
+                out.social.num_nodes(),
+                static_cast<graph::ItemId>(item_index.size()), pref_edges);
+  return out;
+}
+
+}  // namespace privrec::data

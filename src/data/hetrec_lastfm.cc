@@ -1,0 +1,95 @@
+#include "data/hetrec_lastfm.h"
+
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace privrec::data {
+
+namespace {
+
+// Reads a HetRec .dat file: a header line followed by tab-separated integer
+// columns. Returns rows of `width` integers.
+Result<std::vector<std::vector<int64_t>>> ReadDat(const std::string& path,
+                                                  size_t width) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<int64_t>> rows;
+  std::string line;
+  bool first = true;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty()) continue;
+    if (first) {
+      first = false;  // header
+      continue;
+    }
+    auto fields = SplitWhitespace(sv);
+    if (fields.size() < width) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": expected " + std::to_string(width) +
+                                " fields");
+    }
+    std::vector<int64_t> row(width);
+    for (size_t k = 0; k < width; ++k) {
+      if (!ParseInt64(fields[k], &row[k])) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": non-integer field");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<Dataset> LoadHetRecLastFm(const std::string& dir,
+                                 const LastFmOptions& options) {
+  auto friends = ReadDat(dir + "/user_friends.dat", 2);
+  if (!friends.ok()) return friends.status();
+  auto artists = ReadDat(dir + "/user_artists.dat", 3);
+  if (!artists.ok()) return artists.status();
+
+  // Users are the union of ids in the friendship file (the paper keeps the
+  // full social graph, including its 19 tiny components).
+  std::unordered_map<int64_t, graph::NodeId> user_index;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> social_edges;
+  auto user_id = [&](int64_t raw) {
+    auto [it, inserted] =
+        user_index.try_emplace(raw, static_cast<graph::NodeId>(
+                                        user_index.size()));
+    return it->second;
+  };
+  for (const auto& row : *friends) {
+    if (row[0] == row[1]) continue;
+    social_edges.emplace_back(user_id(row[0]), user_id(row[1]));
+  }
+
+  std::unordered_map<int64_t, graph::ItemId> item_index;
+  std::vector<std::pair<graph::NodeId, graph::ItemId>> pref_edges;
+  for (const auto& row : *artists) {
+    if (row[2] < options.min_weight) continue;
+    auto uit = user_index.find(row[0]);
+    if (uit == user_index.end()) continue;  // user with no social presence
+    auto [iit, inserted] = item_index.try_emplace(
+        row[1], static_cast<graph::ItemId>(item_index.size()));
+    pref_edges.emplace_back(uit->second, iit->second);
+  }
+
+  Dataset out;
+  out.name = "lastfm";
+  out.social = graph::SocialGraph::FromEdges(
+      static_cast<graph::NodeId>(user_index.size()), social_edges);
+  out.preferences = graph::PreferenceGraph::FromEdges(
+      static_cast<graph::NodeId>(user_index.size()),
+      static_cast<graph::ItemId>(item_index.size()), pref_edges);
+  return out;
+}
+
+}  // namespace privrec::data

@@ -1,0 +1,35 @@
+// Loader for the HetRec 2011 Last.fm dataset (Cantador et al.), applying
+// the preprocessing of Section 6.1: listened-to edges with weight < 2 are
+// discarded and the rest binarized to w = 1.
+//
+// Expected files inside `dir`:
+//   user_friends.dat   header line, then "userID\tfriendID"
+//   user_artists.dat   header line, then "userID\tartistID\tweight"
+//
+// The dataset itself is not redistributed with this repository; see
+// http://ir.ii.uam.es/hetrec2011/. `MakeSyntheticLastFm` in
+// data/synthetic.h provides a statistically matched substitute.
+
+#ifndef PRIVREC_DATA_HETREC_LASTFM_H_
+#define PRIVREC_DATA_HETREC_LASTFM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace privrec::data {
+
+struct LastFmOptions {
+  // Preference edges with listen count below this are discarded (the paper
+  // uses 2: "listening to an artist only once is unlikely to indicate a
+  // positive preference").
+  int64_t min_weight = 2;
+};
+
+Result<Dataset> LoadHetRecLastFm(const std::string& dir,
+                                 const LastFmOptions& options = {});
+
+}  // namespace privrec::data
+
+#endif  // PRIVREC_DATA_HETREC_LASTFM_H_

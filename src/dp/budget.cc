@@ -1,0 +1,37 @@
+#include "dp/budget.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace privrec::dp {
+
+PrivacyBudget::PrivacyBudget(double total_epsilon)
+    : total_epsilon_(total_epsilon) {
+  PRIVREC_CHECK(total_epsilon >= 0.0);
+}
+
+bool PrivacyBudget::Charge(const std::string& group, double epsilon) {
+  PRIVREC_CHECK(epsilon >= 0.0);
+  double current = 0.0;
+  auto it = per_group_.find(group);
+  if (it != per_group_.end()) current = it->second;
+  if (current + epsilon > total_epsilon_ + 1e-12) return false;
+  per_group_[group] = current + epsilon;
+  return true;
+}
+
+double PrivacyBudget::GroupSpent(const std::string& group) const {
+  auto it = per_group_.find(group);
+  return it == per_group_.end() ? 0.0 : it->second;
+}
+
+double PrivacyBudget::Spent() const {
+  double spent = 0.0;
+  for (const auto& [group, eps] : per_group_) {
+    spent = std::max(spent, eps);
+  }
+  return spent;
+}
+
+}  // namespace privrec::dp

@@ -1,0 +1,50 @@
+// PrivacyBudget: an accountant that tracks ε consumption under the
+// composition rules of Theorems 2 and 3.
+//
+// Charges are recorded against named disjointness groups:
+//  - charges in the SAME group are assumed to touch the same records and
+//    compose sequentially (epsilons add, Theorem 2);
+//  - charges in DIFFERENT groups are assumed to touch disjoint records and
+//    compose in parallel (max over groups, Theorem 3).
+//
+// This mirrors the structure of Algorithm 1's proof: each (item, cluster)
+// pair reads a disjoint set of preference edges, so the whole of module A_w
+// costs max — i.e. one — ε.
+
+#ifndef PRIVREC_DP_BUDGET_H_
+#define PRIVREC_DP_BUDGET_H_
+
+#include <map>
+#include <string>
+
+namespace privrec::dp {
+
+class PrivacyBudget {
+ public:
+  // `total_epsilon` is the guarantee the caller wants to be able to state.
+  explicit PrivacyBudget(double total_epsilon);
+
+  double total_epsilon() const { return total_epsilon_; }
+
+  // Records an ε-charge against `group`. Returns false (and records
+  // nothing) if the charge would push the spent budget past the total.
+  bool Charge(const std::string& group, double epsilon);
+
+  // Sequential total within one group.
+  double GroupSpent(const std::string& group) const;
+
+  // Overall spent ε = max over groups (parallel composition across groups).
+  double Spent() const;
+
+  double Remaining() const { return total_epsilon_ - Spent(); }
+
+  bool Exhausted() const { return Remaining() <= 0.0; }
+
+ private:
+  double total_epsilon_;
+  std::map<std::string, double> per_group_;
+};
+
+}  // namespace privrec::dp
+
+#endif  // PRIVREC_DP_BUDGET_H_

@@ -1,0 +1,125 @@
+#include "eval/error_decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/exact_recommender.h"
+#include "dp/mechanisms.h"
+
+namespace privrec::eval {
+
+std::vector<UserErrorDecomposition> DecomposeErrors(
+    const core::RecommenderContext& context,
+    const community::Partition& partition,
+    const std::vector<graph::NodeId>& users,
+    const ErrorDecompositionOptions& options) {
+  context.CheckValid();
+  PRIVREC_CHECK(partition.num_nodes() == context.social->num_nodes());
+  PRIVREC_CHECK(options.top_n >= 1);
+  PRIVREC_CHECK(dp::IsValidEpsilon(options.epsilon));
+
+  const int64_t num_clusters = partition.num_clusters();
+  const graph::ItemId num_items = context.preferences->num_items();
+  const double w_max = context.preferences->max_weight();
+  const bool noiseless = options.epsilon == dp::kEpsilonInfinity;
+  const double sqrt2 = std::sqrt(2.0);
+
+  // Exact (noise-free) cluster averages — the c̄ of Equation 6.
+  std::vector<double> averages(
+      static_cast<size_t>(num_clusters * num_items), 0.0);
+  for (graph::NodeId v = 0; v < context.preferences->num_users(); ++v) {
+    int64_t c = partition.ClusterOf(v);
+    double* row = averages.data() + c * num_items;
+    auto items = context.preferences->ItemsOf(v);
+    auto weights = context.preferences->WeightsOf(v);
+    for (size_t k = 0; k < items.size(); ++k) {
+      row[items[k]] += weights[k];
+    }
+  }
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    double size = static_cast<double>(partition.ClusterSize(c));
+    double* row = averages.data() + c * num_items;
+    for (graph::ItemId i = 0; i < num_items; ++i) row[i] /= size;
+  }
+
+  const double delta_nou = w_max * context.workload->MaxColumnSum();
+
+  core::ExactRecommender exact(context);
+  std::vector<UserErrorDecomposition> out;
+  out.reserve(users.size());
+  std::vector<double> sim_sum(static_cast<size_t>(num_clusters), 0.0);
+  std::vector<int64_t> touched;
+  for (graph::NodeId u : users) {
+    UserErrorDecomposition d;
+    d.user = u;
+
+    // Per-cluster similarity mass and the total row sum.
+    touched.clear();
+    double row_sum = 0.0;
+    for (const similarity::SimilarityEntry& e : context.workload->Row(u)) {
+      int64_t c = partition.ClusterOf(e.user);
+      if (sim_sum[static_cast<size_t>(c)] == 0.0) touched.push_back(c);
+      sim_sum[static_cast<size_t>(c)] += e.score;
+      row_sum += e.score;
+    }
+
+    if (!noiseless) {
+      // Equation 5's noise term and the §5.1.1 expected errors.
+      for (int64_t c : touched) {
+        d.cluster_perturbation_error +=
+            sqrt2 * w_max /
+            (options.epsilon * static_cast<double>(partition.ClusterSize(c))) *
+            sim_sum[static_cast<size_t>(c)];
+      }
+      d.nou_expected_error = sqrt2 * delta_nou / options.epsilon;
+      d.noe_expected_error = sqrt2 * w_max / options.epsilon * row_sum;
+    }
+
+    // Approximation error over the exact top-N (Equation 6), evaluated as
+    // mu - sum_c sim_sum_c * avg_c per item.
+    core::RecommendationList top = exact.RecommendOne(u, options.top_n);
+    double util_acc = 0.0;
+    double ae_acc = 0.0;
+    for (const core::Recommendation& r : top) {
+      double approx = 0.0;
+      for (int64_t c : touched) {
+        approx += sim_sum[static_cast<size_t>(c)] *
+                  averages[static_cast<size_t>(c * num_items + r.item)];
+      }
+      util_acc += r.utility;
+      ae_acc += std::fabs(r.utility - approx);
+    }
+    if (!top.empty()) {
+      double n = static_cast<double>(top.size());
+      d.mean_top_utility = util_acc / n;
+      d.approximation_error = ae_acc / n;
+    }
+
+    for (int64_t c : touched) sim_sum[static_cast<size_t>(c)] = 0.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+UserErrorDecomposition MeanDecomposition(
+    const std::vector<UserErrorDecomposition>& per_user) {
+  UserErrorDecomposition mean;
+  if (per_user.empty()) return mean;
+  for (const UserErrorDecomposition& d : per_user) {
+    mean.mean_top_utility += d.mean_top_utility;
+    mean.approximation_error += d.approximation_error;
+    mean.cluster_perturbation_error += d.cluster_perturbation_error;
+    mean.nou_expected_error += d.nou_expected_error;
+    mean.noe_expected_error += d.noe_expected_error;
+  }
+  double n = static_cast<double>(per_user.size());
+  mean.mean_top_utility /= n;
+  mean.approximation_error /= n;
+  mean.cluster_perturbation_error /= n;
+  mean.nou_expected_error /= n;
+  mean.noe_expected_error /= n;
+  return mean;
+}
+
+}  // namespace privrec::eval

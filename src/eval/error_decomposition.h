@@ -1,0 +1,63 @@
+// Error decomposition for the cluster framework and the strawmen —
+// Section 5.1 of the paper, made computable.
+//
+// For a utility estimate μ̂_u^i the paper separates (Equation 5):
+//   - approximation error AE_u^i (Equation 6):
+//       Σ_c Σ_{v ∈ sim(u) ∩ c} sim(u,v) · (w(v,i) − c̄)
+//     — what averaging costs even without noise; and
+//   - perturbation error:
+//       Σ_c (√2 · w_max / (ε·|c|)) · Σ_{v ∈ sim(u) ∩ c} sim(u,v)
+//     — the expected (std) Laplace noise after reconstruction.
+// The strawmen's expected errors (§5.1.1) are
+//   NOU: √2 · Δ_A / ε with Δ_A = w_max · max_v Σ_u sim(u,v), and
+//   NOE: (√2 · w_max / ε) · Σ_{v ∈ sim(u)} sim(u,v).
+//
+// Comparing these against the scale of the true top-N utilities is the
+// paper's §5.1 argument in numbers: the bench_error_decomposition binary
+// prints exactly that table.
+
+#ifndef PRIVREC_EVAL_ERROR_DECOMPOSITION_H_
+#define PRIVREC_EVAL_ERROR_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "community/partition.h"
+#include "core/recommender.h"
+
+namespace privrec::eval {
+
+struct UserErrorDecomposition {
+  graph::NodeId user = -1;
+  // Mean true utility of the user's exact top-N items (signal scale).
+  double mean_top_utility = 0.0;
+  // Mean |AE_u^i| over the exact top-N items (Equation 6).
+  double approximation_error = 0.0;
+  // Equation 5's perturbation term at the given ε (0 when ε = ∞).
+  double cluster_perturbation_error = 0.0;
+  // §5.1.1 expected errors for the strawmen at the same ε.
+  double nou_expected_error = 0.0;
+  double noe_expected_error = 0.0;
+};
+
+struct ErrorDecompositionOptions {
+  double epsilon = 0.1;
+  int64_t top_n = 50;
+};
+
+// Per-user decomposition for every requested user. The context workload
+// must contain rows for the requested users; Δ_A uses the workload's
+// global column-sum statistic.
+std::vector<UserErrorDecomposition> DecomposeErrors(
+    const core::RecommenderContext& context,
+    const community::Partition& partition,
+    const std::vector<graph::NodeId>& users,
+    const ErrorDecompositionOptions& options);
+
+// Aggregate (mean over users) of each field.
+UserErrorDecomposition MeanDecomposition(
+    const std::vector<UserErrorDecomposition>& per_user);
+
+}  // namespace privrec::eval
+
+#endif  // PRIVREC_EVAL_ERROR_DECOMPOSITION_H_

@@ -1,0 +1,59 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace privrec::eval {
+
+std::vector<core::RecommendationList> TruncateLists(
+    const std::vector<core::RecommendationList>& lists, int64_t n) {
+  std::vector<core::RecommendationList> out;
+  out.reserve(lists.size());
+  for (const core::RecommendationList& list : lists) {
+    int64_t keep = std::min<int64_t>(n, static_cast<int64_t>(list.size()));
+    out.emplace_back(list.begin(), list.begin() + keep);
+  }
+  return out;
+}
+
+std::vector<SweepCell> RunNdcgSweep(const RecommenderFactory& factory,
+                                    const ExactReference& reference,
+                                    const SweepOptions& options) {
+  PRIVREC_CHECK(!options.epsilons.empty());
+  PRIVREC_CHECK(!options.ns.empty());
+  PRIVREC_CHECK(options.trials >= 1);
+  const int64_t max_n =
+      *std::max_element(options.ns.begin(), options.ns.end());
+  PRIVREC_CHECK(max_n <= reference.max_n());
+
+  std::vector<SweepCell> cells;
+  uint64_t cell_seed = options.seed;
+  for (double epsilon : options.epsilons) {
+    // One RunningStats per N, accumulated across trials.
+    std::vector<RunningStats> stats(options.ns.size());
+    for (int trial = 0; trial < options.trials; ++trial) {
+      std::unique_ptr<core::Recommender> rec =
+          factory(epsilon, SplitMix64(cell_seed++));
+      std::vector<core::RecommendationList> lists =
+          rec->Recommend(reference.users(), max_n);
+      for (size_t k = 0; k < options.ns.size(); ++k) {
+        stats[k].Add(
+            reference.MeanNdcg(TruncateLists(lists, options.ns[k])));
+      }
+    }
+    for (size_t k = 0; k < options.ns.size(); ++k) {
+      SweepCell cell;
+      cell.epsilon = epsilon;
+      cell.n = options.ns[k];
+      cell.mean_ndcg = stats[k].mean();
+      cell.stddev_ndcg = stats[k].stddev();
+      cell.trials = options.trials;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace privrec::eval

@@ -1,0 +1,53 @@
+// Experiment driver: runs a (ε × N × trial) sweep of any Recommender
+// factory against a precomputed ExactReference and aggregates NDCG —
+// the machinery behind the Figure 1 / Figure 2 benches.
+//
+// Each trial draws one set of noise (one Recommend call at the largest N);
+// NDCG@n for smaller n is computed on the prefix of that list, exactly as
+// a deployed system would truncate a single ranking.
+
+#ifndef PRIVREC_EVAL_EXPERIMENT_H_
+#define PRIVREC_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/recommender.h"
+#include "eval/exact_reference.h"
+
+namespace privrec::eval {
+
+// Builds a fresh recommender for one (epsilon, trial) cell; `seed` is
+// unique per cell so trials are independent and reproducible.
+using RecommenderFactory =
+    std::function<std::unique_ptr<core::Recommender>(double epsilon,
+                                                     uint64_t seed)>;
+
+struct SweepCell {
+  double epsilon = 0.0;
+  int64_t n = 0;
+  double mean_ndcg = 0.0;
+  double stddev_ndcg = 0.0;  // across trials
+  int trials = 0;
+};
+
+struct SweepOptions {
+  std::vector<double> epsilons;
+  std::vector<int64_t> ns;  // NDCG cutoffs; max element drives the run
+  int trials = 10;
+  uint64_t seed = 1000;
+};
+
+std::vector<SweepCell> RunNdcgSweep(const RecommenderFactory& factory,
+                                    const ExactReference& reference,
+                                    const SweepOptions& options);
+
+// Truncates a batch of lists to their first n entries.
+std::vector<core::RecommendationList> TruncateLists(
+    const std::vector<core::RecommendationList>& lists, int64_t n);
+
+}  // namespace privrec::eval
+
+#endif  // PRIVREC_EVAL_EXPERIMENT_H_

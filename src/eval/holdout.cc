@@ -1,0 +1,110 @@
+#include "eval/holdout.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace privrec::eval {
+
+HoldoutSplit SplitHoldout(const graph::PreferenceGraph& full,
+                          const HoldoutOptions& options) {
+  PRIVREC_CHECK(options.fraction >= 0.0 && options.fraction < 1.0);
+  Rng rng(options.seed);
+
+  HoldoutSplit split;
+  split.held_out.resize(static_cast<size_t>(full.num_users()));
+  std::vector<graph::PreferenceEdge> train_edges;
+  train_edges.reserve(static_cast<size_t>(full.num_edges()));
+  for (graph::NodeId u = 0; u < full.num_users(); ++u) {
+    auto items = full.ItemsOf(u);
+    auto weights = full.WeightsOf(u);
+    int64_t n = static_cast<int64_t>(items.size());
+    int64_t hide = static_cast<int64_t>(options.fraction *
+                                        static_cast<double>(n));
+    hide = std::min(hide, n - 1);  // keep at least one training edge
+    if (hide <= 0) {
+      for (size_t k = 0; k < items.size(); ++k) {
+        train_edges.push_back({u, items[k], weights[k]});
+      }
+      continue;
+    }
+    std::vector<uint64_t> hidden = rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(n), static_cast<uint64_t>(hide));
+    std::vector<bool> is_hidden(static_cast<size_t>(n), false);
+    for (uint64_t idx : hidden) is_hidden[static_cast<size_t>(idx)] = true;
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (is_hidden[k]) {
+        split.held_out[static_cast<size_t>(u)].push_back(items[k]);
+      } else {
+        train_edges.push_back({u, items[k], weights[k]});
+      }
+    }
+    std::sort(split.held_out[static_cast<size_t>(u)].begin(),
+              split.held_out[static_cast<size_t>(u)].end());
+  }
+  split.train =
+      full.is_weighted()
+          ? graph::PreferenceGraph::FromWeightedEdges(
+                full.num_users(), full.num_items(), train_edges)
+          : graph::PreferenceGraph::FromEdges(
+                full.num_users(), full.num_items(),
+                [&] {
+                  std::vector<std::pair<graph::NodeId, graph::ItemId>> e;
+                  e.reserve(train_edges.size());
+                  for (const auto& edge : train_edges) {
+                    e.emplace_back(edge.user, edge.item);
+                  }
+                  return e;
+                }());
+  return split;
+}
+
+namespace {
+
+int64_t CountHits(const core::RecommendationList& list,
+                  const std::vector<graph::ItemId>& held_out) {
+  int64_t hits = 0;
+  for (const core::Recommendation& r : list) {
+    if (std::binary_search(held_out.begin(), held_out.end(), r.item)) {
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
+double HoldoutRecall(const std::vector<core::RecommendationList>& lists,
+                     const std::vector<graph::NodeId>& users,
+                     const HoldoutSplit& split) {
+  PRIVREC_CHECK(lists.size() == users.size());
+  double total = 0.0;
+  int64_t counted = 0;
+  for (size_t k = 0; k < users.size(); ++k) {
+    const auto& held = split.held_out[static_cast<size_t>(users[k])];
+    if (held.empty()) continue;
+    total += static_cast<double>(CountHits(lists[k], held)) /
+             static_cast<double>(held.size());
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double HoldoutHitRate(const std::vector<core::RecommendationList>& lists,
+                      const std::vector<graph::NodeId>& users,
+                      const HoldoutSplit& split) {
+  PRIVREC_CHECK(lists.size() == users.size());
+  int64_t hits = 0;
+  int64_t counted = 0;
+  for (size_t k = 0; k < users.size(); ++k) {
+    const auto& held = split.held_out[static_cast<size_t>(users[k])];
+    if (held.empty()) continue;
+    if (CountHits(lists[k], held) > 0) ++hits;
+    ++counted;
+  }
+  return counted > 0
+             ? static_cast<double>(hits) / static_cast<double>(counted)
+             : 0.0;
+}
+
+}  // namespace privrec::eval

@@ -1,0 +1,50 @@
+// Held-out evaluation: hide a fraction of each user's preference edges,
+// recommend from the rest, and score how many hidden edges the top-N
+// recovers. This is the standard recommender-quality protocol and the
+// right yardstick for mechanisms with *different* utility functions
+// (e.g. the hybrid social + item-CF extension), where NDCG against any
+// single mechanism's exact ranking would be circular.
+
+#ifndef PRIVREC_EVAL_HOLDOUT_H_
+#define PRIVREC_EVAL_HOLDOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/recommendation.h"
+#include "graph/preference_graph.h"
+
+namespace privrec::eval {
+
+struct HoldoutSplit {
+  // The graph with held-out edges removed (what recommenders see).
+  graph::PreferenceGraph train;
+  // held_out[u] = the user's hidden items, sorted ascending.
+  std::vector<std::vector<graph::ItemId>> held_out;
+};
+
+struct HoldoutOptions {
+  // Fraction of each user's edges hidden (rounded down; users keep at
+  // least one edge and need at least two to participate).
+  double fraction = 0.2;
+  uint64_t seed = 11;
+};
+
+HoldoutSplit SplitHoldout(const graph::PreferenceGraph& full,
+                          const HoldoutOptions& options = {});
+
+// Mean recall@|list| of the held-out items over users with a non-empty
+// holdout: |list ∩ held_out| / |held_out|, averaged.
+double HoldoutRecall(const std::vector<core::RecommendationList>& lists,
+                     const std::vector<graph::NodeId>& users,
+                     const HoldoutSplit& split);
+
+// Mean hit rate: fraction of users with a non-empty holdout for whom at
+// least one held-out item appears in the list.
+double HoldoutHitRate(const std::vector<core::RecommendationList>& lists,
+                      const std::vector<graph::NodeId>& users,
+                      const HoldoutSplit& split);
+
+}  // namespace privrec::eval
+
+#endif  // PRIVREC_EVAL_HOLDOUT_H_

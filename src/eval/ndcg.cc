@@ -1,0 +1,54 @@
+#include "eval/ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace privrec::eval {
+
+double RankDiscount(int64_t position) {
+  PRIVREC_DCHECK(position >= 1);
+  return std::max(1.0, std::log2(static_cast<double>(position)) + 1.0);
+}
+
+double Dcg(const core::RecommendationList& list,
+           const std::function<double(graph::ItemId)>& ideal_utility) {
+  double acc = 0.0;
+  for (size_t k = 0; k < list.size(); ++k) {
+    acc += ideal_utility(list[k].item) /
+           RankDiscount(static_cast<int64_t>(k) + 1);
+  }
+  return acc;
+}
+
+double NdcgFromDcg(double dcg, double ideal_dcg) {
+  if (ideal_dcg <= 0.0) return 1.0;
+  return dcg / ideal_dcg;
+}
+
+double PrecisionAtN(const core::RecommendationList& recommended,
+                    const core::RecommendationList& relevant) {
+  if (recommended.empty()) return 0.0;
+  std::unordered_set<graph::ItemId> truth;
+  for (const core::Recommendation& r : relevant) truth.insert(r.item);
+  int64_t hits = 0;
+  for (const core::Recommendation& r : recommended) {
+    if (truth.count(r.item)) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(recommended.size());
+}
+
+double RecallAtN(const core::RecommendationList& recommended,
+                 const core::RecommendationList& relevant) {
+  if (relevant.empty()) return 0.0;
+  std::unordered_set<graph::ItemId> truth;
+  for (const core::Recommendation& r : relevant) truth.insert(r.item);
+  int64_t hits = 0;
+  for (const core::Recommendation& r : recommended) {
+    if (truth.count(r.item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+}  // namespace privrec::eval

@@ -1,0 +1,47 @@
+// Statistical significance helpers for mechanism comparisons: Welch's
+// unequal-variance t-test and a seeded bootstrap confidence interval.
+// Used by the benches to say "A beats B" with error bars instead of bare
+// means (the paper reports means of 10 trials; these make the trial
+// variance explicit).
+
+#ifndef PRIVREC_EVAL_SIGNIFICANCE_H_
+#define PRIVREC_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace privrec::eval {
+
+struct WelchResult {
+  double t_statistic = 0.0;
+  // Welch-Satterthwaite degrees of freedom.
+  double degrees_of_freedom = 0.0;
+  // Two-sided p-value (normal approximation for df > 30, otherwise a
+  // t-distribution tail via the incomplete beta function).
+  double p_value = 1.0;
+  double mean_difference = 0.0;  // mean(a) - mean(b)
+};
+
+// Requires at least two samples per side.
+WelchResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+struct BootstrapInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double mean = 0.0;
+};
+
+// Percentile bootstrap CI for the mean of `samples` at the given
+// confidence (e.g. 0.95). Deterministic given the seed.
+BootstrapInterval BootstrapMeanInterval(const std::vector<double>& samples,
+                                        double confidence,
+                                        int64_t resamples, uint64_t seed);
+
+// Student-t two-sided tail probability P(|T_df| >= |t|). Exposed for
+// tests; exact via the regularized incomplete beta function.
+double StudentTTwoSidedPValue(double t, double df);
+
+}  // namespace privrec::eval
+
+#endif  // PRIVREC_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,29 @@
+// Fixed-width plain-text table printer for the bench reports.
+
+#ifndef PRIVREC_EVAL_TABLE_H_
+#define PRIVREC_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace privrec::eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Cells beyond the header count are dropped; missing cells print empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule, columns padded to the widest cell.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privrec::eval
+
+#endif  // PRIVREC_EVAL_TABLE_H_

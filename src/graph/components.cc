@@ -1,0 +1,106 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace privrec::graph {
+
+ComponentInfo ConnectedComponents(const SocialGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<int64_t> label(static_cast<size_t>(n), -1);
+  std::vector<int64_t> raw_sizes;
+  std::vector<NodeId> stack;
+  int64_t next = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[static_cast<size_t>(s)] != -1) continue;
+    int64_t size = 0;
+    stack.push_back(s);
+    label[static_cast<size_t>(s)] = next;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (NodeId v : g.Neighbors(u)) {
+        if (label[static_cast<size_t>(v)] == -1) {
+          label[static_cast<size_t>(v)] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    raw_sizes.push_back(size);
+    ++next;
+  }
+
+  // Relabel components by decreasing size (stable: ties keep discovery
+  // order, i.e. smallest first-node id).
+  std::vector<int64_t> order(raw_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return raw_sizes[static_cast<size_t>(a)] >
+           raw_sizes[static_cast<size_t>(b)];
+  });
+  std::vector<int64_t> new_of_old(raw_sizes.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    new_of_old[static_cast<size_t>(order[k])] = static_cast<int64_t>(k);
+  }
+
+  ComponentInfo info;
+  info.num_components = next;
+  info.component_of.resize(static_cast<size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    info.component_of[static_cast<size_t>(u)] =
+        new_of_old[static_cast<size_t>(label[static_cast<size_t>(u)])];
+  }
+  info.sizes.resize(raw_sizes.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    info.sizes[k] = raw_sizes[static_cast<size_t>(order[k])];
+  }
+  return info;
+}
+
+std::vector<int64_t> BfsDistances(const SocialGraph& g, NodeId source,
+                                  int64_t max_depth) {
+  PRIVREC_CHECK(source >= 0 && source < g.num_nodes());
+  std::vector<int64_t> dist(static_cast<size_t>(g.num_nodes()), -1);
+  std::vector<NodeId> frontier = {source};
+  dist[static_cast<size_t>(source)] = 0;
+  for (int64_t d = 0; d < max_depth && !frontier.empty(); ++d) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : g.Neighbors(u)) {
+        if (dist[static_cast<size_t>(v)] == -1) {
+          dist[static_cast<size_t>(v)] = d + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+Subgraph InducedSubgraph(const SocialGraph& g, std::vector<NodeId> keep) {
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+  std::vector<NodeId> new_of_old(static_cast<size_t>(g.num_nodes()), -1);
+  for (size_t k = 0; k < keep.size(); ++k) {
+    PRIVREC_CHECK(keep[k] >= 0 && keep[k] < g.num_nodes());
+    new_of_old[static_cast<size_t>(keep[k])] = static_cast<NodeId>(k);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u : keep) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && new_of_old[static_cast<size_t>(v)] != -1) {
+        edges.emplace_back(new_of_old[static_cast<size_t>(u)],
+                           new_of_old[static_cast<size_t>(v)]);
+      }
+    }
+  }
+  Subgraph out;
+  out.graph =
+      SocialGraph::FromEdges(static_cast<NodeId>(keep.size()), edges);
+  out.old_of_new = std::move(keep);
+  return out;
+}
+
+}  // namespace privrec::graph

@@ -1,0 +1,42 @@
+// Connected components and BFS utilities over SocialGraph. Used by the
+// dataset preprocessing (main-component extraction, Section 6.1) and the
+// Graph Distance similarity measure.
+
+#ifndef PRIVREC_GRAPH_COMPONENTS_H_
+#define PRIVREC_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace privrec::graph {
+
+struct ComponentInfo {
+  // component_of[u] in [0, num_components).
+  std::vector<int64_t> component_of;
+  // Size of each component, descending (component 0 is the largest).
+  std::vector<int64_t> sizes;
+  int64_t num_components = 0;
+};
+
+// Labels connected components; component ids are assigned in decreasing
+// size order (ties broken by smallest contained node id).
+ComponentInfo ConnectedComponents(const SocialGraph& g);
+
+// BFS distances from `source` up to `max_depth` hops (inclusive);
+// unreached nodes get -1. O(nodes within max_depth).
+std::vector<int64_t> BfsDistances(const SocialGraph& g, NodeId source,
+                                  int64_t max_depth);
+
+// Induced subgraph on `keep` (sorted or not). Returns the subgraph and the
+// mapping old_of_new: new node id -> original node id.
+struct Subgraph {
+  SocialGraph graph;
+  std::vector<NodeId> old_of_new;
+};
+Subgraph InducedSubgraph(const SocialGraph& g, std::vector<NodeId> keep);
+
+}  // namespace privrec::graph
+
+#endif  // PRIVREC_GRAPH_COMPONENTS_H_

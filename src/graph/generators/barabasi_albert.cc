@@ -1,0 +1,46 @@
+#include "graph/generators/barabasi_albert.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace privrec::graph {
+
+SocialGraph GenerateBarabasiAlbert(NodeId num_nodes, int64_t edges_per_node,
+                                   uint64_t seed) {
+  PRIVREC_CHECK(edges_per_node >= 1);
+  PRIVREC_CHECK(num_nodes > edges_per_node);
+  Rng rng(seed);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // `targets` holds one entry per edge endpoint, so sampling a uniform
+  // element is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+
+  NodeId seed_size = static_cast<NodeId>(edges_per_node) + 1;
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  for (NodeId u = seed_size; u < num_nodes; ++u) {
+    std::unordered_set<NodeId> chosen;
+    while (static_cast<int64_t>(chosen.size()) < edges_per_node) {
+      NodeId v = endpoints[rng.UniformInt(endpoints.size())];
+      chosen.insert(v);
+    }
+    for (NodeId v : chosen) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return SocialGraph::FromEdges(num_nodes, edges);
+}
+
+}  // namespace privrec::graph

@@ -1,0 +1,22 @@
+// Barabási–Albert preferential-attachment generator: scale-free degree
+// distribution, used in tests and for high-degree-skew ablations.
+
+#ifndef PRIVREC_GRAPH_GENERATORS_BARABASI_ALBERT_H_
+#define PRIVREC_GRAPH_GENERATORS_BARABASI_ALBERT_H_
+
+#include <cstdint>
+
+#include "graph/social_graph.h"
+
+namespace privrec::graph {
+
+// Starts from a small clique of `edges_per_node + 1` nodes, then attaches
+// each new node to `edges_per_node` distinct existing nodes chosen with
+// probability proportional to degree. Requires
+// num_nodes > edges_per_node >= 1.
+SocialGraph GenerateBarabasiAlbert(NodeId num_nodes, int64_t edges_per_node,
+                                   uint64_t seed);
+
+}  // namespace privrec::graph
+
+#endif  // PRIVREC_GRAPH_GENERATORS_BARABASI_ALBERT_H_

@@ -1,0 +1,30 @@
+#include "graph/generators/erdos_renyi.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace privrec::graph {
+
+SocialGraph GenerateErdosRenyi(NodeId num_nodes, int64_t num_edges,
+                               uint64_t seed) {
+  PRIVREC_CHECK(num_nodes >= 0);
+  int64_t max_edges = num_nodes * (num_nodes - 1) / 2;
+  PRIVREC_CHECK(num_edges >= 0 && num_edges <= max_edges);
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> picked;
+  while (static_cast<int64_t>(picked.size()) < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(
+        static_cast<uint64_t>(num_nodes)));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(
+        static_cast<uint64_t>(num_nodes)));
+    if (u == v) continue;
+    picked.emplace(std::min(u, v), std::max(u, v));
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges(picked.begin(), picked.end());
+  return SocialGraph::FromEdges(num_nodes, edges);
+}
+
+}  // namespace privrec::graph

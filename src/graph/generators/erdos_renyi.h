@@ -1,0 +1,20 @@
+// G(n, m) Erdős–Rényi generator: n nodes, m distinct uniform random edges.
+// Used as a structureless control in tests and ablations (community
+// clustering should give little benefit here).
+
+#ifndef PRIVREC_GRAPH_GENERATORS_ERDOS_RENYI_H_
+#define PRIVREC_GRAPH_GENERATORS_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/social_graph.h"
+
+namespace privrec::graph {
+
+// Requires m <= n*(n-1)/2. Deterministic given the seed.
+SocialGraph GenerateErdosRenyi(NodeId num_nodes, int64_t num_edges,
+                               uint64_t seed);
+
+}  // namespace privrec::graph
+
+#endif  // PRIVREC_GRAPH_GENERATORS_ERDOS_RENYI_H_

@@ -1,0 +1,147 @@
+#include "graph/generators/preference_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/random.h"
+
+namespace privrec::graph {
+
+namespace {
+
+// A lazily materialized random permutation of [0, n): community popularity
+// orderings only ever touch the head of the permutation (Zipf mass is
+// concentrated), so we generate prefix elements on demand via Fisher-Yates.
+class LazyPermutation {
+ public:
+  LazyPermutation(int64_t n, Rng rng) : n_(n), rng_(rng) {}
+
+  int64_t Get(int64_t rank) {
+    PRIVREC_DCHECK(rank >= 0 && rank < n_);
+    while (static_cast<int64_t>(materialized_.size()) <= rank) {
+      int64_t k = static_cast<int64_t>(materialized_.size());
+      // Choose the k-th element uniformly from the not-yet-used values.
+      int64_t pick = static_cast<int64_t>(
+          rng_.UniformInt(static_cast<uint64_t>(n_ - k)));
+      materialized_.push_back(ValueAt(k, pick));
+    }
+    return materialized_[static_cast<size_t>(rank)];
+  }
+
+ private:
+  // Virtual Fisher-Yates: position k holds swaps_[k] if swapped, else k.
+  int64_t ValueAt(int64_t k, int64_t pick) {
+    int64_t idx = k + pick;
+    int64_t value = Lookup(idx);
+    // Move the value at position k into slot idx (classic swap).
+    swaps_[idx] = Lookup(k);
+    return value;
+  }
+  int64_t Lookup(int64_t idx) {
+    auto it = swaps_.find(idx);
+    return it == swaps_.end() ? idx : it->second;
+  }
+
+  int64_t n_;
+  Rng rng_;
+  std::vector<int64_t> materialized_;
+  std::unordered_map<int64_t, int64_t> swaps_;
+};
+
+}  // namespace
+
+PreferenceGraph GeneratePreferences(
+    const std::vector<int64_t>& community_of,
+    const PreferenceGeneratorOptions& options) {
+  PRIVREC_CHECK(options.num_items > 0);
+  PRIVREC_CHECK(options.homophily >= 0.0 && options.homophily <= 1.0);
+  PRIVREC_CHECK(options.personal_taste >= 0.0 &&
+                options.personal_taste <= 1.0);
+  const NodeId num_users = static_cast<NodeId>(community_of.size());
+  Rng rng(options.seed);
+
+  int64_t num_communities = 0;
+  for (int64_t c : community_of) {
+    PRIVREC_CHECK(c >= 0);
+    num_communities = std::max(num_communities, c + 1);
+  }
+
+  // One lazily-built popularity permutation per community. The global
+  // ordering is the identity (item 0 is globally most popular).
+  std::vector<LazyPermutation> community_order;
+  community_order.reserve(static_cast<size_t>(num_communities));
+  for (int64_t c = 0; c < num_communities; ++c) {
+    community_order.emplace_back(options.num_items,
+                                 rng.Fork(0x9000 + static_cast<uint64_t>(c)));
+  }
+
+  std::vector<std::pair<NodeId, ItemId>> edges;
+  edges.reserve(static_cast<size_t>(
+      static_cast<double>(num_users) * options.mean_prefs_per_user));
+  std::unordered_set<ItemId> chosen;
+  for (NodeId u = 0; u < num_users; ++u) {
+    double want = rng.Normal(options.mean_prefs_per_user,
+                             options.stddev_prefs_per_user);
+    int64_t k = std::clamp<int64_t>(static_cast<int64_t>(std::llround(want)),
+                                    1, options.num_items);
+    chosen.clear();
+    int64_t c = community_of[static_cast<size_t>(u)];
+    // The user's private taste ordering (discarded after this user).
+    LazyPermutation personal(options.num_items,
+                             rng.Fork(0xA000 + static_cast<uint64_t>(u)));
+    // Rejection loop with a guard: at most 50x oversampling before falling
+    // back to sequential fill (only reachable for k close to num_items).
+    int64_t attempts = 0;
+    const int64_t max_attempts = 50 * k + 100;
+    const int64_t catalog =
+        options.community_catalog_size > 0
+            ? std::min<int64_t>(options.community_catalog_size,
+                                options.num_items)
+            : options.num_items;
+    while (static_cast<int64_t>(chosen.size()) < k &&
+           attempts < max_attempts) {
+      ++attempts;
+      ItemId item;
+      if (rng.Bernoulli(options.personal_taste)) {
+        item = personal.Get(static_cast<int64_t>(
+            rng.Zipf(static_cast<uint64_t>(options.num_items),
+                     options.popularity_skew)));
+      } else if (rng.Bernoulli(options.homophily)) {
+        item = community_order[static_cast<size_t>(c)].Get(
+            static_cast<int64_t>(rng.Zipf(static_cast<uint64_t>(catalog),
+                                          options.popularity_skew)));
+      } else {
+        // Global ordering = identity.
+        item = static_cast<int64_t>(
+            rng.Zipf(static_cast<uint64_t>(options.num_items),
+                     options.popularity_skew));
+      }
+      chosen.insert(item);
+    }
+    for (ItemId i = 0; static_cast<int64_t>(chosen.size()) < k &&
+                       i < options.num_items;
+         ++i) {
+      chosen.insert(i);
+    }
+    for (ItemId i : chosen) edges.emplace_back(u, i);
+  }
+  if (options.max_rating <= 0) {
+    return PreferenceGraph::FromEdges(num_users, options.num_items, edges);
+  }
+  // Weighted variant: ratings skewed high, as in real rating datasets.
+  std::vector<PreferenceEdge> weighted;
+  weighted.reserve(edges.size());
+  for (auto [u, i] : edges) {
+    int64_t a = rng.UniformInt(1, options.max_rating);
+    int64_t b = rng.UniformInt(1, options.max_rating);
+    weighted.push_back({u, i, static_cast<double>(std::max(a, b))});
+  }
+  return PreferenceGraph::FromWeightedEdges(num_users, options.num_items,
+                                            weighted);
+}
+
+}  // namespace privrec::graph

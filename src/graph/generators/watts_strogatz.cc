@@ -1,0 +1,55 @@
+#include "graph/generators/watts_strogatz.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace privrec::graph {
+
+SocialGraph GenerateWattsStrogatz(NodeId num_nodes, int64_t k, double beta,
+                                  uint64_t seed) {
+  PRIVREC_CHECK(k >= 1);
+  PRIVREC_CHECK(2 * k < num_nodes);
+  PRIVREC_CHECK(beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+
+  std::set<std::pair<NodeId, NodeId>> edges;
+  auto add = [&](NodeId a, NodeId b) {
+    if (a == b) return false;
+    return edges.emplace(std::min(a, b), std::max(a, b)).second;
+  };
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (int64_t j = 1; j <= k; ++j) {
+      add(u, (u + j) % num_nodes);
+    }
+  }
+  // Rewire: visit each lattice edge (u, u+j); with prob beta replace by
+  // (u, random).
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (int64_t j = 1; j <= k; ++j) {
+      if (!rng.Bernoulli(beta)) continue;
+      NodeId v = (u + j) % num_nodes;
+      auto key = std::make_pair(std::min(u, v), std::max(u, v));
+      if (edges.count(key) == 0) continue;  // already rewired away
+      // Find a fresh endpoint; bounded retries to avoid pathological loops
+      // on dense graphs.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        NodeId w = static_cast<NodeId>(
+            rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+        if (w == u) continue;
+        auto cand = std::make_pair(std::min(u, w), std::max(u, w));
+        if (edges.count(cand)) continue;
+        edges.erase(key);
+        edges.insert(cand);
+        break;
+      }
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> edge_list(edges.begin(),
+                                                   edges.end());
+  return SocialGraph::FromEdges(num_nodes, edge_list);
+}
+
+}  // namespace privrec::graph

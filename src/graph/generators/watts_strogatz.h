@@ -1,0 +1,23 @@
+// Watts–Strogatz small-world generator: ring lattice with random rewiring.
+// Exhibits the small-world property the paper cites (Section 2.2) when
+// motivating 2–3-hop cutoffs for GD and Katz.
+
+#ifndef PRIVREC_GRAPH_GENERATORS_WATTS_STROGATZ_H_
+#define PRIVREC_GRAPH_GENERATORS_WATTS_STROGATZ_H_
+
+#include <cstdint>
+
+#include "graph/social_graph.h"
+
+namespace privrec::graph {
+
+// Ring of `num_nodes` nodes each linked to `k` nearest neighbors on each
+// side (so degree 2k before rewiring); each edge's far endpoint is rewired
+// with probability `beta` to a uniform random node. Requires
+// 2*k < num_nodes and beta in [0, 1].
+SocialGraph GenerateWattsStrogatz(NodeId num_nodes, int64_t k, double beta,
+                                  uint64_t seed);
+
+}  // namespace privrec::graph
+
+#endif  // PRIVREC_GRAPH_GENERATORS_WATTS_STROGATZ_H_

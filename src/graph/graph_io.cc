@@ -1,0 +1,175 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace privrec::graph {
+
+namespace {
+
+// Parses "<a> <b>" integer pairs, skipping comments/blanks. Returns
+// (line_number, error) on failure via status.
+Result<std::vector<std::pair<int64_t, int64_t>>> ReadPairs(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = SplitWhitespace(sv);
+    if (fields.size() < 2) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": expected two fields");
+    }
+    int64_t a = 0;
+    int64_t b = 0;
+    if (!ParseInt64(fields[0], &a) || !ParseInt64(fields[1], &b)) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": non-integer endpoint");
+    }
+    pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+// Densifies raw ids in first-appearance order.
+class IdMap {
+ public:
+  int64_t Map(int64_t raw) {
+    auto [it, inserted] = index_.try_emplace(raw, next_);
+    if (inserted) {
+      original_.push_back(raw);
+      ++next_;
+    }
+    return it->second;
+  }
+  std::vector<int64_t> TakeOriginals() { return std::move(original_); }
+  int64_t size() const { return next_; }
+
+ private:
+  std::unordered_map<int64_t, int64_t> index_;
+  std::vector<int64_t> original_;
+  int64_t next_ = 0;
+};
+
+}  // namespace
+
+Result<LoadedSocialGraph> LoadSocialGraph(const std::string& path) {
+  auto pairs = ReadPairs(path);
+  if (!pairs.ok()) return pairs.status();
+
+  IdMap ids;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(pairs->size());
+  for (auto [a, b] : *pairs) {
+    if (a == b) {
+      return Status::ParseError(path + ": self loop on node " +
+                                std::to_string(a));
+    }
+    // Sequence the id assignments explicitly (argument evaluation order is
+    // unspecified) so ids follow first appearance in the file.
+    NodeId ua = ids.Map(a);
+    NodeId ub = ids.Map(b);
+    edges.emplace_back(ua, ub);
+  }
+  LoadedSocialGraph out;
+  out.graph = SocialGraph::FromEdges(ids.size(), edges);
+  out.original_id = ids.TakeOriginals();
+  return out;
+}
+
+Result<LoadedPreferenceGraph> LoadPreferenceGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  IdMap users;
+  IdMap items;
+  std::vector<PreferenceEdge> edges;
+  bool any_weighted = false;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = SplitWhitespace(sv);
+    if (fields.size() < 2) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": expected user and item");
+    }
+    int64_t raw_user = 0;
+    int64_t raw_item = 0;
+    if (!ParseInt64(fields[0], &raw_user) ||
+        !ParseInt64(fields[1], &raw_item)) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": non-integer endpoint");
+    }
+    double weight = 1.0;
+    if (fields.size() >= 3) {
+      if (!ParseDouble(fields[2], &weight) || weight <= 0.0) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad weight");
+      }
+      any_weighted = true;
+    }
+    NodeId user = users.Map(raw_user);
+    ItemId item = items.Map(raw_item);
+    edges.push_back({user, item, weight});
+  }
+  LoadedPreferenceGraph out;
+  if (any_weighted) {
+    out.graph =
+        PreferenceGraph::FromWeightedEdges(users.size(), items.size(), edges);
+  } else {
+    std::vector<std::pair<NodeId, ItemId>> unweighted;
+    unweighted.reserve(edges.size());
+    for (const PreferenceEdge& e : edges) {
+      unweighted.emplace_back(e.user, e.item);
+    }
+    out.graph = PreferenceGraph::FromEdges(users.size(), items.size(),
+                                           unweighted);
+  }
+  out.original_user_id = users.TakeOriginals();
+  out.original_item_id = items.TakeOriginals();
+  return out;
+}
+
+Status SaveSocialGraph(const SocialGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# privrec social graph: " << g.num_nodes() << " nodes, "
+      << g.num_edges() << " edges\n";
+  for (auto [u, v] : g.Edges()) out << u << '\t' << v << '\n';
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status SavePreferenceGraph(const PreferenceGraph& g,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# privrec preference graph: " << g.num_users() << " users, "
+      << g.num_items() << " items, " << g.num_edges() << " edges"
+      << (g.is_weighted() ? " (weighted)" : "") << '\n';
+  if (g.is_weighted()) {
+    for (const PreferenceEdge& e : g.WeightedEdges()) {
+      out << e.user << '\t' << e.item << '\t' << e.weight << '\n';
+    }
+  } else {
+    for (auto [u, i] : g.Edges()) out << u << '\t' << i << '\n';
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace privrec::graph

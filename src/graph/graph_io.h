@@ -1,0 +1,48 @@
+// Plain-text graph I/O.
+//
+// Format: one edge per line, whitespace-separated integer endpoints;
+// '#'-prefixed lines and blank lines are ignored. Node/item ids need not be
+// contiguous — they are remapped densely on load and the mapping returned.
+
+#ifndef PRIVREC_GRAPH_GRAPH_IO_H_
+#define PRIVREC_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/preference_graph.h"
+#include "graph/social_graph.h"
+
+namespace privrec::graph {
+
+struct LoadedSocialGraph {
+  SocialGraph graph;
+  // original id of node k.
+  std::vector<int64_t> original_id;
+};
+
+struct LoadedPreferenceGraph {
+  PreferenceGraph graph;
+  std::vector<int64_t> original_user_id;
+  std::vector<int64_t> original_item_id;
+};
+
+// Reads an undirected social edge list.
+Result<LoadedSocialGraph> LoadSocialGraph(const std::string& path);
+
+// Reads a bipartite user-item edge list. User ids and item ids live in
+// separate namespaces (a raw id may appear as both a user and an item).
+// Lines may carry an optional third column with a positive edge weight;
+// if any line does, the loaded graph is weighted (absent weights read as
+// 1).
+Result<LoadedPreferenceGraph> LoadPreferenceGraph(const std::string& path);
+
+// Writers (one edge per line); used by tests and for exporting synthetic
+// datasets.
+Status SaveSocialGraph(const SocialGraph& g, const std::string& path);
+Status SavePreferenceGraph(const PreferenceGraph& g, const std::string& path);
+
+}  // namespace privrec::graph
+
+#endif  // PRIVREC_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,91 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privrec::graph {
+
+SocialGraph SocialGraph::FromEdges(
+    NodeId num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  PRIVREC_CHECK(num_nodes >= 0);
+  // Normalize to (min, max) pairs, validate, dedup.
+  std::vector<std::pair<NodeId, NodeId>> norm;
+  norm.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    PRIVREC_CHECK(u >= 0 && u < num_nodes);
+    PRIVREC_CHECK(v >= 0 && v < num_nodes);
+    PRIVREC_CHECK_MSG(u != v, "self loop");
+    norm.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(norm.begin(), norm.end());
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+
+  SocialGraph g;
+  g.num_nodes_ = num_nodes;
+  std::vector<size_t> degree(static_cast<size_t>(num_nodes) + 1, 0);
+  for (auto [u, v] : norm) {
+    ++degree[static_cast<size_t>(u) + 1];
+    ++degree[static_cast<size_t>(v) + 1];
+  }
+  g.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] = g.offsets_[i - 1] + degree[i];
+  }
+  g.targets_.resize(norm.size() * 2);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [u, v] : norm) {
+    g.targets_[cursor[static_cast<size_t>(u)]++] = v;
+    g.targets_[cursor[static_cast<size_t>(v)]++] = u;
+  }
+  // Counting-sort insertion above preserves per-row sortedness because the
+  // normalized edge list is sorted by (u, v) — but the v -> u direction is
+  // not, so sort each row.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    std::sort(g.targets_.begin() +
+                  static_cast<int64_t>(g.offsets_[static_cast<size_t>(u)]),
+              g.targets_.begin() +
+                  static_cast<int64_t>(g.offsets_[static_cast<size_t>(u) + 1]));
+  }
+  return g;
+}
+
+bool SocialGraph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> SocialGraph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(static_cast<size_t>(num_edges()));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+double SocialGraph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes_);
+}
+
+double SocialGraph::DegreeStddev() const {
+  if (num_nodes_ == 0) return 0.0;
+  double mean = AverageDegree();
+  double acc = 0.0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    double d = static_cast<double>(Degree(u)) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(num_nodes_));
+}
+
+NodeId SocialGraph::MaxDegree() const {
+  int64_t best = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) best = std::max(best, Degree(u));
+  return best;
+}
+
+}  // namespace privrec::graph

@@ -1,0 +1,68 @@
+// SocialGraph: the paper's G_s = (U, E_s) — a simple undirected graph over
+// user nodes, stored in CSR form for cache-friendly neighborhood scans.
+//
+// The social graph is *public* in the paper's threat model: similarity
+// measures and the clustering phase read it freely, and no DP noise is ever
+// derived from it.
+
+#ifndef PRIVREC_GRAPH_SOCIAL_GRAPH_H_
+#define PRIVREC_GRAPH_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace privrec::graph {
+
+using NodeId = int64_t;
+
+class SocialGraph {
+ public:
+  // Builds an empty graph with `num_nodes` isolated nodes.
+  SocialGraph() = default;
+
+  // Builds from an undirected edge list. Self loops are rejected; duplicate
+  // edges (in either orientation) are deduplicated. Endpoints must be in
+  // [0, num_nodes).
+  static SocialGraph FromEdges(
+      NodeId num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  // Number of undirected edges |E_s|.
+  int64_t num_edges() const { return static_cast<int64_t>(targets_.size()) / 2; }
+
+  // Sorted neighbor list of u.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    PRIVREC_DCHECK(u >= 0 && u < num_nodes_);
+    return {targets_.data() + offsets_[static_cast<size_t>(u)],
+            targets_.data() + offsets_[static_cast<size_t>(u) + 1]};
+  }
+
+  int64_t Degree(NodeId u) const {
+    PRIVREC_DCHECK(u >= 0 && u < num_nodes_);
+    return static_cast<int64_t>(offsets_[static_cast<size_t>(u) + 1] -
+                                offsets_[static_cast<size_t>(u)]);
+  }
+
+  // O(log deg(u)) membership test.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // All undirected edges, each reported once with first < second.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+  double AverageDegree() const;
+  double DegreeStddev() const;
+  NodeId MaxDegree() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<size_t> offsets_ = {0};
+  std::vector<NodeId> targets_;
+};
+
+}  // namespace privrec::graph
+
+#endif  // PRIVREC_GRAPH_SOCIAL_GRAPH_H_

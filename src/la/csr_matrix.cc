@@ -1,0 +1,102 @@
+#include "la/csr_matrix.h"
+
+#include <algorithm>
+
+namespace privrec::la {
+
+CsrMatrix CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                  std::vector<Triplet> triplets) {
+  PRIVREC_CHECK(rows >= 0 && cols >= 0);
+  for (const Triplet& t : triplets) {
+    PRIVREC_CHECK(t.row >= 0 && t.row < rows);
+    PRIVREC_CHECK(t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.offsets_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.cols_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  size_t i = 0;
+  while (i < triplets.size()) {
+    // Sum duplicates.
+    int64_t r = triplets[i].row;
+    int64_t c = triplets[i].col;
+    double v = triplets[i].value;
+    size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].row == r &&
+           triplets[j].col == c) {
+      v += triplets[j].value;
+      ++j;
+    }
+    m.cols_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.offsets_[static_cast<size_t>(r) + 1] = m.values_.size();
+    i = j;
+  }
+  // Fill gaps for empty rows: prefix maximum.
+  for (size_t r = 1; r < m.offsets_.size(); ++r) {
+    m.offsets_[r] = std::max(m.offsets_[r], m.offsets_[r - 1]);
+  }
+  return m;
+}
+
+std::vector<double> CsrMatrix::MultiplyVector(
+    const std::vector<double>& x) const {
+  PRIVREC_CHECK(static_cast<int64_t>(x.size()) == cols_);
+  std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      acc += val[k] * x[static_cast<size_t>(idx[k])];
+    }
+    y[static_cast<size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::TransposeMultiplyVector(
+    const std::vector<double>& x) const {
+  PRIVREC_CHECK(static_cast<int64_t>(x.size()) == rows_);
+  std::vector<double> y(static_cast<size_t>(cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double xr = x[static_cast<size_t>(r)];
+    if (xr == 0.0) continue;
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      y[static_cast<size_t>(idx[k])] += val[k] * xr;
+    }
+  }
+  return y;
+}
+
+double CsrMatrix::At(int64_t r, int64_t c) const {
+  auto idx = RowIndices(r);
+  auto it = std::lower_bound(idx.begin(), idx.end(), c);
+  if (it == idx.end() || *it != c) return 0.0;
+  return RowValues(r)[static_cast<size_t>(it - idx.begin())];
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz()));
+  for (int64_t r = 0; r < rows_; ++r) {
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      triplets.push_back({idx[k], r, val[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+}  // namespace privrec::la

@@ -1,0 +1,73 @@
+// Compressed sparse row matrix used for similarity workloads and
+// preference matrices. Immutable after construction; built from triplets.
+
+#ifndef PRIVREC_LA_CSR_MATRIX_H_
+#define PRIVREC_LA_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace privrec::la {
+
+// One (row, col, value) entry used during construction.
+struct Triplet {
+  int64_t row;
+  int64_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Builds from triplets; duplicates (same row/col) are summed. Triplets
+  // may be in any order.
+  static CsrMatrix FromTriplets(int64_t rows, int64_t cols,
+                                std::vector<Triplet> triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  // Column indices of nonzeros in row r (sorted ascending).
+  std::span<const int64_t> RowIndices(int64_t r) const {
+    PRIVREC_DCHECK(r >= 0 && r < rows_);
+    return {cols_idx_.data() + offsets_[static_cast<size_t>(r)],
+            cols_idx_.data() + offsets_[static_cast<size_t>(r) + 1]};
+  }
+  std::span<const double> RowValues(int64_t r) const {
+    PRIVREC_DCHECK(r >= 0 && r < rows_);
+    return {values_.data() + offsets_[static_cast<size_t>(r)],
+            values_.data() + offsets_[static_cast<size_t>(r) + 1]};
+  }
+  int64_t RowNnz(int64_t r) const {
+    return static_cast<int64_t>(offsets_[static_cast<size_t>(r) + 1] -
+                                offsets_[static_cast<size_t>(r)]);
+  }
+
+  // y = A x. Requires x.size() == cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  // y = A^T x. Requires x.size() == rows().
+  std::vector<double> TransposeMultiplyVector(
+      const std::vector<double>& x) const;
+
+  // Value at (r, c); 0 if absent. Binary search within the row.
+  double At(int64_t r, int64_t c) const;
+
+  CsrMatrix Transpose() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<size_t> offsets_ = {0};  // rows_ + 1 entries
+  std::vector<int64_t> cols_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace privrec::la
+
+#endif  // PRIVREC_LA_CSR_MATRIX_H_

@@ -1,0 +1,24 @@
+#include "similarity/adamic_adar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privrec::similarity {
+
+std::vector<SimilarityEntry> AdamicAdar::Row(const graph::SocialGraph& g,
+                                             graph::NodeId u,
+                                             DenseScratch* scratch) const {
+  scratch->Resize(g.num_nodes());
+  for (graph::NodeId w : g.Neighbors(u)) {
+    double denom = std::log(
+        std::max<double>(2.0, static_cast<double>(g.Degree(w))));
+    double contribution = 1.0 / denom;
+    for (graph::NodeId v : g.Neighbors(w)) {
+      if (v == u) continue;
+      scratch->Accumulate(v, contribution);
+    }
+  }
+  return scratch->TakeSortedPositive();
+}
+
+}  // namespace privrec::similarity

@@ -1,0 +1,26 @@
+// Adamic/Adar: sim(u, v) = Σ_{x in Γ(u) ∩ Γ(v)} 1 / log |Γ(x)|.
+//
+// Common neighbors with degree 1 cannot exist (they would have to neighbor
+// both u and v); degree-2 neighbors contribute 1/log 2. For robustness the
+// denominator is floored at log 2 so a malformed input cannot divide by
+// zero.
+
+#ifndef PRIVREC_SIMILARITY_ADAMIC_ADAR_H_
+#define PRIVREC_SIMILARITY_ADAMIC_ADAR_H_
+
+#include "similarity/similarity_measure.h"
+
+namespace privrec::similarity {
+
+class AdamicAdar final : public SimilarityMeasure {
+ public:
+  std::string Name() const override { return "AA"; }
+
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_ADAMIC_ADAR_H_

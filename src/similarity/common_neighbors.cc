@@ -1,0 +1,20 @@
+#include "similarity/common_neighbors.h"
+
+namespace privrec::similarity {
+
+std::vector<SimilarityEntry> CommonNeighbors::Row(
+    const graph::SocialGraph& g, graph::NodeId u,
+    DenseScratch* scratch) const {
+  scratch->Resize(g.num_nodes());
+  // Every length-2 path u - w - v contributes one common neighbor (w) to
+  // sim(u, v).
+  for (graph::NodeId w : g.Neighbors(u)) {
+    for (graph::NodeId v : g.Neighbors(w)) {
+      if (v == u) continue;
+      scratch->Accumulate(v, 1.0);
+    }
+  }
+  return scratch->TakeSortedPositive();
+}
+
+}  // namespace privrec::similarity

@@ -1,0 +1,21 @@
+// Common Neighbors: sim(u, v) = |Γ(u) ∩ Γ(v)|.
+
+#ifndef PRIVREC_SIMILARITY_COMMON_NEIGHBORS_H_
+#define PRIVREC_SIMILARITY_COMMON_NEIGHBORS_H_
+
+#include "similarity/similarity_measure.h"
+
+namespace privrec::similarity {
+
+class CommonNeighbors final : public SimilarityMeasure {
+ public:
+  std::string Name() const override { return "CN"; }
+
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_COMMON_NEIGHBORS_H_

@@ -1,0 +1,91 @@
+#include "similarity/extra_measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privrec::similarity {
+
+namespace {
+
+// All five measures are normalizations of the common-neighbor count:
+// accumulate |Γ(u) ∩ Γ(v)| (or the RA-weighted variant) over length-2
+// paths, then rescale each touched entry by a (u, v)-dependent factor.
+template <typename Rescale>
+std::vector<SimilarityEntry> CommonNeighborBased(
+    const graph::SocialGraph& g, graph::NodeId u, DenseScratch* scratch,
+    bool resource_allocation, Rescale rescale) {
+  scratch->Resize(g.num_nodes());
+  for (graph::NodeId w : g.Neighbors(u)) {
+    double contribution =
+        resource_allocation
+            ? 1.0 / static_cast<double>(std::max<int64_t>(1, g.Degree(w)))
+            : 1.0;
+    for (graph::NodeId v : g.Neighbors(w)) {
+      if (v == u) continue;
+      scratch->Accumulate(v, contribution);
+    }
+  }
+  std::vector<SimilarityEntry> row = scratch->TakeSortedPositive();
+  for (SimilarityEntry& e : row) {
+    e.score = rescale(e.user, e.score);
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<SimilarityEntry> Jaccard::Row(const graph::SocialGraph& g,
+                                          graph::NodeId u,
+                                          DenseScratch* scratch) const {
+  double du = static_cast<double>(g.Degree(u));
+  return CommonNeighborBased(
+      g, u, scratch, /*resource_allocation=*/false,
+      [&](graph::NodeId v, double common) {
+        double dv = static_cast<double>(g.Degree(v));
+        // |union| = deg(u) + deg(v) - |intersection|.
+        return common / (du + dv - common);
+      });
+}
+
+std::vector<SimilarityEntry> SaltonCosine::Row(const graph::SocialGraph& g,
+                                               graph::NodeId u,
+                                               DenseScratch* scratch) const {
+  double du = static_cast<double>(g.Degree(u));
+  return CommonNeighborBased(
+      g, u, scratch, /*resource_allocation=*/false,
+      [&](graph::NodeId v, double common) {
+        return common / std::sqrt(du * static_cast<double>(g.Degree(v)));
+      });
+}
+
+std::vector<SimilarityEntry> Sorensen::Row(const graph::SocialGraph& g,
+                                           graph::NodeId u,
+                                           DenseScratch* scratch) const {
+  double du = static_cast<double>(g.Degree(u));
+  return CommonNeighborBased(
+      g, u, scratch, /*resource_allocation=*/false,
+      [&](graph::NodeId v, double common) {
+        return 2.0 * common / (du + static_cast<double>(g.Degree(v)));
+      });
+}
+
+std::vector<SimilarityEntry> ResourceAllocation::Row(
+    const graph::SocialGraph& g, graph::NodeId u,
+    DenseScratch* scratch) const {
+  return CommonNeighborBased(g, u, scratch, /*resource_allocation=*/true,
+                             [](graph::NodeId, double s) { return s; });
+}
+
+std::vector<SimilarityEntry> HubPromoted::Row(const graph::SocialGraph& g,
+                                              graph::NodeId u,
+                                              DenseScratch* scratch) const {
+  double du = static_cast<double>(g.Degree(u));
+  return CommonNeighborBased(
+      g, u, scratch, /*resource_allocation=*/false,
+      [&](graph::NodeId v, double common) {
+        return common /
+               std::min(du, static_cast<double>(g.Degree(v)));
+      });
+}
+
+}  // namespace privrec::similarity

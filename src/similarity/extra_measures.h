@@ -1,0 +1,63 @@
+// Additional structural similarity measures beyond the paper's four —
+// its future work asks to "evaluate the framework for a larger variety of
+// social similarity measures". All are classics from the link-prediction
+// survey the paper cites (Lü & Zhou 2011), are symmetric, operate only on
+// the public social graph, and are supported on 2-hop neighborhoods (so
+// they plug into the framework with no other change):
+//
+//   Jaccard        |Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|
+//   Salton/cosine  |Γ(u) ∩ Γ(v)| / sqrt(|Γ(u)| · |Γ(v)|)
+//   Sørensen       2|Γ(u) ∩ Γ(v)| / (|Γ(u)| + |Γ(v)|)
+//   Resource Alloc Σ_{x ∈ Γ(u) ∩ Γ(v)} 1 / |Γ(x)|
+//   Hub Promoted   |Γ(u) ∩ Γ(v)| / min(|Γ(u)|, |Γ(v)|)
+
+#ifndef PRIVREC_SIMILARITY_EXTRA_MEASURES_H_
+#define PRIVREC_SIMILARITY_EXTRA_MEASURES_H_
+
+#include "similarity/similarity_measure.h"
+
+namespace privrec::similarity {
+
+class Jaccard final : public SimilarityMeasure {
+ public:
+  std::string Name() const override { return "JC"; }
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+};
+
+class SaltonCosine final : public SimilarityMeasure {
+ public:
+  std::string Name() const override { return "SC"; }
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+};
+
+class Sorensen final : public SimilarityMeasure {
+ public:
+  std::string Name() const override { return "SO"; }
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+};
+
+class ResourceAllocation final : public SimilarityMeasure {
+ public:
+  std::string Name() const override { return "RA"; }
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+};
+
+class HubPromoted final : public SimilarityMeasure {
+ public:
+  std::string Name() const override { return "HP"; }
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_EXTRA_MEASURES_H_

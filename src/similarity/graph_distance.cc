@@ -1,0 +1,37 @@
+#include "similarity/graph_distance.h"
+
+#include "graph/components.h"
+
+namespace privrec::similarity {
+
+GraphDistance::GraphDistance(int64_t max_distance)
+    : max_distance_(max_distance) {
+  PRIVREC_CHECK(max_distance >= 1);
+}
+
+std::vector<SimilarityEntry> GraphDistance::Row(const graph::SocialGraph& g,
+                                                graph::NodeId u,
+                                                DenseScratch* scratch) const {
+  scratch->Resize(g.num_nodes());
+  // Truncated BFS; scratch holds 1/d for discovered nodes.
+  // The frontier-based loop avoids allocating a full distance array per row
+  // beyond the shared scratch.
+  scratch->Accumulate(u, -1.0);  // mark source as visited (negative sentinel)
+  std::vector<graph::NodeId> frontier = {u};
+  for (int64_t d = 1; d <= max_distance_ && !frontier.empty(); ++d) {
+    std::vector<graph::NodeId> next;
+    double score = 1.0 / static_cast<double>(d);
+    for (graph::NodeId w : frontier) {
+      for (graph::NodeId v : g.Neighbors(w)) {
+        if (scratch->Get(v) != 0.0) continue;  // already visited
+        scratch->Accumulate(v, score);
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  // TakeSortedPositive drops the negative source sentinel.
+  return scratch->TakeSortedPositive();
+}
+
+}  // namespace privrec::similarity

@@ -1,0 +1,31 @@
+// Graph Distance: sim(u, v) = 1 / d(u, v) for shortest-path distance d up
+// to a cutoff (the paper limits d to 2, citing the small-world blowup
+// beyond two hops).
+
+#ifndef PRIVREC_SIMILARITY_GRAPH_DISTANCE_H_
+#define PRIVREC_SIMILARITY_GRAPH_DISTANCE_H_
+
+#include <cstdint>
+
+#include "similarity/similarity_measure.h"
+
+namespace privrec::similarity {
+
+class GraphDistance final : public SimilarityMeasure {
+ public:
+  explicit GraphDistance(int64_t max_distance = 2);
+
+  std::string Name() const override { return "GD"; }
+  int64_t max_distance() const { return max_distance_; }
+
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+
+ private:
+  int64_t max_distance_;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_GRAPH_DISTANCE_H_

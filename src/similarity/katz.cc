@@ -1,0 +1,42 @@
+#include "similarity/katz.h"
+
+#include <utility>
+
+namespace privrec::similarity {
+
+Katz::Katz(int64_t max_length, double damping)
+    : max_length_(max_length), damping_(damping) {
+  PRIVREC_CHECK(max_length >= 1);
+  PRIVREC_CHECK(damping > 0.0 && damping < 1.0);
+}
+
+std::vector<SimilarityEntry> Katz::Row(const graph::SocialGraph& g,
+                                       graph::NodeId u,
+                                       DenseScratch* scratch) const {
+  scratch->Resize(g.num_nodes());
+  // Iterated sparse vector-matrix products: walks_l = A * walks_{l-1},
+  // starting from the indicator of u. The accumulator collects
+  // Σ_l α^l * walks_l[v].
+  std::vector<std::pair<graph::NodeId, double>> walks = {{u, 1.0}};
+  DenseScratch step;
+  step.Resize(g.num_nodes());
+  double alpha_pow = 1.0;
+  for (int64_t l = 1; l <= max_length_; ++l) {
+    alpha_pow *= damping_;
+    for (auto [w, count] : walks) {
+      for (graph::NodeId v : g.Neighbors(w)) {
+        step.Accumulate(v, count);
+      }
+    }
+    walks.clear();
+    for (graph::NodeId v : step.touched()) {
+      double count = step.Get(v);
+      walks.emplace_back(v, count);
+      if (v != u) scratch->Accumulate(v, alpha_pow * count);
+    }
+    step.Clear();
+  }
+  return scratch->TakeSortedPositive();
+}
+
+}  // namespace privrec::similarity

@@ -1,0 +1,33 @@
+// Katz: sim(u, v) = Σ_{l=1..k} α^l · |paths_uv^l|, where paths are counted
+// as walks (entries of A^l, the standard Katz formulation) and α is a small
+// damping factor. The paper uses k = 3, α = 0.05.
+
+#ifndef PRIVREC_SIMILARITY_KATZ_H_
+#define PRIVREC_SIMILARITY_KATZ_H_
+
+#include <cstdint>
+
+#include "similarity/similarity_measure.h"
+
+namespace privrec::similarity {
+
+class Katz final : public SimilarityMeasure {
+ public:
+  explicit Katz(int64_t max_length = 3, double damping = 0.05);
+
+  std::string Name() const override { return "KZ"; }
+  int64_t max_length() const { return max_length_; }
+  double damping() const { return damping_; }
+
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+
+ private:
+  int64_t max_length_;
+  double damping_;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_KATZ_H_

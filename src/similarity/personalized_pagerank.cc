@@ -1,0 +1,78 @@
+#include "similarity/personalized_pagerank.h"
+
+#include <deque>
+#include <vector>
+
+namespace privrec::similarity {
+
+PersonalizedPageRank::PersonalizedPageRank(double restart, double threshold)
+    : restart_(restart), threshold_(threshold) {
+  PRIVREC_CHECK(restart > 0.0 && restart < 1.0);
+  PRIVREC_CHECK(threshold > 0.0);
+}
+
+std::vector<SimilarityEntry> PersonalizedPageRank::Row(
+    const graph::SocialGraph& g, graph::NodeId u,
+    DenseScratch* scratch) const {
+  // Forward push (Andersen-Chung-Lang): maintain estimate p and residual
+  // r; repeatedly push nodes whose residual exceeds threshold * degree.
+  // `scratch` holds the estimates p; the residual lives in a local dense
+  // vector sized once per call (touched set is small).
+  const graph::NodeId n = g.num_nodes();
+  scratch->Resize(n);
+  if (g.Degree(u) == 0) return {};
+
+  // Residual map: dense array + queue of active nodes.
+  static thread_local std::vector<double> residual;
+  if (residual.size() < static_cast<size_t>(n)) {
+    residual.assign(static_cast<size_t>(n), 0.0);
+  }
+  std::deque<graph::NodeId> active;
+  std::vector<graph::NodeId> touched;
+
+  auto add_residual = [&](graph::NodeId v, double mass) {
+    if (residual[static_cast<size_t>(v)] == 0.0 && mass > 0.0) {
+      touched.push_back(v);
+    }
+    residual[static_cast<size_t>(v)] += mass;
+    // Activate when above the push threshold for its degree.
+    if (residual[static_cast<size_t>(v)] >
+        threshold_ * static_cast<double>(std::max<int64_t>(
+                         1, g.Degree(v)))) {
+      active.push_back(v);
+    }
+  };
+  add_residual(u, 1.0);
+
+  // Bounded iterations: total pushed mass is <= 1/ (threshold * restart),
+  // but guard against pathological re-activation anyway.
+  int64_t budget = static_cast<int64_t>(64.0 / (threshold_ * restart_));
+  while (!active.empty() && budget-- > 0) {
+    graph::NodeId v = active.front();
+    active.pop_front();
+    double r = residual[static_cast<size_t>(v)];
+    int64_t deg = g.Degree(v);
+    if (r <= threshold_ * static_cast<double>(std::max<int64_t>(1, deg))) {
+      continue;  // stale queue entry
+    }
+    residual[static_cast<size_t>(v)] = 0.0;
+    scratch->Accumulate(v, restart_ * r);
+    if (deg == 0) continue;
+    double share = (1.0 - restart_) * r / static_cast<double>(deg);
+    for (graph::NodeId w : g.Neighbors(v)) {
+      add_residual(w, share);
+    }
+  }
+
+  // Clear residuals for the next call.
+  for (graph::NodeId v : touched) residual[static_cast<size_t>(v)] = 0.0;
+
+  // Self-similarity is excluded from similarity sets (sim(u) is over
+  // OTHER users); pull it out of the scratch before extraction.
+  std::vector<SimilarityEntry> row = scratch->TakeSortedPositive();
+  std::erase_if(row,
+                [&](const SimilarityEntry& e) { return e.user == u; });
+  return row;
+}
+
+}  // namespace privrec::similarity

@@ -1,0 +1,48 @@
+// Personalized PageRank similarity — the random-walk family the paper's
+// introduction cites (Konstas et al., SIGIR'09) as the other major school
+// of social recommenders, here usable as a sim(u, ·) for the framework.
+//
+// sim(u, v) = the stationary probability that an α-restarting random walk
+// from u is at v, computed by the Andersen-Chung-Lang forward-push
+// approximation: deterministic, local (touches only nodes with residual
+// above the threshold), and independent of any private data.
+//
+// Scores are kept only above `threshold` (the push tolerance), which also
+// caps the similarity-set size — PPR naturally concentrates on the
+// user's community.
+//
+// Caveat: unlike the paper's four measures, PPR is NOT symmetric
+// (degree normalization breaks it). It composes with the row-based
+// recommenders (Exact, Cluster, NOU, NOE, LRM) but not with the GS
+// adaptation, whose per-item scatter assumes sim(u, v) = sim(v, u).
+
+#ifndef PRIVREC_SIMILARITY_PERSONALIZED_PAGERANK_H_
+#define PRIVREC_SIMILARITY_PERSONALIZED_PAGERANK_H_
+
+#include "similarity/similarity_measure.h"
+
+namespace privrec::similarity {
+
+class PersonalizedPageRank final : public SimilarityMeasure {
+ public:
+  // `restart` is the teleport probability back to u (typical 0.15-0.3);
+  // `threshold` is the per-degree push tolerance epsilon_push: smaller =
+  // more accurate and larger similarity sets.
+  explicit PersonalizedPageRank(double restart = 0.2,
+                                double threshold = 1e-4);
+
+  std::string Name() const override { return "PPR"; }
+  double restart() const { return restart_; }
+
+  std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                   graph::NodeId u,
+                                   DenseScratch* scratch) const override;
+
+ private:
+  double restart_;
+  double threshold_;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_PERSONALIZED_PAGERANK_H_

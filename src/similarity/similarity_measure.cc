@@ -1,0 +1,25 @@
+#include "similarity/similarity_measure.h"
+
+#include <algorithm>
+
+namespace privrec::similarity {
+
+std::vector<SimilarityEntry> DenseScratch::TakeSortedPositive() {
+  std::sort(touched_.begin(), touched_.end());
+  std::vector<SimilarityEntry> out;
+  out.reserve(touched_.size());
+  for (graph::NodeId v : touched_) {
+    double x = values_[static_cast<size_t>(v)];
+    if (x > 0.0) out.push_back({v, x});
+    values_[static_cast<size_t>(v)] = 0.0;
+  }
+  touched_.clear();
+  return out;
+}
+
+void DenseScratch::Clear() {
+  for (graph::NodeId v : touched_) values_[static_cast<size_t>(v)] = 0.0;
+  touched_.clear();
+}
+
+}  // namespace privrec::similarity

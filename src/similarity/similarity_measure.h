@@ -1,0 +1,75 @@
+// Structural social-similarity measures (Section 2.2).
+//
+// A measure computes, for a target user u, the sparse row
+// { (v, sim(u, v)) : sim(u, v) > 0, v != u } over the *public* social
+// graph only — by design no similarity code can touch preference data.
+//
+// Rows are computed with a caller-provided DenseScratch (a dense
+// accumulator plus touched-index list), giving O(neighborhood) work with no
+// hashing. Entries are returned sorted by user id.
+
+#ifndef PRIVREC_SIMILARITY_SIMILARITY_MEASURE_H_
+#define PRIVREC_SIMILARITY_SIMILARITY_MEASURE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace privrec::similarity {
+
+struct SimilarityEntry {
+  graph::NodeId user;
+  double score;
+
+  friend bool operator==(const SimilarityEntry&,
+                         const SimilarityEntry&) = default;
+};
+
+// Reusable dense accumulator: values[] stays all-zero between uses; touched
+// records which slots are dirty so reset is O(touched).
+class DenseScratch {
+ public:
+  void Resize(graph::NodeId n) {
+    if (static_cast<size_t>(n) > values_.size()) {
+      values_.assign(static_cast<size_t>(n), 0.0);
+    }
+  }
+
+  void Accumulate(graph::NodeId v, double x) {
+    double& slot = values_[static_cast<size_t>(v)];
+    if (slot == 0.0 && x != 0.0) touched_.push_back(v);
+    slot += x;
+  }
+
+  double Get(graph::NodeId v) const { return values_[static_cast<size_t>(v)]; }
+
+  const std::vector<graph::NodeId>& touched() const { return touched_; }
+
+  // Extracts all strictly-positive entries sorted by id, then clears.
+  std::vector<SimilarityEntry> TakeSortedPositive();
+
+  void Clear();
+
+ private:
+  std::vector<double> values_;
+  std::vector<graph::NodeId> touched_;
+};
+
+class SimilarityMeasure {
+ public:
+  virtual ~SimilarityMeasure() = default;
+
+  // Short identifier used in reports: "CN", "GD", "AA", "KZ".
+  virtual std::string Name() const = 0;
+
+  // Computes the similarity row of u. `scratch` must outlive the call and
+  // may be reused across calls (single-threaded use).
+  virtual std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
+                                           graph::NodeId u,
+                                           DenseScratch* scratch) const = 0;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_SIMILARITY_MEASURE_H_

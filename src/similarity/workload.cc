@@ -1,0 +1,87 @@
+#include "similarity/workload.h"
+
+#include <algorithm>
+
+namespace privrec::similarity {
+
+void SimilarityWorkload::FillRows(const graph::SocialGraph& g,
+                                  const SimilarityMeasure& measure,
+                                  const std::vector<bool>* store_mask,
+                                  SimilarityWorkload* w) {
+  DenseScratch scratch;
+  std::vector<double> column_sums(static_cast<size_t>(g.num_nodes()), 0.0);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<SimilarityEntry> row = measure.Row(g, u, &scratch);
+    for (const SimilarityEntry& e : row) {
+      column_sums[static_cast<size_t>(e.user)] += e.score;
+      w->max_entry_ = std::max(w->max_entry_, e.score);
+    }
+    if (store_mask == nullptr || (*store_mask)[static_cast<size_t>(u)]) {
+      w->entries_.insert(w->entries_.end(), row.begin(), row.end());
+    }
+    w->offsets_.push_back(w->entries_.size());
+  }
+  for (double s : column_sums) {
+    w->max_column_sum_ = std::max(w->max_column_sum_, s);
+  }
+}
+
+SimilarityWorkload SimilarityWorkload::Compute(
+    const graph::SocialGraph& g, const SimilarityMeasure& measure) {
+  SimilarityWorkload w;
+  w.num_users_ = g.num_nodes();
+  w.measure_name_ = measure.Name();
+  w.offsets_.reserve(static_cast<size_t>(g.num_nodes()) + 1);
+  FillRows(g, measure, nullptr, &w);
+  return w;
+}
+
+SimilarityWorkload SimilarityWorkload::ComputeForUsers(
+    const graph::SocialGraph& g, const SimilarityMeasure& measure,
+    const std::vector<graph::NodeId>& store_users) {
+  SimilarityWorkload w;
+  w.num_users_ = g.num_nodes();
+  w.measure_name_ = measure.Name();
+  w.offsets_.reserve(static_cast<size_t>(g.num_nodes()) + 1);
+  std::vector<bool> mask(static_cast<size_t>(g.num_nodes()), false);
+  for (graph::NodeId u : store_users) {
+    PRIVREC_CHECK(u >= 0 && u < g.num_nodes());
+    mask[static_cast<size_t>(u)] = true;
+  }
+  FillRows(g, measure, &mask, &w);
+  return w;
+}
+
+SimilarityWorkload SimilarityWorkload::FromParts(
+    graph::NodeId num_users, std::string measure_name,
+    std::vector<size_t> offsets, std::vector<SimilarityEntry> entries,
+    double max_column_sum, double max_entry) {
+  PRIVREC_CHECK(offsets.size() == static_cast<size_t>(num_users) + 1);
+  PRIVREC_CHECK(offsets.front() == 0);
+  PRIVREC_CHECK(offsets.back() == entries.size());
+  for (size_t k = 1; k < offsets.size(); ++k) {
+    PRIVREC_CHECK(offsets[k - 1] <= offsets[k]);
+  }
+  SimilarityWorkload w;
+  w.num_users_ = num_users;
+  w.measure_name_ = std::move(measure_name);
+  w.offsets_ = std::move(offsets);
+  w.entries_ = std::move(entries);
+  w.max_column_sum_ = max_column_sum;
+  w.max_entry_ = max_entry;
+  return w;
+}
+
+double SimilarityWorkload::RowSum(graph::NodeId u) const {
+  double acc = 0.0;
+  for (const SimilarityEntry& e : Row(u)) acc += e.score;
+  return acc;
+}
+
+double SimilarityWorkload::AverageRowSize() const {
+  if (num_users_ == 0) return 0.0;
+  return static_cast<double>(entries_.size()) /
+         static_cast<double>(num_users_);
+}
+
+}  // namespace privrec::similarity

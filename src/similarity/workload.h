@@ -1,0 +1,92 @@
+// SimilarityWorkload: all similarity rows of a graph under one measure,
+// computed once and stored in CSR layout. This is the workload matrix W of
+// the paper (W[u][v] = sim(u, v)); the recommenders, the NOU/GS sensitivity
+// Δ_A = max_v Σ_u sim(u, v), and the LRM factorization all read from it.
+
+#ifndef PRIVREC_SIMILARITY_WORKLOAD_H_
+#define PRIVREC_SIMILARITY_WORKLOAD_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "similarity/similarity_measure.h"
+
+namespace privrec::similarity {
+
+class SimilarityWorkload {
+ public:
+  // Computes every row of the measure over g. O(Σ_u |row(u)| log) time.
+  static SimilarityWorkload Compute(const graph::SocialGraph& g,
+                                    const SimilarityMeasure& measure);
+
+  // Memory-bounded variant for large graphs: all rows are *computed* (the
+  // global column-sum statistics still cover every user) but only the rows
+  // of `store_users` are retained; Row(u) for any other user returns an
+  // empty span. Sufficient for mechanisms that read rows only for the
+  // users being evaluated (Exact, Cluster, NOE); NOT sufficient for GS,
+  // which samples from every user's row.
+  static SimilarityWorkload ComputeForUsers(
+      const graph::SocialGraph& g, const SimilarityMeasure& measure,
+      const std::vector<graph::NodeId>& store_users);
+
+  // Reassembles a workload from externally produced parts (the
+  // serialization layer in workload_io.h). `offsets` must have
+  // num_users + 1 monotone entries indexing into `entries`, each row
+  // sorted by user id; the global statistics are taken as given.
+  static SimilarityWorkload FromParts(graph::NodeId num_users,
+                                      std::string measure_name,
+                                      std::vector<size_t> offsets,
+                                      std::vector<SimilarityEntry> entries,
+                                      double max_column_sum,
+                                      double max_entry);
+
+  graph::NodeId num_users() const { return num_users_; }
+  const std::string& measure_name() const { return measure_name_; }
+
+  // sim(u) as a sparse sorted row.
+  std::span<const SimilarityEntry> Row(graph::NodeId u) const {
+    PRIVREC_DCHECK(u >= 0 && u < num_users_);
+    return {entries_.data() + offsets_[static_cast<size_t>(u)],
+            entries_.data() + offsets_[static_cast<size_t>(u) + 1]};
+  }
+
+  int64_t RowSize(graph::NodeId u) const {
+    return static_cast<int64_t>(Row(u).size());
+  }
+
+  // Row sum Σ_v sim(u, v).
+  double RowSum(graph::NodeId u) const;
+
+  // The paper's sensitivity for NOU-style mechanisms:
+  // Δ_A = max_v Σ_u sim(u, v) — the largest total similarity mass any one
+  // user contributes across all rows.
+  double MaxColumnSum() const { return max_column_sum_; }
+
+  // Largest single score in column v's perspective — the GS rough-estimate
+  // sensitivity max_{v in sim(u)} sim(u, v) maximized over all entries.
+  double MaxEntry() const { return max_entry_; }
+
+  double AverageRowSize() const;
+  int64_t TotalEntries() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  // Shared implementation: computes all rows, storing only those allowed
+  // by `store_mask` (null = store all).
+  static void FillRows(const graph::SocialGraph& g,
+                       const SimilarityMeasure& measure,
+                       const std::vector<bool>* store_mask,
+                       SimilarityWorkload* w);
+
+  graph::NodeId num_users_ = 0;
+  std::string measure_name_;
+  std::vector<size_t> offsets_ = {0};
+  std::vector<SimilarityEntry> entries_;
+  double max_column_sum_ = 0.0;
+  double max_entry_ = 0.0;
+};
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_WORKLOAD_H_

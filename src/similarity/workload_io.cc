@@ -1,0 +1,115 @@
+#include "similarity/workload_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace privrec::similarity {
+
+Status SaveWorkload(const SimilarityWorkload& workload,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "# privrec workload measure=%s users=%" PRId64
+                " max_column_sum=%.17g max_entry=%.17g\n",
+                workload.measure_name().c_str(), workload.num_users(),
+                workload.MaxColumnSum(), workload.MaxEntry());
+  out << header;
+  char line[96];
+  for (graph::NodeId u = 0; u < workload.num_users(); ++u) {
+    for (const SimilarityEntry& e : workload.Row(u)) {
+      std::snprintf(line, sizeof(line),
+                    "%" PRId64 "\t%" PRId64 "\t%.17g\n", u, e.user,
+                    e.score);
+      out << line;
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<SimilarityWorkload> LoadWorkload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, "# privrec workload")) {
+    return Status::ParseError(path + ": missing workload header");
+  }
+  std::string measure_name;
+  graph::NodeId num_users = -1;
+  double max_column_sum = -1.0;
+  double max_entry = -1.0;
+  for (std::string_view field : SplitWhitespace(line)) {
+    size_t eq = field.find('=');
+    if (eq == std::string_view::npos) continue;
+    std::string_view key = field.substr(0, eq);
+    std::string_view value = field.substr(eq + 1);
+    if (key == "measure") {
+      measure_name = std::string(value);
+    } else if (key == "users") {
+      if (!ParseInt64(value, &num_users)) {
+        return Status::ParseError(path + ": bad users field");
+      }
+    } else if (key == "max_column_sum") {
+      if (!ParseDouble(value, &max_column_sum)) {
+        return Status::ParseError(path + ": bad max_column_sum");
+      }
+    } else if (key == "max_entry") {
+      if (!ParseDouble(value, &max_entry)) {
+        return Status::ParseError(path + ": bad max_entry");
+      }
+    }
+  }
+  if (num_users < 0 || max_column_sum < 0.0 || max_entry < 0.0 ||
+      measure_name.empty()) {
+    return Status::ParseError(path + ": incomplete workload header");
+  }
+
+  std::vector<size_t> offsets = {0};
+  offsets.reserve(static_cast<size_t>(num_users) + 1);
+  std::vector<SimilarityEntry> entries;
+  graph::NodeId current = 0;
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = SplitWhitespace(sv);
+    int64_t u = 0;
+    int64_t v = 0;
+    double score = 0.0;
+    if (fields.size() < 3 || !ParseInt64(fields[0], &u) ||
+        !ParseInt64(fields[1], &v) || !ParseDouble(fields[2], &score)) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": bad entry");
+    }
+    if (u < current) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": rows out of order");
+    }
+    if (u >= num_users || v < 0 || v >= num_users) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": id outside header range");
+    }
+    while (current < u) {
+      offsets.push_back(entries.size());
+      ++current;
+    }
+    entries.push_back({v, score});
+  }
+  while (current < num_users) {
+    offsets.push_back(entries.size());
+    ++current;
+  }
+  return SimilarityWorkload::FromParts(num_users, std::move(measure_name),
+                                       std::move(offsets),
+                                       std::move(entries), max_column_sum,
+                                       max_entry);
+}
+
+}  // namespace privrec::similarity

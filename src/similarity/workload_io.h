@@ -1,0 +1,26 @@
+// SimilarityWorkload serialization. Similarity rows depend only on the
+// public social graph, so a deployment computes them once and reuses the
+// file across every release — Katz and PPR rows in particular are far
+// more expensive to compute than to load.
+//
+// Format: a '#'-header carrying measure name, user count and the global
+// sensitivity statistics, then one "u v score" line per entry.
+
+#ifndef PRIVREC_SIMILARITY_WORKLOAD_IO_H_
+#define PRIVREC_SIMILARITY_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "similarity/workload.h"
+
+namespace privrec::similarity {
+
+Status SaveWorkload(const SimilarityWorkload& workload,
+                    const std::string& path);
+
+Result<SimilarityWorkload> LoadWorkload(const std::string& path);
+
+}  // namespace privrec::similarity
+
+#endif  // PRIVREC_SIMILARITY_WORKLOAD_IO_H_

@@ -1,0 +1,224 @@
+// Tests for the baseline mechanisms: NOU, NOE, GS and LRM.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_recommender.h"
+#include "core/group_smooth_recommender.h"
+#include "core/low_rank_recommender.h"
+#include "core/noe_recommender.h"
+#include "core/nou_recommender.h"
+#include "data/synthetic.h"
+#include "dp/mechanisms.h"
+#include "eval/exact_reference.h"
+#include "similarity/common_neighbors.h"
+
+namespace privrec::core {
+namespace {
+
+using graph::ItemId;
+using graph::NodeId;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = data::MakeTinyDataset(/*num_users=*/150, /*num_items=*/120,
+                                     /*seed=*/6);
+    workload_ = similarity::SimilarityWorkload::Compute(
+        dataset_.social, similarity::CommonNeighbors());
+    context_ = {&dataset_.social, &dataset_.preferences, &workload_};
+    for (NodeId u = 0; u < dataset_.social.num_nodes(); ++u) {
+      all_users_.push_back(u);
+    }
+  }
+
+  // Lists must rank items identically on the exact recommender's nonzero
+  // prefix.
+  void ExpectMatchesExactPrefix(
+      const std::vector<RecommendationList>& lists) {
+    ExactRecommender exact(context_);
+    auto truth = exact.Recommend(all_users_, 10);
+    for (size_t k = 0; k < all_users_.size(); ++k) {
+      for (size_t p = 0; p < truth[k].size(); ++p) {
+        ASSERT_LT(p, lists[k].size());
+        EXPECT_EQ(lists[k][p].item, truth[k][p].item)
+            << "user " << all_users_[k] << " position " << p;
+      }
+    }
+  }
+
+  data::Dataset dataset_;
+  similarity::SimilarityWorkload workload_;
+  RecommenderContext context_;
+  std::vector<NodeId> all_users_;
+};
+
+// -------------------------------------------------------------------- NOU
+
+TEST_F(BaselinesTest, NouWithoutNoiseEqualsExact) {
+  NouRecommender rec(context_,
+                     {.epsilon = dp::kEpsilonInfinity, .seed = 1});
+  ExpectMatchesExactPrefix(rec.Recommend(all_users_, 10));
+}
+
+TEST_F(BaselinesTest, NouSensitivityIsWorkloadColumnSum) {
+  NouRecommender rec(context_, {.epsilon = 1.0, .seed = 2});
+  EXPECT_DOUBLE_EQ(rec.sensitivity(), workload_.MaxColumnSum());
+  EXPECT_GT(rec.sensitivity(), 1.0);  // far above the per-edge scale
+}
+
+TEST_F(BaselinesTest, NouAtModerateEpsilonIsNearRandom) {
+  // The paper's headline negative result: NOU recommendations are "no
+  // better than random guessing" even at lenient settings. Compare
+  // against an actual uniform-random ranking baseline (on a small catalog
+  // random guessing scores nontrivially, so an absolute threshold would
+  // be wrong).
+  eval::ExactReference ref =
+      eval::ExactReference::Compute(context_, all_users_, 10);
+  NouRecommender rec(context_, {.epsilon = 1.0, .seed = 3});
+  double nou_ndcg = ref.MeanNdcg(rec.Recommend(all_users_, 10));
+
+  Rng rng(4);
+  std::vector<RecommendationList> random_lists;
+  for (size_t k = 0; k < all_users_.size(); ++k) {
+    RecommendationList list;
+    for (uint64_t raw : rng.SampleWithoutReplacement(
+             static_cast<uint64_t>(dataset_.preferences.num_items()), 10)) {
+      list.push_back({static_cast<graph::ItemId>(raw), 0.0});
+    }
+    random_lists.push_back(std::move(list));
+  }
+  double random_ndcg = ref.MeanNdcg(random_lists);
+  // NOU must be indistinguishable from random guessing (generous slack
+  // for sampling noise) and nowhere near the exact recommender's 1.0.
+  EXPECT_LT(nou_ndcg, random_ndcg + 0.1);
+  EXPECT_LT(nou_ndcg, 0.5);
+}
+
+// -------------------------------------------------------------------- NOE
+
+TEST_F(BaselinesTest, NoeWithoutNoiseEqualsExact) {
+  NoeRecommender rec(context_,
+                     {.epsilon = dp::kEpsilonInfinity, .seed = 4});
+  ExpectMatchesExactPrefix(rec.Recommend(all_users_, 10));
+}
+
+TEST_F(BaselinesTest, NoeDeterministicForSeed) {
+  NoeRecommenderOptions opt{.epsilon = 1.0, .seed = 5};
+  NoeRecommender a(context_, opt);
+  NoeRecommender b(context_, opt);
+  EXPECT_EQ(a.Recommend({0, 1}, 5), b.Recommend({0, 1}, 5));
+}
+
+TEST_F(BaselinesTest, NoeBeatsNouAtWeakPrivacy) {
+  // Matches Figure 4(a): NOE performs much better than NOU at eps = 1.0.
+  eval::ExactReference ref =
+      eval::ExactReference::Compute(context_, all_users_, 10);
+  NoeRecommender noe(context_, {.epsilon = 1.0, .seed = 6});
+  NouRecommender nou(context_, {.epsilon = 1.0, .seed = 6});
+  double noe_ndcg = ref.MeanNdcg(noe.Recommend(all_users_, 10));
+  double nou_ndcg = ref.MeanNdcg(nou.Recommend(all_users_, 10));
+  EXPECT_GT(noe_ndcg, nou_ndcg);
+}
+
+// --------------------------------------------------------------------- GS
+
+TEST_F(BaselinesTest, GsProducesFullLengthRankings) {
+  GroupSmoothRecommender rec(
+      context_, {.epsilon = 1.0, .group_size = 32, .seed = 7});
+  auto lists = rec.Recommend({0, 5, 9}, 10);
+  ASSERT_EQ(lists.size(), 3u);
+  for (const auto& list : lists) {
+    EXPECT_EQ(list.size(), 10u);
+    // Items must be distinct.
+    std::set<ItemId> items;
+    for (const auto& r : list) items.insert(r.item);
+    EXPECT_EQ(items.size(), list.size());
+  }
+}
+
+TEST_F(BaselinesTest, GsDeterministicForSeed) {
+  GroupSmoothRecommenderOptions opt{
+      .epsilon = 0.5, .group_size = 16, .seed = 8};
+  GroupSmoothRecommender a(context_, opt);
+  GroupSmoothRecommender b(context_, opt);
+  EXPECT_EQ(a.Recommend({0, 1, 2}, 5), b.Recommend({0, 1, 2}, 5));
+}
+
+TEST_F(BaselinesTest, GsGroupSizeOneWithoutNoiseEqualsExact) {
+  // m = 1 means every query is its own group: the group mean IS the true
+  // utility, so eps = inf reproduces exact rankings.
+  GroupSmoothRecommender rec(
+      context_,
+      {.epsilon = dp::kEpsilonInfinity, .group_size = 1, .seed = 9});
+  ExpectMatchesExactPrefix(rec.Recommend(all_users_, 10));
+}
+
+TEST_F(BaselinesTest, GsSmoothingDegradesWithGiantGroups) {
+  // With m = |U| every user gets the same utility for an item — rankings
+  // lose all personalization and NDCG drops well below the exact prefix.
+  eval::ExactReference ref =
+      eval::ExactReference::Compute(context_, all_users_, 10);
+  GroupSmoothRecommender rec(
+      context_,
+      {.epsilon = dp::kEpsilonInfinity, .group_size = 100000, .seed = 10});
+  double ndcg = ref.MeanNdcg(rec.Recommend(all_users_, 10));
+  EXPECT_LT(ndcg, 0.9);
+}
+
+// -------------------------------------------------------------------- LRM
+
+TEST_F(BaselinesTest, LrmFactorizationReportsQuality) {
+  LowRankRecommender rec(context_,
+                         {.epsilon = 1.0, .target_rank = 40, .seed = 11});
+  EXPECT_EQ(rec.rank(), 40);
+  EXPECT_GT(rec.noise_sensitivity(), 0.0);
+  EXPECT_GE(rec.factorization_error(), 0.0);
+  EXPECT_LT(rec.factorization_error(), 1.0);
+}
+
+TEST_F(BaselinesTest, LrmFullRankWithoutNoiseScoresPerfectNdcg) {
+  // At full rank the factorization is (numerically) exact, so eps = inf
+  // reproduces the exact utilities. The ~1e-10 reconstruction residue can
+  // flip exact ties, so compare by NDCG (tie swaps carry no penalty)
+  // rather than item-by-item.
+  LowRankRecommender rec(
+      context_,
+      {.epsilon = dp::kEpsilonInfinity, .target_rank = 150, .seed = 12});
+  EXPECT_LT(rec.factorization_error(), 1e-6);
+  eval::ExactReference ref =
+      eval::ExactReference::Compute(context_, all_users_, 10);
+  EXPECT_NEAR(ref.MeanNdcg(rec.Recommend(all_users_, 10)), 1.0, 1e-6);
+}
+
+TEST_F(BaselinesTest, LrmHigherRankReducesFactorizationError) {
+  LowRankRecommender low(context_,
+                         {.epsilon = 1.0, .target_rank = 10, .seed = 13});
+  LowRankRecommender high(context_,
+                          {.epsilon = 1.0, .target_rank = 80, .seed = 13});
+  EXPECT_LT(high.factorization_error(), low.factorization_error() + 1e-12);
+}
+
+TEST_F(BaselinesTest, LrmDeterministicForSeed) {
+  LowRankRecommenderOptions opt{
+      .epsilon = 0.5, .target_rank = 30, .seed = 14};
+  LowRankRecommender a(context_, opt);
+  LowRankRecommender b(context_, opt);
+  EXPECT_EQ(a.Recommend({0, 3}, 5), b.Recommend({0, 3}, 5));
+}
+
+// ------------------------------------------------- Cross-mechanism shape
+
+TEST_F(BaselinesTest, AllMechanismNamesAreDistinct) {
+  NouRecommender nou(context_, {});
+  NoeRecommender noe(context_, {});
+  GroupSmoothRecommender gs(context_, {});
+  LowRankRecommender lrm(context_, {.target_rank = 10});
+  std::set<std::string> names = {nou.Name(), noe.Name(), gs.Name(),
+                                 lrm.Name()};
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace privrec::core

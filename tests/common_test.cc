@@ -1,0 +1,404 @@
+// Unit tests for src/common: Status/Result, Rng distributions, statistics
+// helpers, string utilities and the flag parser.
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace privrec {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllCodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kIoError,
+        StatusCode::kParseError, StatusCode::kInternal}) {
+    names.insert(StatusCodeName(code));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng child1 = parent.Fork(5);
+  Rng child2 = Rng(7).Fork(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child1.Next(), child2.Next());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t x = rng.UniformInt(17);
+    EXPECT_LT(x, 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntSignedRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.UniformInt(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.UniformDouble());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(15);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(16);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(RngTest, LaplaceMomentsMatchTheory) {
+  // Lap(b) has mean 0 and variance 2b^2 — the calibration Theorem 1 relies
+  // on.
+  Rng rng(17);
+  const double b = 1.5;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Laplace(b));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.variance(), 2.0 * b * b, 0.15);
+}
+
+TEST(RngTest, LaplaceIsSymmetric) {
+  Rng rng(18);
+  int positive = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Laplace(1.0) > 0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / kTrials, 0.5, 0.01);
+}
+
+TEST(RngTest, TwoSidedGeometricMoments) {
+  // Var = 2a/(1-a)^2 for parameter a.
+  Rng rng(19);
+  const double a = 0.5;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(static_cast<double>(rng.TwoSidedGeometric(a)));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.variance(), 2.0 * a / ((1 - a) * (1 - a)), 0.2);
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(20);
+  int64_t first = 0;
+  int64_t total = 50000;
+  for (int64_t i = 0; i < total; ++i) {
+    if (rng.Zipf(1000, 1.1) == 0) ++first;
+  }
+  // Rank 0 should carry far more than the uniform share of 1/1000.
+  EXPECT_GT(first, total / 100);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Zipf(37, 0.8), 37u);
+  }
+}
+
+TEST(RngTest, ZipfZeroSkewIsRoughlyUniform) {
+  Rng rng(22);
+  std::vector<int64_t> counts(10, 0);
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.Zipf(10, 0.0)];
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(24);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint64_t x : sample) EXPECT_LT(x, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(25);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SplitMix64Test, IsDeterministicAndMixing) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  // Single-bit input flips should flip many output bits.
+  uint64_t d = SplitMix64(0) ^ SplitMix64(1);
+  EXPECT_GT(__builtin_popcountll(d), 16);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(26);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Normal();
+    whole.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.5);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 9
+  h.Add(-5.0);   // clamped to bin 0
+  h.Add(42.0);   // clamped to bin 9
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(9), 2);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.5);
+}
+
+// ---------------------------------------------------------- string_util
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsRuns) {
+  auto parts = SplitWhitespace("  a\t\tb  c\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\r\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("4x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.0junk", &v));
+}
+
+TEST(StringUtilTest, JoinAndStartsWith) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+// ----------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesTypedValues) {
+  const char* argv[] = {"prog", "--trials=5", "--eps=0.5", "--name=x",
+                        "--fast"};
+  FlagParser flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("trials", 1), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 1.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "x");
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  EXPECT_TRUE(flags.Validate());
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  FlagParser flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("trials", 7), 7);
+  EXPECT_TRUE(flags.Validate());
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.Validate());
+}
+
+TEST(FlagsTest, RejectsMalformedInt) {
+  const char* argv[] = {"prog", "--trials=abc"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("trials", 3), 3);
+  EXPECT_FALSE(flags.Validate());
+}
+
+}  // namespace
+}  // namespace privrec

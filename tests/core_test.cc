@@ -1,0 +1,196 @@
+// Tests for the core recommendation primitives and the non-private
+// ExactRecommender against hand-computed utilities.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/exact_recommender.h"
+#include "core/recommendation.h"
+#include "core/recommender.h"
+#include "similarity/common_neighbors.h"
+#include "similarity/graph_distance.h"
+
+namespace privrec::core {
+namespace {
+
+using graph::ItemId;
+using graph::NodeId;
+using graph::PreferenceGraph;
+using graph::SocialGraph;
+
+// ------------------------------------------------------------- Top-N
+
+TEST(TopNFromDenseTest, RanksByUtilityThenItem) {
+  std::vector<double> utilities = {0.5, 2.0, 2.0, 0.1};
+  RecommendationList list = TopNFromDense(utilities, 3);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].item, 1);  // ties broken by smaller item id
+  EXPECT_EQ(list[1].item, 2);
+  EXPECT_EQ(list[2].item, 0);
+}
+
+TEST(TopNFromDenseTest, NLargerThanInput) {
+  std::vector<double> utilities = {1.0, 2.0};
+  RecommendationList list = TopNFromDense(utilities, 10);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(TopNFromSparseTest, MatchesDense) {
+  std::vector<double> dense = {0.0, 3.0, 0.0, 1.0, 2.0};
+  std::vector<std::pair<ItemId, double>> sparse = {{1, 3.0}, {3, 1.0},
+                                                   {4, 2.0}};
+  RecommendationList a = TopNFromDense(dense, 3);
+  RecommendationList b = TopNFromSparse(sparse, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].item, b[k].item);
+    EXPECT_DOUBLE_EQ(a[k].utility, b[k].utility);
+  }
+}
+
+TEST(TopNAccumulatorTest, KeepsBestN) {
+  TopNAccumulator acc(3);
+  for (ItemId i = 0; i < 10; ++i) {
+    acc.Offer(i, static_cast<double>(i % 5));
+  }
+  RecommendationList list = acc.Take();
+  ASSERT_EQ(list.size(), 3u);
+  // Utilities offered: 0,1,2,3,4,0,1,2,3,4 — best are the two 4s and a 3;
+  // ties broken by item id: item 4 (util 4), item 9 (util 4), item 3
+  // (util 3).
+  EXPECT_EQ(list[0].item, 4);
+  EXPECT_EQ(list[1].item, 9);
+  EXPECT_EQ(list[2].item, 3);
+}
+
+TEST(TopNAccumulatorTest, MatchesTopNFromDense) {
+  std::vector<double> utilities;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) utilities.push_back(rng.Normal());
+  TopNAccumulator acc(20);
+  for (size_t i = 0; i < utilities.size(); ++i) {
+    acc.Offer(static_cast<ItemId>(i), utilities[i]);
+  }
+  RecommendationList streaming = acc.Take();
+  RecommendationList direct = TopNFromDense(utilities, 20);
+  ASSERT_EQ(streaming.size(), direct.size());
+  for (size_t k = 0; k < direct.size(); ++k) {
+    EXPECT_EQ(streaming[k].item, direct[k].item);
+    EXPECT_DOUBLE_EQ(streaming[k].utility, direct[k].utility);
+  }
+}
+
+TEST(TopNAccumulatorTest, TakeResets) {
+  TopNAccumulator acc(2);
+  acc.Offer(0, 1.0);
+  EXPECT_EQ(acc.Take().size(), 1u);
+  EXPECT_TRUE(acc.Take().empty());
+}
+
+// -------------------------------------------------------- Exact utilities
+
+// Fixture: the kite social graph and a small preference graph with
+// hand-computable utilities.
+//
+// Social: 0-1, 0-2, 1-2, 1-3, 2-3, 3-4.
+// CN similarities from user 0: sim(0,1)=1, sim(0,2)=1, sim(0,3)=2.
+// Preferences: user1 -> {0, 1}; user2 -> {1}; user3 -> {2}; user4 -> {0}.
+class ExactRecommenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    social_ = SocialGraph::FromEdges(
+        5, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}});
+    prefs_ = PreferenceGraph::FromEdges(
+        5, 3, {{1, 0}, {1, 1}, {2, 1}, {3, 2}, {4, 0}});
+    workload_ = similarity::SimilarityWorkload::Compute(
+        social_, similarity::CommonNeighbors());
+    context_ = {&social_, &prefs_, &workload_};
+  }
+
+  SocialGraph social_;
+  PreferenceGraph prefs_;
+  similarity::SimilarityWorkload workload_;
+  RecommenderContext context_;
+};
+
+TEST_F(ExactRecommenderTest, HandComputedUtilities) {
+  ExactRecommender rec(context_);
+  auto row = rec.UtilityRow(0);
+  // mu_0^0 = sim(0,1)*w(1,0) = 1.
+  // mu_0^1 = sim(0,1)*w(1,1) + sim(0,2)*w(2,1) = 2.
+  // mu_0^2 = sim(0,3)*w(3,2) = 2.
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].first, 0);
+  EXPECT_DOUBLE_EQ(row[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(row[1].second, 2.0);
+  EXPECT_DOUBLE_EQ(row[2].second, 2.0);
+}
+
+TEST_F(ExactRecommenderTest, TopNRankingWithTieBreak) {
+  ExactRecommender rec(context_);
+  RecommendationList list = rec.RecommendOne(0, 2);
+  ASSERT_EQ(list.size(), 2u);
+  // Items 1 and 2 tie at utility 2; item id breaks the tie.
+  EXPECT_EQ(list[0].item, 1);
+  EXPECT_EQ(list[1].item, 2);
+}
+
+TEST_F(ExactRecommenderTest, UserWithNoSimilarityGetsEmptyList) {
+  // User 4's only CN similarity is with users at distance 2 through node 3:
+  // sim(4, 1) and sim(4, 2) via common neighbor 3.
+  ExactRecommender rec(context_);
+  auto row4 = rec.UtilityRow(4);
+  // sim(4,1)=1 (common neighbor 3), sim(4,2)=1 -> items {0,1} from user 1
+  // and {1} from user 2.
+  ASSERT_EQ(row4.size(), 2u);
+  EXPECT_DOUBLE_EQ(row4[0].second, 1.0);  // item 0
+  EXPECT_DOUBLE_EQ(row4[1].second, 2.0);  // item 1
+}
+
+TEST_F(ExactRecommenderTest, OwnPreferencesDoNotAffectOwnUtilities) {
+  // The utility query sums over OTHER users v in sim(u); u itself is never
+  // in sim(u), so u's own edges contribute nothing to u's utilities.
+  PreferenceGraph with_own = prefs_.WithEdge(0, 2);
+  RecommenderContext ctx{&social_, &with_own, &workload_};
+  ExactRecommender a(ctx);
+  ExactRecommender b(context_);
+  EXPECT_EQ(a.UtilityRow(0), b.UtilityRow(0));
+}
+
+TEST_F(ExactRecommenderTest, BatchMatchesSingle) {
+  ExactRecommender rec(context_);
+  auto batch = rec.Recommend({0, 1, 2}, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(batch[k], rec.RecommendOne(static_cast<NodeId>(k), 3));
+  }
+}
+
+TEST_F(ExactRecommenderTest, GraphDistanceMeasureChangesRanking) {
+  auto gd_workload = similarity::SimilarityWorkload::Compute(
+      social_, similarity::GraphDistance(2));
+  RecommenderContext ctx{&social_, &prefs_, &gd_workload};
+  ExactRecommender rec(ctx);
+  auto row = rec.UtilityRow(0);
+  // GD: sim(0,1)=sim(0,2)=1 (neighbors), sim(0,3)=1/2.
+  // mu_0^0 = 1, mu_0^1 = 2, mu_0^2 = 0.5.
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(row[1].second, 2.0);
+  EXPECT_DOUBLE_EQ(row[2].second, 0.5);
+}
+
+TEST(RecommenderContextDeathTest, RejectsMisalignedGraphs) {
+  SocialGraph social = SocialGraph::FromEdges(3, {{0, 1}});
+  PreferenceGraph prefs = PreferenceGraph::FromEdges(2, 2, {{0, 0}});
+  auto workload = similarity::SimilarityWorkload::Compute(
+      social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&social, &prefs, &workload};
+  EXPECT_DEATH(ExactRecommender rec(ctx), "CHECK");
+}
+
+}  // namespace
+}  // namespace privrec::core

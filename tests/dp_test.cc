@@ -1,0 +1,287 @@
+// Tests for the DP primitives, including an empirical ε-DP ratio check of
+// the Laplace mechanism and the composition accountant.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "dp/audit.h"
+#include "dp/budget.h"
+#include "dp/mechanisms.h"
+
+namespace privrec::dp {
+namespace {
+
+TEST(EpsilonTest, Validity) {
+  EXPECT_TRUE(IsValidEpsilon(0.01));
+  EXPECT_TRUE(IsValidEpsilon(1.0));
+  EXPECT_TRUE(IsValidEpsilon(kEpsilonInfinity));
+  EXPECT_FALSE(IsValidEpsilon(0.0));
+  EXPECT_FALSE(IsValidEpsilon(-1.0));
+  EXPECT_FALSE(IsValidEpsilon(std::nan("")));
+}
+
+TEST(LaplaceMechanismTest, InfinityAddsNoNoise) {
+  LaplaceMechanism m(kEpsilonInfinity, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(m.Release(3.25, 1.0), 3.25);
+  }
+  EXPECT_DOUBLE_EQ(m.ExpectedAbsoluteError(1.0), 0.0);
+}
+
+TEST(LaplaceMechanismTest, NoiseVarianceMatchesTheory) {
+  // Release of a constant with sensitivity Δ at ε has variance 2(Δ/ε)².
+  const double eps = 0.5;
+  const double sensitivity = 2.0;
+  LaplaceMechanism m(eps, Rng(2));
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(m.Release(10.0, sensitivity));
+  double b = sensitivity / eps;
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 2.0 * b * b, 0.5);
+  EXPECT_DOUBLE_EQ(m.ExpectedAbsoluteError(sensitivity), b);
+}
+
+TEST(LaplaceMechanismTest, ReleaseVectorIsIndependentPerCoordinate) {
+  LaplaceMechanism m(1.0, Rng(3));
+  std::vector<double> v(1000, 0.0);
+  std::vector<double> out = m.ReleaseVector(v, 1.0);
+  RunningStats stats;
+  for (double x : out) stats.Add(x);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.2);
+  EXPECT_GT(stats.stddev(), 0.5);
+}
+
+TEST(LaplaceMechanismTest, EmpiricalEpsilonDp) {
+  // Histogram-ratio test: for neighboring values x and x' = x + Δ, the
+  // densities of the released value must differ by at most e^ε everywhere.
+  // We bin a large sample and check populated bins.
+  const double eps = 1.0;
+  const double sensitivity = 1.0;
+  const int kSamples = 400000;
+  Histogram h0(-6.0, 6.0, 24);
+  Histogram h1(-6.0, 6.0, 24);
+  LaplaceMechanism m0(eps, Rng(4));
+  LaplaceMechanism m1(eps, Rng(5));
+  for (int i = 0; i < kSamples; ++i) {
+    h0.Add(m0.Release(0.0, sensitivity));
+    h1.Add(m1.Release(1.0, sensitivity));
+  }
+  // Allow sampling slack on top of e^eps.
+  const double bound = std::exp(eps) * 1.15;
+  for (int b = 0; b < h0.num_bins(); ++b) {
+    if (h0.bin_count(b) < 500 || h1.bin_count(b) < 500) continue;
+    double ratio = h0.Fraction(b) / h1.Fraction(b);
+    EXPECT_LT(ratio, bound) << "bin " << b;
+    EXPECT_GT(ratio, 1.0 / bound) << "bin " << b;
+  }
+}
+
+TEST(LaplaceMechanismTest, SmallerEpsilonMeansMoreNoise) {
+  LaplaceMechanism strong(0.1, Rng(6));
+  LaplaceMechanism weak(10.0, Rng(7));
+  RunningStats s_strong;
+  RunningStats s_weak;
+  for (int i = 0; i < 50000; ++i) {
+    s_strong.Add(std::fabs(strong.Release(0.0, 1.0)));
+    s_weak.Add(std::fabs(weak.Release(0.0, 1.0)));
+  }
+  EXPECT_GT(s_strong.mean(), 10.0 * s_weak.mean());
+}
+
+TEST(GeometricMechanismTest, ReturnsIntegersCenteredOnValue) {
+  GeometricMechanism m(1.0, Rng(8));
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(m.Release(7, 1)));
+  }
+  EXPECT_NEAR(stats.mean(), 7.0, 0.05);
+}
+
+TEST(GeometricMechanismTest, InfinityIsExact) {
+  GeometricMechanism m(kEpsilonInfinity, Rng(9));
+  EXPECT_EQ(m.Release(42, 3), 42);
+}
+
+TEST(GeometricMechanismTest, EmpiricalRatioBound) {
+  // For integer outputs the DP ratio check is exact per value.
+  const double eps = 0.8;
+  GeometricMechanism m0(eps, Rng(10));
+  GeometricMechanism m1(eps, Rng(11));
+  const int kSamples = 300000;
+  std::map<int64_t, int64_t> c0;
+  std::map<int64_t, int64_t> c1;
+  for (int i = 0; i < kSamples; ++i) {
+    ++c0[m0.Release(0, 1)];
+    ++c1[m1.Release(1, 1)];
+  }
+  const double bound = std::exp(eps) * 1.15;
+  for (const auto& [value, count] : c0) {
+    auto it = c1.find(value);
+    if (count < 500 || it == c1.end() || it->second < 500) continue;
+    double ratio =
+        static_cast<double>(count) / static_cast<double>(it->second);
+    EXPECT_LT(ratio, bound) << "value " << value;
+    EXPECT_GT(ratio, 1.0 / bound) << "value " << value;
+  }
+}
+
+// ---------------------------------------------------- Exponential mech
+
+TEST(ExponentialMechanismTest, InfinityReturnsArgmax) {
+  ExponentialMechanism m(kEpsilonInfinity, Rng(20));
+  EXPECT_EQ(m.Select({1.0, 5.0, 3.0}, 1.0), 1);
+  EXPECT_EQ(m.Select({7.0, 7.0, 3.0}, 1.0), 0);  // tie -> smallest index
+}
+
+TEST(ExponentialMechanismTest, PrefersHighQuality) {
+  ExponentialMechanism m(2.0, Rng(21));
+  std::vector<int64_t> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[static_cast<size_t>(m.Select({0.0, 5.0, 0.0}, 1.0))];
+  }
+  EXPECT_GT(counts[1], counts[0] * 5);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(ExponentialMechanismTest, SelectionProbabilitiesMatchTheory) {
+  // Two candidates with quality gap g: P(best)/P(other) = exp(eps*g/(2Δ)).
+  const double eps = 1.0;
+  const double gap = 2.0;
+  ExponentialMechanism m(eps, Rng(22));
+  int64_t best = 0;
+  const int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (m.Select({gap, 0.0}, 1.0) == 0) ++best;
+  }
+  double expected_ratio = std::exp(eps * gap / 2.0);
+  double measured_ratio = static_cast<double>(best) /
+                          static_cast<double>(kTrials - best);
+  EXPECT_NEAR(measured_ratio, expected_ratio, 0.15 * expected_ratio);
+}
+
+TEST(ExponentialMechanismTest, EmpiricalDpOnNeighboringQualities) {
+  // Neighboring quality vectors differing by sensitivity in one entry:
+  // per-outcome probability ratio must stay within e^eps.
+  const double eps = 0.8;
+  ExponentialMechanism m1(eps, Rng(23));
+  ExponentialMechanism m2(eps, Rng(24));
+  std::vector<double> q1 = {1.0, 2.0, 0.5};
+  std::vector<double> q2 = {2.0, 2.0, 0.5};  // entry 0 shifted by Δ = 1
+  std::map<int64_t, int64_t> c1;
+  std::map<int64_t, int64_t> c2;
+  const int kTrials = 150000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++c1[m1.Select(q1, 1.0)];
+    ++c2[m2.Select(q2, 1.0)];
+  }
+  for (const auto& [k, n1] : c1) {
+    int64_t n2 = c2[k];
+    if (n1 < 1000 || n2 < 1000) continue;
+    double ratio = static_cast<double>(n1) / static_cast<double>(n2);
+    EXPECT_LT(ratio, std::exp(eps) * 1.15) << "outcome " << k;
+    EXPECT_GT(ratio, std::exp(-eps) / 1.15) << "outcome " << k;
+  }
+}
+
+// ----------------------------------------------------------------- Audit
+
+TEST(DpAuditTest, CorrectLaplaceMechanismPasses) {
+  const double eps = 0.7;
+  LaplaceMechanism m1(eps, Rng(25));
+  LaplaceMechanism m2(eps, Rng(26));
+  AuditOptions opt;
+  opt.lo = -4.0;
+  opt.hi = 5.0;
+  opt.samples = 60000;
+  AuditResult result = AuditDpRatio([&] { return m1.Release(0.0, 1.0); },
+                                    [&] { return m2.Release(1.0, 1.0); },
+                                    eps, opt);
+  EXPECT_TRUE(result.passed) << result.ToString();
+  EXPECT_GT(result.bins_checked, 5);
+}
+
+TEST(DpAuditTest, UndernoisedMechanismFails) {
+  // A mechanism claiming eps = 0.2 but adding eps = 2.0 noise violates
+  // the claimed bound and must be caught.
+  LaplaceMechanism m1(2.0, Rng(27));
+  LaplaceMechanism m2(2.0, Rng(28));
+  AuditOptions opt;
+  opt.lo = -3.0;
+  opt.hi = 4.0;
+  opt.samples = 60000;
+  AuditResult result = AuditDpRatio([&] { return m1.Release(0.0, 1.0); },
+                                    [&] { return m2.Release(1.0, 1.0); },
+                                    /*epsilon=*/0.2, opt);
+  EXPECT_FALSE(result.passed) << result.ToString();
+}
+
+TEST(DpAuditTest, NoiselessMechanismFailsSpectacularly) {
+  AuditOptions opt;
+  opt.lo = -2.0;
+  opt.hi = 3.0;
+  opt.samples = 20000;
+  opt.min_bin_count = 100;
+  AuditResult result = AuditDpRatio([] { return 0.0; },
+                                    [] { return 1.0; },
+                                    /*epsilon=*/1.0, opt);
+  // Disjoint supports: no bin is populated in both worlds, so nothing can
+  // be checked — worst_ratio stays 1 but bins_checked reveals the gap.
+  EXPECT_EQ(result.bins_checked, 0);
+}
+
+TEST(DpAuditTest, ToStringMentionsVerdict) {
+  LaplaceMechanism m1(1.0, Rng(29));
+  LaplaceMechanism m2(1.0, Rng(30));
+  AuditOptions opt;
+  opt.samples = 20000;
+  AuditResult result = AuditDpRatio([&] { return m1.Release(0.0, 1.0); },
+                                    [&] { return m2.Release(1.0, 1.0); },
+                                    1.0, opt);
+  EXPECT_NE(result.ToString().find(result.passed ? "PASSED" : "FAILED"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- Budget
+
+TEST(PrivacyBudgetTest, SequentialCompositionWithinGroup) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.Charge("same_records", 0.4));
+  EXPECT_TRUE(budget.Charge("same_records", 0.4));
+  EXPECT_NEAR(budget.GroupSpent("same_records"), 0.8, 1e-12);
+  EXPECT_FALSE(budget.Charge("same_records", 0.4));  // would exceed 1.0
+  EXPECT_NEAR(budget.Spent(), 0.8, 1e-12);
+}
+
+TEST(PrivacyBudgetTest, ParallelCompositionAcrossGroups) {
+  // Theorem 3: disjoint inputs cost the max, not the sum — the structure
+  // of Algorithm 1's per-(item, cluster) averages.
+  PrivacyBudget budget(0.5);
+  for (int item = 0; item < 100; ++item) {
+    EXPECT_TRUE(budget.Charge("item_" + std::to_string(item), 0.5));
+  }
+  EXPECT_NEAR(budget.Spent(), 0.5, 1e-12);
+  EXPECT_FALSE(budget.Exhausted() && budget.Remaining() < -1e-9);
+}
+
+TEST(PrivacyBudgetTest, ExhaustionAndRemaining) {
+  PrivacyBudget budget(0.3);
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_TRUE(budget.Charge("g", 0.3));
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_NEAR(budget.Remaining(), 0.0, 1e-12);
+  EXPECT_FALSE(budget.Charge("g", 0.1));
+}
+
+TEST(PrivacyBudgetTest, RejectedChargeLeavesStateUntouched) {
+  PrivacyBudget budget(0.5);
+  EXPECT_TRUE(budget.Charge("g", 0.3));
+  EXPECT_FALSE(budget.Charge("g", 0.5));
+  EXPECT_NEAR(budget.GroupSpent("g"), 0.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace privrec::dp

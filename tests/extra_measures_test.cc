@@ -1,0 +1,244 @@
+// Tests for the extended similarity-measure zoo (Jaccard, Salton cosine,
+// Sørensen, Resource Allocation, Hub Promoted): hand-computed values and
+// the same parameterized property suite as the core four.
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/erdos_renyi.h"
+#include "similarity/common_neighbors.h"
+#include "similarity/extra_measures.h"
+#include "similarity/personalized_pagerank.h"
+
+namespace privrec::similarity {
+namespace {
+
+using graph::NodeId;
+using graph::SocialGraph;
+
+double Score(const std::vector<SimilarityEntry>& row, NodeId v) {
+  for (const SimilarityEntry& e : row) {
+    if (e.user == v) return e.score;
+  }
+  return 0.0;
+}
+
+// The kite: 0-1, 0-2, 1-2, 1-3, 2-3, 3-4. Degrees: 2, 3, 3, 3, 1.
+// Common neighbors of (0, 3) = {1, 2} -> 2; of (0, 1) = {2} -> 1.
+SocialGraph Kite() {
+  return SocialGraph::FromEdges(
+      5, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}});
+}
+
+TEST(JaccardTest, HandComputedKite) {
+  SocialGraph g = Kite();
+  Jaccard jc;
+  DenseScratch scratch;
+  auto row0 = jc.Row(g, 0, &scratch);
+  // (0,3): |∩| = 2, |∪| = 2 + 3 - 2 = 3.
+  EXPECT_NEAR(Score(row0, 3), 2.0 / 3.0, 1e-12);
+  // (0,1): |∩| = 1, |∪| = 2 + 3 - 1 = 4.
+  EXPECT_NEAR(Score(row0, 1), 0.25, 1e-12);
+}
+
+TEST(JaccardTest, BoundedByOne) {
+  SocialGraph g = graph::GenerateErdosRenyi(80, 250, 1);
+  Jaccard jc;
+  DenseScratch scratch;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& e : jc.Row(g, u, &scratch)) {
+      EXPECT_LE(e.score, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SaltonCosineTest, HandComputedKite) {
+  SocialGraph g = Kite();
+  SaltonCosine sc;
+  DenseScratch scratch;
+  auto row0 = sc.Row(g, 0, &scratch);
+  // (0,3): 2 / sqrt(2*3).
+  EXPECT_NEAR(Score(row0, 3), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(SorensenTest, HandComputedKite) {
+  SocialGraph g = Kite();
+  Sorensen so;
+  DenseScratch scratch;
+  auto row0 = so.Row(g, 0, &scratch);
+  // (0,3): 2*2 / (2+3).
+  EXPECT_NEAR(Score(row0, 3), 0.8, 1e-12);
+}
+
+TEST(ResourceAllocationTest, HandComputedKite) {
+  SocialGraph g = Kite();
+  ResourceAllocation ra;
+  DenseScratch scratch;
+  auto row0 = ra.Row(g, 0, &scratch);
+  // (0,3): common neighbors 1 and 2, both degree 3 -> 2/3.
+  EXPECT_NEAR(Score(row0, 3), 2.0 / 3.0, 1e-12);
+  // (0,1): common neighbor 2 of degree 3 -> 1/3.
+  EXPECT_NEAR(Score(row0, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(HubPromotedTest, HandComputedKite) {
+  SocialGraph g = Kite();
+  HubPromoted hp;
+  DenseScratch scratch;
+  auto row0 = hp.Row(g, 0, &scratch);
+  // (0,3): 2 / min(2,3) = 1.
+  EXPECT_NEAR(Score(row0, 3), 1.0, 1e-12);
+}
+
+TEST(ExtraMeasuresTest, SupportsMatchCommonNeighbors) {
+  // All five are rescalings of CN, so they must be nonzero exactly where
+  // CN is.
+  SocialGraph g = graph::GenerateErdosRenyi(60, 180, 2);
+  CommonNeighbors cn;
+  DenseScratch scratch;
+  std::vector<std::unique_ptr<SimilarityMeasure>> measures;
+  measures.push_back(std::make_unique<Jaccard>());
+  measures.push_back(std::make_unique<SaltonCosine>());
+  measures.push_back(std::make_unique<Sorensen>());
+  measures.push_back(std::make_unique<ResourceAllocation>());
+  measures.push_back(std::make_unique<HubPromoted>());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto cn_row = cn.Row(g, u, &scratch);
+    for (const auto& m : measures) {
+      auto row = m->Row(g, u, &scratch);
+      ASSERT_EQ(row.size(), cn_row.size()) << m->Name() << " user " << u;
+      for (size_t k = 0; k < row.size(); ++k) {
+        EXPECT_EQ(row[k].user, cn_row[k].user) << m->Name();
+      }
+    }
+  }
+}
+
+// Property suite shared with the core measures.
+std::unique_ptr<SimilarityMeasure> MakeExtra(const std::string& name) {
+  if (name == "JC") return std::make_unique<Jaccard>();
+  if (name == "SC") return std::make_unique<SaltonCosine>();
+  if (name == "SO") return std::make_unique<Sorensen>();
+  if (name == "RA") return std::make_unique<ResourceAllocation>();
+  return std::make_unique<HubPromoted>();
+}
+
+class ExtraMeasurePropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExtraMeasurePropertyTest, RowsSortedPositiveNoSelf) {
+  SocialGraph g = graph::GenerateErdosRenyi(70, 220, 3);
+  auto measure = MakeExtra(GetParam());
+  DenseScratch scratch;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto row = measure->Row(g, u, &scratch);
+    for (size_t k = 0; k < row.size(); ++k) {
+      EXPECT_GT(row[k].score, 0.0);
+      EXPECT_NE(row[k].user, u);
+      if (k > 0) {
+        EXPECT_LT(row[k - 1].user, row[k].user);
+      }
+    }
+  }
+}
+
+TEST_P(ExtraMeasurePropertyTest, IsSymmetric) {
+  SocialGraph g = graph::GenerateErdosRenyi(50, 130, 4);
+  auto measure = MakeExtra(GetParam());
+  DenseScratch scratch;
+  std::map<std::pair<NodeId, NodeId>, double> scores;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& e : measure->Row(g, u, &scratch)) {
+      scores[{u, e.user}] = e.score;
+    }
+  }
+  for (const auto& [key, score] : scores) {
+    auto it = scores.find({key.second, key.first});
+    ASSERT_NE(it, scores.end()) << GetParam();
+    EXPECT_NEAR(it->second, score, 1e-9) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExtraMeasures, ExtraMeasurePropertyTest,
+                         ::testing::Values("JC", "SC", "SO", "RA", "HP"),
+                         [](const auto& info) { return info.param; });
+
+// -------------------------------------------- Personalized PageRank
+
+TEST(PersonalizedPageRankTest, MassSumsToAtMostOne) {
+  SocialGraph g = graph::GenerateErdosRenyi(100, 300, 5);
+  PersonalizedPageRank ppr(0.2, 1e-5);
+  DenseScratch scratch;
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    auto row = ppr.Row(g, u, &scratch);
+    double mass = 0.0;
+    for (const auto& e : row) {
+      EXPECT_GT(e.score, 0.0);
+      EXPECT_NE(e.user, u);
+      mass += e.score;
+    }
+    // Approximate PPR underestimates; total mass (incl. the excluded
+    // self-score <= 1) stays below 1.
+    EXPECT_LT(mass, 1.0);
+    EXPECT_GT(mass, 0.05);
+  }
+}
+
+TEST(PersonalizedPageRankTest, NeighborsOutscoreDistantNodes) {
+  // Path 0-1-2-3-4-5: PPR from 0 must decay with distance.
+  SocialGraph g = SocialGraph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  PersonalizedPageRank ppr(0.2, 1e-7);
+  DenseScratch scratch;
+  auto row = ppr.Row(g, 0, &scratch);
+  EXPECT_GT(Score(row, 1), Score(row, 2));
+  EXPECT_GT(Score(row, 2), Score(row, 3));
+  EXPECT_GT(Score(row, 3), Score(row, 4));
+}
+
+TEST(PersonalizedPageRankTest, ConcentratesInOwnCommunity) {
+  // Two triangles joined by a bridge: PPR from inside triangle A puts
+  // more mass on A's members than B's.
+  SocialGraph g = SocialGraph::FromEdges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  PersonalizedPageRank ppr(0.2, 1e-7);
+  DenseScratch scratch;
+  auto row = ppr.Row(g, 0, &scratch);
+  EXPECT_GT(Score(row, 1) + Score(row, 2),
+            Score(row, 3) + Score(row, 4) + Score(row, 5));
+}
+
+TEST(PersonalizedPageRankTest, IsolatedNodeHasEmptyRow) {
+  SocialGraph g = SocialGraph::FromEdges(3, {{0, 1}});
+  PersonalizedPageRank ppr;
+  DenseScratch scratch;
+  EXPECT_TRUE(ppr.Row(g, 2, &scratch).empty());
+}
+
+TEST(PersonalizedPageRankTest, TighterThresholdRecoversMoreMass) {
+  SocialGraph g = graph::GenerateErdosRenyi(80, 240, 6);
+  DenseScratch scratch;
+  PersonalizedPageRank loose(0.2, 1e-3);
+  PersonalizedPageRank tight(0.2, 1e-6);
+  double loose_mass = 0.0;
+  double tight_mass = 0.0;
+  for (const auto& e : loose.Row(g, 0, &scratch)) loose_mass += e.score;
+  for (const auto& e : tight.Row(g, 0, &scratch)) tight_mass += e.score;
+  EXPECT_GE(tight_mass, loose_mass - 1e-12);
+}
+
+TEST(PersonalizedPageRankTest, DeterministicAndScratchSafe) {
+  SocialGraph g = graph::GenerateErdosRenyi(60, 180, 7);
+  PersonalizedPageRank ppr(0.25, 1e-5);
+  DenseScratch reused;
+  for (NodeId u = 0; u < 10; ++u) {
+    DenseScratch fresh;
+    EXPECT_EQ(ppr.Row(g, u, &reused), ppr.Row(g, u, &fresh));
+  }
+}
+
+}  // namespace
+}  // namespace privrec::similarity

@@ -1,0 +1,125 @@
+// Tests for k-means and the spectral embedding (the matrix-clustering
+// strategy of the paper's Section 5 remark).
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "community/kmeans.h"
+#include "community/modularity.h"
+#include "graph/generators/planted_partition.h"
+
+namespace privrec::community {
+namespace {
+
+using graph::SocialGraph;
+
+// Three well-separated Gaussian blobs in 2D.
+la::DenseMatrix ThreeBlobs(int per_blob, uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix points(3 * per_blob, 2);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      int64_t row = b * per_blob + i;
+      points(row, 0) = centers[b][0] + rng.Normal(0, 0.5);
+      points(row, 1) = centers[b][1] + rng.Normal(0, 0.5);
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, SeparatesThreeBlobs) {
+  la::DenseMatrix points = ThreeBlobs(40, 1);
+  KMeansResult result = RunKMeans(points, {.k = 3, .seed = 2});
+  EXPECT_EQ(result.partition.num_clusters(), 3);
+  // Every blob lands in a single cluster.
+  for (int b = 0; b < 3; ++b) {
+    int64_t label = result.partition.ClusterOf(b * 40);
+    for (int i = 1; i < 40; ++i) {
+      EXPECT_EQ(result.partition.ClusterOf(b * 40 + i), label)
+          << "blob " << b;
+    }
+  }
+  // Inertia of the correct clustering: ~ 2 * 0.25 per point.
+  EXPECT_LT(result.inertia / 120.0, 1.5);
+}
+
+TEST(KMeansTest, KEqualsOneGroupsEverything) {
+  la::DenseMatrix points = ThreeBlobs(10, 3);
+  KMeansResult result = RunKMeans(points, {.k = 1, .seed = 4});
+  EXPECT_EQ(result.partition.num_clusters(), 1);
+}
+
+TEST(KMeansTest, KEqualsNSingletons) {
+  la::DenseMatrix points = ThreeBlobs(4, 5);
+  KMeansResult result = RunKMeans(points, {.k = 12, .seed = 6});
+  // Distinct points; with k = n inertia should collapse to ~0.
+  EXPECT_LT(result.inertia, 1e-6);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  la::DenseMatrix points = ThreeBlobs(20, 7);
+  KMeansResult a = RunKMeans(points, {.k = 4, .seed = 8});
+  KMeansResult b = RunKMeans(points, {.k = 4, .seed = 8});
+  EXPECT_EQ(a.partition.cluster_of(), b.partition.cluster_of());
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  la::DenseMatrix points(10, 2);  // all at the origin
+  KMeansResult result = RunKMeans(points, {.k = 3, .seed = 9});
+  EXPECT_LE(result.partition.num_clusters(), 3);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(SpectralEmbeddingTest, RowsAreUnitNormOrZero) {
+  graph::PlantedPartitionOptions opt;
+  opt.num_nodes = 200;
+  opt.num_communities = 4;
+  opt.seed = 10;
+  auto planted = graph::GeneratePlantedPartition(opt);
+  la::DenseMatrix embedding =
+      SpectralEmbedding(planted.graph, {.dimensions = 4, .seed = 11});
+  EXPECT_EQ(embedding.rows(), 200);
+  EXPECT_EQ(embedding.cols(), 4);
+  for (int64_t i = 0; i < embedding.rows(); ++i) {
+    double norm = 0.0;
+    for (int64_t j = 0; j < 4; ++j) {
+      norm += embedding(i, j) * embedding(i, j);
+    }
+    EXPECT_TRUE(std::fabs(norm - 1.0) < 1e-9 || norm < 1e-9)
+        << "row " << i;
+  }
+}
+
+TEST(SpectralKMeansTest, RecoversPlantedCommunitiesReasonably) {
+  graph::PlantedPartitionOptions opt;
+  opt.num_nodes = 600;
+  opt.num_communities = 4;
+  opt.mean_degree = 16.0;
+  opt.mixing = 0.08;
+  opt.seed = 12;
+  auto planted = graph::GeneratePlantedPartition(opt);
+  Partition spectral = SpectralKMeans(planted.graph, 4, 13);
+  EXPECT_EQ(spectral.num_clusters(), 4);
+  // Spectral clustering on a strong planted partition should attain a
+  // modularity comparable to ground truth.
+  double truth_q =
+      Modularity(planted.graph, Partition(planted.community_of));
+  double spectral_q = Modularity(planted.graph, spectral);
+  EXPECT_GT(spectral_q, 0.6 * truth_q);
+}
+
+TEST(SpectralKMeansTest, HandlesIsolatedNodes) {
+  SocialGraph g = SocialGraph::FromEdges(
+      6, {{0, 1}, {1, 2}, {0, 2}});  // nodes 3-5 isolated
+  Partition p = SpectralKMeans(g, 2, 14);
+  EXPECT_EQ(p.num_nodes(), 6);
+  EXPECT_LE(p.num_clusters(), 2);
+}
+
+}  // namespace
+}  // namespace privrec::community

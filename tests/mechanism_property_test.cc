@@ -1,0 +1,306 @@
+// Parameterized property suite over (mechanism × ε): structural
+// invariants every private recommender must satisfy regardless of
+// configuration — valid ranked lists, bounded NDCG, determinism under a
+// fixed seed, fresh noise across calls, and safe behaviour on degenerate
+// inputs.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "community/louvain.h"
+#include "core/cluster_recommender.h"
+#include "core/exact_recommender.h"
+#include "core/group_smooth_recommender.h"
+#include "core/low_rank_recommender.h"
+#include "core/noe_recommender.h"
+#include "core/nou_recommender.h"
+#include "core/recommender_factory.h"
+#include "data/synthetic.h"
+#include "dp/mechanisms.h"
+#include "eval/exact_reference.h"
+#include "similarity/common_neighbors.h"
+
+namespace privrec::core {
+namespace {
+
+using graph::ItemId;
+using graph::NodeId;
+
+// Shared fixture data, built once (gtest instantiates per-test).
+struct Shared {
+  data::Dataset dataset;
+  similarity::SimilarityWorkload workload;
+  RecommenderContext context;
+  community::LouvainResult louvain;
+  std::vector<NodeId> users;
+
+  Shared()
+      : dataset(data::MakeTinyDataset(160, 130, 77)),
+        workload(similarity::SimilarityWorkload::Compute(
+            dataset.social, similarity::CommonNeighbors())),
+        context{&dataset.social, &dataset.preferences, &workload},
+        louvain(community::RunLouvain(dataset.social,
+                                      {.restarts = 2, .seed = 78})) {
+    for (NodeId u = 0; u < dataset.social.num_nodes(); u += 2) {
+      users.push_back(u);
+    }
+  }
+};
+
+Shared& GetShared() {
+  static Shared& shared = *new Shared();
+  return shared;
+}
+
+std::unique_ptr<Recommender> MakeMechanism(const std::string& name,
+                                           double epsilon, uint64_t seed) {
+  Shared& s = GetShared();
+  if (name == "Cluster") {
+    return std::make_unique<ClusterRecommender>(
+        s.context, s.louvain.partition,
+        ClusterRecommenderOptions{.epsilon = epsilon, .seed = seed});
+  }
+  if (name == "NOU") {
+    return std::make_unique<NouRecommender>(
+        s.context, NouRecommenderOptions{.epsilon = epsilon, .seed = seed});
+  }
+  if (name == "NOE") {
+    return std::make_unique<NoeRecommender>(
+        s.context, NoeRecommenderOptions{.epsilon = epsilon, .seed = seed});
+  }
+  if (name == "GS") {
+    return std::make_unique<GroupSmoothRecommender>(
+        s.context, GroupSmoothRecommenderOptions{
+                       .epsilon = epsilon, .group_size = 16, .seed = seed});
+  }
+  return std::make_unique<LowRankRecommender>(
+      s.context, LowRankRecommenderOptions{
+                     .epsilon = epsilon, .target_rank = 30, .seed = seed});
+}
+
+using Param = std::tuple<std::string, double>;
+
+class MechanismPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::string name() const { return std::get<0>(GetParam()); }
+  double epsilon() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(MechanismPropertyTest, ListsAreValidRankings) {
+  Shared& s = GetShared();
+  auto rec = MakeMechanism(name(), epsilon(), 1);
+  auto lists = rec->Recommend(s.users, 12);
+  ASSERT_EQ(lists.size(), s.users.size());
+  for (const RecommendationList& list : lists) {
+    EXPECT_LE(list.size(), 12u);
+    std::set<ItemId> seen;
+    for (size_t k = 0; k < list.size(); ++k) {
+      EXPECT_GE(list[k].item, 0);
+      EXPECT_LT(list[k].item, s.dataset.preferences.num_items());
+      EXPECT_TRUE(seen.insert(list[k].item).second) << "duplicate item";
+      if (k > 0) {
+        EXPECT_GE(list[k - 1].utility, list[k].utility) << "not ranked";
+      }
+    }
+  }
+}
+
+TEST_P(MechanismPropertyTest, NdcgWithinBounds) {
+  Shared& s = GetShared();
+  eval::ExactReference ref =
+      eval::ExactReference::Compute(s.context, s.users, 12);
+  auto rec = MakeMechanism(name(), epsilon(), 2);
+  double ndcg = ref.MeanNdcg(rec->Recommend(s.users, 12));
+  EXPECT_GE(ndcg, 0.0);
+  EXPECT_LE(ndcg, 1.0 + 1e-9);
+}
+
+TEST_P(MechanismPropertyTest, DeterministicUnderFixedSeed) {
+  Shared& s = GetShared();
+  auto a = MakeMechanism(name(), epsilon(), 3);
+  auto b = MakeMechanism(name(), epsilon(), 3);
+  EXPECT_EQ(a->Recommend(s.users, 8), b->Recommend(s.users, 8));
+}
+
+TEST_P(MechanismPropertyTest, FreshNoisePerInvocation) {
+  if (epsilon() == dp::kEpsilonInfinity) GTEST_SKIP() << "no noise at inf";
+  Shared& s = GetShared();
+  auto rec = MakeMechanism(name(), epsilon(), 4);
+  auto first = rec->Recommend(s.users, 8);
+  auto second = rec->Recommend(s.users, 8);
+  EXPECT_NE(first, second);
+}
+
+TEST_P(MechanismPropertyTest, SingleUserMatchesBatch) {
+  Shared& s = GetShared();
+  auto batch_rec = MakeMechanism(name(), epsilon(), 5);
+  auto single_rec = MakeMechanism(name(), epsilon(), 5);
+  // Same seed, same first invocation; a one-user batch must agree with
+  // position 0 of a batch starting with that user... for mechanisms whose
+  // noise depends only on the invocation (not the user set). GS noise
+  // interleaves with the user set only through shared randomness, so we
+  // compare single-vs-single instead.
+  auto one_a = single_rec->RecommendOne(s.users[0], 6);
+  auto one_b = batch_rec->RecommendOne(s.users[0], 6);
+  EXPECT_EQ(one_a, one_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanismsAndEpsilons, MechanismPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("Cluster", "NOU", "NOE", "GS", "LRM"),
+        ::testing::Values(dp::kEpsilonInfinity, 1.0, 0.1, 0.01)),
+    [](const auto& info) {
+      std::string eps = std::get<1>(info.param) == dp::kEpsilonInfinity
+                            ? "inf"
+                            : std::to_string(static_cast<int>(
+                                  std::get<1>(info.param) * 100));
+      return std::get<0>(info.param) + "_eps" + eps;
+    });
+
+TEST_P(MechanismPropertyTest, RunsOnWeightedPreferences) {
+  // The weighted-edge extension: every mechanism must accept rating
+  // weights and keep its invariants (sensitivities rescale internally).
+  static data::Dataset& weighted_dataset = *new data::Dataset([] {
+    data::Dataset d = data::MakeTinyDataset(120, 90, 88);
+    std::vector<graph::PreferenceEdge> edges;
+    Rng rng(89);
+    for (auto [u, i] : d.preferences.Edges()) {
+      edges.push_back(
+          {u, i, static_cast<double>(rng.UniformInt(1, 5))});
+    }
+    d.preferences = graph::PreferenceGraph::FromWeightedEdges(
+        d.preferences.num_users(), d.preferences.num_items(), edges);
+    return d;
+  }());
+  static similarity::SimilarityWorkload& weighted_workload =
+      *new similarity::SimilarityWorkload(
+          similarity::SimilarityWorkload::Compute(
+              weighted_dataset.social, similarity::CommonNeighbors()));
+  RecommenderContext ctx{&weighted_dataset.social,
+                         &weighted_dataset.preferences,
+                         &weighted_workload};
+  community::LouvainResult louvain = community::RunLouvain(
+      weighted_dataset.social, {.restarts = 1, .seed = 90});
+
+  std::unique_ptr<Recommender> rec;
+  RecommenderSpec spec;
+  spec.mechanism = name() == "Cluster" ? "Cluster" : name();
+  spec.epsilon = epsilon();
+  spec.seed = 91;
+  spec.partition = &louvain.partition;
+  spec.lrm_target_rank = 25;
+  auto made = MakeRecommender(ctx, spec);
+  ASSERT_TRUE(made.ok()) << name();
+  std::vector<graph::NodeId> users = {0, 11, 22};
+  auto lists = (*made)->Recommend(users, 8);
+  ASSERT_EQ(lists.size(), users.size());
+  eval::ExactReference ref = eval::ExactReference::Compute(ctx, users, 8);
+  double ndcg = ref.MeanNdcg(lists);
+  EXPECT_GE(ndcg, 0.0);
+  EXPECT_LE(ndcg, 1.0 + 1e-9);
+}
+
+// ----------------------------------------------------------- factory
+
+TEST(RecommenderFactoryTest, BuildsEveryMechanism) {
+  Shared& s = GetShared();
+  for (const std::string& name : MechanismNames()) {
+    RecommenderSpec spec;
+    spec.mechanism = name;
+    spec.epsilon = 0.5;
+    spec.partition = &s.louvain.partition;
+    spec.lrm_target_rank = 20;
+    auto rec = MakeRecommender(s.context, spec);
+    ASSERT_TRUE(rec.ok()) << name;
+    EXPECT_FALSE((*rec)->Recommend({s.users[0]}, 3).empty()) << name;
+  }
+}
+
+TEST(RecommenderFactoryTest, FactoryMatchesDirectConstruction) {
+  Shared& s = GetShared();
+  RecommenderSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = 0.3;
+  spec.seed = 9;
+  spec.partition = &s.louvain.partition;
+  auto from_factory = MakeRecommender(s.context, spec);
+  ASSERT_TRUE(from_factory.ok());
+  ClusterRecommender direct(s.context, s.louvain.partition,
+                            {.epsilon = 0.3, .seed = 9});
+  EXPECT_EQ((*from_factory)->Recommend(s.users, 5),
+            direct.Recommend(s.users, 5));
+}
+
+TEST(RecommenderFactoryTest, UnknownMechanismFails) {
+  Shared& s = GetShared();
+  RecommenderSpec spec;
+  spec.mechanism = "Magic";
+  auto rec = MakeRecommender(s.context, spec);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecommenderFactoryTest, ClusterWithoutPartitionFails) {
+  Shared& s = GetShared();
+  RecommenderSpec spec;
+  spec.mechanism = "Cluster";
+  spec.partition = nullptr;
+  auto rec = MakeRecommender(s.context, spec);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------- degenerate inputs (not parameterized)
+
+TEST(MechanismEdgeCaseTest, EmptyPreferenceGraph) {
+  data::Dataset d = data::MakeTinyDataset(60, 40, 80);
+  graph::PreferenceGraph empty =
+      graph::PreferenceGraph::FromEdges(60, 40, {});
+  auto workload = similarity::SimilarityWorkload::Compute(
+      d.social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&d.social, &empty, &workload};
+  community::LouvainResult louvain =
+      community::RunLouvain(d.social, {.restarts = 1, .seed = 81});
+  ClusterRecommender rec(ctx, louvain.partition,
+                         {.epsilon = 0.5, .seed = 82});
+  auto lists = rec.Recommend({0, 1, 2}, 5);
+  // Pure noise, but still well-formed output.
+  for (const auto& list : lists) EXPECT_EQ(list.size(), 5u);
+}
+
+TEST(MechanismEdgeCaseTest, EdgelessSocialGraph) {
+  graph::SocialGraph social = graph::SocialGraph::FromEdges(20, {});
+  graph::PreferenceGraph prefs =
+      graph::PreferenceGraph::FromEdges(20, 10, {{0, 1}, {5, 2}});
+  auto workload = similarity::SimilarityWorkload::Compute(
+      social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&social, &prefs, &workload};
+  // No similarity mass anywhere: exact utilities are all zero.
+  ExactRecommender exact(ctx);
+  EXPECT_TRUE(exact.RecommendOne(0, 5).empty());
+  // NOU falls back to its degenerate sensitivity without crashing.
+  NouRecommender nou(ctx, {.epsilon = 1.0, .seed = 83});
+  EXPECT_EQ(nou.RecommendOne(0, 5).size(), 5u);
+}
+
+TEST(MechanismEdgeCaseTest, TopNLargerThanCatalog) {
+  data::Dataset d = data::MakeTinyDataset(50, 12, 84);
+  auto workload = similarity::SimilarityWorkload::Compute(
+      d.social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&d.social, &d.preferences, &workload};
+  community::LouvainResult louvain =
+      community::RunLouvain(d.social, {.restarts = 1, .seed = 85});
+  ClusterRecommender rec(ctx, louvain.partition,
+                         {.epsilon = 0.5, .seed = 86});
+  auto list = rec.RecommendOne(0, 500);
+  EXPECT_EQ(list.size(), 12u);  // the whole catalog, ranked
+}
+
+}  // namespace
+}  // namespace privrec::core

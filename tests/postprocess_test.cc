@@ -1,0 +1,137 @@
+// Tests for the clustering post-processing heuristic (MergeSmallClusters).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "community/louvain.h"
+#include "community/postprocess.h"
+#include "data/synthetic.h"
+#include "graph/generators/planted_partition.h"
+
+namespace privrec::community {
+namespace {
+
+using graph::NodeId;
+using graph::SocialGraph;
+
+int64_t SmallestCluster(const Partition& p) {
+  int64_t smallest = p.num_nodes();
+  for (int64_t c = 0; c < p.num_clusters(); ++c) {
+    smallest = std::min(smallest, p.ClusterSize(c));
+  }
+  return smallest;
+}
+
+TEST(MergeSmallClustersTest, MinSizeOneIsIdentity) {
+  SocialGraph g = SocialGraph::FromEdges(4, {{0, 1}, {2, 3}});
+  Partition p({0, 0, 1, 1});
+  Partition merged = MergeSmallClusters(g, p, {.min_size = 1});
+  EXPECT_TRUE(merged.SamePartitionAs(p));
+}
+
+TEST(MergeSmallClustersTest, MergesIntoBestConnectedNeighbor) {
+  // Clusters: A = {0,1,2,3}, B = {4,5,6,7}, tiny = {8}. Node 8 has two
+  // edges into B and one into A -> must merge into B.
+  SocialGraph g = SocialGraph::FromEdges(
+      9, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7},
+          {8, 4}, {8, 5}, {8, 0}});
+  Partition p({0, 0, 0, 0, 1, 1, 1, 1, 2});
+  Partition merged = MergeSmallClusters(g, p, {.min_size = 2});
+  EXPECT_EQ(merged.num_clusters(), 2);
+  EXPECT_EQ(merged.ClusterOf(8), merged.ClusterOf(4));
+  EXPECT_NE(merged.ClusterOf(8), merged.ClusterOf(0));
+}
+
+TEST(MergeSmallClustersTest, IsolatedSmallClustersPool) {
+  // Three disconnected pairs plus one big component.
+  SocialGraph g = SocialGraph::FromEdges(
+      12, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+           {6, 7}, {8, 9}, {10, 11}});
+  Partition p({0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3});
+  Partition merged = MergeSmallClusters(g, p, {.min_size = 5});
+  // The three pairs pool into one catch-all of size 6.
+  EXPECT_EQ(merged.num_clusters(), 2);
+  EXPECT_EQ(merged.ClusterOf(6), merged.ClusterOf(8));
+  EXPECT_EQ(merged.ClusterOf(8), merged.ClusterOf(10));
+  EXPECT_NE(merged.ClusterOf(6), merged.ClusterOf(0));
+  EXPECT_GE(SmallestCluster(merged), 5);
+}
+
+TEST(MergeSmallClustersTest, MutuallyConnectedSmallClustersMerge) {
+  // Two tiny clusters connected only to each other (the union-find corner
+  // case).
+  SocialGraph g = SocialGraph::FromEdges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {6, 7}, {5, 6}});
+  Partition p({0, 0, 0, 0, 1, 1, 2, 2});
+  Partition merged = MergeSmallClusters(g, p, {.min_size = 3});
+  EXPECT_EQ(merged.num_clusters(), 2);
+  EXPECT_EQ(merged.ClusterOf(4), merged.ClusterOf(6));
+}
+
+TEST(MergeSmallClustersTest, UndersizedCatchAllFoldsIntoSmallest) {
+  // One isolated pair cannot reach min_size alone; it must fold into the
+  // smallest regular cluster.
+  SocialGraph g = SocialGraph::FromEdges(
+      9, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 3}, {7, 8}});
+  Partition p({0, 0, 0, 1, 1, 1, 1, 2, 2});
+  Partition merged = MergeSmallClusters(g, p, {.min_size = 3});
+  EXPECT_GE(SmallestCluster(merged), 3);
+  // Folded into the size-3 triangle cluster, not the size-4 one.
+  EXPECT_EQ(merged.ClusterOf(7), merged.ClusterOf(0));
+}
+
+TEST(MergeSmallClustersTest, PreservesNodeCountAndCoverage) {
+  graph::PlantedPartitionOptions opt;
+  opt.num_nodes = 500;
+  opt.num_communities = 8;
+  opt.num_small_components = 6;
+  opt.seed = 5;
+  auto planted = graph::GeneratePlantedPartition(opt);
+  LouvainResult louvain =
+      RunLouvain(planted.graph, {.restarts = 2, .seed = 6});
+  Partition merged = MergeSmallClusters(planted.graph, louvain.partition,
+                                        {.min_size = 10});
+  EXPECT_EQ(merged.num_nodes(), 500);
+  int64_t total = 0;
+  for (int64_t s : merged.sizes()) total += s;
+  EXPECT_EQ(total, 500);
+  EXPECT_GE(SmallestCluster(merged), 10);
+}
+
+TEST(MergeSmallClustersTest, MinSizeAboveGraphSizeYieldsOneCluster) {
+  SocialGraph g = SocialGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Partition p({0, 1, 2, 3});
+  Partition merged = MergeSmallClusters(g, p, {.min_size = 100});
+  EXPECT_EQ(merged.num_clusters(), 1);
+}
+
+TEST(MergeSmallClustersTest, LargeClustersUntouched) {
+  data::Dataset d = data::MakeTinyDataset(300, 100, 7);
+  LouvainResult louvain = RunLouvain(d.social, {.restarts = 2, .seed = 8});
+  Partition merged =
+      MergeSmallClusters(d.social, louvain.partition, {.min_size = 4});
+  // Every pair of users that shared a large cluster still shares one.
+  for (NodeId u = 0; u < d.social.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < d.social.num_nodes(); v += 17) {
+      int64_t cu = louvain.partition.ClusterOf(u);
+      if (louvain.partition.ClusterSize(cu) >= 4 &&
+          cu == louvain.partition.ClusterOf(v)) {
+        EXPECT_EQ(merged.ClusterOf(u), merged.ClusterOf(v));
+      }
+    }
+  }
+}
+
+TEST(MergeSmallClustersTest, Deterministic) {
+  data::Dataset d = data::MakeTinyDataset(200, 80, 9);
+  LouvainResult louvain = RunLouvain(d.social, {.restarts = 2, .seed = 10});
+  Partition a = MergeSmallClusters(d.social, louvain.partition,
+                                   {.min_size = 8});
+  Partition b = MergeSmallClusters(d.social, louvain.partition,
+                                   {.min_size = 8});
+  EXPECT_EQ(a.cluster_of(), b.cluster_of());
+}
+
+}  // namespace
+}  // namespace privrec::community
