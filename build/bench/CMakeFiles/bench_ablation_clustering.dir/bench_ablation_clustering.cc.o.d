@@ -252,8 +252,9 @@ bench/CMakeFiles/bench_ablation_clustering.dir/bench_ablation_clustering.cc.o: \
  /root/repo/src/community/louvain.h /root/repo/src/community/modularity.h \
  /root/repo/src/community/simple_clusterings.h \
  /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h /root/repo/src/eval/exact_reference.h \
- /root/repo/src/eval/table.h
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
+ /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/load_report.h \
+ /root/repo/src/eval/exact_reference.h /root/repo/src/eval/table.h

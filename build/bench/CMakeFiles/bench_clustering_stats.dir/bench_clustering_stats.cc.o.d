@@ -244,5 +244,6 @@ bench/CMakeFiles/bench_clustering_stats.dir/bench_clustering_stats.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/community/louvain.h \
  /root/repo/src/community/partition.h /root/repo/src/community/quality.h \
  /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/load_report.h \
  /root/repo/src/graph/preference_graph.h /root/repo/src/eval/table.h \
  /root/repo/src/graph/components.h

@@ -240,6 +240,7 @@ bench/CMakeFiles/bench_error_decomposition.dir/bench_error_decomposition.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/community/louvain.h /root/repo/src/community/partition.h \
  /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/load_report.h \
  /root/repo/src/graph/preference_graph.h \
  /root/repo/src/eval/error_decomposition.h \
  /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \

@@ -240,14 +240,26 @@ bench/CMakeFiles/bench_extension_dynamic.dir/bench_extension_dynamic.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/community/louvain.h /root/repo/src/community/partition.h \
  /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
- /root/repo/src/core/dynamic_recommender.h /root/repo/src/common/status.h \
- /usr/include/c++/12/variant \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/dynamic_recommender.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/dp/budget.h \
- /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/dp/ledger.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/data/synthetic.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
  /root/repo/src/eval/exact_reference.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

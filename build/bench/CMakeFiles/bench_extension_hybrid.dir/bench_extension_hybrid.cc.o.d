@@ -241,9 +241,17 @@ bench/CMakeFiles/bench_extension_hybrid.dir/bench_extension_hybrid.cc.o: \
  /root/repo/src/community/louvain.h /root/repo/src/community/partition.h \
  /root/repo/src/core/hybrid_recommender.h \
  /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/core/item_cf_recommender.h /root/repo/src/dp/budget.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
- /root/repo/src/eval/holdout.h /root/repo/src/eval/table.h
+ /root/repo/src/common/load_report.h /root/repo/src/eval/holdout.h \
+ /root/repo/src/eval/table.h

@@ -244,11 +244,13 @@ bench/CMakeFiles/bench_fig1_lastfm_sweep.dir/bench_fig1_lastfm_sweep.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/community/louvain.h \
  /root/repo/src/community/partition.h \
  /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h /root/repo/src/eval/exact_reference.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
+ /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/load_report.h \
+ /root/repo/src/eval/exact_reference.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \

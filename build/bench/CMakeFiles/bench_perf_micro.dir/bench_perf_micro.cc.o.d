@@ -187,12 +187,12 @@ bench/CMakeFiles/bench_perf_micro.dir/bench_perf_micro.cc.o: \
  /root/repo/src/community/louvain.h /root/repo/src/community/partition.h \
  /root/repo/src/graph/social_graph.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/exact_recommender.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
  /root/repo/src/graph/generators/planted_partition.h \
  /root/repo/src/core/item_cf_recommender.h \
  /root/repo/src/community/kmeans.h /root/repo/src/la/dense_matrix.h \

@@ -238,8 +238,17 @@ bench/CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/data/flixster.h \
- /root/repo/src/common/status.h /usr/include/c++/12/variant \
+ /root/repo/src/common/load_report.h /root/repo/src/common/retry.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/data/dataset.h \
  /root/repo/src/graph/preference_graph.h \
  /root/repo/src/data/hetrec_lastfm.h /root/repo/src/data/synthetic.h \

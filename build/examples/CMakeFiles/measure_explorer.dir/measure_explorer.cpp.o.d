@@ -210,11 +210,11 @@ examples/CMakeFiles/measure_explorer.dir/measure_explorer.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h /root/repo/src/graph/preference_graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/macros.h \
- /root/repo/src/graph/social_graph.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
+ /root/repo/src/graph/preference_graph.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/macros.h /root/repo/src/graph/social_graph.h \
  /root/repo/src/similarity/adamic_adar.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/similarity/common_neighbors.h \

@@ -137,11 +137,11 @@ examples/CMakeFiles/sybil_attack.dir/sybil_attack.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/macros.h \
  /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/exact_recommender.h \
  /root/repo/src/core/sybil_attack.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
  /root/repo/src/similarity/common_neighbors.h

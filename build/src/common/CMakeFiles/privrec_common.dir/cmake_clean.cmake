@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/privrec_common.dir/fault_injection.cc.o"
+  "CMakeFiles/privrec_common.dir/fault_injection.cc.o.d"
   "CMakeFiles/privrec_common.dir/flags.cc.o"
   "CMakeFiles/privrec_common.dir/flags.cc.o.d"
+  "CMakeFiles/privrec_common.dir/load_report.cc.o"
+  "CMakeFiles/privrec_common.dir/load_report.cc.o.d"
   "CMakeFiles/privrec_common.dir/random.cc.o"
   "CMakeFiles/privrec_common.dir/random.cc.o.d"
   "CMakeFiles/privrec_common.dir/stats.cc.o"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/cluster_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/cluster_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/cluster_recommender.cc.o.d"
+  "/root/repo/src/core/degradation.cc" "src/core/CMakeFiles/privrec_core.dir/degradation.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/degradation.cc.o.d"
   "/root/repo/src/core/dynamic_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o.d"
   "/root/repo/src/core/exact_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/exact_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/exact_recommender.cc.o.d"
   "/root/repo/src/core/group_smooth_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/group_smooth_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/group_smooth_recommender.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/privrec_core.dir/cluster_recommender.cc.o"
   "CMakeFiles/privrec_core.dir/cluster_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/degradation.cc.o"
+  "CMakeFiles/privrec_core.dir/degradation.cc.o.d"
   "CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o"
   "CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o.d"
   "CMakeFiles/privrec_core.dir/exact_recommender.cc.o"

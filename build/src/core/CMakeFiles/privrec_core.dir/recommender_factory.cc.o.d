@@ -210,6 +210,7 @@ src/core/CMakeFiles/privrec_core.dir/recommender_factory.cc.o: \
  /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/cluster_recommender.h \
+ /root/repo/src/core/degradation.h \
  /root/repo/src/core/exact_recommender.h \
  /root/repo/src/core/group_smooth_recommender.h \
  /root/repo/src/core/low_rank_recommender.h \

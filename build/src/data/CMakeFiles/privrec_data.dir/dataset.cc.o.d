@@ -119,6 +119,7 @@ src/data/CMakeFiles/privrec_data.dir/dataset.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/common/load_report.h \
  /root/repo/src/graph/preference_graph.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \

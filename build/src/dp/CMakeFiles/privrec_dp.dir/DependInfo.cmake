@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/dp/audit.cc" "src/dp/CMakeFiles/privrec_dp.dir/audit.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/audit.cc.o.d"
   "/root/repo/src/dp/budget.cc" "src/dp/CMakeFiles/privrec_dp.dir/budget.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/budget.cc.o.d"
+  "/root/repo/src/dp/ledger.cc" "src/dp/CMakeFiles/privrec_dp.dir/ledger.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/ledger.cc.o.d"
   "/root/repo/src/dp/mechanisms.cc" "src/dp/CMakeFiles/privrec_dp.dir/mechanisms.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/mechanisms.cc.o.d"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/privrec_dp.dir/audit.cc.o.d"
   "CMakeFiles/privrec_dp.dir/budget.cc.o"
   "CMakeFiles/privrec_dp.dir/budget.cc.o.d"
+  "CMakeFiles/privrec_dp.dir/ledger.cc.o"
+  "CMakeFiles/privrec_dp.dir/ledger.cc.o.d"
   "CMakeFiles/privrec_dp.dir/mechanisms.cc.o"
   "CMakeFiles/privrec_dp.dir/mechanisms.cc.o.d"
   "libprivrec_dp.a"

@@ -297,13 +297,14 @@ tests/CMakeFiles/attack_test.dir/attack_test.cc.o: \
  /root/repo/src/community/partition.h /root/repo/src/graph/social_graph.h \
  /usr/include/c++/12/span /root/repo/src/common/macros.h \
  /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/exact_recommender.h \
  /root/repo/src/core/sybil_attack.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h /root/repo/src/similarity/adamic_adar.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
+ /root/repo/src/similarity/adamic_adar.h \
  /root/repo/src/similarity/common_neighbors.h \
  /root/repo/src/similarity/graph_distance.h \
  /root/repo/src/similarity/katz.h

@@ -299,9 +299,11 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/group_smooth_recommender.h \
+ /root/repo/src/core/degradation.h \
  /root/repo/src/core/low_rank_recommender.h \
  /root/repo/src/la/dense_matrix.h /root/repo/src/core/noe_recommender.h \
  /root/repo/src/core/nou_recommender.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h /root/repo/src/dp/mechanisms.h \
- /root/repo/src/common/random.h /root/repo/src/eval/exact_reference.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
+ /root/repo/src/dp/mechanisms.h /root/repo/src/common/random.h \
+ /root/repo/src/eval/exact_reference.h \
  /root/repo/src/similarity/common_neighbors.h

@@ -314,16 +314,21 @@ tests/CMakeFiles/cluster_recommender_test.dir/cluster_recommender_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/stats.h /root/repo/src/community/louvain.h \
- /root/repo/src/community/partition.h /root/repo/src/graph/social_graph.h \
- /usr/include/c++/12/span /root/repo/src/common/macros.h \
+ /root/repo/src/common/fault_injection.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
+ /root/repo/src/common/macros.h /root/repo/src/common/stats.h \
+ /root/repo/src/community/louvain.h /root/repo/src/community/partition.h \
+ /root/repo/src/graph/social_graph.h /usr/include/c++/12/span \
  /root/repo/src/community/simple_clusterings.h \
  /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
- /root/repo/src/core/exact_recommender.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h /root/repo/src/dp/mechanisms.h \
+ /root/repo/src/core/exact_recommender.h \
+ /root/repo/src/core/group_smooth_recommender.h \
+ /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/load_report.h /root/repo/src/dp/mechanisms.h \
  /root/repo/src/common/random.h \
  /root/repo/src/similarity/common_neighbors.h

@@ -302,9 +302,10 @@ tests/CMakeFiles/data_test.dir/data_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/data/dataset.h /root/repo/src/graph/preference_graph.h \
- /usr/include/c++/12/span /root/repo/src/common/macros.h \
- /root/repo/src/graph/social_graph.h /root/repo/src/data/export.h \
- /root/repo/src/common/status.h /root/repo/src/data/flixster.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
+ /root/repo/src/graph/preference_graph.h /usr/include/c++/12/span \
+ /root/repo/src/common/macros.h /root/repo/src/graph/social_graph.h \
+ /root/repo/src/data/export.h /root/repo/src/common/status.h \
+ /root/repo/src/data/flixster.h /root/repo/src/common/retry.h \
  /root/repo/src/data/hetrec_lastfm.h /root/repo/src/data/synthetic.h \
  /root/repo/src/graph/components.h

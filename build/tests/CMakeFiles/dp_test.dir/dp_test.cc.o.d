@@ -315,4 +315,8 @@ tests/CMakeFiles/dp_test.dir/dp_test.cc.o: /root/repo/tests/dp_test.cc \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/random.h /root/repo/src/common/macros.h \
  /root/repo/src/common/stats.h /root/repo/src/dp/audit.h \
- /root/repo/src/dp/budget.h /root/repo/src/dp/mechanisms.h
+ /root/repo/src/dp/budget.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/dp/mechanisms.h

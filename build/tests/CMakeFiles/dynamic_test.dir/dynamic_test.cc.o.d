@@ -319,11 +319,19 @@ tests/CMakeFiles/dynamic_test.dir/dynamic_test.cc.o: \
  /root/repo/src/core/dynamic_recommender.h /root/repo/src/common/status.h \
  /root/repo/src/common/macros.h /root/repo/src/community/louvain.h \
  /root/repo/src/community/partition.h /root/repo/src/graph/social_graph.h \
- /usr/include/c++/12/span /root/repo/src/core/recommender.h \
+ /usr/include/c++/12/span /root/repo/src/core/degradation.h \
  /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
- /root/repo/src/dp/budget.h /root/repo/src/data/synthetic.h \
- /root/repo/src/data/dataset.h /root/repo/src/eval/exact_reference.h \
+ /root/repo/src/dp/budget.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/dp/ledger.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/data/synthetic.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/load_report.h \
+ /root/repo/src/eval/exact_reference.h \
  /root/repo/src/similarity/common_neighbors.h

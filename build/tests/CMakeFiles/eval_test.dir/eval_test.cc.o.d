@@ -319,14 +319,14 @@ tests/CMakeFiles/eval_test.dir/eval_test.cc.o: \
  /root/repo/src/core/cluster_recommender.h \
  /root/repo/src/community/partition.h /root/repo/src/graph/social_graph.h \
  /usr/include/c++/12/span /root/repo/src/common/macros.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/exact_recommender.h \
  /root/repo/src/community/simple_clusterings.h \
  /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
- /root/repo/src/dp/mechanisms.h /root/repo/src/common/random.h \
- /root/repo/src/eval/exact_reference.h /root/repo/src/eval/experiment.h \
- /root/repo/src/eval/ndcg.h /root/repo/src/eval/table.h \
- /root/repo/src/similarity/common_neighbors.h
+ /root/repo/src/common/load_report.h /root/repo/src/dp/mechanisms.h \
+ /root/repo/src/common/random.h /root/repo/src/eval/exact_reference.h \
+ /root/repo/src/eval/experiment.h /root/repo/src/eval/ndcg.h \
+ /root/repo/src/eval/table.h /root/repo/src/similarity/common_neighbors.h

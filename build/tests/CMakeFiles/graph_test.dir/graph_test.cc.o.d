@@ -304,5 +304,6 @@ tests/CMakeFiles/graph_test.dir/graph_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/graph/components.h /root/repo/src/graph/social_graph.h \
  /usr/include/c++/12/span /root/repo/src/common/macros.h \
- /root/repo/src/graph/graph_io.h /root/repo/src/common/status.h \
+ /root/repo/src/graph/graph_io.h /root/repo/src/common/load_report.h \
+ /root/repo/src/common/retry.h /root/repo/src/common/status.h \
  /root/repo/src/graph/preference_graph.h

@@ -324,8 +324,13 @@ tests/CMakeFiles/hybrid_test.dir/hybrid_test.cc.o: \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/hybrid_recommender.h \
  /root/repo/src/core/cluster_recommender.h \
+ /root/repo/src/core/degradation.h \
  /root/repo/src/core/item_cf_recommender.h /root/repo/src/dp/budget.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
- /root/repo/src/dp/audit.h /root/repo/src/dp/mechanisms.h \
- /root/repo/src/common/random.h /root/repo/src/eval/holdout.h \
+ /root/repo/src/common/load_report.h /root/repo/src/dp/audit.h \
+ /root/repo/src/dp/mechanisms.h /root/repo/src/common/random.h \
+ /root/repo/src/eval/holdout.h \
  /root/repo/src/similarity/common_neighbors.h

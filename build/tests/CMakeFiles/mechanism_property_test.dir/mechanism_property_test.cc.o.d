@@ -298,9 +298,9 @@ tests/CMakeFiles/mechanism_property_test.dir/mechanism_property_test.cc.o: \
  /root/repo/src/community/louvain.h /root/repo/src/community/partition.h \
  /root/repo/src/graph/social_graph.h /usr/include/c++/12/span \
  /root/repo/src/common/macros.h /root/repo/src/core/cluster_recommender.h \
- /root/repo/src/core/recommender.h /root/repo/src/core/recommendation.h \
+ /root/repo/src/core/degradation.h /root/repo/src/core/recommendation.h \
  /root/repo/src/graph/preference_graph.h \
- /root/repo/src/similarity/workload.h \
+ /root/repo/src/core/recommender.h /root/repo/src/similarity/workload.h \
  /root/repo/src/similarity/similarity_measure.h \
  /root/repo/src/core/exact_recommender.h \
  /root/repo/src/core/group_smooth_recommender.h \
@@ -309,6 +309,6 @@ tests/CMakeFiles/mechanism_property_test.dir/mechanism_property_test.cc.o: \
  /root/repo/src/core/nou_recommender.h \
  /root/repo/src/core/recommender_factory.h /root/repo/src/common/status.h \
  /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
- /root/repo/src/dp/mechanisms.h /root/repo/src/common/random.h \
- /root/repo/src/eval/exact_reference.h \
+ /root/repo/src/common/load_report.h /root/repo/src/dp/mechanisms.h \
+ /root/repo/src/common/random.h /root/repo/src/eval/exact_reference.h \
  /root/repo/src/similarity/common_neighbors.h

@@ -299,5 +299,6 @@ tests/CMakeFiles/postprocess_test.dir/postprocess_test.cc.o: \
  /root/repo/src/graph/social_graph.h /usr/include/c++/12/span \
  /root/repo/src/common/macros.h /root/repo/src/community/postprocess.h \
  /root/repo/src/data/synthetic.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/load_report.h \
  /root/repo/src/graph/preference_graph.h \
  /root/repo/src/graph/generators/planted_partition.h

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Builds the whole tree under AddressSanitizer + UBSan and runs the test
+# suite. Any sanitizer finding aborts the offending test, so a green ctest
+# here means the suite is clean under both.
+#
+# Usage: ci/sanitize.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j"$(nproc)"
+ctest --preset asan-ubsan -j"$(nproc)" "$@"

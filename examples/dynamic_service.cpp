@@ -7,12 +7,23 @@
 // sequential composition — the DynamicRecommenderSession handles the
 // accounting and refuses to release once the budget is gone.
 //
+// With --ledger=PATH the session journals every charge to a crash-safe
+// write-ahead ledger: kill the process mid-quarter, rerun with the same
+// flags, and it resumes at the correct cumulative ε without double-
+// spending (a paid-but-unreleased week is re-derived from the same noise
+// stream, not re-randomized). --faults arms the deterministic fault
+// harness (see common/fault_injection.h) to rehearse exactly that:
+//
 //   ./dynamic_service [--weeks=8] [--total_epsilon=1.0]
 //                     [--allocation=uniform|geometric]
+//                     [--ledger=/tmp/quarter.ledger]
+//                     [--faults='dynamic.after_journal=io_error@3']
+//                     [--serve_stale]
 
 #include <cstdio>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "core/dynamic_recommender.h"
 #include "data/synthetic.h"
@@ -27,7 +38,21 @@ int main(int argc, char** argv) {
   const double total_epsilon = flags.GetDouble("total_epsilon", 1.0);
   const std::string allocation =
       flags.GetString("allocation", "uniform");
+  const std::string ledger_path = flags.GetString("ledger", "");
+  const std::string faults = flags.GetString("faults", "");
+  const bool serve_stale = flags.GetBool("serve_stale", false);
   if (!flags.Validate()) return 1;
+
+  // PRIVREC_FAULTS from the environment composes with --faults; the
+  // explicit flag wins for points named in both.
+  (void)fault::FaultInjector::Instance().ArmFromEnv();
+  if (!faults.empty()) {
+    Status armed = fault::FaultInjector::Instance().ArmFromSpec(faults);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--faults: %s\n", armed.ToString().c_str());
+      return 1;
+    }
+  }
 
   data::Dataset full = data::MakeTinyDataset(400, 500, 77);
   auto snapshots =
@@ -48,36 +73,65 @@ int main(int argc, char** argv) {
                        : core::BudgetAllocation::kUniform;
   opt.louvain.restarts = 5;
   opt.seed = 79;
-  core::DynamicRecommenderSession session(opt);
+  opt.ledger_path = ledger_path;
+  opt.serve_stale_on_exhaustion = serve_stale;
+  auto session = core::DynamicRecommenderSession::Open(opt);
+  if (!session.ok()) {
+    std::fprintf(stderr, "cannot open session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  if (!ledger_path.empty() && session->snapshots_processed() > 0) {
+    std::printf("resumed from %s: %lld weeks already released, "
+                "epsilon spent %.3f\n",
+                ledger_path.c_str(),
+                static_cast<long long>(session->snapshots_processed()),
+                session->epsilon_spent());
+  }
 
   std::printf("quarterly guarantee: epsilon_total = %.2f, %s allocation, "
               "%lld weekly releases planned\n\n",
               total_epsilon, allocation.c_str(),
               static_cast<long long>(weeks));
-  std::printf("%-6s %-10s %-10s %-12s %-10s %s\n", "week", "edges",
-              "eps_t", "cumulative", "clusters", "NDCG@20");
-  for (int64_t week = 0; week <= weeks; ++week) {  // one past the budget
+  std::printf("%-6s %-10s %-10s %-12s %-10s %-8s %s\n", "week", "edges",
+              "eps_t", "cumulative", "clusters", "NDCG@20", "notes");
+  for (int64_t week = session->snapshots_processed(); week <= weeks;
+       ++week) {  // one past the budget
     const graph::PreferenceGraph& prefs =
         snapshots[static_cast<size_t>(std::min(week, weeks - 1))];
     core::RecommenderContext context{&full.social, &prefs, &workload};
-    auto release = session.ProcessSnapshot(context, users, 20);
+    auto release = session->ProcessSnapshot(context, users, 20);
     if (!release.ok()) {
       std::printf("%-6lld %s\n", static_cast<long long>(week),
                   release.status().ToString().c_str());
+      if (release.status().code() == StatusCode::kIoError &&
+          !ledger_path.empty()) {
+        std::printf("\nthe charge is journaled in %s — rerun with the "
+                    "same flags to resume without double-spending.\n",
+                    ledger_path.c_str());
+      }
       break;
+    }
+    std::string notes;
+    if (release->stale) notes = "stale replay";
+    if (release->resumed_from_intent) notes = "resumed paid release";
+    if (!release->report.Clean()) {
+      if (!notes.empty()) notes += "; ";
+      notes += release->report.ToString();
     }
     eval::ExactReference reference =
         eval::ExactReference::Compute(context, users, 20);
-    std::printf("%-6lld %-10lld %-10.3f %-12.3f %-10lld %.3f\n",
+    std::printf("%-6lld %-10lld %-10.3f %-12.3f %-10lld %-8.3f %s\n",
                 static_cast<long long>(week),
                 static_cast<long long>(prefs.num_edges()),
                 release->epsilon_spent, release->cumulative_epsilon,
                 static_cast<long long>(release->num_clusters),
-                reference.MeanNdcg(release->lists));
+                reference.MeanNdcg(release->lists), notes.c_str());
   }
   std::printf(
       "\nwith uniform allocation the session hard-stops after the planned "
       "releases; try --allocation=geometric for a session that never "
-      "exhausts but decays instead.\n");
+      "exhausts but decays instead, or --serve_stale to replay the last "
+      "paid release when the budget runs dry.\n");
   return 0;
 }

@@ -1,0 +1,188 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace privrec::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kIoError:
+      return "io_error";
+    case FaultKind::kShortRead:
+      return "short_read";
+    case FaultKind::kNaN:
+      return "nan";
+    case FaultKind::kInf:
+      return "inf";
+    case FaultKind::kBadAlloc:
+      return "bad_alloc";
+  }
+  return "none";
+}
+
+bool ParseFaultKind(const std::string& name, FaultKind* out) {
+  for (FaultKind kind :
+       {FaultKind::kIoError, FaultKind::kShortRead, FaultKind::kNaN,
+        FaultKind::kInf, FaultKind::kBadAlloc}) {
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point] = PointState{spec, 0};
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmNth(const std::string& point, FaultKind kind,
+                           int64_t nth) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.first_hit = nth;
+  spec.count = 1;
+  Arm(point, spec);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+  any_armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  for (std::string_view clause : Split(spec, ';')) {
+    clause = Trim(clause);
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec clause missing '=': " +
+                                     std::string(clause));
+    }
+    std::string point(Trim(clause.substr(0, eq)));
+    std::string_view rhs = Trim(clause.substr(eq + 1));
+
+    FaultSpec out;
+    std::string kind_name;
+    std::string_view rest;
+    size_t at = rhs.find('@');
+    size_t pct = rhs.find('%');
+    if (at != std::string_view::npos) {
+      kind_name = std::string(rhs.substr(0, at));
+      rest = rhs.substr(at + 1);
+      // N | N+ | N+K
+      size_t plus = rest.find('+');
+      std::string_view first =
+          plus == std::string_view::npos ? rest : rest.substr(0, plus);
+      if (!ParseInt64(first, &out.first_hit) || out.first_hit < 1) {
+        return Status::InvalidArgument("bad hit index in fault spec: " +
+                                       std::string(rhs));
+      }
+      if (plus == std::string_view::npos) {
+        out.count = 1;
+      } else {
+        std::string_view width = rest.substr(plus + 1);
+        if (width.empty()) {
+          out.count = std::numeric_limits<int64_t>::max();
+        } else if (!ParseInt64(width, &out.count) || out.count < 1) {
+          return Status::InvalidArgument("bad hit count in fault spec: " +
+                                         std::string(rhs));
+        }
+      }
+    } else if (pct != std::string_view::npos) {
+      kind_name = std::string(rhs.substr(0, pct));
+      rest = rhs.substr(pct + 1);
+      // P:SEED (seed optional)
+      size_t colon = rest.find(':');
+      std::string_view prob =
+          colon == std::string_view::npos ? rest : rest.substr(0, colon);
+      if (!ParseDouble(prob, &out.probability) || out.probability < 0.0 ||
+          out.probability > 1.0) {
+        return Status::InvalidArgument("bad probability in fault spec: " +
+                                       std::string(rhs));
+      }
+      if (colon != std::string_view::npos) {
+        int64_t seed = 0;
+        if (!ParseInt64(rest.substr(colon + 1), &seed)) {
+          return Status::InvalidArgument("bad seed in fault spec: " +
+                                         std::string(rhs));
+        }
+        out.seed = static_cast<uint64_t>(seed);
+      }
+    } else {
+      kind_name = std::string(rhs);
+    }
+    if (!ParseFaultKind(kind_name, &out.kind)) {
+      return Status::InvalidArgument("unknown fault kind: " + kind_name);
+    }
+    Arm(point, out);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::ArmFromEnv() {
+  const char* env = std::getenv("PRIVREC_FAULTS");
+  if (env == nullptr || env[0] == '\0') return Status::Ok();
+  return ArmFromSpec(env);
+}
+
+int64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+FaultKind FaultInjector::HitSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return FaultKind::kNone;
+  PointState& state = it->second;
+  const int64_t hit = ++state.hits;  // 1-based
+  if (hit < state.spec.first_hit) return FaultKind::kNone;
+  if (hit - state.spec.first_hit >= state.spec.count) {
+    return FaultKind::kNone;
+  }
+  if (state.spec.probability < 1.0) {
+    // Seeded per-hit coin: deterministic in (seed, hit index).
+    uint64_t bits =
+        SplitMix64(state.spec.seed ^ (0x9e3779b97f4a7c15ull *
+                                      static_cast<uint64_t>(hit)));
+    double coin =
+        static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+    if (coin >= state.spec.probability) return FaultKind::kNone;
+  }
+  return state.spec.kind;
+}
+
+double MaybePoison(const char* point, double value) {
+  switch (Hit(point)) {
+    case FaultKind::kNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::kInf:
+      return std::numeric_limits<double>::infinity();
+    default:
+      return value;
+  }
+}
+
+}  // namespace privrec::fault

@@ -74,12 +74,35 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) {
   return default_value;
 }
 
+std::string FlagParser::SuggestionFor(const std::string& name) const {
+  // Accept a suggestion only when the typo is small relative to the flag
+  // length (distance <= 1 + len/4), so unrelated flags are not offered.
+  const int64_t budget = 1 + static_cast<int64_t>(name.size()) / 4;
+  std::string best;
+  int64_t best_distance = budget + 1;
+  for (const std::string& candidate : known_) {
+    int64_t d = EditDistance(name, candidate);
+    if (d < best_distance || (d == best_distance && candidate < best)) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  return best_distance <= budget ? best : std::string();
+}
+
 bool FlagParser::Validate() const {
   bool ok = !parse_error_;
   for (const auto& [name, value] : values_) {
     if (known_.count(name) == 0) {
-      std::fprintf(stderr, "flags: unknown flag --%s=%s\n", name.c_str(),
-                   value.c_str());
+      std::string suggestion = SuggestionFor(name);
+      if (suggestion.empty()) {
+        std::fprintf(stderr, "flags: unknown flag --%s=%s\n", name.c_str(),
+                     value.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "flags: unknown flag --%s=%s (did you mean --%s?)\n",
+                     name.c_str(), value.c_str(), suggestion.c_str());
+      }
       ok = false;
     }
   }

@@ -34,8 +34,15 @@ class FlagParser {
   }
 
   // Returns false (and prints to stderr) if any parse error occurred or any
-  // flag supplied on the command line was never consumed.
+  // flag supplied on the command line was never consumed. Unknown flags
+  // close in edit distance to a known flag get a "did you mean" hint
+  // (catching e.g. --allocaton=geometric silently selecting the default).
   bool Validate() const;
+
+  // The closest known (consumed) flag name within a small edit distance of
+  // `name`, or "" if nothing is close enough. Exposed for tests; Validate()
+  // uses it for its hint.
+  std::string SuggestionFor(const std::string& name) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,45 @@
+#include "common/load_report.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace privrec {
+
+void LoadReport::Merge(const LoadReport& other) {
+  lines_scanned += other.lines_scanned;
+  records_loaded += other.records_loaded;
+  skipped_malformed += other.skipped_malformed;
+  skipped_out_of_range += other.skipped_out_of_range;
+  skipped_duplicates += other.skipped_duplicates;
+  skipped_self_loops += other.skipped_self_loops;
+  skipped_bad_weight += other.skipped_bad_weight;
+  truncated = truncated || other.truncated;
+  bom_stripped = bom_stripped || other.bom_stripped;
+  empty_input = empty_input && other.empty_input;
+  io_retries += other.io_retries;
+}
+
+std::string LoadReport::ToString() const {
+  std::string out = "scanned " + std::to_string(lines_scanned) +
+                    ", loaded " + std::to_string(records_loaded);
+  std::vector<std::string> skips;
+  auto note = [&skips](int64_t n, const char* what) {
+    if (n > 0) skips.push_back(std::to_string(n) + " " + what);
+  };
+  note(skipped_malformed, "malformed");
+  note(skipped_out_of_range, "out-of-range");
+  note(skipped_duplicates, "duplicate");
+  note(skipped_self_loops, "self-loop");
+  note(skipped_bad_weight, "bad-weight");
+  if (!skips.empty()) out += " (skipped: " + Join(skips, ", ") + ")";
+  if (truncated) out += " [truncated]";
+  if (bom_stripped) out += " [bom]";
+  if (empty_input) out += " [empty]";
+  if (io_retries > 0) {
+    out += " [" + std::to_string(io_retries) + " retries]";
+  }
+  return out;
+}
+
+}  // namespace privrec

@@ -1,0 +1,75 @@
+// Bounded retry with exponential backoff for transient I/O failures.
+//
+// RetryWithBackoff re-invokes a fallible operation (returning Status or
+// Result<T>) while it fails with a retryable code, up to a bounded number
+// of attempts. Backoff durations are computed deterministically; the
+// caller supplies the sleeper, so tests (and single-threaded tools) run
+// with no wall-clock dependence at all — the default sleeper does nothing
+// and merely records the schedule in RetryStats.
+//
+//   RetryStats stats;
+//   auto r = RetryWithBackoff(
+//       [&] { return graph::LoadSocialGraph(path); }, {}, &stats);
+
+#ifndef PRIVREC_COMMON_RETRY_H_
+#define PRIVREC_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace privrec {
+
+struct RetryOptions {
+  // Total invocations allowed (1 = no retrying).
+  int max_attempts = 3;
+  // Backoff before retry k (1-based) is initial_backoff_ms * multiplier^(k-1).
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  // Invoked with each backoff duration; null = don't sleep (tests, tools
+  // that prefer immediate retries). Real services pass a thread sleep.
+  std::function<void(double ms)> sleeper;
+  // Which failure codes are worth retrying. Transient I/O only by default;
+  // parse errors and precondition failures are permanent.
+  bool (*retryable)(StatusCode) = +[](StatusCode code) {
+    return code == StatusCode::kIoError;
+  };
+};
+
+struct RetryStats {
+  int attempts = 0;
+  double total_backoff_ms = 0.0;
+};
+
+namespace internal {
+inline StatusCode CodeOf(const Status& s) { return s.code(); }
+template <typename T>
+StatusCode CodeOf(const Result<T>& r) {
+  return r.status().code();
+}
+}  // namespace internal
+
+template <typename Fn>
+auto RetryWithBackoff(Fn&& fn, const RetryOptions& options = {},
+                      RetryStats* stats = nullptr) -> decltype(fn()) {
+  double backoff = options.initial_backoff_ms;
+  int attempts = 0;
+  for (;;) {
+    auto result = fn();
+    ++attempts;
+    if (stats != nullptr) stats->attempts = attempts;
+    if (result.ok() || attempts >= options.max_attempts ||
+        !options.retryable(internal::CodeOf(result))) {
+      return result;
+    }
+    if (stats != nullptr) stats->total_backoff_ms += backoff;
+    if (options.sleeper) options.sleeper(backoff);
+    backoff *= options.backoff_multiplier;
+  }
+}
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_RETRY_H_

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

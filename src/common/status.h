@@ -26,6 +26,10 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInternal,
+  // A finite resource (privacy budget, memory, quota) is used up. Distinct
+  // from kFailedPrecondition so callers can tell "budget gone — stop
+  // releasing" from other ordering/state errors.
+  kResourceExhausted,
 };
 
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -57,6 +61,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,9 +1,11 @@
 #include "common/string_util.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace privrec {
 
@@ -89,6 +91,24 @@ std::string Join(const std::vector<std::string>& parts,
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+int64_t EditDistance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program over the shorter string.
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<int64_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<int64_t>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int64_t diag = row[0];
+    row[0] = static_cast<int64_t>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      int64_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
 }
 
 std::string FormatDouble(double x, int digits) {

@@ -31,6 +31,10 @@ std::string Join(const std::vector<std::string>& parts,
 
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+// Levenshtein edit distance (insert/delete/substitute, unit costs); used
+// for "did you mean" suggestions on typo'd flag names.
+int64_t EditDistance(std::string_view a, std::string_view b);
+
 // Formats a double with `digits` digits after the decimal point.
 std::string FormatDouble(double x, int digits);
 

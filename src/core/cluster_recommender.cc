@@ -1,8 +1,10 @@
 #include "core/cluster_recommender.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "dp/mechanisms.h"
 
 namespace privrec::core {
@@ -18,7 +20,7 @@ ClusterRecommender::ClusterRecommender(
   PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
 }
 
-std::vector<double> ClusterRecommender::ComputeNoisyClusterAverages() {
+ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
   const int64_t num_clusters = partition_.num_clusters();
   const graph::ItemId num_items = context_.preferences->num_items();
   // Fresh noise stream per invocation keeps repeated trials independent
@@ -26,10 +28,13 @@ std::vector<double> ClusterRecommender::ComputeNoisyClusterAverages() {
   dp::LaplaceMechanism laplace(options_.epsilon,
                                Rng(options_.seed).Fork(invocation_++));
 
+  NoisyAverages result;
+  result.sanitized.assign(static_cast<size_t>(num_clusters), 0);
+
   // Lines 2-6 of Algorithm 1: per-(cluster, item) edge-weight sums via one
   // pass over the preference edges.
-  std::vector<double> averages(
-      static_cast<size_t>(num_clusters * num_items), 0.0);
+  std::vector<double>& averages = result.values;
+  averages.assign(static_cast<size_t>(num_clusters * num_items), 0.0);
   for (graph::NodeId v = 0; v < context_.preferences->num_users(); ++v) {
     int64_t c = partition_.ClusterOf(v);
     double* row = averages.data() + c * num_items;
@@ -46,27 +51,71 @@ std::vector<double> ClusterRecommender::ComputeNoisyClusterAverages() {
   // paper's unweighted model.
   const double w_max = context_.preferences->max_weight();
   for (int64_t c = 0; c < num_clusters; ++c) {
-    double size = static_cast<double>(partition_.ClusterSize(c));
-    double sensitivity = w_max / size;
+    const int64_t members = partition_.ClusterSize(c);
     double* row = averages.data() + c * num_items;
+    if (members == 0) {
+      // An empty cluster holds no preference edges: there is no average to
+      // release (dividing would manufacture 0/0 NaNs). Its row stays zero
+      // and contributes nothing downstream.
+      ++result.empty_clusters;
+      continue;
+    }
+    if (members == 1) ++result.singleton_clusters;
+    double size = static_cast<double>(members);
+    double sensitivity = w_max / size;
     for (graph::ItemId i = 0; i < num_items; ++i) {
       row[i] = laplace.Release(row[i] / size, sensitivity);
     }
+    row[0] = fault::MaybePoison("cluster.noisy_averages", row[0]);
+    for (graph::ItemId i = 0; i < num_items; ++i) {
+      if (!std::isfinite(row[i])) {
+        // Sanitizing a released value is post-processing: no extra ε.
+        row[i] = 0.0;
+        ++result.nonfinite_sanitized;
+        result.sanitized[static_cast<size_t>(c)] = 1;
+      }
+    }
   }
-  return averages;
+  return result;
 }
 
-std::vector<RecommendationList> ClusterRecommender::Recommend(
+std::vector<double> ClusterRecommender::ComputeNoisyClusterAverages() {
+  return ComputeAverages().values;
+}
+
+RecommendedBatch ClusterRecommender::RecommendWithReport(
     const std::vector<graph::NodeId>& users, int64_t top_n) {
   const int64_t num_clusters = partition_.num_clusters();
   const graph::ItemId num_items = context_.preferences->num_items();
-  std::vector<double> averages = ComputeNoisyClusterAverages();
+  const NoisyAverages noisy = ComputeAverages();
+  const std::vector<double>& averages = noisy.values;
+
+  RecommendedBatch batch;
+  batch.report.empty_clusters = noisy.empty_clusters;
+  batch.report.singleton_clusters = noisy.singleton_clusters;
+  batch.report.nonfinite_sanitized = noisy.nonfinite_sanitized;
+
+  // Global-average utilities, the fallback for users with no similarity
+  // support: Σ_c |c|·ŵ_c^i / |U| re-weights the released cluster rows back
+  // into one population-level row. Pure post-processing of the same
+  // release, so serving it costs no additional privacy.
+  const double num_users_d =
+      static_cast<double>(context_.social->num_nodes());
+  std::vector<double> global(static_cast<size_t>(num_items), 0.0);
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    double size = static_cast<double>(partition_.ClusterSize(c));
+    if (size == 0.0) continue;
+    const double* row = averages.data() + c * num_items;
+    for (graph::ItemId i = 0; i < num_items; ++i) {
+      global[static_cast<size_t>(i)] += size * row[i] / num_users_d;
+    }
+  }
 
   // Lines 8-20: per-user reconstruction. sim_sum per cluster is sparse (a
   // user's similarity set touches few clusters); the item-utility vector is
   // dense because every noisy average is nonzero.
-  std::vector<RecommendationList> out;
-  out.reserve(users.size());
+  batch.lists.reserve(users.size());
+  batch.degradation.reserve(users.size());
   std::vector<double> sim_sum(static_cast<size_t>(num_clusters), 0.0);
   std::vector<int64_t> touched;
   std::vector<double> utilities(static_cast<size_t>(num_items));
@@ -77,18 +126,41 @@ std::vector<RecommendationList> ClusterRecommender::Recommend(
       if (sim_sum[static_cast<size_t>(c)] == 0.0) touched.push_back(c);
       sim_sum[static_cast<size_t>(c)] += e.score;
     }
-    std::fill(utilities.begin(), utilities.end(), 0.0);
-    for (int64_t c : touched) {
-      double s = sim_sum[static_cast<size_t>(c)];
-      const double* row = averages.data() + c * num_items;
-      for (graph::ItemId i = 0; i < num_items; ++i) {
-        utilities[static_cast<size_t>(i)] += s * row[i];
+    DegradationInfo info;
+    if (touched.empty()) {
+      // No similarity support: the reconstruction formula would rank every
+      // item 0. Serve the global-average ranking instead of an arbitrary
+      // tie-break.
+      info.reason = DegradationReason::kIsolatedUser;
+      batch.lists.push_back(TopNFromDense(global, top_n));
+    } else {
+      std::fill(utilities.begin(), utilities.end(), 0.0);
+      bool touched_sanitized = false;
+      for (int64_t c : touched) {
+        double s = sim_sum[static_cast<size_t>(c)];
+        if (noisy.sanitized[static_cast<size_t>(c)]) {
+          touched_sanitized = true;
+        }
+        const double* row = averages.data() + c * num_items;
+        for (graph::ItemId i = 0; i < num_items; ++i) {
+          utilities[static_cast<size_t>(i)] += s * row[i];
+        }
+        sim_sum[static_cast<size_t>(c)] = 0.0;
       }
-      sim_sum[static_cast<size_t>(c)] = 0.0;
+      if (touched_sanitized) {
+        info.reason = DegradationReason::kNonFiniteSanitized;
+      }
+      batch.lists.push_back(TopNFromDense(utilities, top_n));
     }
-    out.push_back(TopNFromDense(utilities, top_n));
+    if (info.degraded()) ++batch.report.users_degraded;
+    batch.degradation.push_back(info);
   }
-  return out;
+  return batch;
+}
+
+std::vector<RecommendationList> ClusterRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  return RecommendWithReport(users, top_n).lists;
 }
 
 }  // namespace privrec::core

@@ -16,6 +16,15 @@
 //
 // The class exposes the A_w output (NoisyClusterAverages) separately so
 // tests can verify the DP guarantee empirically at the privacy boundary.
+//
+// Degradation semantics (see core/degradation.h): empty clusters release
+// nothing (no 0/0 NaN), non-finite noisy values are sanitized to 0 and
+// counted, and users with no similarity support fall back to the
+// global-average utilities reconstructed from the SAME noisy release
+// (post-processing — no extra ε). RecommendWithReport says which users
+// degraded and why; Recommend() returns the same lists without the
+// diagnostics. Fault point: cluster.noisy_averages (kNaN/kInf poisons the
+// release, exercising the sanitizer).
 
 #ifndef PRIVREC_CORE_CLUSTER_RECOMMENDER_H_
 #define PRIVREC_CORE_CLUSTER_RECOMMENDER_H_
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "community/partition.h"
+#include "core/degradation.h"
 #include "core/recommender.h"
 
 namespace privrec::core {
@@ -50,14 +60,31 @@ class ClusterRecommender final : public Recommender {
   std::vector<RecommendationList> Recommend(
       const std::vector<graph::NodeId>& users, int64_t top_n) override;
 
+  // Recommend() plus per-user degradation diagnostics.
+  RecommendedBatch RecommendWithReport(
+      const std::vector<graph::NodeId>& users, int64_t top_n);
+
   // The A_w module in isolation: row-major [cluster][item] noisy average
-  // weights, freshly sampled. Exposed for DP boundary tests; Recommend()
-  // calls this internally once per invocation.
+  // weights, freshly sampled (and sanitized — non-finite values read as
+  // 0). Exposed for DP boundary tests; Recommend() calls this internally
+  // once per invocation.
   std::vector<double> ComputeNoisyClusterAverages();
 
   const community::Partition& partition() const { return partition_; }
 
  private:
+  struct NoisyAverages {
+    std::vector<double> values;  // row-major [cluster][item]
+    // Per-cluster flag: a non-finite value in this cluster's row was
+    // sanitized to 0.
+    std::vector<uint8_t> sanitized;
+    int64_t empty_clusters = 0;
+    int64_t singleton_clusters = 0;
+    int64_t nonfinite_sanitized = 0;
+  };
+
+  NoisyAverages ComputeAverages();
+
   RecommenderContext context_;
   community::Partition partition_;
   ClusterRecommenderOptions options_;

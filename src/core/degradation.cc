@@ -1,0 +1,36 @@
+#include "core/degradation.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace privrec::core {
+
+const char* DegradationReasonName(DegradationReason reason) {
+  switch (reason) {
+    case DegradationReason::kNone:
+      return "none";
+    case DegradationReason::kIsolatedUser:
+      return "isolated_user";
+    case DegradationReason::kNonFiniteSanitized:
+      return "nonfinite_sanitized";
+    case DegradationReason::kStaleReplay:
+      return "stale_replay";
+  }
+  return "none";
+}
+
+std::string ServingReport::ToString() const {
+  std::vector<std::string> parts;
+  auto note = [&parts](int64_t n, const char* what) {
+    if (n > 0) parts.push_back(std::to_string(n) + " " + what);
+  };
+  note(users_degraded, "degraded users");
+  note(empty_clusters, "empty clusters");
+  note(singleton_clusters, "singleton clusters");
+  note(degenerate_groups, "degenerate groups");
+  note(nonfinite_sanitized, "non-finite values sanitized");
+  return parts.empty() ? "clean" : Join(parts, ", ");
+}
+
+}  // namespace privrec::core

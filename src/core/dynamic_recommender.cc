@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "core/cluster_recommender.h"
 
@@ -15,6 +16,33 @@ DynamicRecommenderSession::DynamicRecommenderSession(
   PRIVREC_CHECK(options.planned_snapshots >= 1);
   PRIVREC_CHECK(options.geometric_ratio > 0.0 &&
                 options.geometric_ratio < 1.0);
+  PRIVREC_CHECK_MSG(options.ledger_path.empty(),
+                    "use DynamicRecommenderSession::Open for a "
+                    "ledger-backed session");
+}
+
+Result<DynamicRecommenderSession> DynamicRecommenderSession::Open(
+    const DynamicRecommenderOptions& options) {
+  DynamicRecommenderOptions in_memory = options;
+  in_memory.ledger_path.clear();
+  DynamicRecommenderSession session(in_memory);
+  session.options_ = options;
+  if (options.ledger_path.empty()) return session;
+
+  Result<dp::BudgetLedger> ledger =
+      dp::BudgetLedger::Open(options.ledger_path, options.total_epsilon);
+  if (!ledger.ok()) return ledger.status();
+  session.ledger_ = std::move(ledger).value();
+  // Every journaled intent counts as spent ε — committed or not. A crash
+  // between intent and commit already paid; re-releasing that snapshot
+  // must not charge again.
+  session.ledger_->ReplayInto(&session.budget_);
+  // Resume after the last committed snapshot. If an uncommitted intent
+  // exists it is for exactly this index (intents are sequential), and
+  // ProcessSnapshot will re-derive the identical release without a fresh
+  // charge.
+  session.snapshots_processed_ = session.ledger_->NumCommitted();
+  return session;
 }
 
 double DynamicRecommenderSession::EpsilonForSnapshot(int64_t t) const {
@@ -36,14 +64,52 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
   context.CheckValid();
   const int64_t t = snapshots_processed_;
   const double epsilon = EpsilonForSnapshot(t);
-  if (epsilon <= 0.0 || !budget_.Charge(kGroup, epsilon)) {
-    return Status::FailedPrecondition(
-        "privacy budget exhausted after " + std::to_string(t) +
-        " snapshots (spent " + std::to_string(epsilon_spent()) + " of " +
-        std::to_string(options_.total_epsilon) + ")");
+
+  // Write-ahead accounting. Three cases:
+  //   1. The ledger already holds an intent for t (previous run crashed
+  //      between journal and release): the ε was restored by ReplayInto,
+  //      charge nothing and re-derive the identical release below.
+  //   2. Budget covers ε_t: journal the intent FIRST, then charge.
+  //   3. Budget exhausted: stale replay or RESOURCE_EXHAUSTED.
+  const bool resumed_intent = ledger_ && ledger_->HasIntent(t);
+  if (!resumed_intent) {
+    if (epsilon <= 0.0 || !budget_.CanCharge(kGroup, epsilon)) {
+      if (options_.serve_stale_on_exhaustion && !last_lists_.empty()) {
+        SnapshotRelease release;
+        release.lists = last_lists_;
+        release.degradation.assign(
+            users.size(), {DegradationReason::kStaleReplay});
+        release.report.users_degraded =
+            static_cast<int64_t>(users.size());
+        release.epsilon_spent = 0.0;
+        release.cumulative_epsilon = epsilon_spent();
+        release.snapshot_index = t;
+        release.stale = true;
+        return release;
+      }
+      return Status::ResourceExhausted(
+          "privacy budget exhausted after " + std::to_string(t) +
+          " snapshots (spent " + std::to_string(epsilon_spent()) + " of " +
+          std::to_string(options_.total_epsilon) + ")");
+    }
+    if (ledger_) {
+      Status journaled = ledger_->AppendIntent(t, kGroup, epsilon);
+      if (!journaled.ok()) return journaled;
+    }
+    PRIVREC_CHECK(budget_.Charge(kGroup, epsilon));
   }
 
-  // Re-cluster the public social graph for this snapshot.
+  // The crash window the ledger protects against: ε journaled, release
+  // not yet out.
+  if (fault::Hit("dynamic.after_journal") == fault::FaultKind::kIoError) {
+    return Status::IoError(
+        "session aborted after journaling snapshot " + std::to_string(t) +
+        " (injected fault)");
+  }
+
+  // Re-cluster the public social graph for this snapshot. Both the
+  // clustering seed and the noise seed are pure functions of (seed, t),
+  // which is what makes re-deriving a crashed release bit-identical.
   community::LouvainOptions louvain_options = options_.louvain;
   louvain_options.seed =
       SplitMix64(options_.seed ^ static_cast<uint64_t>(t));
@@ -55,13 +121,24 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
       {.epsilon = epsilon,
        .seed = SplitMix64(options_.seed + 0x9e37 +
                           static_cast<uint64_t>(t))});
+  RecommendedBatch batch = recommender.RecommendWithReport(users, top_n);
+
   SnapshotRelease release;
-  release.lists = recommender.Recommend(users, top_n);
-  release.epsilon_spent = epsilon;
+  release.lists = std::move(batch.lists);
+  release.degradation = std::move(batch.degradation);
+  release.report = batch.report;
+  release.epsilon_spent = resumed_intent ? 0.0 : epsilon;
   release.cumulative_epsilon = epsilon_spent();
   release.snapshot_index = t;
   release.num_clusters = louvain.partition.num_clusters();
+  release.resumed_from_intent = resumed_intent;
+
+  if (ledger_ && !ledger_->IsCommitted(t)) {
+    Status committed = ledger_->AppendCommit(t);
+    if (!committed.ok()) return committed;
+  }
   ++snapshots_processed_;
+  last_lists_ = release.lists;
   return release;
 }
 

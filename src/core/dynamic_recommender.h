@@ -18,18 +18,35 @@
 //
 // Each snapshot re-clusters the (public) social graph with Louvain and
 // runs Algorithm 1 at the allocated ε_t. The session refuses to release
-// once the accountant would be overdrawn.
+// once the accountant would be overdrawn (RESOURCE_EXHAUSTED), or — with
+// serve_stale_on_exhaustion — replays the last paid release, flagged
+// kStaleReplay, at zero additional ε.
+//
+// Crash safety: with a ledger_path configured, every charge is journaled
+// to a BudgetLedger BEFORE noise is sampled (write-ahead) and committed
+// after the release. Open() replays the journal, so a restarted session
+// resumes at the correct cumulative ε. A crash between intent and commit
+// leaves a paid-but-unreleased snapshot; because snapshot t's noise is a
+// deterministic function of (seed, t), the resumed session re-derives the
+// IDENTICAL release without re-charging — re-releasing the same output is
+// free under DP, re-randomizing would be a silent double-spend.
+// Fault point: dynamic.after_journal (kIoError simulates a crash after
+// the intent is journaled but before the release goes out).
 
 #ifndef PRIVREC_CORE_DYNAMIC_RECOMMENDER_H_
 #define PRIVREC_CORE_DYNAMIC_RECOMMENDER_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "community/louvain.h"
+#include "core/degradation.h"
 #include "core/recommender.h"
 #include "dp/budget.h"
+#include "dp/ledger.h"
 
 namespace privrec::core {
 
@@ -47,26 +64,54 @@ struct DynamicRecommenderOptions {
   double geometric_ratio = 0.7;
   community::LouvainOptions louvain;
   uint64_t seed = 600;
+  // Non-empty: journal charges to this write-ahead ledger (see Open()).
+  std::string ledger_path;
+  // On budget exhaustion, replay the last paid release (flagged
+  // kStaleReplay) instead of failing with RESOURCE_EXHAUSTED.
+  bool serve_stale_on_exhaustion = false;
 };
 
 struct SnapshotRelease {
   std::vector<RecommendationList> lists;
+  // Per-user degradation diagnostics and the batch report from the
+  // underlying recommender (see core/degradation.h).
+  std::vector<DegradationInfo> degradation;
+  ServingReport report;
   // The ε charged for this release and the cumulative total so far.
   double epsilon_spent = 0.0;
   double cumulative_epsilon = 0.0;
   int64_t snapshot_index = 0;
   int64_t num_clusters = 0;
+  // This release re-issued a journaled-but-uncommitted intent found at
+  // startup (crash recovery) — paid for by a previous run, not this call.
+  bool resumed_from_intent = false;
+  // This release is a replay of the last paid snapshot (budget exhausted,
+  // serve_stale_on_exhaustion set).
+  bool stale = false;
 };
 
 class DynamicRecommenderSession {
  public:
+  // In-memory session (no ledger); ledger_path must be empty.
   explicit DynamicRecommenderSession(
       const DynamicRecommenderOptions& options);
+
+  // Ledger-backed session: opens (or creates) options.ledger_path,
+  // replays any journaled charges into the budget and resumes after the
+  // last committed snapshot. With an empty ledger_path this is equivalent
+  // to the constructor.
+  static Result<DynamicRecommenderSession> Open(
+      const DynamicRecommenderOptions& options);
+
+  DynamicRecommenderSession(DynamicRecommenderSession&&) = default;
+  DynamicRecommenderSession& operator=(DynamicRecommenderSession&&) =
+      default;
 
   // Releases top-`top_n` lists for `users` from the given snapshot.
   // The context's graphs/workload represent the snapshot at this instant
   // and must stay alive only for the duration of the call. Fails with
-  // FAILED_PRECONDITION once the budget cannot cover the next allocation.
+  // RESOURCE_EXHAUSTED once the budget cannot cover the next allocation
+  // (unless serve_stale_on_exhaustion is set and a paid release exists).
   Result<SnapshotRelease> ProcessSnapshot(
       const RecommenderContext& context,
       const std::vector<graph::NodeId>& users, int64_t top_n);
@@ -77,6 +122,10 @@ class DynamicRecommenderSession {
   int64_t snapshots_processed() const { return snapshots_processed_; }
   double epsilon_spent() const { return budget_.GroupSpent(kGroup); }
   double epsilon_remaining() const { return budget_.Remaining(); }
+  // Non-null for ledger-backed sessions.
+  const dp::BudgetLedger* ledger() const {
+    return ledger_ ? &*ledger_ : nullptr;
+  }
 
  private:
   static constexpr const char* kGroup = "snapshots";
@@ -84,6 +133,9 @@ class DynamicRecommenderSession {
   DynamicRecommenderOptions options_;
   dp::PrivacyBudget budget_;
   int64_t snapshots_processed_ = 0;
+  std::optional<dp::BudgetLedger> ledger_;
+  // Last successful release, kept for stale replay on exhaustion.
+  std::vector<RecommendationList> last_lists_;
 };
 
 }  // namespace privrec::core

@@ -1,9 +1,11 @@
 #include "core/group_smooth_recommender.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "dp/mechanisms.h"
 
 namespace privrec::core {
@@ -20,8 +22,9 @@ GroupSmoothRecommender::GroupSmoothRecommender(
   PRIVREC_CHECK(options_.group_size >= 1);
 }
 
-std::vector<RecommendationList> GroupSmoothRecommender::Recommend(
+RecommendedBatch GroupSmoothRecommender::RecommendWithReport(
     const std::vector<graph::NodeId>& users, int64_t top_n) {
+  RecommendedBatch batch;
   const graph::NodeId num_users = context_.preferences->num_users();
   const graph::ItemId num_items = context_.preferences->num_items();
   const int64_t m =
@@ -50,6 +53,10 @@ std::vector<RecommendationList> GroupSmoothRecommender::Recommend(
         static_cast<int64_t>(k);
     accumulators.emplace_back(top_n);
   }
+
+  // Per-requested-user flag: some group mean this user received had a
+  // non-finite value sanitized out of it.
+  std::vector<uint8_t> saw_sanitized(users.size(), 0);
 
   std::vector<double> true_utilities(static_cast<size_t>(num_users));
   std::vector<double> rough(static_cast<size_t>(num_users));
@@ -102,20 +109,49 @@ std::vector<RecommendationList> GroupSmoothRecommender::Recommend(
       }
       double mean = sum / static_cast<double>(end - start);
       double released = group_mech.Release(mean, group_sensitivity);
+      released = fault::MaybePoison("gs.group_mean", released);
+      bool sanitized = false;
+      if (!std::isfinite(released)) {
+        // Post-processing of the released value: no extra ε.
+        released = 0.0;
+        sanitized = true;
+        ++batch.report.nonfinite_sanitized;
+      }
+      if (end - start == num_users && num_users > 1) {
+        // A single group spanning every user is a global ranking, no
+        // longer a smoothing of personalized answers.
+        ++batch.report.degenerate_groups;
+      }
       for (int64_t k = start; k < end; ++k) {
         graph::NodeId u = order[static_cast<size_t>(k)];
         int64_t slot = accumulator_of[static_cast<size_t>(u)];
         if (slot >= 0) {
           accumulators[static_cast<size_t>(slot)].Offer(i, released);
+          if (sanitized) saw_sanitized[static_cast<size_t>(slot)] = 1;
         }
       }
     }
   }
 
-  std::vector<RecommendationList> out;
-  out.reserve(users.size());
-  for (TopNAccumulator& acc : accumulators) out.push_back(acc.Take());
-  return out;
+  batch.lists.reserve(users.size());
+  batch.degradation.reserve(users.size());
+  for (size_t k = 0; k < users.size(); ++k) {
+    batch.lists.push_back(accumulators[k].Take());
+    DegradationInfo info;
+    if (context_.workload->Row(users[k]).empty()) {
+      info.reason = DegradationReason::kIsolatedUser;
+    } else if (saw_sanitized[k]) {
+      info.reason = DegradationReason::kNonFiniteSanitized;
+    }
+    if (info.degraded()) ++batch.report.users_degraded;
+    batch.degradation.push_back(info);
+  }
+  return batch;
+}
+
+std::vector<RecommendationList> GroupSmoothRecommender::Recommend(
+    const std::vector<graph::NodeId>& users, int64_t top_n) {
+  return RecommendWithReport(users, top_n).lists;
 }
 
 }  // namespace privrec::core

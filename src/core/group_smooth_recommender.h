@@ -21,6 +21,14 @@
 // Requirements: the context workload must contain rows for ALL users (the
 // rough-estimate sampling touches every user with a preference edge) and
 // the similarity measure must be symmetric (all four paper measures are).
+//
+// Degradation semantics (see core/degradation.h): non-finite released
+// group means are sanitized to 0 and the users of the affected group are
+// flagged kNonFiniteSanitized; requested users with an empty similarity
+// row still receive their group means but are flagged kIsolatedUser (their
+// ranking carries no personalized signal); a grouping that collapses to a
+// single all-user group is counted as degenerate. Fault point:
+// gs.group_mean (kNaN/kInf poisons a released mean).
 
 #ifndef PRIVREC_CORE_GROUP_SMOOTH_RECOMMENDER_H_
 #define PRIVREC_CORE_GROUP_SMOOTH_RECOMMENDER_H_
@@ -28,6 +36,7 @@
 #include <array>
 #include <cstdint>
 
+#include "core/degradation.h"
 #include "core/recommender.h"
 
 namespace privrec::core {
@@ -54,6 +63,10 @@ class GroupSmoothRecommender final : public Recommender {
 
   std::vector<RecommendationList> Recommend(
       const std::vector<graph::NodeId>& users, int64_t top_n) override;
+
+  // Recommend() plus per-user degradation diagnostics.
+  RecommendedBatch RecommendWithReport(
+      const std::vector<graph::NodeId>& users, int64_t top_n);
 
  private:
   RecommenderContext context_;

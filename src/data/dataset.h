@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "common/load_report.h"
 #include "graph/preference_graph.h"
 #include "graph/social_graph.h"
 
@@ -15,6 +16,9 @@ struct Dataset {
   std::string name;
   graph::SocialGraph social;
   graph::PreferenceGraph preferences;
+  // Ingestion diagnostics (what was scanned/skipped); default-clean for
+  // synthetic datasets, filled by the file loaders.
+  LoadReport report;
 };
 
 // The row of Table 1 for one dataset. Note the paper's "avg. item degree"

@@ -6,13 +6,19 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "graph/components.h"
 
 namespace privrec::data {
 
-Result<Dataset> LoadFlixster(const std::string& dir,
-                             const FlixsterOptions& options) {
+namespace {
+
+Result<Dataset> LoadOnce(const std::string& dir,
+                         const FlixsterOptions& options) {
+  const bool lenient = options.parse_mode == ParseMode::kLenient;
+  Dataset out;
+
   // Pass 1: ratings — collect users with >= 1 kept rating and raw edges.
   struct RawRating {
     int64_t user;
@@ -22,18 +28,31 @@ Result<Dataset> LoadFlixster(const std::string& dir,
   std::vector<RawRating> kept_ratings;
   std::unordered_set<int64_t> rated_users;
   {
-    std::ifstream in(dir + "/ratings.txt");
-    if (!in) return Status::IoError("cannot open " + dir + "/ratings.txt");
+    const std::string path = dir + "/ratings.txt";
+    if (fault::Hit("data.flixster.open") == fault::FaultKind::kIoError) {
+      return Status::IoError("cannot open " + path + " (injected fault)");
+    }
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open " + path);
     std::string line;
     int64_t line_no = 0;
     while (std::getline(in, line)) {
       ++line_no;
+      if (fault::Hit("data.flixster.read") ==
+          fault::FaultKind::kShortRead) {
+        out.report.truncated = true;
+        break;
+      }
       std::string_view sv = Trim(line);
       if (sv.empty() || sv[0] == '#') continue;
+      ++out.report.lines_scanned;
       auto fields = SplitWhitespace(sv);
       if (fields.size() < 3) {
-        return Status::ParseError(dir + "/ratings.txt:" +
-                                  std::to_string(line_no) +
+        if (lenient) {
+          ++out.report.skipped_malformed;
+          continue;
+        }
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
                                   ": expected user movie rating");
       }
       int64_t user = 0;
@@ -41,48 +60,98 @@ Result<Dataset> LoadFlixster(const std::string& dir,
       double rating = 0.0;
       if (!ParseInt64(fields[0], &user) || !ParseInt64(fields[1], &movie) ||
           !ParseDouble(fields[2], &rating)) {
-        return Status::ParseError(dir + "/ratings.txt:" +
-                                  std::to_string(line_no) + ": bad fields");
+        if (lenient) {
+          ++out.report.skipped_malformed;
+          continue;
+        }
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad fields");
+      }
+      if (user < 0 || movie < 0) {
+        if (lenient) {
+          ++out.report.skipped_out_of_range;
+          continue;
+        }
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": negative id");
       }
       if (rating < options.min_rating) continue;
       kept_ratings.push_back({user, movie, rating});
       rated_users.insert(user);
+      ++out.report.records_loaded;
     }
+    if (in.bad()) out.report.truncated = true;
   }
 
   // Pass 2: social links among rated users.
   std::vector<std::pair<int64_t, int64_t>> raw_links;
   {
-    std::ifstream in(dir + "/links.txt");
-    if (!in) return Status::IoError("cannot open " + dir + "/links.txt");
+    const std::string path = dir + "/links.txt";
+    if (fault::Hit("data.flixster.open") == fault::FaultKind::kIoError) {
+      return Status::IoError("cannot open " + path + " (injected fault)");
+    }
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open " + path);
     std::string line;
     int64_t line_no = 0;
     while (std::getline(in, line)) {
       ++line_no;
+      if (fault::Hit("data.flixster.read") ==
+          fault::FaultKind::kShortRead) {
+        out.report.truncated = true;
+        break;
+      }
       std::string_view sv = Trim(line);
       if (sv.empty() || sv[0] == '#') continue;
+      ++out.report.lines_scanned;
       auto fields = SplitWhitespace(sv);
       if (fields.size() < 2) {
-        return Status::ParseError(dir + "/links.txt:" +
-                                  std::to_string(line_no) +
+        if (lenient) {
+          ++out.report.skipped_malformed;
+          continue;
+        }
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
                                   ": expected two user ids");
       }
       int64_t a = 0;
       int64_t b = 0;
       if (!ParseInt64(fields[0], &a) || !ParseInt64(fields[1], &b)) {
-        return Status::ParseError(dir + "/links.txt:" +
-                                  std::to_string(line_no) + ": bad fields");
+        if (lenient) {
+          ++out.report.skipped_malformed;
+          continue;
+        }
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad fields");
       }
-      if (a == b) continue;
+      if (a < 0 || b < 0) {
+        if (lenient) {
+          ++out.report.skipped_out_of_range;
+          continue;
+        }
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": negative id");
+      }
+      if (a == b) {
+        ++out.report.skipped_self_loops;
+        continue;
+      }
       if (rated_users.count(a) && rated_users.count(b)) {
         raw_links.emplace_back(a, b);
+        ++out.report.records_loaded;
       }
     }
+    if (in.bad()) out.report.truncated = true;
   }
+
+  if (out.report.truncated && !lenient) {
+    return Status::IoError("short read under " + dir);
+  }
+  out.report.empty_input = out.report.lines_scanned == 0;
 
   // Densify the induced user set and build the full induced social graph.
   std::unordered_map<int64_t, graph::NodeId> user_index;
   std::vector<std::pair<graph::NodeId, graph::NodeId>> social_edges;
+  std::unordered_set<uint64_t> seen_links;
   auto user_id = [&](int64_t raw) {
     auto [it, inserted] =
         user_index.try_emplace(raw, static_cast<graph::NodeId>(
@@ -90,7 +159,17 @@ Result<Dataset> LoadFlixster(const std::string& dir,
     return it->second;
   };
   for (auto [a, b] : raw_links) {
-    social_edges.emplace_back(user_id(a), user_id(b));
+    graph::NodeId ua = user_id(a);
+    graph::NodeId ub = user_id(b);
+    if (lenient) {
+      uint64_t lo = static_cast<uint64_t>(ua < ub ? ua : ub);
+      uint64_t hi = static_cast<uint64_t>(ua < ub ? ub : ua);
+      if (!seen_links.insert((lo << 32) | hi).second) {
+        ++out.report.skipped_duplicates;
+        continue;
+      }
+    }
+    social_edges.emplace_back(ua, ub);
   }
   graph::SocialGraph induced = graph::SocialGraph::FromEdges(
       static_cast<graph::NodeId>(user_index.size()), social_edges);
@@ -119,16 +198,24 @@ Result<Dataset> LoadFlixster(const std::string& dir,
 
   std::unordered_map<int64_t, graph::ItemId> item_index;
   std::vector<graph::PreferenceEdge> pref_edges;
+  std::unordered_set<uint64_t> seen_ratings;
   for (const RawRating& r : kept_ratings) {
     auto uit = final_user.find(r.user);
     if (uit == final_user.end()) continue;
     auto [iit, inserted] = item_index.try_emplace(
         r.movie, static_cast<graph::ItemId>(item_index.size()));
+    if (lenient) {
+      uint64_t key = (static_cast<uint64_t>(uit->second) << 32) |
+                     static_cast<uint64_t>(iit->second);
+      if (!seen_ratings.insert(key).second) {
+        ++out.report.skipped_duplicates;
+        continue;
+      }
+    }
     pref_edges.push_back(
         {uit->second, iit->second, options.binarize ? 1.0 : r.rating});
   }
 
-  Dataset out;
   out.name = "flixster";
   out.social = std::move(main.graph);
   out.preferences =
@@ -148,6 +235,19 @@ Result<Dataset> LoadFlixster(const std::string& dir,
                 out.social.num_nodes(),
                 static_cast<graph::ItemId>(item_index.size()), pref_edges);
   return out;
+}
+
+}  // namespace
+
+Result<Dataset> LoadFlixster(const std::string& dir,
+                             const FlixsterOptions& options) {
+  RetryOptions retry = options.retry;
+  retry.max_attempts = options.max_attempts;
+  RetryStats stats;
+  auto result = RetryWithBackoff([&] { return LoadOnce(dir, options); },
+                                 retry, &stats);
+  if (result.ok()) result->report.io_retries = stats.attempts - 1;
+  return result;
 }
 
 }  // namespace privrec::data

@@ -17,6 +17,8 @@
 
 #include <string>
 
+#include "common/load_report.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "data/dataset.h"
 
@@ -29,6 +31,12 @@ struct FlixsterOptions {
   // the raw rating as the edge weight (the weighted-edge extension); the
   // recommenders then calibrate noise to max_weight().
   bool binarize = true;
+  // kStrict aborts on the first malformed record; kLenient counts-and-skips
+  // defects into Dataset::report and loads the valid subset.
+  ParseMode parse_mode = ParseMode::kStrict;
+  // Total attempts for transient I/O failures (1 = no retrying).
+  int max_attempts = 1;
+  RetryOptions retry{};  // max_attempts above overrides retry.max_attempts
 };
 
 Result<Dataset> LoadFlixster(const std::string& dir,

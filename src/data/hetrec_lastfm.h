@@ -15,6 +15,8 @@
 
 #include <string>
 
+#include "common/load_report.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "data/dataset.h"
 
@@ -25,6 +27,13 @@ struct LastFmOptions {
   // uses 2: "listening to an artist only once is unlikely to indicate a
   // positive preference").
   int64_t min_weight = 2;
+  // kStrict aborts on the first malformed record; kLenient counts-and-skips
+  // defects (non-numeric fields, negative ids, duplicate edges, truncated
+  // tails) into Dataset::report and loads the valid subset.
+  ParseMode parse_mode = ParseMode::kStrict;
+  // Total attempts for transient I/O failures (1 = no retrying).
+  int max_attempts = 1;
+  RetryOptions retry{};  // max_attempts above overrides retry.max_attempts
 };
 
 Result<Dataset> LoadHetRecLastFm(const std::string& dir,

@@ -11,14 +11,31 @@ PrivacyBudget::PrivacyBudget(double total_epsilon)
   PRIVREC_CHECK(total_epsilon >= 0.0);
 }
 
-bool PrivacyBudget::Charge(const std::string& group, double epsilon) {
+double PrivacyBudget::limit() const {
+  // Relative slack for FP drift, with an absolute floor so a zero/small
+  // total still tolerates representation error.
+  return total_epsilon_ +
+         std::max(1e-12, total_epsilon_ * kRelativeSlack);
+}
+
+bool PrivacyBudget::CanCharge(const std::string& group,
+                              double epsilon) const {
   PRIVREC_CHECK(epsilon >= 0.0);
-  double current = 0.0;
-  auto it = per_group_.find(group);
-  if (it != per_group_.end()) current = it->second;
-  if (current + epsilon > total_epsilon_ + 1e-12) return false;
-  per_group_[group] = current + epsilon;
+  return GroupSpent(group) + epsilon <= limit();
+}
+
+bool PrivacyBudget::Charge(const std::string& group, double epsilon) {
+  if (!CanCharge(group, epsilon)) return false;
+  per_group_[group] += epsilon;
   return true;
+}
+
+void PrivacyBudget::RestoreGroupSpent(const std::string& group,
+                                      double epsilon) {
+  PRIVREC_CHECK(epsilon >= 0.0);
+  PRIVREC_CHECK_MSG(epsilon <= limit(),
+                    "replayed ledger spend exceeds the budget total");
+  per_group_[group] = epsilon;
 }
 
 double PrivacyBudget::GroupSpent(const std::string& group) const {

@@ -14,6 +14,7 @@
 #ifndef PRIVREC_DP_BUDGET_H_
 #define PRIVREC_DP_BUDGET_H_
 
+#include <algorithm>
 #include <map>
 #include <string>
 
@@ -21,14 +22,30 @@ namespace privrec::dp {
 
 class PrivacyBudget {
  public:
+  // Accumulated floating-point drift tolerated when checking a charge
+  // against the total, relative to the total: splitting ε_total uniformly
+  // over N releases accumulates rounding on the order of N ulps, which must
+  // not forfeit the final planned release. A 1e-9 relative slack is ~1e8
+  // ulps of headroom while remaining far below any meaningful ε.
+  static constexpr double kRelativeSlack = 1e-9;
+
   // `total_epsilon` is the guarantee the caller wants to be able to state.
   explicit PrivacyBudget(double total_epsilon);
 
   double total_epsilon() const { return total_epsilon_; }
 
   // Records an ε-charge against `group`. Returns false (and records
-  // nothing) if the charge would push the spent budget past the total.
+  // nothing) if the charge would push the spent budget past the total
+  // (beyond kRelativeSlack).
   bool Charge(const std::string& group, double epsilon);
+
+  // True iff Charge(group, epsilon) would succeed, without recording it.
+  bool CanCharge(const std::string& group, double epsilon) const;
+
+  // Restores a replayed ledger balance: overwrites the spend recorded for
+  // `group` (no limit check beyond the slack — the ledger is the source of
+  // truth for what was already paid).
+  void RestoreGroupSpent(const std::string& group, double epsilon);
 
   // Sequential total within one group.
   double GroupSpent(const std::string& group) const;
@@ -36,11 +53,21 @@ class PrivacyBudget {
   // Overall spent ε = max over groups (parallel composition across groups).
   double Spent() const;
 
-  double Remaining() const { return total_epsilon_ - Spent(); }
+  // Never negative (a tolerated overshoot within the slack reads as 0).
+  double Remaining() const {
+    return std::max(0.0, total_epsilon_ - Spent());
+  }
 
   bool Exhausted() const { return Remaining() <= 0.0; }
 
+  // The recorded per-group spends, for serialization/inspection.
+  const std::map<std::string, double>& group_spent() const {
+    return per_group_;
+  }
+
  private:
+  double limit() const;
+
   double total_epsilon_;
   std::map<std::string, double> per_group_;
 };

@@ -1,0 +1,267 @@
+#include "dp/ledger.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/fault_injection.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace privrec::dp {
+
+namespace {
+
+constexpr std::string_view kHeader = "# privrec budget ledger v1";
+
+// FNV-1a 64-bit over the record body; stable across builds and platforms
+// (std::hash is not).
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t x) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(x));
+  return buf;
+}
+
+std::string HexDouble(double x) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", x);
+  return buf;
+}
+
+// Splits "body crc" and verifies the checksum.
+bool ChecksumOk(std::string_view line, std::string_view* body) {
+  size_t space = line.rfind(' ');
+  if (space == std::string_view::npos) return false;
+  *body = line.substr(0, space);
+  return HexU64(Fnv1a(*body)) == line.substr(space + 1);
+}
+
+}  // namespace
+
+Result<BudgetLedger> BudgetLedger::Open(const std::string& path,
+                                        double total_epsilon) {
+  PRIVREC_CHECK(total_epsilon >= 0.0);
+  if (fault::Hit("ledger.open") == fault::FaultKind::kIoError) {
+    return Status::IoError("cannot open ledger " + path +
+                           " (injected fault)");
+  }
+
+  BudgetLedger ledger;
+  ledger.path_ = path;
+  ledger.total_epsilon_ = total_epsilon;
+
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec);
+  if (!exists) {
+    ledger.out_.open(path, std::ios::out | std::ios::trunc);
+    if (!ledger.out_) {
+      return Status::IoError("cannot create ledger " + path);
+    }
+    ledger.out_ << kHeader << '\n';
+    std::string total_body = "total " + HexDouble(total_epsilon);
+    ledger.out_ << total_body << ' ' << HexU64(Fnv1a(total_body)) << '\n';
+    ledger.out_.flush();
+    if (!ledger.out_) {
+      return Status::IoError("cannot write ledger header to " + path);
+    }
+    return ledger;
+  }
+
+  // Replay an existing ledger.
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open ledger " + path);
+  std::string line;
+  int64_t line_no = 0;
+  bool saw_total = false;
+  // Byte offset of the end of the last fully-valid line, for torn-tail
+  // truncation.
+  uint64_t valid_bytes = 0;
+  bool torn = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (in.eof() && !line.empty()) {
+      // Final line without a newline: a torn append. Drop it.
+      torn = true;
+      break;
+    }
+    if (line_no == 1) {
+      if (Trim(line) != kHeader) {
+        return Status::ParseError(path + ": not a privrec budget ledger");
+      }
+      valid_bytes += line.size() + 1;
+      continue;
+    }
+    std::string_view body;
+    if (!ChecksumOk(Trim(line), &body)) {
+      // A checksum failure is tolerable only on the final line (torn
+      // write); anywhere else the ledger is corrupt.
+      if (in.peek() == std::ifstream::traits_type::eof()) {
+        torn = true;
+        break;
+      }
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": ledger checksum mismatch");
+    }
+    auto fields = SplitWhitespace(body);
+    if (fields.empty()) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": empty ledger record");
+    }
+    if (fields[0] == "total") {
+      double total = 0.0;
+      if (fields.size() != 2 || !ParseDouble(fields[1], &total)) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad total record");
+      }
+      if (total != total_epsilon) {
+        return Status::FailedPrecondition(
+            path + ": ledger total ε " + FormatDouble(total, 6) +
+            " does not match session total ε " +
+            FormatDouble(total_epsilon, 6));
+      }
+      saw_total = true;
+    } else if (fields[0] == "intent") {
+      int64_t seq = 0;
+      double eps = 0.0;
+      if (fields.size() != 4 || !ParseInt64(fields[1], &seq) ||
+          !ParseDouble(fields[3], &eps) || eps < 0.0) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad intent record");
+      }
+      ledger.entries_.push_back(
+          {seq, std::string(fields[2]), eps, false});
+    } else if (fields[0] == "commit") {
+      int64_t seq = 0;
+      if (fields.size() != 2 || !ParseInt64(fields[1], &seq)) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad commit record");
+      }
+      bool found = false;
+      for (Entry& e : ledger.entries_) {
+        if (e.seq == seq) {
+          e.committed = true;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": commit without intent for seq " +
+                                  std::to_string(seq));
+      }
+    } else {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": unknown ledger record type");
+    }
+    valid_bytes += line.size() + 1;
+  }
+  in.close();
+  if (!saw_total) {
+    return Status::ParseError(path + ": ledger has no total record");
+  }
+  if (torn) {
+    // Truncate the torn tail so future appends start on a clean boundary.
+    std::filesystem::resize_file(path, valid_bytes, ec);
+    if (ec) {
+      return Status::IoError(path + ": cannot truncate torn ledger tail");
+    }
+    ledger.recovered_torn_tail_ = true;
+  }
+
+  ledger.out_.open(path, std::ios::out | std::ios::app);
+  if (!ledger.out_) {
+    return Status::IoError("cannot reopen ledger " + path +
+                           " for appending");
+  }
+  return ledger;
+}
+
+Status BudgetLedger::AppendLine(const std::string& body) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("ledger is not open");
+  }
+  switch (fault::Hit("ledger.append")) {
+    case fault::FaultKind::kIoError:
+      return Status::IoError("ledger append failed (injected fault)");
+    case fault::FaultKind::kShortRead: {
+      // Simulate a crash mid-write: half the record reaches the file and
+      // no newline does. Open() must recover from this.
+      std::string full = body + ' ' + HexU64(Fnv1a(body));
+      out_ << full.substr(0, full.size() / 2);
+      out_.flush();
+      return Status::IoError("ledger append torn (injected fault)");
+    }
+    default:
+      break;
+  }
+  out_ << body << ' ' << HexU64(Fnv1a(body)) << '\n';
+  out_.flush();
+  if (!out_) {
+    return Status::IoError("ledger append failed for " + path_);
+  }
+  return Status::Ok();
+}
+
+Status BudgetLedger::AppendIntent(int64_t seq, const std::string& group,
+                                  double epsilon) {
+  PRIVREC_CHECK(epsilon >= 0.0);
+  PRIVREC_CHECK_MSG(group.find_first_of(" \t\r\n") == std::string::npos,
+                    "ledger group names must contain no whitespace");
+  Status s = AppendLine("intent " + std::to_string(seq) + " " + group +
+                        " " + HexDouble(epsilon));
+  if (!s.ok()) return s;
+  entries_.push_back({seq, group, epsilon, false});
+  return Status::Ok();
+}
+
+Status BudgetLedger::AppendCommit(int64_t seq) {
+  PRIVREC_CHECK_MSG(HasIntent(seq), "commit without intent");
+  Status s = AppendLine("commit " + std::to_string(seq));
+  if (!s.ok()) return s;
+  for (Entry& e : entries_) {
+    if (e.seq == seq) e.committed = true;
+  }
+  return Status::Ok();
+}
+
+bool BudgetLedger::HasIntent(int64_t seq) const {
+  for (const Entry& e : entries_) {
+    if (e.seq == seq) return true;
+  }
+  return false;
+}
+
+bool BudgetLedger::IsCommitted(int64_t seq) const {
+  for (const Entry& e : entries_) {
+    if (e.seq == seq && e.committed) return true;
+  }
+  return false;
+}
+
+int64_t BudgetLedger::NumCommitted() const {
+  int64_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.committed) ++n;
+  }
+  return n;
+}
+
+void BudgetLedger::ReplayInto(PrivacyBudget* budget) const {
+  std::map<std::string, double> spent;
+  for (const Entry& e : entries_) {
+    spent[e.group] += e.epsilon;
+  }
+  for (const auto& [group, eps] : spent) {
+    budget->RestoreGroupSpent(group, eps);
+  }
+}
+
+}  // namespace privrec::dp

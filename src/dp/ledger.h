@@ -1,0 +1,96 @@
+// BudgetLedger: a crash-safe write-ahead journal for PrivacyBudget.
+//
+// Why a ledger: a restarted session that forgot its spent ε and re-released
+// with fresh noise would silently double-spend the privacy budget — under
+// sequential composition (Theorem 2) every fresh sample is a new charge,
+// so crash recovery MUST replay the paid balance rather than resample. The
+// protocol is write-ahead: a session journals the charge (an `intent`)
+// BEFORE sampling noise, and journals a `commit` once the release is out.
+// A crash between the two leaves a paid-but-unreleased intent; on restart
+// the ε still counts as spent, and the release may only be reissued from
+// the SAME deterministic noise stream (free under DP — identical output),
+// never re-randomized.
+//
+// On-disk format (append-only text, one record per line, FNV-1a checksum
+// per line, hexfloat ε for exact round-trips):
+//   # privrec budget ledger v1
+//   total <hexfloat> <crc>
+//   intent <seq> <group> <hexfloat-eps> <crc>
+//   commit <seq> <crc>
+// A torn final line (partial write at crash) is detected by checksum and
+// truncated away on open; corruption anywhere else is an error.
+//
+// Fault points: ledger.open (kIoError), ledger.append (kIoError: the
+// append fails cleanly; kShortRead: half the record is written, simulating
+// a crash mid-write).
+
+#ifndef PRIVREC_DP_LEDGER_H_
+#define PRIVREC_DP_LEDGER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/budget.h"
+
+namespace privrec::dp {
+
+class BudgetLedger {
+ public:
+  struct Entry {
+    int64_t seq = 0;
+    std::string group;
+    double epsilon = 0.0;
+    bool committed = false;
+  };
+
+  // A detached ledger; Append* calls fail until Open() succeeds.
+  BudgetLedger() = default;
+
+  BudgetLedger(BudgetLedger&&) = default;
+  BudgetLedger& operator=(BudgetLedger&&) = default;
+
+  // Opens `path`, creating it (with the given total) if absent. An
+  // existing ledger is replayed: its recorded total must equal
+  // `total_epsilon` exactly, its checksums must verify, and a torn final
+  // line is truncated away.
+  static Result<BudgetLedger> Open(const std::string& path,
+                                   double total_epsilon);
+
+  // Journals a charge intent (write-ahead: call BEFORE sampling noise).
+  // The group name must contain no whitespace. Flushes before returning.
+  Status AppendIntent(int64_t seq, const std::string& group, double epsilon);
+
+  // Marks `seq` released. Requires a prior intent for `seq`.
+  Status AppendCommit(int64_t seq);
+
+  const std::string& path() const { return path_; }
+  double total_epsilon() const { return total_epsilon_; }
+  // True if Open() recovered from a partially-written final record.
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
+
+  // Replayed journal state, in append order.
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool HasIntent(int64_t seq) const;
+  bool IsCommitted(int64_t seq) const;
+  int64_t NumCommitted() const;
+
+  // Applies the replayed intents to `budget` (sum of intent ε per group —
+  // intents without commits still count: that ε left the building).
+  void ReplayInto(PrivacyBudget* budget) const;
+
+ private:
+  Status AppendLine(const std::string& body);
+
+  std::string path_;
+  double total_epsilon_ = 0.0;
+  bool recovered_torn_tail_ = false;
+  std::vector<Entry> entries_;
+  std::ofstream out_;
+};
+
+}  // namespace privrec::dp
+
+#endif  // PRIVREC_DP_LEDGER_H_

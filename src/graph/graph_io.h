@@ -3,6 +3,18 @@
 // Format: one edge per line, whitespace-separated integer endpoints;
 // '#'-prefixed lines and blank lines are ignored. Node/item ids need not be
 // contiguous — they are remapped densely on load and the mapping returned.
+//
+// Robustness: loads run in strict mode (any malformed record is a
+// ParseError, the historical behaviour) or lenient mode (malformed records
+// are counted per defect class into the returned LoadReport and skipped;
+// the valid subset loads). Transient I/O failures can be retried with
+// bounded exponential backoff via GraphIoOptions::max_attempts.
+//
+// Fault points (see common/fault_injection.h):
+//   graph_io.open   kIoError  — the open fails
+//   graph_io.read   kShortRead — the stream ends after the current line
+//   graph_io.alloc  kBadAlloc — edge-buffer allocation fails
+//                               (ResourceExhausted)
 
 #ifndef PRIVREC_GRAPH_GRAPH_IO_H_
 #define PRIVREC_GRAPH_GRAPH_IO_H_
@@ -10,33 +22,49 @@
 #include <string>
 #include <vector>
 
+#include "common/load_report.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "graph/preference_graph.h"
 #include "graph/social_graph.h"
 
 namespace privrec::graph {
 
+struct GraphIoOptions {
+  ParseMode mode = ParseMode::kStrict;
+  // Total attempts for transient I/O failures (1 = no retrying). Backoff is
+  // deterministic and never sleeps unless a sleeper is supplied.
+  int max_attempts = 1;
+  RetryOptions retry{};  // max_attempts above overrides retry.max_attempts
+};
+
 struct LoadedSocialGraph {
   SocialGraph graph;
   // original id of node k.
   std::vector<int64_t> original_id;
+  LoadReport report;
 };
 
 struct LoadedPreferenceGraph {
   PreferenceGraph graph;
   std::vector<int64_t> original_user_id;
   std::vector<int64_t> original_item_id;
+  LoadReport report;
 };
 
-// Reads an undirected social edge list.
-Result<LoadedSocialGraph> LoadSocialGraph(const std::string& path);
+// Reads an undirected social edge list. Node ids must be non-negative;
+// self loops and duplicate edges are defects (error in strict mode,
+// counted-and-skipped in lenient mode).
+Result<LoadedSocialGraph> LoadSocialGraph(const std::string& path,
+                                          const GraphIoOptions& options = {});
 
 // Reads a bipartite user-item edge list. User ids and item ids live in
 // separate namespaces (a raw id may appear as both a user and an item).
 // Lines may carry an optional third column with a positive edge weight;
 // if any line does, the loaded graph is weighted (absent weights read as
 // 1).
-Result<LoadedPreferenceGraph> LoadPreferenceGraph(const std::string& path);
+Result<LoadedPreferenceGraph> LoadPreferenceGraph(
+    const std::string& path, const GraphIoOptions& options = {});
 
 // Writers (one edge per line); used by tests and for exporting synthetic
 // datasets.

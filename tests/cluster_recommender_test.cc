@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "common/stats.h"
 #include "community/louvain.h"
 #include "community/simple_clusterings.h"
 #include "core/cluster_recommender.h"
 #include "core/exact_recommender.h"
+#include "core/group_smooth_recommender.h"
 #include "data/synthetic.h"
 #include "dp/mechanisms.h"
 #include "similarity/common_neighbors.h"
@@ -247,6 +249,125 @@ TEST(ClusterRecommenderPrivacyTest, UnaffectedClustersHaveIdenticalData) {
   // Cluster 0, item 1 differs by exactly 1/|c| = 1/3.
   EXPECT_NEAR(avg_b[0 * num_items + 1] - avg_a[0 * num_items + 1], 1.0 / 3.0,
               1e-12);
+}
+
+// ------------------------------------------------- serving degradation
+
+TEST(ClusterRecommenderDegradationTest, IsolatedUserFallsBackToGlobalAverage) {
+  // Node 4 has no social edges, so its similarity row is empty: the
+  // reconstruction formula would rank every item 0. The recommender must
+  // serve the global-average ranking and say so, not fail.
+  SocialGraph social =
+      SocialGraph::FromEdges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  PreferenceGraph prefs =
+      PreferenceGraph::FromEdges(5, 3, {{0, 0}, {1, 0}, {2, 1}, {3, 2}});
+  auto workload = similarity::SimilarityWorkload::Compute(
+      social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&social, &prefs, &workload};
+  ClusterRecommender rec(ctx, Partition({0, 0, 0, 1, 1}),
+                         {.epsilon = dp::kEpsilonInfinity, .seed = 3});
+
+  RecommendedBatch batch = rec.RecommendWithReport({0, 4}, 3);
+  ASSERT_EQ(batch.lists.size(), 2u);
+  ASSERT_EQ(batch.degradation.size(), 2u);
+  EXPECT_EQ(batch.degradation[0].reason, DegradationReason::kNone);
+  EXPECT_EQ(batch.degradation[1].reason, DegradationReason::kIsolatedUser);
+  EXPECT_EQ(batch.report.users_degraded, 1);
+  // The fallback list ranks by the noiseless global average: item 0 has
+  // two preference edges, items 1 and 2 one each — so item 0 leads.
+  ASSERT_FALSE(batch.lists[1].empty());
+  EXPECT_EQ(batch.lists[1][0].item, 0);
+  // Recommend() returns exactly the same lists, minus the diagnostics.
+  ClusterRecommender rec2(ctx, Partition({0, 0, 0, 1, 1}),
+                          {.epsilon = dp::kEpsilonInfinity, .seed = 3});
+  EXPECT_EQ(rec2.Recommend({0, 4}, 3), batch.lists);
+}
+
+TEST(ClusterRecommenderDegradationTest, SingletonClustersAreCounted) {
+  data::Dataset ds = data::MakeTinyDataset(40, 30, 12);
+  auto workload = similarity::SimilarityWorkload::Compute(
+      ds.social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&ds.social, &ds.preferences, &workload};
+  ClusterRecommender rec(ctx, Partition::Singletons(40),
+                         {.epsilon = 1.0, .seed = 4});
+  RecommendedBatch batch = rec.RecommendWithReport({0, 1}, 5);
+  EXPECT_EQ(batch.report.singleton_clusters, 40);
+  EXPECT_EQ(batch.report.empty_clusters, 0);
+}
+
+TEST(ClusterRecommenderDegradationTest,
+     PoisonedNoisyAveragesAreSanitizedAndFlagged) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  data::Dataset ds = data::MakeTinyDataset(60, 40, 13);
+  auto workload = similarity::SimilarityWorkload::Compute(
+      ds.social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&ds.social, &ds.preferences, &workload};
+  ClusterRecommender rec(ctx, Partition::Whole(60),
+                         {.epsilon = 1.0, .seed = 5});
+
+  fault::ScopedFaultInjection scope(
+      "cluster.noisy_averages",
+      fault::FaultSpec{.kind = fault::FaultKind::kNaN});
+  std::vector<NodeId> users;
+  for (NodeId u = 0; u < 60; ++u) users.push_back(u);
+  RecommendedBatch batch = rec.RecommendWithReport(users, 5);
+  // One cluster, so its poisoned release touches every non-isolated user.
+  EXPECT_EQ(batch.report.nonfinite_sanitized, 1);
+  int64_t flagged = 0;
+  for (size_t k = 0; k < users.size(); ++k) {
+    for (const Recommendation& r : batch.lists[k]) {
+      EXPECT_TRUE(std::isfinite(r.utility));  // NaN never reaches ranking
+    }
+    if (batch.degradation[k].reason ==
+        DegradationReason::kNonFiniteSanitized) {
+      ++flagged;
+    }
+  }
+  EXPECT_GT(flagged, 0);
+  // users_degraded also counts any isolated users in the synthetic graph.
+  EXPECT_GE(batch.report.users_degraded, flagged);
+}
+
+TEST(GroupSmoothDegradationTest, PoisonedGroupMeanIsSanitizedAndFlagged) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  data::Dataset ds = data::MakeTinyDataset(50, 30, 14);
+  auto workload = similarity::SimilarityWorkload::Compute(
+      ds.social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&ds.social, &ds.preferences, &workload};
+  GroupSmoothRecommender rec(ctx,
+                             {.epsilon = 1.0, .group_size = 8, .seed = 6});
+
+  fault::ScopedFaultInjection scope(
+      "gs.group_mean", fault::FaultSpec{.kind = fault::FaultKind::kInf});
+  std::vector<NodeId> users = {0, 1, 2, 3, 4};
+  RecommendedBatch batch = rec.RecommendWithReport(users, 5);
+  EXPECT_GT(batch.report.nonfinite_sanitized, 0);
+  for (size_t k = 0; k < users.size(); ++k) {
+    for (const Recommendation& r : batch.lists[k]) {
+      EXPECT_TRUE(std::isfinite(r.utility));
+    }
+    // Every released mean was poisoned, so every user saw a sanitized one
+    // (isolated users keep their more specific flag).
+    EXPECT_TRUE(batch.degradation[k].degraded());
+    if (batch.degradation[k].reason != DegradationReason::kIsolatedUser) {
+      EXPECT_EQ(batch.degradation[k].reason,
+                DegradationReason::kNonFiniteSanitized);
+    }
+  }
+  EXPECT_EQ(batch.report.users_degraded,
+            static_cast<int64_t>(users.size()));
+}
+
+TEST(GroupSmoothDegradationTest, SingleGroupIsCountedDegenerate) {
+  data::Dataset ds = data::MakeTinyDataset(40, 15, 15);
+  auto workload = similarity::SimilarityWorkload::Compute(
+      ds.social, similarity::CommonNeighbors());
+  RecommenderContext ctx{&ds.social, &ds.preferences, &workload};
+  // group_size beyond |U| clamps to one group per item.
+  GroupSmoothRecommender rec(
+      ctx, {.epsilon = 1.0, .group_size = 500, .seed = 7});
+  RecommendedBatch batch = rec.RecommendWithReport({0, 1}, 5);
+  EXPECT_EQ(batch.report.degenerate_groups, 15);  // one per item
 }
 
 }  // namespace

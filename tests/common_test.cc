@@ -40,10 +40,18 @@ TEST(StatusTest, AllCodeNamesAreDistinct) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kFailedPrecondition, StatusCode::kIoError,
-        StatusCode::kParseError, StatusCode::kInternal}) {
+        StatusCode::kParseError, StatusCode::kInternal,
+        StatusCode::kResourceExhausted}) {
     names.insert(StatusCodeName(code));
   }
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(StatusTest, ResourceExhaustedFactory) {
+  Status s = Status::ResourceExhausted("budget gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "RESOURCE_EXHAUSTED: budget gone");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -397,6 +405,34 @@ TEST(FlagsTest, RejectsMalformedInt) {
   const char* argv[] = {"prog", "--trials=abc"};
   FlagParser flags(2, const_cast<char**>(argv));
   EXPECT_EQ(flags.GetInt("trials", 3), 3);
+  EXPECT_FALSE(flags.Validate());
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("allocaton", "allocation"), 1);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+}
+
+TEST(FlagsTest, SuggestsCloseKnownFlagForTypo) {
+  // The classic silent-misconfiguration bug: --allocaton=geometric parses
+  // fine, matches nothing, and the program runs with the default policy.
+  const char* argv[] = {"prog", "--allocaton=geometric"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  flags.GetString("allocation", "uniform");
+  flags.GetInt("snapshots", 10);
+  EXPECT_EQ(flags.SuggestionFor("allocaton"), "allocation");
+  EXPECT_FALSE(flags.Validate());
+}
+
+TEST(FlagsTest, NoSuggestionWhenNothingIsClose) {
+  const char* argv[] = {"prog", "--zzzqqq=1"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  flags.GetInt("trials", 3);
+  EXPECT_EQ(flags.SuggestionFor("zzzqqq"), "");
   EXPECT_FALSE(flags.Validate());
 }
 

@@ -1,0 +1,288 @@
+// Robustness tests for the ingestion layer: strict vs lenient parse modes,
+// per-defect-class LoadReport accounting, truncated/empty/BOM/CRLF inputs,
+// injected I/O faults and bounded retry.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "data/hetrec_lastfm.h"
+#include "graph/graph_io.h"
+
+namespace privrec {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DataRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("privrec_robust_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Writes `content` verbatim (no newline appended — callers control the
+  // final byte to exercise truncation heuristics).
+  std::string WriteFile(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    return path;
+  }
+
+  fs::path dir_;
+};
+
+// ------------------------------------------------------------- graph I/O
+
+TEST_F(DataRobustnessTest, LenientSocialLoadCountsEveryDefectClass) {
+  const std::string path = WriteFile("social.txt",
+                                     "# comment\n"
+                                     "0 1\n"
+                                     "1 0\n"       // duplicate (undirected)
+                                     "2 2\n"       // self loop
+                                     "3 -4\n"      // out of range
+                                     "5 six\n"     // malformed
+                                     "0 2\n"
+                                     "\n"
+                                     "1 2\n");
+  auto loaded = graph::LoadSocialGraph(path, {.mode = ParseMode::kLenient});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LoadReport& r = loaded->report;
+  EXPECT_EQ(r.lines_scanned, 7);
+  EXPECT_EQ(r.records_loaded, 3);
+  EXPECT_EQ(r.skipped_duplicates, 1);
+  EXPECT_EQ(r.skipped_self_loops, 1);
+  EXPECT_EQ(r.skipped_out_of_range, 1);
+  EXPECT_EQ(r.skipped_malformed, 1);
+  EXPECT_EQ(r.TotalSkipped(), 4);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(loaded->graph.num_nodes(), 3);  // ids 0, 1, 2
+  EXPECT_EQ(loaded->graph.num_edges(), 3);
+}
+
+TEST_F(DataRobustnessTest, StrictSocialLoadFailsOnFirstDefect) {
+  const std::string path = WriteFile("social.txt", "0 1\n5 six\n1 2\n");
+  auto loaded = graph::LoadSocialGraph(path);  // default strict
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(DataRobustnessTest, StrictSocialLoadRejectsNegativeIds) {
+  const std::string path = WriteFile("social.txt", "0 -1\n");
+  auto loaded = graph::LoadSocialGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(DataRobustnessTest, TruncatedFinalRecordIsTruncationNotMalformation) {
+  // The file ends mid-record with no trailing newline — a short copy, not
+  // a malformed source.
+  const std::string path = WriteFile("social.txt", "0 1\n1 2\n3");
+  auto lenient = graph::LoadSocialGraph(path, {.mode = ParseMode::kLenient});
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(lenient->report.truncated);
+  EXPECT_EQ(lenient->report.skipped_malformed, 0);
+  EXPECT_EQ(lenient->report.records_loaded, 2);
+
+  auto strict = graph::LoadSocialGraph(path);
+  ASSERT_FALSE(strict.ok());
+}
+
+TEST_F(DataRobustnessTest, CrlfAndBomInputsLoadCleanly) {
+  const std::string path = WriteFile(
+      "social.txt", "\xEF\xBB\xBF# exported from Windows\r\n0 1\r\n1 2\r\n");
+  auto loaded = graph::LoadSocialGraph(path, {.mode = ParseMode::kLenient});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->report.bom_stripped);
+  EXPECT_EQ(loaded->report.records_loaded, 2);
+  EXPECT_EQ(loaded->report.TotalSkipped(), 0);
+  EXPECT_EQ(loaded->graph.num_edges(), 2);
+}
+
+TEST_F(DataRobustnessTest, EmptyFileLoadsAsEmptyGraph) {
+  for (ParseMode mode : {ParseMode::kStrict, ParseMode::kLenient}) {
+    const std::string path = WriteFile("empty.txt", "");
+    auto loaded = graph::LoadSocialGraph(path, {.mode = mode});
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(loaded->report.empty_input);
+    EXPECT_EQ(loaded->graph.num_nodes(), 0);
+  }
+}
+
+TEST_F(DataRobustnessTest, LenientPreferenceLoadCountsWeightAndDuplicates) {
+  const std::string path = WriteFile("prefs.txt",
+                                     "0 10 2.0\n"
+                                     "0 10 5.0\n"   // duplicate pair
+                                     "1 11 -3.0\n"  // bad weight
+                                     "1 12 x\n"     // bad weight
+                                     "2 10\n");     // unweighted line is fine
+  auto loaded =
+      graph::LoadPreferenceGraph(path, {.mode = ParseMode::kLenient});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->report.records_loaded, 2);
+  EXPECT_EQ(loaded->report.skipped_duplicates, 1);
+  EXPECT_EQ(loaded->report.skipped_bad_weight, 2);
+  EXPECT_TRUE(loaded->graph.is_weighted());
+}
+
+// --------------------------------------------------- faults and retrying
+
+TEST_F(DataRobustnessTest, TransientOpenFaultIsRetriedAway) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = WriteFile("social.txt", "0 1\n1 2\n");
+  fault::ScopedFaultInjection scope;
+  // Fails on the first open only; attempt 2 succeeds.
+  fault::FaultInjector::Instance().ArmNth("graph_io.open",
+                                          fault::FaultKind::kIoError, 1);
+  auto loaded = graph::LoadSocialGraph(path, {.max_attempts = 3});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->report.io_retries, 1);
+  EXPECT_EQ(loaded->graph.num_edges(), 2);
+}
+
+TEST_F(DataRobustnessTest, PersistentOpenFaultExhaustsAttempts) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = WriteFile("social.txt", "0 1\n");
+  fault::ScopedFaultInjection scope(
+      "graph_io.open", fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+  auto loaded = graph::LoadSocialGraph(path, {.max_attempts = 3});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(fault::FaultInjector::Instance().HitCount("graph_io.open"), 3);
+}
+
+TEST_F(DataRobustnessTest, InjectedShortReadMarksTruncation) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = WriteFile("social.txt", "0 1\n1 2\n2 3\n");
+  fault::ScopedFaultInjection scope;
+  fault::FaultInjector::Instance().ArmNth("graph_io.read",
+                                          fault::FaultKind::kShortRead, 3);
+  auto lenient = graph::LoadSocialGraph(path, {.mode = ParseMode::kLenient});
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(lenient->report.truncated);
+  EXPECT_EQ(lenient->report.records_loaded, 2);
+
+  fault::FaultInjector::Instance().ArmNth("graph_io.read",
+                                          fault::FaultKind::kShortRead, 3);
+  auto strict = graph::LoadSocialGraph(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DataRobustnessTest, InjectedAllocFailureIsResourceExhausted) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = WriteFile("social.txt", "0 1\n");
+  fault::ScopedFaultInjection scope(
+      "graph_io.alloc",
+      fault::FaultSpec{.kind = fault::FaultKind::kBadAlloc});
+  auto loaded = graph::LoadSocialGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ------------------------------------------------------- Last.fm loader
+
+class LastFmRobustnessTest : public DataRobustnessTest {
+ protected:
+  // A Last.fm-format directory with one defect of every class. Expected
+  // lenient accounting, exactly:
+  //   friends: 6 records scanned — 2 valid, 1 duplicate (1-2 twice),
+  //            1 self loop, 1 malformed, 1 out-of-range
+  //   artists: 6 records scanned — 2 valid, 1 duplicate (1-10 twice),
+  //            1 malformed, 1 below min_weight (filtered, not a defect),
+  //            1 for an unknown user (filtered, not a defect)
+  void WriteCorruptedDataset() {
+    WriteFile("user_friends.dat",
+              "userID\tfriendID\n"
+              "1\t2\n"
+              "2\t1\n"
+              "3\t3\n"
+              "4\tx\n"
+              "-5\t6\n"
+              "1\t3\n");
+    WriteFile("user_artists.dat",
+              "userID\tartistID\tweight\n"
+              "1\t10\t5\n"
+              "1\t10\t7\n"
+              "2\t11\t1\n"
+              "3\t12\t2\n"
+              "9\t13\t4\n"
+              "2\tbad\t3\n");
+  }
+};
+
+TEST_F(LastFmRobustnessTest, LenientLoadRecoversValidSubsetWithExactCounts) {
+  WriteCorruptedDataset();
+  auto ds = data::LoadHetRecLastFm(dir_.string(),
+                                   {.parse_mode = ParseMode::kLenient});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  const LoadReport& r = ds->report;
+  EXPECT_EQ(r.lines_scanned, 12);
+  EXPECT_EQ(r.records_loaded, 4);  // 2 social + 2 preference edges
+  EXPECT_EQ(r.skipped_duplicates, 2);
+  EXPECT_EQ(r.skipped_malformed, 2);
+  EXPECT_EQ(r.skipped_out_of_range, 1);
+  EXPECT_EQ(r.skipped_self_loops, 1);
+  EXPECT_EQ(r.skipped_bad_weight, 0);
+  EXPECT_FALSE(r.truncated);
+
+  EXPECT_EQ(ds->social.num_nodes(), 3);        // users 1, 2, 3
+  EXPECT_EQ(ds->social.num_edges(), 2);        // 1-2, 1-3
+  EXPECT_EQ(ds->preferences.num_items(), 2);   // artists 10, 12
+  EXPECT_EQ(ds->preferences.num_edges(), 2);
+}
+
+TEST_F(LastFmRobustnessTest, StrictLoadRejectsTheCorruptedDataset) {
+  WriteCorruptedDataset();
+  auto ds = data::LoadHetRecLastFm(dir_.string());
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(LastFmRobustnessTest, TruncatedArtistsFileIsDetected) {
+  WriteFile("user_friends.dat", "userID\tfriendID\n1\t2\n");
+  // Final record cut mid-row, no trailing newline.
+  WriteFile("user_artists.dat", "userID\tartistID\tweight\n1\t10\t5\n1\t11");
+  auto lenient = data::LoadHetRecLastFm(
+      dir_.string(), {.parse_mode = ParseMode::kLenient});
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_TRUE(lenient->report.truncated);
+  EXPECT_EQ(lenient->preferences.num_edges(), 1);
+
+  auto strict = data::LoadHetRecLastFm(dir_.string());
+  ASSERT_FALSE(strict.ok());
+}
+
+TEST_F(LastFmRobustnessTest, BomHeaderIsStripped) {
+  WriteFile("user_friends.dat", "\xEF\xBB\xBFuserID\tfriendID\n1\t2\n");
+  WriteFile("user_artists.dat", "userID\tartistID\tweight\n1\t10\t5\n");
+  auto ds = data::LoadHetRecLastFm(dir_.string(),
+                                   {.parse_mode = ParseMode::kLenient});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_TRUE(ds->report.bom_stripped);
+}
+
+TEST_F(LastFmRobustnessTest, TransientReadFaultIsRetriedAway) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  WriteFile("user_friends.dat", "userID\tfriendID\n1\t2\n2\t3\n");
+  WriteFile("user_artists.dat", "userID\tartistID\tweight\n1\t10\t5\n");
+  fault::ScopedFaultInjection scope;
+  fault::FaultInjector::Instance().ArmNth("data.lastfm.open",
+                                          fault::FaultKind::kIoError, 1);
+  auto ds = data::LoadHetRecLastFm(dir_.string(), {.max_attempts = 2});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->report.io_retries, 1);
+  EXPECT_EQ(ds->social.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace privrec

@@ -283,5 +283,36 @@ TEST(PrivacyBudgetTest, RejectedChargeLeavesStateUntouched) {
   EXPECT_NEAR(budget.GroupSpent("g"), 0.3, 1e-12);
 }
 
+TEST(PrivacyBudgetTest, UniformSplitAllowsExactlyPlannedReleases) {
+  // ε_total/N accumulated N times overshoots ε_total by a few ulps in
+  // binary floating point; the accountant's relative slack must admit all
+  // N planned releases (and no more). Regression for N = 7, ε = 0.1: 0.1
+  // is not representable, so seven charges of 0.1/7 sum to slightly more
+  // than 0.1.
+  const int kPlanned = 7;
+  const double kTotal = 0.1;
+  PrivacyBudget budget(kTotal);
+  const double slice = kTotal / kPlanned;
+  for (int i = 0; i < kPlanned; ++i) {
+    EXPECT_TRUE(budget.CanCharge("snapshots", slice)) << "release " << i;
+    EXPECT_TRUE(budget.Charge("snapshots", slice)) << "release " << i;
+  }
+  EXPECT_FALSE(budget.CanCharge("snapshots", slice));
+  EXPECT_FALSE(budget.Charge("snapshots", slice));
+  EXPECT_NEAR(budget.Spent(), kTotal, 1e-9);
+  // The slack is relative: it admits float accumulation error, not a real
+  // overdraft.
+  EXPECT_FALSE(budget.Charge("snapshots", kTotal * 1e-3));
+}
+
+TEST(PrivacyBudgetTest, RestoreGroupSpentReplaysBalance) {
+  PrivacyBudget budget(1.0);
+  budget.RestoreGroupSpent("snapshots", 0.6);
+  EXPECT_NEAR(budget.GroupSpent("snapshots"), 0.6, 1e-12);
+  EXPECT_NEAR(budget.Spent(), 0.6, 1e-12);
+  EXPECT_TRUE(budget.Charge("snapshots", 0.4));
+  EXPECT_FALSE(budget.Charge("snapshots", 0.1));
+}
+
 }  // namespace
 }  // namespace privrec::dp

@@ -76,7 +76,7 @@ TEST_F(DynamicTest, UniformSessionExhaustsAfterPlannedSnapshots) {
   EXPECT_NEAR(session.epsilon_spent(), 0.8, 1e-9);
   auto fourth = session.ProcessSnapshot(context_, users_, 5);
   ASSERT_FALSE(fourth.ok());
-  EXPECT_EQ(fourth.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fourth.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST_F(DynamicTest, GeometricSessionNeverExhausts) {

@@ -1,0 +1,299 @@
+// Tests for the write-ahead budget ledger and crash-safe dynamic sessions:
+// journal round-trips, torn-tail recovery, corruption detection, and the
+// no-double-spend guarantee — a session killed between journaling and
+// releasing resumes with the exact cumulative ε and bit-identical releases
+// of an uninterrupted run.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "core/dynamic_recommender.h"
+#include "data/synthetic.h"
+#include "dp/ledger.h"
+#include "similarity/common_neighbors.h"
+
+namespace privrec::dp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("privrec_ledger_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LedgerTest, CreateAppendReopenRoundTrip) {
+  const std::string path = Path("budget.ledger");
+  {
+    auto ledger = BudgetLedger::Open(path, 1.0);
+    ASSERT_TRUE(ledger.ok()) << ledger.status().ToString();
+    ASSERT_TRUE(ledger->AppendIntent(0, "snapshots", 0.25).ok());
+    ASSERT_TRUE(ledger->AppendCommit(0).ok());
+    ASSERT_TRUE(ledger->AppendIntent(1, "snapshots", 0.25).ok());
+    // No commit for seq 1: simulated crash before release.
+  }
+  auto reopened = BudgetLedger::Open(path, 1.0);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened->recovered_torn_tail());
+  ASSERT_EQ(reopened->entries().size(), 2u);
+  EXPECT_TRUE(reopened->IsCommitted(0));
+  EXPECT_TRUE(reopened->HasIntent(1));
+  EXPECT_FALSE(reopened->IsCommitted(1));
+  EXPECT_EQ(reopened->NumCommitted(), 1);
+
+  // Both intents count as spent — the uncommitted ε already left.
+  PrivacyBudget budget(1.0);
+  reopened->ReplayInto(&budget);
+  EXPECT_NEAR(budget.GroupSpent("snapshots"), 0.5, 1e-15);
+}
+
+TEST_F(LedgerTest, EpsilonRoundTripsExactly) {
+  // Hexfloat serialization must round-trip values like 0.1/7 bit-for-bit;
+  // a decimal format would drift and break exactly-N accounting.
+  const std::string path = Path("budget.ledger");
+  const double eps = 0.1 / 7.0;
+  {
+    auto ledger = BudgetLedger::Open(path, 0.1);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(0, "g", eps).ok());
+  }
+  auto reopened = BudgetLedger::Open(path, 0.1);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->entries().size(), 1u);
+  EXPECT_EQ(reopened->entries()[0].epsilon, eps);  // exact, not NEAR
+}
+
+TEST_F(LedgerTest, RejectsTotalMismatch) {
+  const std::string path = Path("budget.ledger");
+  { ASSERT_TRUE(BudgetLedger::Open(path, 1.0).ok()); }
+  auto reopened = BudgetLedger::Open(path, 2.0);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LedgerTest, RecoversFromTornFinalRecord) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = Path("budget.ledger");
+  {
+    auto ledger = BudgetLedger::Open(path, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(0, "g", 0.3).ok());
+    // The next append is torn mid-record by an injected fault (half the
+    // bytes, no newline) — a crash during write.
+    fault::ScopedFaultInjection scope(
+        "ledger.append", fault::FaultSpec{.kind = fault::FaultKind::kShortRead});
+    EXPECT_FALSE(ledger->AppendIntent(1, "g", 0.3).ok());
+  }
+  auto reopened = BudgetLedger::Open(path, 1.0);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened->recovered_torn_tail());
+  ASSERT_EQ(reopened->entries().size(), 1u);
+  EXPECT_EQ(reopened->entries()[0].seq, 0);
+
+  // The truncated tail leaves a clean boundary: appends work again and a
+  // third open sees a healthy file.
+  ASSERT_TRUE(reopened->AppendIntent(1, "g", 0.3).ok());
+  auto third = BudgetLedger::Open(path, 1.0);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->recovered_torn_tail());
+  EXPECT_EQ(third->entries().size(), 2u);
+}
+
+TEST_F(LedgerTest, MidFileCorruptionIsAnError) {
+  const std::string path = Path("budget.ledger");
+  {
+    auto ledger = BudgetLedger::Open(path, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(0, "g", 0.3).ok());
+  }
+  {
+    // Flip bytes in the middle of the file (the total record), then append
+    // a valid-looking line so the damage is not on the final line.
+    std::ofstream out(path, std::ios::app);
+    out << "garbage that is not a ledger record\n";
+    out << "more trailing garbage\n";
+  }
+  auto reopened = BudgetLedger::Open(path, 1.0);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(LedgerTest, AppendFaultFailsCleanly) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = Path("budget.ledger");
+  auto ledger = BudgetLedger::Open(path, 1.0);
+  ASSERT_TRUE(ledger.ok());
+  fault::ScopedFaultInjection scope(
+      "ledger.append", fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+  Status s = ledger->AppendIntent(0, "g", 0.1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // A failed append journals nothing.
+  EXPECT_FALSE(ledger->HasIntent(0));
+}
+
+// ------------------------------------------------ crash/resume end-to-end
+
+class CrashResumeTest : public LedgerTest {
+ protected:
+  void SetUp() override {
+    LedgerTest::SetUp();
+    dataset_ = data::MakeTinyDataset(120, 90, 33);
+    workload_ = similarity::SimilarityWorkload::Compute(
+        dataset_.social, similarity::CommonNeighbors());
+    context_ = {&dataset_.social, &dataset_.preferences, &workload_};
+    users_ = {0, 3, 7, 11};
+  }
+
+  core::DynamicRecommenderOptions Options(const std::string& ledger) {
+    core::DynamicRecommenderOptions opt;
+    opt.total_epsilon = 0.8;
+    opt.planned_snapshots = 4;
+    opt.louvain.restarts = 1;
+    opt.seed = 77;
+    opt.ledger_path = ledger;
+    return opt;
+  }
+
+  data::Dataset dataset_;
+  similarity::SimilarityWorkload workload_;
+  core::RecommenderContext context_;
+  std::vector<graph::NodeId> users_;
+};
+
+// Recommendation compares with ==, so list equality here is bit-exact on
+// both items and utilities.
+bool SameLists(const std::vector<core::RecommendationList>& a,
+               const std::vector<core::RecommendationList>& b) {
+  return a == b;
+}
+
+TEST_F(CrashResumeTest, ResumedSessionMatchesUninterruptedRunExactly) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  // Reference: an uninterrupted 4-snapshot run.
+  std::vector<std::vector<core::RecommendationList>> reference;
+  double reference_cumulative = 0.0;
+  {
+    auto session = core::DynamicRecommenderSession::Open(
+        Options(Path("uninterrupted.ledger")));
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    for (int t = 0; t < 4; ++t) {
+      auto release = session->ProcessSnapshot(context_, users_, 5);
+      ASSERT_TRUE(release.ok()) << release.status().ToString();
+      reference.push_back(release->lists);
+    }
+    reference_cumulative = session->epsilon_spent();
+  }
+
+  // Crashing run: two clean snapshots, then a kill injected AFTER the
+  // intent for snapshot 2 is journaled but BEFORE its release goes out.
+  const std::string ledger = Path("crashed.ledger");
+  {
+    auto session = core::DynamicRecommenderSession::Open(Options(ledger));
+    ASSERT_TRUE(session.ok());
+    for (int t = 0; t < 2; ++t) {
+      auto release = session->ProcessSnapshot(context_, users_, 5);
+      ASSERT_TRUE(release.ok());
+      EXPECT_TRUE(SameLists(release->lists, reference[t]));
+    }
+    fault::ScopedFaultInjection scope(
+        "dynamic.after_journal",
+        fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    auto crashed = session->ProcessSnapshot(context_, users_, 5);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.status().code(), StatusCode::kIoError);
+    // The ε is journaled and charged even though nothing was released.
+    EXPECT_TRUE(session->ledger()->HasIntent(2));
+    EXPECT_FALSE(session->ledger()->IsCommitted(2));
+    EXPECT_NEAR(session->epsilon_spent(), 0.6, 1e-12);
+  }  // session destroyed: the "crash"
+
+  // Restart from the ledger. The paid-but-unreleased snapshot 2 must be
+  // re-derived from the same deterministic noise stream — NOT re-charged,
+  // NOT re-randomized — and the session must finish its planned sequence.
+  auto resumed = core::DynamicRecommenderSession::Open(Options(ledger));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->snapshots_processed(), 2);
+  EXPECT_NEAR(resumed->epsilon_spent(), 0.6, 1e-12);  // intent replayed
+
+  auto redo = resumed->ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(redo.ok()) << redo.status().ToString();
+  EXPECT_TRUE(redo->resumed_from_intent);
+  EXPECT_DOUBLE_EQ(redo->epsilon_spent, 0.0);  // already paid
+  EXPECT_TRUE(SameLists(redo->lists, reference[2]));
+
+  auto last = resumed->ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(last.ok());
+  EXPECT_FALSE(last->resumed_from_intent);
+  EXPECT_TRUE(SameLists(last->lists, reference[3]));
+
+  // Identical terminal state: cumulative ε matches the uninterrupted run
+  // and the budget admits no fifth release.
+  EXPECT_NEAR(resumed->epsilon_spent(), reference_cumulative, 1e-12);
+  auto fifth = resumed->ProcessSnapshot(context_, users_, 5);
+  ASSERT_FALSE(fifth.ok());
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(CrashResumeTest, RestartWithoutCrashResumesAfterLastCommit) {
+  const std::string ledger = Path("clean.ledger");
+  {
+    auto session = core::DynamicRecommenderSession::Open(Options(ledger));
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session->ProcessSnapshot(context_, users_, 5).ok());
+    ASSERT_TRUE(session->ProcessSnapshot(context_, users_, 5).ok());
+  }
+  auto resumed = core::DynamicRecommenderSession::Open(Options(ledger));
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->snapshots_processed(), 2);
+  EXPECT_NEAR(resumed->epsilon_spent(), 0.4, 1e-12);
+  auto release = resumed->ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(release.ok());
+  EXPECT_FALSE(release->resumed_from_intent);
+  EXPECT_EQ(release->snapshot_index, 2);
+}
+
+TEST_F(CrashResumeTest, StaleReplayOnExhaustion) {
+  core::DynamicRecommenderOptions opt = Options("");
+  opt.planned_snapshots = 2;
+  opt.serve_stale_on_exhaustion = true;
+  core::DynamicRecommenderSession session(opt);
+  auto first = session.ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(first.ok());
+  auto second = session.ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(second.ok());
+  // Budget exhausted: the third call replays the second release, flagged
+  // per user, at zero additional ε.
+  auto stale = session.ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_TRUE(stale->stale);
+  EXPECT_DOUBLE_EQ(stale->epsilon_spent, 0.0);
+  EXPECT_TRUE(SameLists(stale->lists, second->lists));
+  ASSERT_EQ(stale->degradation.size(), users_.size());
+  for (const core::DegradationInfo& info : stale->degradation) {
+    EXPECT_EQ(info.reason, core::DegradationReason::kStaleReplay);
+  }
+  EXPECT_NEAR(session.epsilon_spent(), opt.total_epsilon, 1e-9);
+}
+
+}  // namespace
+}  // namespace privrec::dp
