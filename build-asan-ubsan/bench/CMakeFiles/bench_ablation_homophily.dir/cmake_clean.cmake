@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_homophily.dir/bench_ablation_homophily.cc.o"
+  "CMakeFiles/bench_ablation_homophily.dir/bench_ablation_homophily.cc.o.d"
+  "bench_ablation_homophily"
+  "bench_ablation_homophily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_homophily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering_stats.dir/bench_clustering_stats.cc.o"
+  "CMakeFiles/bench_clustering_stats.dir/bench_clustering_stats.cc.o.d"
+  "bench_clustering_stats"
+  "bench_clustering_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_measures.dir/bench_extension_measures.cc.o"
+  "CMakeFiles/bench_extension_measures.dir/bench_extension_measures.cc.o.d"
+  "bench_extension_measures"
+  "bench_extension_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_postprocess.dir/bench_extension_postprocess.cc.o"
+  "CMakeFiles/bench_extension_postprocess.dir/bench_extension_postprocess.cc.o.d"
+  "bench_extension_postprocess"
+  "bench_extension_postprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_postprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

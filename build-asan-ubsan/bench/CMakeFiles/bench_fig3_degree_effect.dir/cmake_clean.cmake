@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_degree_effect.dir/bench_fig3_degree_effect.cc.o"
+  "CMakeFiles/bench_fig3_degree_effect.dir/bench_fig3_degree_effect.cc.o.d"
+  "bench_fig3_degree_effect"
+  "bench_fig3_degree_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_degree_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

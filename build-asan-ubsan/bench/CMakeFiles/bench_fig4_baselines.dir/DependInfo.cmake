@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_baselines.cc" "bench/CMakeFiles/bench_fig4_baselines.dir/bench_fig4_baselines.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_baselines.dir/bench_fig4_baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/eval/CMakeFiles/privrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/core/CMakeFiles/privrec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/dp/CMakeFiles/privrec_dp.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/community/CMakeFiles/privrec_community.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/similarity/CMakeFiles/privrec_similarity.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/data/CMakeFiles/privrec_data.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/graph/CMakeFiles/privrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/la/CMakeFiles/privrec_la.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

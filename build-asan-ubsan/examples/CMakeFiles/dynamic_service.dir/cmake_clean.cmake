@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_service.dir/dynamic_service.cpp.o"
+  "CMakeFiles/dynamic_service.dir/dynamic_service.cpp.o.d"
+  "dynamic_service"
+  "dynamic_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

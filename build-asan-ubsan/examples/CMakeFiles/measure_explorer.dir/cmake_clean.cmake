@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_explorer.dir/measure_explorer.cpp.o"
+  "CMakeFiles/measure_explorer.dir/measure_explorer.cpp.o.d"
+  "measure_explorer"
+  "measure_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_recommendations.dir/music_recommendations.cpp.o"
+  "CMakeFiles/music_recommendations.dir/music_recommendations.cpp.o.d"
+  "music_recommendations"
+  "music_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_attack.dir/sybil_attack.cpp.o"
+  "CMakeFiles/sybil_attack.dir/sybil_attack.cpp.o.d"
+  "sybil_attack"
+  "sybil_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

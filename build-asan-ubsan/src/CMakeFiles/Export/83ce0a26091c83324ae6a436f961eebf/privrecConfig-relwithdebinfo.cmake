@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "privrec::privrec_common" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_common )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_common "${_IMPORT_PREFIX}/lib/libprivrec_common.a" )
+
+# Import target "privrec::privrec_la" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_la APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_la PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_la.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_la )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_la "${_IMPORT_PREFIX}/lib/libprivrec_la.a" )
+
+# Import target "privrec::privrec_graph" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_graph APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_graph PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_graph.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_graph )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_graph "${_IMPORT_PREFIX}/lib/libprivrec_graph.a" )
+
+# Import target "privrec::privrec_data" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_data APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_data PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_data.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_data )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_data "${_IMPORT_PREFIX}/lib/libprivrec_data.a" )
+
+# Import target "privrec::privrec_similarity" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_similarity APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_similarity PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_similarity.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_similarity )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_similarity "${_IMPORT_PREFIX}/lib/libprivrec_similarity.a" )
+
+# Import target "privrec::privrec_community" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_community APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_community PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_community.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_community )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_community "${_IMPORT_PREFIX}/lib/libprivrec_community.a" )
+
+# Import target "privrec::privrec_dp" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_dp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_dp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_dp.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_dp )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_dp "${_IMPORT_PREFIX}/lib/libprivrec_dp.a" )
+
+# Import target "privrec::privrec_eval" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_eval APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_eval PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_eval.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_eval )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_eval "${_IMPORT_PREFIX}/lib/libprivrec_eval.a" )
+
+# Import target "privrec::privrec_core" for configuration "RelWithDebInfo"
+set_property(TARGET privrec::privrec_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(privrec::privrec_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libprivrec_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets privrec::privrec_core )
+list(APPEND _cmake_import_check_files_for_privrec::privrec_core "${_IMPORT_PREFIX}/lib/libprivrec_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

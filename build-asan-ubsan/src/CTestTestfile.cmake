@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan-ubsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("la")
+subdirs("graph")
+subdirs("data")
+subdirs("similarity")
+subdirs("community")
+subdirs("dp")
+subdirs("eval")
+subdirs("core")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_common.dir/fault_injection.cc.o"
+  "CMakeFiles/privrec_common.dir/fault_injection.cc.o.d"
+  "CMakeFiles/privrec_common.dir/flags.cc.o"
+  "CMakeFiles/privrec_common.dir/flags.cc.o.d"
+  "CMakeFiles/privrec_common.dir/load_report.cc.o"
+  "CMakeFiles/privrec_common.dir/load_report.cc.o.d"
+  "CMakeFiles/privrec_common.dir/random.cc.o"
+  "CMakeFiles/privrec_common.dir/random.cc.o.d"
+  "CMakeFiles/privrec_common.dir/stats.cc.o"
+  "CMakeFiles/privrec_common.dir/stats.cc.o.d"
+  "CMakeFiles/privrec_common.dir/status.cc.o"
+  "CMakeFiles/privrec_common.dir/status.cc.o.d"
+  "CMakeFiles/privrec_common.dir/string_util.cc.o"
+  "CMakeFiles/privrec_common.dir/string_util.cc.o.d"
+  "libprivrec_common.a"
+  "libprivrec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_community.dir/kmeans.cc.o"
+  "CMakeFiles/privrec_community.dir/kmeans.cc.o.d"
+  "CMakeFiles/privrec_community.dir/label_propagation.cc.o"
+  "CMakeFiles/privrec_community.dir/label_propagation.cc.o.d"
+  "CMakeFiles/privrec_community.dir/louvain.cc.o"
+  "CMakeFiles/privrec_community.dir/louvain.cc.o.d"
+  "CMakeFiles/privrec_community.dir/modularity.cc.o"
+  "CMakeFiles/privrec_community.dir/modularity.cc.o.d"
+  "CMakeFiles/privrec_community.dir/partition.cc.o"
+  "CMakeFiles/privrec_community.dir/partition.cc.o.d"
+  "CMakeFiles/privrec_community.dir/partition_io.cc.o"
+  "CMakeFiles/privrec_community.dir/partition_io.cc.o.d"
+  "CMakeFiles/privrec_community.dir/postprocess.cc.o"
+  "CMakeFiles/privrec_community.dir/postprocess.cc.o.d"
+  "CMakeFiles/privrec_community.dir/quality.cc.o"
+  "CMakeFiles/privrec_community.dir/quality.cc.o.d"
+  "CMakeFiles/privrec_community.dir/simple_clusterings.cc.o"
+  "CMakeFiles/privrec_community.dir/simple_clusterings.cc.o.d"
+  "libprivrec_community.a"
+  "libprivrec_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

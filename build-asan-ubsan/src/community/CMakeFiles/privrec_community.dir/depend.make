@@ -1,0 +1,2 @@
+# Empty dependencies file for privrec_community.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/cluster_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/cluster_recommender.cc.o.d"
+  "/root/repo/src/core/degradation.cc" "src/core/CMakeFiles/privrec_core.dir/degradation.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/degradation.cc.o.d"
+  "/root/repo/src/core/dynamic_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o.d"
+  "/root/repo/src/core/exact_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/exact_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/exact_recommender.cc.o.d"
+  "/root/repo/src/core/group_smooth_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/group_smooth_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/group_smooth_recommender.cc.o.d"
+  "/root/repo/src/core/hybrid_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/hybrid_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/hybrid_recommender.cc.o.d"
+  "/root/repo/src/core/item_cf_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/item_cf_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/item_cf_recommender.cc.o.d"
+  "/root/repo/src/core/low_rank_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/low_rank_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/low_rank_recommender.cc.o.d"
+  "/root/repo/src/core/noe_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/noe_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/noe_recommender.cc.o.d"
+  "/root/repo/src/core/nou_recommender.cc" "src/core/CMakeFiles/privrec_core.dir/nou_recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/nou_recommender.cc.o.d"
+  "/root/repo/src/core/recommendation.cc" "src/core/CMakeFiles/privrec_core.dir/recommendation.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/recommendation.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/privrec_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/recommender.cc.o.d"
+  "/root/repo/src/core/recommender_factory.cc" "src/core/CMakeFiles/privrec_core.dir/recommender_factory.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/recommender_factory.cc.o.d"
+  "/root/repo/src/core/sybil_attack.cc" "src/core/CMakeFiles/privrec_core.dir/sybil_attack.cc.o" "gcc" "src/core/CMakeFiles/privrec_core.dir/sybil_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/community/CMakeFiles/privrec_community.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/dp/CMakeFiles/privrec_dp.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/la/CMakeFiles/privrec_la.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/similarity/CMakeFiles/privrec_similarity.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/graph/CMakeFiles/privrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

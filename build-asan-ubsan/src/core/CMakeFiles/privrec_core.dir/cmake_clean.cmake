@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_core.dir/cluster_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/cluster_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/degradation.cc.o"
+  "CMakeFiles/privrec_core.dir/degradation.cc.o.d"
+  "CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/dynamic_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/exact_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/exact_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/group_smooth_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/group_smooth_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/hybrid_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/hybrid_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/item_cf_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/item_cf_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/low_rank_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/low_rank_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/noe_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/noe_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/nou_recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/nou_recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/recommendation.cc.o"
+  "CMakeFiles/privrec_core.dir/recommendation.cc.o.d"
+  "CMakeFiles/privrec_core.dir/recommender.cc.o"
+  "CMakeFiles/privrec_core.dir/recommender.cc.o.d"
+  "CMakeFiles/privrec_core.dir/recommender_factory.cc.o"
+  "CMakeFiles/privrec_core.dir/recommender_factory.cc.o.d"
+  "CMakeFiles/privrec_core.dir/sybil_attack.cc.o"
+  "CMakeFiles/privrec_core.dir/sybil_attack.cc.o.d"
+  "libprivrec_core.a"
+  "libprivrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

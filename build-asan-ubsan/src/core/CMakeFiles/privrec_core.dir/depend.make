@@ -1,0 +1,2 @@
+# Empty dependencies file for privrec_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/privrec_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/privrec_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/export.cc" "src/data/CMakeFiles/privrec_data.dir/export.cc.o" "gcc" "src/data/CMakeFiles/privrec_data.dir/export.cc.o.d"
+  "/root/repo/src/data/flixster.cc" "src/data/CMakeFiles/privrec_data.dir/flixster.cc.o" "gcc" "src/data/CMakeFiles/privrec_data.dir/flixster.cc.o.d"
+  "/root/repo/src/data/hetrec_lastfm.cc" "src/data/CMakeFiles/privrec_data.dir/hetrec_lastfm.cc.o" "gcc" "src/data/CMakeFiles/privrec_data.dir/hetrec_lastfm.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/privrec_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/privrec_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/graph/CMakeFiles/privrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

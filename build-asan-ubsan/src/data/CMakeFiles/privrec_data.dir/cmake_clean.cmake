@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_data.dir/dataset.cc.o"
+  "CMakeFiles/privrec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/privrec_data.dir/export.cc.o"
+  "CMakeFiles/privrec_data.dir/export.cc.o.d"
+  "CMakeFiles/privrec_data.dir/flixster.cc.o"
+  "CMakeFiles/privrec_data.dir/flixster.cc.o.d"
+  "CMakeFiles/privrec_data.dir/hetrec_lastfm.cc.o"
+  "CMakeFiles/privrec_data.dir/hetrec_lastfm.cc.o.d"
+  "CMakeFiles/privrec_data.dir/synthetic.cc.o"
+  "CMakeFiles/privrec_data.dir/synthetic.cc.o.d"
+  "libprivrec_data.a"
+  "libprivrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

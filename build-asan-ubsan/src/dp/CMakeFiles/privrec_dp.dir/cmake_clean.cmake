@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_dp.dir/audit.cc.o"
+  "CMakeFiles/privrec_dp.dir/audit.cc.o.d"
+  "CMakeFiles/privrec_dp.dir/budget.cc.o"
+  "CMakeFiles/privrec_dp.dir/budget.cc.o.d"
+  "CMakeFiles/privrec_dp.dir/ledger.cc.o"
+  "CMakeFiles/privrec_dp.dir/ledger.cc.o.d"
+  "CMakeFiles/privrec_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/privrec_dp.dir/mechanisms.cc.o.d"
+  "libprivrec_dp.a"
+  "libprivrec_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/error_decomposition.cc" "src/eval/CMakeFiles/privrec_eval.dir/error_decomposition.cc.o" "gcc" "src/eval/CMakeFiles/privrec_eval.dir/error_decomposition.cc.o.d"
+  "/root/repo/src/eval/exact_reference.cc" "src/eval/CMakeFiles/privrec_eval.dir/exact_reference.cc.o" "gcc" "src/eval/CMakeFiles/privrec_eval.dir/exact_reference.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/privrec_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/privrec_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/holdout.cc" "src/eval/CMakeFiles/privrec_eval.dir/holdout.cc.o" "gcc" "src/eval/CMakeFiles/privrec_eval.dir/holdout.cc.o.d"
+  "/root/repo/src/eval/ndcg.cc" "src/eval/CMakeFiles/privrec_eval.dir/ndcg.cc.o" "gcc" "src/eval/CMakeFiles/privrec_eval.dir/ndcg.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/eval/CMakeFiles/privrec_eval.dir/significance.cc.o" "gcc" "src/eval/CMakeFiles/privrec_eval.dir/significance.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/privrec_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/privrec_eval.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/core/CMakeFiles/privrec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/community/CMakeFiles/privrec_community.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/similarity/CMakeFiles/privrec_similarity.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/graph/CMakeFiles/privrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/dp/CMakeFiles/privrec_dp.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/la/CMakeFiles/privrec_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

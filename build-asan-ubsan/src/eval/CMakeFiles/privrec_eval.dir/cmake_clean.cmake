@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_eval.dir/error_decomposition.cc.o"
+  "CMakeFiles/privrec_eval.dir/error_decomposition.cc.o.d"
+  "CMakeFiles/privrec_eval.dir/exact_reference.cc.o"
+  "CMakeFiles/privrec_eval.dir/exact_reference.cc.o.d"
+  "CMakeFiles/privrec_eval.dir/experiment.cc.o"
+  "CMakeFiles/privrec_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/privrec_eval.dir/holdout.cc.o"
+  "CMakeFiles/privrec_eval.dir/holdout.cc.o.d"
+  "CMakeFiles/privrec_eval.dir/ndcg.cc.o"
+  "CMakeFiles/privrec_eval.dir/ndcg.cc.o.d"
+  "CMakeFiles/privrec_eval.dir/significance.cc.o"
+  "CMakeFiles/privrec_eval.dir/significance.cc.o.d"
+  "CMakeFiles/privrec_eval.dir/table.cc.o"
+  "CMakeFiles/privrec_eval.dir/table.cc.o.d"
+  "libprivrec_eval.a"
+  "libprivrec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/privrec_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/generators/barabasi_albert.cc" "src/graph/CMakeFiles/privrec_graph.dir/generators/barabasi_albert.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/generators/barabasi_albert.cc.o.d"
+  "/root/repo/src/graph/generators/erdos_renyi.cc" "src/graph/CMakeFiles/privrec_graph.dir/generators/erdos_renyi.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/generators/erdos_renyi.cc.o.d"
+  "/root/repo/src/graph/generators/planted_partition.cc" "src/graph/CMakeFiles/privrec_graph.dir/generators/planted_partition.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/generators/planted_partition.cc.o.d"
+  "/root/repo/src/graph/generators/preference_generator.cc" "src/graph/CMakeFiles/privrec_graph.dir/generators/preference_generator.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/generators/preference_generator.cc.o.d"
+  "/root/repo/src/graph/generators/watts_strogatz.cc" "src/graph/CMakeFiles/privrec_graph.dir/generators/watts_strogatz.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/generators/watts_strogatz.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/privrec_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/graph/CMakeFiles/privrec_graph.dir/metrics.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/metrics.cc.o.d"
+  "/root/repo/src/graph/preference_graph.cc" "src/graph/CMakeFiles/privrec_graph.dir/preference_graph.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/preference_graph.cc.o.d"
+  "/root/repo/src/graph/social_graph.cc" "src/graph/CMakeFiles/privrec_graph.dir/social_graph.cc.o" "gcc" "src/graph/CMakeFiles/privrec_graph.dir/social_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_graph.dir/components.cc.o"
+  "CMakeFiles/privrec_graph.dir/components.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/generators/barabasi_albert.cc.o"
+  "CMakeFiles/privrec_graph.dir/generators/barabasi_albert.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/generators/erdos_renyi.cc.o"
+  "CMakeFiles/privrec_graph.dir/generators/erdos_renyi.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/generators/planted_partition.cc.o"
+  "CMakeFiles/privrec_graph.dir/generators/planted_partition.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/generators/preference_generator.cc.o"
+  "CMakeFiles/privrec_graph.dir/generators/preference_generator.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/generators/watts_strogatz.cc.o"
+  "CMakeFiles/privrec_graph.dir/generators/watts_strogatz.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/graph_io.cc.o"
+  "CMakeFiles/privrec_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/metrics.cc.o"
+  "CMakeFiles/privrec_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/preference_graph.cc.o"
+  "CMakeFiles/privrec_graph.dir/preference_graph.cc.o.d"
+  "CMakeFiles/privrec_graph.dir/social_graph.cc.o"
+  "CMakeFiles/privrec_graph.dir/social_graph.cc.o.d"
+  "libprivrec_graph.a"
+  "libprivrec_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

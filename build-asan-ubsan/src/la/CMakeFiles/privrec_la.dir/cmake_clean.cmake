@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_la.dir/csr_matrix.cc.o"
+  "CMakeFiles/privrec_la.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/privrec_la.dir/dense_matrix.cc.o"
+  "CMakeFiles/privrec_la.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/privrec_la.dir/svd.cc.o"
+  "CMakeFiles/privrec_la.dir/svd.cc.o.d"
+  "libprivrec_la.a"
+  "libprivrec_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/adamic_adar.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/adamic_adar.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/adamic_adar.cc.o.d"
+  "/root/repo/src/similarity/common_neighbors.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/common_neighbors.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/common_neighbors.cc.o.d"
+  "/root/repo/src/similarity/extra_measures.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/extra_measures.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/extra_measures.cc.o.d"
+  "/root/repo/src/similarity/graph_distance.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/graph_distance.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/graph_distance.cc.o.d"
+  "/root/repo/src/similarity/katz.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/katz.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/katz.cc.o.d"
+  "/root/repo/src/similarity/personalized_pagerank.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/personalized_pagerank.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/personalized_pagerank.cc.o.d"
+  "/root/repo/src/similarity/similarity_measure.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/similarity_measure.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/similarity_measure.cc.o.d"
+  "/root/repo/src/similarity/workload.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/workload.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/workload.cc.o.d"
+  "/root/repo/src/similarity/workload_io.cc" "src/similarity/CMakeFiles/privrec_similarity.dir/workload_io.cc.o" "gcc" "src/similarity/CMakeFiles/privrec_similarity.dir/workload_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/graph/CMakeFiles/privrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

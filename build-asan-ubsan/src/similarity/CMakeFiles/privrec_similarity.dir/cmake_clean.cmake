@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privrec_similarity.dir/adamic_adar.cc.o"
+  "CMakeFiles/privrec_similarity.dir/adamic_adar.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/common_neighbors.cc.o"
+  "CMakeFiles/privrec_similarity.dir/common_neighbors.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/extra_measures.cc.o"
+  "CMakeFiles/privrec_similarity.dir/extra_measures.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/graph_distance.cc.o"
+  "CMakeFiles/privrec_similarity.dir/graph_distance.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/katz.cc.o"
+  "CMakeFiles/privrec_similarity.dir/katz.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/personalized_pagerank.cc.o"
+  "CMakeFiles/privrec_similarity.dir/personalized_pagerank.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/similarity_measure.cc.o"
+  "CMakeFiles/privrec_similarity.dir/similarity_measure.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/workload.cc.o"
+  "CMakeFiles/privrec_similarity.dir/workload.cc.o.d"
+  "CMakeFiles/privrec_similarity.dir/workload_io.cc.o"
+  "CMakeFiles/privrec_similarity.dir/workload_io.cc.o.d"
+  "libprivrec_similarity.a"
+  "libprivrec_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privrec_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

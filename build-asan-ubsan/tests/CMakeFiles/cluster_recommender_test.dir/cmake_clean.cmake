@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_recommender_test.dir/cluster_recommender_test.cc.o"
+  "CMakeFiles/cluster_recommender_test.dir/cluster_recommender_test.cc.o.d"
+  "cluster_recommender_test"
+  "cluster_recommender_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_robustness_test.dir/data_robustness_test.cc.o"
+  "CMakeFiles/data_robustness_test.dir/data_robustness_test.cc.o.d"
+  "data_robustness_test"
+  "data_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

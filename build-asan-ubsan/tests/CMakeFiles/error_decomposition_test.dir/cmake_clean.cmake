@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_decomposition_test.dir/error_decomposition_test.cc.o"
+  "CMakeFiles/error_decomposition_test.dir/error_decomposition_test.cc.o.d"
+  "error_decomposition_test"
+  "error_decomposition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_measures_test.dir/extra_measures_test.cc.o"
+  "CMakeFiles/extra_measures_test.dir/extra_measures_test.cc.o.d"
+  "extra_measures_test"
+  "extra_measures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_property_test.dir/mechanism_property_test.cc.o"
+  "CMakeFiles/mechanism_property_test.dir/mechanism_property_test.cc.o.d"
+  "mechanism_property_test"
+  "mechanism_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

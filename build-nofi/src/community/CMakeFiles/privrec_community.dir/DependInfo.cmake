@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/community/kmeans.cc" "src/community/CMakeFiles/privrec_community.dir/kmeans.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/kmeans.cc.o.d"
+  "/root/repo/src/community/label_propagation.cc" "src/community/CMakeFiles/privrec_community.dir/label_propagation.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/label_propagation.cc.o.d"
+  "/root/repo/src/community/louvain.cc" "src/community/CMakeFiles/privrec_community.dir/louvain.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/louvain.cc.o.d"
+  "/root/repo/src/community/modularity.cc" "src/community/CMakeFiles/privrec_community.dir/modularity.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/modularity.cc.o.d"
+  "/root/repo/src/community/partition.cc" "src/community/CMakeFiles/privrec_community.dir/partition.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/partition.cc.o.d"
+  "/root/repo/src/community/partition_io.cc" "src/community/CMakeFiles/privrec_community.dir/partition_io.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/partition_io.cc.o.d"
+  "/root/repo/src/community/postprocess.cc" "src/community/CMakeFiles/privrec_community.dir/postprocess.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/postprocess.cc.o.d"
+  "/root/repo/src/community/quality.cc" "src/community/CMakeFiles/privrec_community.dir/quality.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/quality.cc.o.d"
+  "/root/repo/src/community/simple_clusterings.cc" "src/community/CMakeFiles/privrec_community.dir/simple_clusterings.cc.o" "gcc" "src/community/CMakeFiles/privrec_community.dir/simple_clusterings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-nofi/src/la/CMakeFiles/privrec_la.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/graph/CMakeFiles/privrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

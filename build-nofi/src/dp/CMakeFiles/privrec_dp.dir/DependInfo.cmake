@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/audit.cc" "src/dp/CMakeFiles/privrec_dp.dir/audit.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/audit.cc.o.d"
+  "/root/repo/src/dp/budget.cc" "src/dp/CMakeFiles/privrec_dp.dir/budget.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/budget.cc.o.d"
+  "/root/repo/src/dp/ledger.cc" "src/dp/CMakeFiles/privrec_dp.dir/ledger.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/ledger.cc.o.d"
+  "/root/repo/src/dp/mechanisms.cc" "src/dp/CMakeFiles/privrec_dp.dir/mechanisms.cc.o" "gcc" "src/dp/CMakeFiles/privrec_dp.dir/mechanisms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-nofi/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

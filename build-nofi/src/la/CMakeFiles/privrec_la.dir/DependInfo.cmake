@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/csr_matrix.cc" "src/la/CMakeFiles/privrec_la.dir/csr_matrix.cc.o" "gcc" "src/la/CMakeFiles/privrec_la.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/la/dense_matrix.cc" "src/la/CMakeFiles/privrec_la.dir/dense_matrix.cc.o" "gcc" "src/la/CMakeFiles/privrec_la.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/la/svd.cc" "src/la/CMakeFiles/privrec_la.dir/svd.cc.o" "gcc" "src/la/CMakeFiles/privrec_la.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-nofi/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/generators_test.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/generators_test.dir/generators_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-nofi/src/eval/CMakeFiles/privrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/core/CMakeFiles/privrec_core.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/dp/CMakeFiles/privrec_dp.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/community/CMakeFiles/privrec_community.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/similarity/CMakeFiles/privrec_similarity.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/data/CMakeFiles/privrec_data.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/graph/CMakeFiles/privrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/la/CMakeFiles/privrec_la.dir/DependInfo.cmake"
+  "/root/repo/build-nofi/src/common/CMakeFiles/privrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
