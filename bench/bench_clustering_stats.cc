@@ -50,6 +50,7 @@ void Report(const std::string& label, const graph::SocialGraph& g,
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ApplyThreadsFlag(flags);
   const int64_t flixster_users = flags.GetInt("flixster_users", 12000);
   if (!flags.Validate()) return 1;
 

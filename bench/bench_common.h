@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "dp/mechanisms.h"
@@ -19,6 +21,16 @@
 #include "similarity/katz.h"
 
 namespace privrec::bench {
+
+// Consumes the --threads flag (default: hardware concurrency, or the
+// PRIVREC_THREADS environment variable if set) and installs it as the
+// process-wide thread count for the deterministic parallel layer. Results
+// are bit-identical for every value — the flag trades wall-clock only.
+inline int64_t ApplyThreadsFlag(FlagParser& flags) {
+  int64_t threads = flags.GetInt("threads", GlobalThreadCount());
+  SetGlobalThreadCount(threads);
+  return GlobalThreadCount();
+}
 
 // The paper's four instantiations, in its citation order.
 inline const std::vector<std::string>& MeasureNames() {

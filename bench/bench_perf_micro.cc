@@ -1,10 +1,26 @@
 // P1: google-benchmark microbenchmarks for the performance-critical
 // building blocks: noise sampling, similarity rows, Louvain, the noisy
-// cluster averages (module A_w) and end-to-end private recommendation.
+// cluster averages (module A_w) and end-to-end private recommendation —
+// plus serial-vs-parallel timings of the hot paths that run on the
+// deterministic parallel layer (the */threads:N benchmarks).
+//
+// Reproducibility: the custom main stamps thread count, chunking rule,
+// library version and git revision into the benchmark context, so JSON
+// output (--benchmark_out=BENCH_parallel.json --benchmark_out_format=json)
+// is comparable across PRs. A --threads=N flag (default: hardware
+// concurrency / PRIVREC_THREADS) sets the default thread count; the
+// */threads:N benchmarks override it per run. Thread count never changes
+// results — only wall-clock.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/parallel.h"
 #include "common/random.h"
+#include "common/version.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
 #include "core/exact_recommender.h"
@@ -78,6 +94,43 @@ void BM_WorkloadCompute(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadCompute);
 
+// Serial-vs-parallel: the same materialization at a pinned thread count.
+// Outputs are bit-identical across the Arg values; only time may differ.
+void BM_WorkloadComputeThreads(benchmark::State& state) {
+  const data::Dataset& dataset = SharedDataset();
+  similarity::CommonNeighbors measure;
+  ScopedThreadCount scoped(state.range(0));
+  for (auto _ : state) {
+    auto workload =
+        similarity::SimilarityWorkload::Compute(dataset.social, measure);
+    benchmark::DoNotOptimize(workload.TotalEntries());
+  }
+}
+BENCHMARK(BM_WorkloadComputeThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+// The heavier Katz workload, where per-row cost dominates chunk overhead.
+void BM_WorkloadComputeKatzThreads(benchmark::State& state) {
+  const data::Dataset& dataset = SharedDataset();
+  similarity::Katz measure(3, 0.05);
+  ScopedThreadCount scoped(state.range(0));
+  for (auto _ : state) {
+    auto workload =
+        similarity::SimilarityWorkload::Compute(dataset.social, measure);
+    benchmark::DoNotOptimize(workload.TotalEntries());
+  }
+}
+BENCHMARK(BM_WorkloadComputeKatzThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
 void BM_Louvain(benchmark::State& state) {
   graph::PlantedPartitionOptions opt;
   opt.num_nodes = state.range(0);
@@ -125,6 +178,23 @@ void BM_NoisyClusterAverages(benchmark::State& state) {
 }
 BENCHMARK(BM_NoisyClusterAverages);
 
+void BM_NoisyClusterAveragesThreads(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  core::ClusterRecommender rec(f.context, f.louvain.partition,
+                               {.epsilon = 0.1, .seed = 7});
+  ScopedThreadCount scoped(state.range(0));
+  for (auto _ : state) {
+    auto averages = rec.ComputeNoisyClusterAverages();
+    benchmark::DoNotOptimize(averages.data());
+  }
+}
+BENCHMARK(BM_NoisyClusterAveragesThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
 void BM_ClusterRecommendPerUser(benchmark::State& state) {
   RecommenderFixture& f = SharedFixture();
   core::ClusterRecommender rec(f.context, f.louvain.partition,
@@ -139,6 +209,27 @@ void BM_ClusterRecommendPerUser(benchmark::State& state) {
                           static_cast<int64_t>(users.size()));
 }
 BENCHMARK(BM_ClusterRecommendPerUser);
+
+void BM_ClusterRecommendThreads(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  core::ClusterRecommender rec(f.context, f.louvain.partition,
+                               {.epsilon = 0.1, .seed = 8});
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 200; ++u) users.push_back(u);
+  ScopedThreadCount scoped(state.range(0));
+  for (auto _ : state) {
+    auto lists = rec.Recommend(users, 50);
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_ClusterRecommendThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 void BM_ItemCfRecommendPerUser(benchmark::State& state) {
   RecommenderFixture& f = SharedFixture();
@@ -171,6 +262,29 @@ void BM_NdcgEvaluation(benchmark::State& state) {
                           static_cast<int64_t>(users.size()));
 }
 BENCHMARK(BM_NdcgEvaluation);
+
+void BM_NdcgEvaluationThreads(benchmark::State& state) {
+  RecommenderFixture& f = SharedFixture();
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 200; ++u) users.push_back(u);
+  eval::ExactReference ref =
+      eval::ExactReference::Compute(f.context, users, 50);
+  core::ClusterRecommender rec(f.context, f.louvain.partition,
+                               {.epsilon = 0.5, .seed = 10});
+  auto lists = rec.Recommend(users, 50);
+  ScopedThreadCount scoped(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.MeanNdcg(lists));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_NdcgEvaluationThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 void BM_TopNAccumulator(benchmark::State& state) {
   Rng rng(11);
@@ -215,4 +329,36 @@ BENCHMARK(BM_ExactRecommendPerUser);
 }  // namespace
 }  // namespace privrec
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus: a --threads=N flag for the default thread count,
+// and reproducibility metadata in the benchmark context so BENCH_*.json
+// records are comparable across PRs and machines.
+int main(int argc, char** argv) {
+  int out = 1;  // argv[0] kept
+  for (int in = 1; in < argc; ++in) {
+    const char* kPrefix = "--threads=";
+    if (std::strncmp(argv[in], kPrefix, std::strlen(kPrefix)) == 0) {
+      privrec::SetGlobalThreadCount(
+          std::atoll(argv[in] + std::strlen(kPrefix)));
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  argc = out;
+
+  benchmark::AddCustomContext("privrec_version", privrec::kVersionString);
+  benchmark::AddCustomContext("git_revision", privrec::kGitRevision);
+  benchmark::AddCustomContext(
+      "threads", std::to_string(privrec::GlobalThreadCount()));
+  benchmark::AddCustomContext(
+      "hardware_threads", std::to_string(privrec::HardwareThreads()));
+  benchmark::AddCustomContext(
+      "chunking", "fixed; target " +
+                      std::to_string(privrec::kDefaultTargetChunks) +
+                      " chunks (DefaultChunkSize = ceil(n/target))");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Builds the whole tree under AddressSanitizer + UBSan and runs the test
-# suite. Any sanitizer finding aborts the offending test, so a green ctest
-# here means the suite is clean under both.
+# suite, then builds the parallel-layer-relevant tests under
+# ThreadSanitizer and runs them with 4 threads (PRIVREC_THREADS=4, set in
+# the tsan test preset) so chunk claiming, the job handshake and the
+# ordered reduction are exercised with real cross-thread interleavings.
+# Any sanitizer finding aborts the offending test, so a green run here
+# means the suite is clean under all three.
 #
 # Usage: ci/sanitize.sh [extra ctest args...]
 set -euo pipefail
@@ -10,3 +14,11 @@ cd "$(dirname "$0")/.."
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$(nproc)"
 ctest --preset asan-ubsan -j"$(nproc)" "$@"
+
+# ThreadSanitizer pass: the tests that drive the deterministic parallel
+# layer (common/parallel.h) through its concurrent paths.
+TSAN_TESTS="parallel_test|core_test|similarity_test"
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" \
+  --target parallel_test core_test similarity_test
+ctest --preset tsan -j"$(nproc)" -R "^(${TSAN_TESTS})\$" "$@"

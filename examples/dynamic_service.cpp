@@ -25,6 +25,7 @@
 
 #include "common/fault_injection.h"
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "core/dynamic_recommender.h"
 #include "data/synthetic.h"
 #include "eval/exact_reference.h"
@@ -34,6 +35,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
+  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   const int64_t weeks = flags.GetInt("weeks", 8);
   const double total_epsilon = flags.GetDouble("total_epsilon", 1.0);
   const std::string allocation =

@@ -14,6 +14,7 @@
 #include <fstream>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "community/louvain.h"
 #include "community/partition_io.h"
@@ -27,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
+  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   const std::string social_path =
       flags.GetString("social", "/tmp/privrec_social.tsv");
   const std::string prefs_path =

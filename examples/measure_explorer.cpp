@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "data/synthetic.h"
 #include "similarity/adamic_adar.h"
 #include "similarity/common_neighbors.h"
@@ -27,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
+  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   const graph::NodeId user =
       static_cast<graph::NodeId>(flags.GetInt("user", 10));
   const int64_t top = flags.GetInt("top", 6);

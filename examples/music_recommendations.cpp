@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "community/louvain.h"
@@ -31,6 +32,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
+  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   const double epsilon = flags.GetDouble("epsilon", 0.6);
   const int64_t num_users = flags.GetInt("users", 1892);
   const int64_t num_items = flags.GetInt("items", 17632);

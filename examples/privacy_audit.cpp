@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "community/partition.h"
 #include "core/cluster_recommender.h"
 #include "dp/audit.h"
@@ -25,6 +26,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
+  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   const double epsilon = flags.GetDouble("epsilon", 0.7);
   const int64_t samples = flags.GetInt("samples", 40000);
   if (!flags.Validate()) return 1;

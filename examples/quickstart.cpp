@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
 #include "core/exact_recommender.h"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
+  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   const double epsilon = flags.GetDouble("epsilon", 0.5);
   const int64_t top_n = flags.GetInt("top_n", 5);
   if (!flags.Validate()) return 1;

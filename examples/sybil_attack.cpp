@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
@@ -31,6 +32,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
+  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   const double epsilon = flags.GetDouble("epsilon", 0.5);
   const int trials = static_cast<int>(flags.GetInt("trials", 20));
   if (!flags.Validate()) return 1;

@@ -1,0 +1,195 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace privrec {
+
+namespace {
+
+// True while this thread is executing chunks of some parallel region;
+// nested parallel calls then run serially inline (no deadlock on the run
+// mutex, and determinism is preserved because serial execution of fixed
+// chunks is the reference behaviour).
+thread_local bool t_in_parallel_region = false;
+
+int64_t InitialThreadCount() {
+  if (const char* env = std::getenv("PRIVREC_THREADS")) {
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int64_t>(v);
+  }
+  return HardwareThreads();
+}
+
+std::atomic<int64_t>& GlobalThreadCountStorage() {
+  static std::atomic<int64_t> count{InitialThreadCount()};
+  return count;
+}
+
+// A chunked pool without work stealing: one job at a time, workers (and
+// the submitting thread) claim chunk indices from a shared counter. The
+// pool is created on first parallel use and intentionally leaked so that
+// worker lifetime never races with static destruction.
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  Status Run(int64_t num_chunks, int64_t threads,
+             const std::function<Status(int64_t)>& chunk_fn) {
+    // Serializes concurrent Run() calls from different threads; parallel
+    // regions do not nest (nested calls take the serial path above).
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+
+    Job job;
+    job.fn = &chunk_fn;
+    job.num_chunks = num_chunks;
+
+    EnsureWorkers(threads - 1);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      job_ = &job;
+      ++job_epoch_;
+    }
+    cv_.notify_all();
+
+    // The caller works too: with zero idle workers this degrades to the
+    // plain serial loop.
+    t_in_parallel_region = true;
+    WorkOn(job);
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    job_ = nullptr;
+    return job.first_error_chunk < 0 ? Status::Ok() : job.error;
+  }
+
+ private:
+  struct Job {
+    const std::function<Status(int64_t)>* fn = nullptr;
+    int64_t num_chunks = 0;
+    std::atomic<int64_t> next{0};
+    std::atomic<bool> cancelled{false};
+    // Guarded by the pool mutex.
+    int64_t first_error_chunk = -1;
+    Status error;
+  };
+
+  void EnsureWorkers(int64_t wanted) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    while (static_cast<int64_t>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_parallel_region = true;
+    uint64_t seen_epoch = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk,
+                 [&] { return job_ != nullptr && job_epoch_ != seen_epoch; });
+        seen_epoch = job_epoch_;
+        job = job_;
+        ++active_;
+      }
+      WorkOn(*job);
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (--active_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void WorkOn(Job& job) {
+    while (true) {
+      const int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.num_chunks) break;
+      if (job.cancelled.load(std::memory_order_relaxed)) break;
+      Status s = (*job.fn)(c);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (job.first_error_chunk < 0 || c < job.first_error_chunk) {
+          job.first_error_chunk = c;
+          job.error = std::move(s);
+        }
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::mutex run_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  uint64_t job_epoch_ = 0;
+  int64_t active_ = 0;
+  std::vector<std::thread> workers_;  // leaked with the pool, never joined
+};
+
+}  // namespace
+
+int64_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+int64_t GlobalThreadCount() {
+  return GlobalThreadCountStorage().load(std::memory_order_relaxed);
+}
+
+void SetGlobalThreadCount(int64_t threads) {
+  GlobalThreadCountStorage().store(threads < 1 ? 1 : threads,
+                                   std::memory_order_relaxed);
+}
+
+int64_t DefaultChunkSize(int64_t n) {
+  if (n <= 0) return 1;
+  return (n + kDefaultTargetChunks - 1) / kDefaultTargetChunks;
+}
+
+int64_t NumChunks(int64_t n, int64_t chunk_size) {
+  if (n <= 0) return 0;
+  PRIVREC_CHECK(chunk_size >= 1);
+  return (n + chunk_size - 1) / chunk_size;
+}
+
+namespace internal {
+
+int64_t ResolveThreads(int64_t requested) {
+  const int64_t t = requested > 0 ? requested : GlobalThreadCount();
+  return t < 1 ? 1 : t;
+}
+
+Status RunChunks(int64_t num_chunks, int64_t threads,
+                 const std::function<Status(int64_t)>& chunk_fn) {
+  if (num_chunks <= 0) return Status::Ok();
+  threads = std::min(threads, num_chunks);
+  if (threads <= 1 || t_in_parallel_region) {
+    // Serial reference path: chunks in index order, stop at first error.
+    const bool saved = t_in_parallel_region;
+    t_in_parallel_region = true;
+    Status result;
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      result = chunk_fn(c);
+      if (!result.ok()) break;
+    }
+    t_in_parallel_region = saved;
+    return result;
+  }
+  return ThreadPool::Global().Run(num_chunks, threads, chunk_fn);
+}
+
+}  // namespace internal
+
+}  // namespace privrec

@@ -1,0 +1,251 @@
+// Deterministic parallel execution for the similarity/serving hot paths.
+//
+// The library's randomized mechanisms only keep their privacy calibration
+// if the noise stream — and every floating-point reduction feeding it — is
+// reproducible bit-for-bit. That makes parallelism a correctness problem:
+// naive work division re-orders FP sums and interleaves RNG draws, so the
+// same seed produces different releases at different thread counts.
+//
+// This layer guarantees **thread-count invariance**: for a fixed input and
+// seed, results are bit-identical for any --threads value, including 1.
+// Three rules make that hold:
+//
+//   1. Fixed chunking. A range [0, n) is cut into chunks whose boundaries
+//      are a pure function of (n, chunk_size) — never of the thread count.
+//      DefaultChunkSize(n) aims for kDefaultTargetChunks chunks; for
+//      n <= kDefaultTargetChunks the chunk size is 1, so small ranges
+//      reproduce the serial element order exactly.
+//   2. Ordered reduction. ParallelReduce computes one partial result per
+//      chunk (in whatever order threads reach them) and folds the partials
+//      sequentially in increasing chunk index. The FP summation tree is
+//      therefore fixed by the chunk boundaries alone.
+//   3. Split RNG. SplitRng derives one independent splitmix64-seeded
+//      xoshiro256++ stream per chunk. A chunk's draws depend only on
+//      (seed, invocation, chunk index), not on which thread ran it or what
+//      other chunks did.
+//
+// There is no work stealing and no dynamic splitting: threads claim whole
+// chunks from a shared counter, so scheduling affects only *when* a chunk
+// runs, never *what* it computes.
+//
+// Exceptions thrown by a chunk body are captured and surfaced as a
+// Status (kInternal); a Status-returning body propagates its own error.
+// Among failing chunks the lowest chunk index wins, so single-error
+// scenarios report deterministically. After a failure, unstarted chunks
+// are skipped; partial side effects of other chunks are unspecified.
+//
+// Nested parallel calls (a ParallelFor inside a chunk body) run serially
+// inline — deterministic and deadlock-free.
+
+#ifndef PRIVREC_COMMON_PARALLEL_H_
+#define PRIVREC_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace privrec {
+
+// ----------------------------------------------------------- configuration
+
+// Number of hardware threads (>= 1).
+int64_t HardwareThreads();
+
+// The process-wide default thread count used when ParallelOptions.threads
+// is 0. Initialized from the PRIVREC_THREADS environment variable if set,
+// else HardwareThreads(). Thread counts are clamped to >= 1.
+int64_t GlobalThreadCount();
+void SetGlobalThreadCount(int64_t threads);
+
+// RAII override of the global thread count (tests, benches).
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(int64_t threads)
+      : saved_(GlobalThreadCount()) {
+    SetGlobalThreadCount(threads);
+  }
+  ~ScopedThreadCount() { SetGlobalThreadCount(saved_); }
+  ScopedThreadCount(const ScopedThreadCount&) = delete;
+  ScopedThreadCount& operator=(const ScopedThreadCount&) = delete;
+
+ private:
+  int64_t saved_;
+};
+
+struct ParallelOptions {
+  // 0 = GlobalThreadCount(). Affects scheduling only, never results.
+  int64_t threads = 0;
+  // 0 = DefaultChunkSize(n). A caller-supplied value MUST NOT be derived
+  // from the thread count, or determinism across thread counts is lost.
+  int64_t chunk_size = 0;
+};
+
+// Chunk-count target of DefaultChunkSize: enough chunks for load balance
+// on any realistic machine, few enough that per-chunk overhead and the
+// ordered fold stay negligible.
+inline constexpr int64_t kDefaultTargetChunks = 256;
+
+// ceil(n / kDefaultTargetChunks), min 1 — a pure function of n.
+int64_t DefaultChunkSize(int64_t n);
+
+// ceil(n / chunk_size) for n > 0; 0 for n <= 0.
+int64_t NumChunks(int64_t n, int64_t chunk_size);
+
+// ------------------------------------------------------------------ rng
+
+// Derives one independent RNG stream per chunk (or per any caller-chosen
+// stream id). Streams depend only on (seed, invocation, stream id): the
+// noise a chunk draws is the same no matter which thread runs it, how many
+// threads exist, or in what order chunks complete.
+class SplitRng {
+ public:
+  // `invocation` distinguishes repeated uses under one seed (e.g. repeated
+  // Recommend() calls must draw fresh, still-reproducible noise).
+  explicit SplitRng(uint64_t seed, uint64_t invocation = 0)
+      : base_(Rng(seed).Fork(invocation)) {}
+
+  // Derive from an existing generator (already forked per invocation).
+  explicit SplitRng(const Rng& base) : base_(base) {}
+
+  // The independent stream for `stream_id` (typically the chunk index).
+  Rng StreamFor(uint64_t stream_id) const { return base_.Fork(stream_id); }
+
+ private:
+  Rng base_;
+};
+
+// ------------------------------------------------------------- internals
+
+namespace internal {
+
+// Runs chunk_fn(c) for c in [0, num_chunks) on up to `threads` threads
+// (the calling thread participates). Blocks until every started chunk
+// finished. Returns the error of the lowest-indexed failing chunk, or OK.
+Status RunChunks(int64_t num_chunks, int64_t threads,
+                 const std::function<Status(int64_t)>& chunk_fn);
+
+int64_t ResolveThreads(int64_t requested);
+
+template <typename Body>
+Status InvokeChunk(Body& body, int64_t chunk, int64_t begin, int64_t end) {
+  try {
+    if constexpr (std::is_same_v<
+                      std::invoke_result_t<Body&, int64_t, int64_t, int64_t>,
+                      Status>) {
+      return body(chunk, begin, end);
+    } else {
+      body(chunk, begin, end);
+      return Status::Ok();
+    }
+  } catch (const std::exception& e) {
+    return Status::Internal("exception in parallel chunk " +
+                            std::to_string(chunk) + ": " + e.what());
+  } catch (...) {
+    return Status::Internal("unknown exception in parallel chunk " +
+                            std::to_string(chunk));
+  }
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------- loops
+
+// body(chunk_index, begin, end) over fixed chunks of [0, n). The body may
+// return void or Status and may throw; errors come back as a Status.
+template <typename Body>
+Status ParallelFor(int64_t n, const ParallelOptions& options, Body&& body) {
+  if (n <= 0) return Status::Ok();
+  const int64_t chunk_size =
+      options.chunk_size > 0 ? options.chunk_size : DefaultChunkSize(n);
+  const int64_t chunks = NumChunks(n, chunk_size);
+  return internal::RunChunks(
+      chunks, internal::ResolveThreads(options.threads),
+      [&](int64_t c) -> Status {
+        const int64_t begin = c * chunk_size;
+        const int64_t end = std::min(n, begin + chunk_size);
+        return internal::InvokeChunk(body, c, begin, end);
+      });
+}
+
+// Convenience overload with default options.
+template <typename Body>
+Status ParallelFor(int64_t n, Body&& body) {
+  return ParallelFor(n, ParallelOptions{}, std::forward<Body>(body));
+}
+
+// Ordered chunked reduction: partial = map(chunk_index, begin, end) per
+// chunk, then combine(accumulator, std::move(partial)) folded left in
+// increasing chunk index starting from `init`. The partial type is
+// whatever `map` returns; it need not match the accumulator type T.
+// Because both the chunk boundaries and the fold order are fixed, the
+// result (including its FP rounding) is identical for every thread count.
+template <typename T, typename Map, typename Combine>
+Result<T> ParallelReduce(int64_t n, const ParallelOptions& options, T init,
+                         Map&& map, Combine&& combine) {
+  using Partial = std::invoke_result_t<Map&, int64_t, int64_t, int64_t>;
+  if (n <= 0) return init;
+  const int64_t chunk_size =
+      options.chunk_size > 0 ? options.chunk_size : DefaultChunkSize(n);
+  const int64_t chunks = NumChunks(n, chunk_size);
+  std::vector<std::optional<Partial>> partials(static_cast<size_t>(chunks));
+  Status run = internal::RunChunks(
+      chunks, internal::ResolveThreads(options.threads),
+      [&](int64_t c) -> Status {
+        const int64_t begin = c * chunk_size;
+        const int64_t end = std::min(n, begin + chunk_size);
+        auto wrapped = [&](int64_t chunk, int64_t b, int64_t e) -> Status {
+          partials[static_cast<size_t>(chunk)].emplace(map(chunk, b, e));
+          return Status::Ok();
+        };
+        return internal::InvokeChunk(wrapped, c, begin, end);
+      });
+  if (!run.ok()) return run;
+  T acc = std::move(init);
+  for (int64_t c = 0; c < chunks; ++c) {
+    combine(acc, std::move(*partials[static_cast<size_t>(c)]));
+  }
+  return acc;
+}
+
+template <typename T, typename Map, typename Combine>
+Result<T> ParallelReduce(int64_t n, T init, Map&& map, Combine&& combine) {
+  return ParallelReduce(n, ParallelOptions{}, std::move(init),
+                        std::forward<Map>(map),
+                        std::forward<Combine>(combine));
+}
+
+// Ordered chunked double sum of f(i) over [0, n) — the common case for
+// statistics (mean NDCG, row sums). Serial left-fold within each chunk,
+// chunk partials folded in index order.
+template <typename F>
+double ParallelSum(int64_t n, const ParallelOptions& options, F&& f) {
+  Result<double> r = ParallelReduce(
+      n, options, 0.0,
+      [&](int64_t, int64_t begin, int64_t end) {
+        double acc = 0.0;
+        for (int64_t i = begin; i < end; ++i) acc += f(i);
+        return acc;
+      },
+      [](double& acc, double part) { acc += part; });
+  // The map never fails; a failure here means a chunk body threw, which
+  // the simple summation callers treat as a programming error.
+  PRIVREC_CHECK_MSG(r.ok(), r.status().message().c_str());
+  return *r;
+}
+
+template <typename F>
+double ParallelSum(int64_t n, F&& f) {
+  return ParallelSum(n, ParallelOptions{}, std::forward<F>(f));
+}
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_PARALLEL_H_

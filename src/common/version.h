@@ -1,7 +1,13 @@
-// Library version.
+// Library version and build provenance.
 
 #ifndef PRIVREC_COMMON_VERSION_H_
 #define PRIVREC_COMMON_VERSION_H_
+
+// Stamped by CMake with `git rev-parse --short HEAD` at configure time so
+// that benchmark records (BENCH_*.json) identify the code they measured.
+#ifndef PRIVREC_GIT_REVISION
+#define PRIVREC_GIT_REVISION "unknown"
+#endif
 
 namespace privrec {
 
@@ -9,6 +15,7 @@ inline constexpr int kVersionMajor = 1;
 inline constexpr int kVersionMinor = 0;
 inline constexpr int kVersionPatch = 0;
 inline constexpr const char* kVersionString = "1.0.0";
+inline constexpr const char* kGitRevision = PRIVREC_GIT_REVISION;
 
 }  // namespace privrec
 

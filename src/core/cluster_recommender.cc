@@ -5,9 +5,21 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/parallel.h"
 #include "dp/mechanisms.h"
 
 namespace privrec::core {
+
+namespace {
+
+// Per-chunk tallies of the noise-publication loop, folded in chunk order.
+struct AverageTallies {
+  int64_t empty_clusters = 0;
+  int64_t singleton_clusters = 0;
+  int64_t nonfinite_sanitized = 0;
+};
+
+}  // namespace
 
 ClusterRecommender::ClusterRecommender(
     const RecommenderContext& context, community::Partition partition,
@@ -23,16 +35,19 @@ ClusterRecommender::ClusterRecommender(
 ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
   const int64_t num_clusters = partition_.num_clusters();
   const graph::ItemId num_items = context_.preferences->num_items();
-  // Fresh noise stream per invocation keeps repeated trials independent
-  // while the whole object stays deterministic under a fixed seed.
-  dp::LaplaceMechanism laplace(options_.epsilon,
-                               Rng(options_.seed).Fork(invocation_++));
+  // Fresh per-invocation noise keeps repeated trials independent while the
+  // whole object stays deterministic under a fixed seed. Each chunk of
+  // clusters draws from its own split stream, so the released noise is
+  // bit-identical for every thread count (see common/parallel.h).
+  const SplitRng split(options_.seed, invocation_++);
 
   NoisyAverages result;
   result.sanitized.assign(static_cast<size_t>(num_clusters), 0);
 
   // Lines 2-6 of Algorithm 1: per-(cluster, item) edge-weight sums via one
-  // pass over the preference edges.
+  // pass over the preference edges. Stays serial: it is O(edges) while the
+  // noise stage below is O(clusters * items), and users of one cluster may
+  // sit anywhere in the id range.
   std::vector<double>& averages = result.values;
   averages.assign(static_cast<size_t>(num_clusters * num_items), 0.0);
   for (graph::NodeId v = 0; v < context_.preferences->num_users(); ++v) {
@@ -48,34 +63,52 @@ ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
   // sensitivity of a cluster average is w_max/|c| because one preference
   // edge changes exactly one cluster's sum by at most the largest allowed
   // weight (cluster membership is data-independent); w_max = 1 in the
-  // paper's unweighted model.
+  // paper's unweighted model. Clusters are processed in fixed chunks with
+  // disjoint rows; the per-chunk tallies fold in chunk order.
   const double w_max = context_.preferences->max_weight();
-  for (int64_t c = 0; c < num_clusters; ++c) {
-    const int64_t members = partition_.ClusterSize(c);
-    double* row = averages.data() + c * num_items;
-    if (members == 0) {
-      // An empty cluster holds no preference edges: there is no average to
-      // release (dividing would manufacture 0/0 NaNs). Its row stays zero
-      // and contributes nothing downstream.
-      ++result.empty_clusters;
-      continue;
-    }
-    if (members == 1) ++result.singleton_clusters;
-    double size = static_cast<double>(members);
-    double sensitivity = w_max / size;
-    for (graph::ItemId i = 0; i < num_items; ++i) {
-      row[i] = laplace.Release(row[i] / size, sensitivity);
-    }
-    row[0] = fault::MaybePoison("cluster.noisy_averages", row[0]);
-    for (graph::ItemId i = 0; i < num_items; ++i) {
-      if (!std::isfinite(row[i])) {
-        // Sanitizing a released value is post-processing: no extra ε.
-        row[i] = 0.0;
-        ++result.nonfinite_sanitized;
-        result.sanitized[static_cast<size_t>(c)] = 1;
-      }
-    }
-  }
+  Result<AverageTallies> tallies = ParallelReduce(
+      num_clusters, AverageTallies{},
+      [&](int64_t chunk, int64_t begin, int64_t end) {
+        dp::LaplaceMechanism laplace(
+            options_.epsilon, split.StreamFor(static_cast<uint64_t>(chunk)));
+        AverageTallies t;
+        for (int64_t c = begin; c < end; ++c) {
+          const int64_t members = partition_.ClusterSize(c);
+          double* row = averages.data() + c * num_items;
+          if (members == 0) {
+            // An empty cluster holds no preference edges: there is no
+            // average to release (dividing would manufacture 0/0 NaNs).
+            // Its row stays zero and contributes nothing downstream.
+            ++t.empty_clusters;
+            continue;
+          }
+          if (members == 1) ++t.singleton_clusters;
+          double size = static_cast<double>(members);
+          double sensitivity = w_max / size;
+          for (graph::ItemId i = 0; i < num_items; ++i) {
+            row[i] = laplace.Release(row[i] / size, sensitivity);
+          }
+          row[0] = fault::MaybePoison("cluster.noisy_averages", row[0]);
+          for (graph::ItemId i = 0; i < num_items; ++i) {
+            if (!std::isfinite(row[i])) {
+              // Sanitizing a released value is post-processing: no extra ε.
+              row[i] = 0.0;
+              ++t.nonfinite_sanitized;
+              result.sanitized[static_cast<size_t>(c)] = 1;
+            }
+          }
+        }
+        return t;
+      },
+      [](AverageTallies& acc, AverageTallies t) {
+        acc.empty_clusters += t.empty_clusters;
+        acc.singleton_clusters += t.singleton_clusters;
+        acc.nonfinite_sanitized += t.nonfinite_sanitized;
+      });
+  PRIVREC_CHECK_MSG(tallies.ok(), tallies.status().message().c_str());
+  result.empty_clusters = tallies->empty_clusters;
+  result.singleton_clusters = tallies->singleton_clusters;
+  result.nonfinite_sanitized = tallies->nonfinite_sanitized;
   return result;
 }
 
@@ -111,50 +144,72 @@ RecommendedBatch ClusterRecommender::RecommendWithReport(
     }
   }
 
-  // Lines 8-20: per-user reconstruction. sim_sum per cluster is sparse (a
-  // user's similarity set touches few clusters); the item-utility vector is
-  // dense because every noisy average is nonzero.
-  batch.lists.reserve(users.size());
-  batch.degradation.reserve(users.size());
-  std::vector<double> sim_sum(static_cast<size_t>(num_clusters), 0.0);
-  std::vector<int64_t> touched;
-  std::vector<double> utilities(static_cast<size_t>(num_items));
-  for (graph::NodeId u : users) {
-    touched.clear();
-    for (const similarity::SimilarityEntry& e : context_.workload->Row(u)) {
-      int64_t c = partition_.ClusterOf(e.user);
-      if (sim_sum[static_cast<size_t>(c)] == 0.0) touched.push_back(c);
-      sim_sum[static_cast<size_t>(c)] += e.score;
-    }
-    DegradationInfo info;
-    if (touched.empty()) {
-      // No similarity support: the reconstruction formula would rank every
-      // item 0. Serve the global-average ranking instead of an arbitrary
-      // tie-break.
-      info.reason = DegradationReason::kIsolatedUser;
-      batch.lists.push_back(TopNFromDense(global, top_n));
-    } else {
-      std::fill(utilities.begin(), utilities.end(), 0.0);
-      bool touched_sanitized = false;
-      for (int64_t c : touched) {
-        double s = sim_sum[static_cast<size_t>(c)];
-        if (noisy.sanitized[static_cast<size_t>(c)]) {
-          touched_sanitized = true;
+  // Lines 8-20: per-user reconstruction, parallel over fixed chunks of the
+  // request batch. Each user's list and diagnostics are written to its own
+  // slot; the per-chunk degradation counts fold in chunk order. sim_sum per
+  // cluster is sparse (a user's similarity set touches few clusters); the
+  // item-utility vector is dense because every noisy average is nonzero.
+  batch.lists.resize(users.size());
+  batch.degradation.resize(users.size());
+  Result<int64_t> degraded = ParallelReduce(
+      static_cast<int64_t>(users.size()), int64_t{0},
+      [&](int64_t, int64_t begin, int64_t end) {
+        // Worker-local scratch, fully re-zeroed between users (sim_sum via
+        // the touched list, utilities via std::fill), so results do not
+        // depend on which chunks this worker ran before.
+        thread_local std::vector<double> sim_sum;
+        thread_local std::vector<int64_t> touched;
+        thread_local std::vector<double> utilities;
+        if (sim_sum.size() < static_cast<size_t>(num_clusters)) {
+          sim_sum.assign(static_cast<size_t>(num_clusters), 0.0);
         }
-        const double* row = averages.data() + c * num_items;
-        for (graph::ItemId i = 0; i < num_items; ++i) {
-          utilities[static_cast<size_t>(i)] += s * row[i];
+        utilities.resize(static_cast<size_t>(num_items));
+        int64_t chunk_degraded = 0;
+        for (int64_t k = begin; k < end; ++k) {
+          graph::NodeId u = users[static_cast<size_t>(k)];
+          touched.clear();
+          for (const similarity::SimilarityEntry& e :
+               context_.workload->Row(u)) {
+            int64_t c = partition_.ClusterOf(e.user);
+            if (sim_sum[static_cast<size_t>(c)] == 0.0) touched.push_back(c);
+            sim_sum[static_cast<size_t>(c)] += e.score;
+          }
+          DegradationInfo info;
+          if (touched.empty()) {
+            // No similarity support: the reconstruction formula would rank
+            // every item 0. Serve the global-average ranking instead of an
+            // arbitrary tie-break.
+            info.reason = DegradationReason::kIsolatedUser;
+            batch.lists[static_cast<size_t>(k)] =
+                TopNFromDense(global, top_n);
+          } else {
+            std::fill(utilities.begin(), utilities.end(), 0.0);
+            bool touched_sanitized = false;
+            for (int64_t c : touched) {
+              double s = sim_sum[static_cast<size_t>(c)];
+              if (noisy.sanitized[static_cast<size_t>(c)]) {
+                touched_sanitized = true;
+              }
+              const double* row = averages.data() + c * num_items;
+              for (graph::ItemId i = 0; i < num_items; ++i) {
+                utilities[static_cast<size_t>(i)] += s * row[i];
+              }
+              sim_sum[static_cast<size_t>(c)] = 0.0;
+            }
+            if (touched_sanitized) {
+              info.reason = DegradationReason::kNonFiniteSanitized;
+            }
+            batch.lists[static_cast<size_t>(k)] =
+                TopNFromDense(utilities, top_n);
+          }
+          if (info.degraded()) ++chunk_degraded;
+          batch.degradation[static_cast<size_t>(k)] = info;
         }
-        sim_sum[static_cast<size_t>(c)] = 0.0;
-      }
-      if (touched_sanitized) {
-        info.reason = DegradationReason::kNonFiniteSanitized;
-      }
-      batch.lists.push_back(TopNFromDense(utilities, top_n));
-    }
-    if (info.degraded()) ++batch.report.users_degraded;
-    batch.degradation.push_back(info);
-  }
+        return chunk_degraded;
+      },
+      [](int64_t& acc, int64_t part) { acc += part; });
+  PRIVREC_CHECK_MSG(degraded.ok(), degraded.status().message().c_str());
+  batch.report.users_degraded = *degraded;
   return batch;
 }
 

@@ -1,5 +1,7 @@
 #include "core/exact_recommender.h"
 
+#include "common/parallel.h"
+
 namespace privrec::core {
 
 ExactRecommender::ExactRecommender(const RecommenderContext& context)
@@ -7,33 +9,48 @@ ExactRecommender::ExactRecommender(const RecommenderContext& context)
   context_.CheckValid();
 }
 
-std::vector<std::pair<graph::ItemId, double>> ExactRecommender::UtilityRow(
-    graph::NodeId u) {
+std::vector<std::pair<graph::ItemId, double>>
+ExactRecommender::ComputeUtilityRow(const RecommenderContext& context,
+                                    graph::NodeId u,
+                                    similarity::DenseScratch* scratch) {
   // mu_u = sum_{v in sim(u)} sim(u, v) * w(v, ·): scatter each similar
   // user's weighted item list into the dense item scratch.
-  item_scratch_.Resize(context_.preferences->num_items());
-  for (const similarity::SimilarityEntry& e : context_.workload->Row(u)) {
-    auto items = context_.preferences->ItemsOf(e.user);
-    auto weights = context_.preferences->WeightsOf(e.user);
+  scratch->Resize(context.preferences->num_items());
+  for (const similarity::SimilarityEntry& e : context.workload->Row(u)) {
+    auto items = context.preferences->ItemsOf(e.user);
+    auto weights = context.preferences->WeightsOf(e.user);
     for (size_t k = 0; k < items.size(); ++k) {
-      item_scratch_.Accumulate(items[k], e.score * weights[k]);
+      scratch->Accumulate(items[k], e.score * weights[k]);
     }
   }
   std::vector<similarity::SimilarityEntry> raw =
-      item_scratch_.TakeSortedPositive();
+      scratch->TakeSortedPositive();
   std::vector<std::pair<graph::ItemId, double>> row;
   row.reserve(raw.size());
   for (const auto& e : raw) row.emplace_back(e.user, e.score);
   return row;
 }
 
+std::vector<std::pair<graph::ItemId, double>> ExactRecommender::UtilityRow(
+    graph::NodeId u) {
+  return ComputeUtilityRow(context_, u, &item_scratch_);
+}
+
 std::vector<RecommendationList> ExactRecommender::Recommend(
     const std::vector<graph::NodeId>& users, int64_t top_n) {
-  std::vector<RecommendationList> out;
-  out.reserve(users.size());
-  for (graph::NodeId u : users) {
-    out.push_back(TopNFromSparse(UtilityRow(u), top_n));
-  }
+  std::vector<RecommendationList> out(users.size());
+  Status run = ParallelFor(
+      static_cast<int64_t>(users.size()),
+      [&](int64_t, int64_t begin, int64_t end) {
+        thread_local similarity::DenseScratch scratch;
+        for (int64_t k = begin; k < end; ++k) {
+          out[static_cast<size_t>(k)] = TopNFromSparse(
+              ComputeUtilityRow(context_, users[static_cast<size_t>(k)],
+                                &scratch),
+              top_n);
+        }
+      });
+  PRIVREC_CHECK_MSG(run.ok(), run.message().c_str());
   return out;
 }
 

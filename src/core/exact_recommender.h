@@ -29,6 +29,13 @@ class ExactRecommender final : public Recommender {
   std::vector<std::pair<graph::ItemId, double>> UtilityRow(
       graph::NodeId u);
 
+  // Stateless variant for callers that manage their own scratch (the
+  // parallel batch path and ExactReference precomputation; a scratch must
+  // not be shared between concurrent calls).
+  static std::vector<std::pair<graph::ItemId, double>> ComputeUtilityRow(
+      const RecommenderContext& context, graph::NodeId u,
+      similarity::DenseScratch* scratch);
+
  private:
   RecommenderContext context_;
   similarity::DenseScratch item_scratch_;

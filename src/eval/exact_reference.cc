@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "core/exact_recommender.h"
 #include "eval/ndcg.h"
 
@@ -14,30 +15,41 @@ ExactReference ExactReference::Compute(
   ExactReference ref;
   ref.users_ = users;
   ref.max_n_ = max_n;
-  ref.rows_.reserve(users.size());
-  ref.ideal_lists_.reserve(users.size());
-  ref.ideal_dcg_prefix_.reserve(users.size());
-
-  core::ExactRecommender exact(context);
+  ref.rows_.resize(users.size());
+  ref.ideal_lists_.resize(users.size());
+  ref.ideal_dcg_prefix_.resize(users.size());
   for (size_t k = 0; k < users.size(); ++k) {
-    graph::NodeId u = users[k];
-    ref.index_[u] = static_cast<int64_t>(k);
-    auto row = exact.UtilityRow(u);
-    core::RecommendationList ideal = core::TopNFromSparse(row, max_n);
-    std::vector<double> prefix(static_cast<size_t>(max_n) + 1, 0.0);
-    for (size_t p = 0; p < ideal.size(); ++p) {
-      prefix[p + 1] =
-          prefix[p] +
-          ideal[p].utility / RankDiscount(static_cast<int64_t>(p) + 1);
-    }
-    // Lists shorter than max_n extend with zero gain.
-    for (size_t p = ideal.size(); p < static_cast<size_t>(max_n); ++p) {
-      prefix[p + 1] = prefix[p];
-    }
-    ref.rows_.push_back(std::move(row));
-    ref.ideal_lists_.push_back(std::move(ideal));
-    ref.ideal_dcg_prefix_.push_back(std::move(prefix));
+    ref.index_[users[k]] = static_cast<int64_t>(k);
   }
+
+  // Per-user rows/lists/prefix DCGs are independent; each slot is written
+  // exactly once by the chunk that owns it.
+  Status run = ParallelFor(
+      static_cast<int64_t>(users.size()),
+      [&](int64_t, int64_t begin, int64_t end) {
+        thread_local similarity::DenseScratch scratch;
+        for (int64_t k = begin; k < end; ++k) {
+          graph::NodeId u = users[static_cast<size_t>(k)];
+          auto row =
+              core::ExactRecommender::ComputeUtilityRow(context, u, &scratch);
+          core::RecommendationList ideal = core::TopNFromSparse(row, max_n);
+          std::vector<double> prefix(static_cast<size_t>(max_n) + 1, 0.0);
+          for (size_t p = 0; p < ideal.size(); ++p) {
+            prefix[p + 1] =
+                prefix[p] +
+                ideal[p].utility / RankDiscount(static_cast<int64_t>(p) + 1);
+          }
+          // Lists shorter than max_n extend with zero gain.
+          for (size_t p = ideal.size(); p < static_cast<size_t>(max_n);
+               ++p) {
+            prefix[p + 1] = prefix[p];
+          }
+          ref.rows_[static_cast<size_t>(k)] = std::move(row);
+          ref.ideal_lists_[static_cast<size_t>(k)] = std::move(ideal);
+          ref.ideal_dcg_prefix_[static_cast<size_t>(k)] = std::move(prefix);
+        }
+      });
+  PRIVREC_CHECK_MSG(run.ok(), run.message().c_str());
   return ref;
 }
 
@@ -97,10 +109,11 @@ double ExactReference::MeanNdcg(
     const std::vector<core::RecommendationList>& lists) const {
   PRIVREC_CHECK(lists.size() == users_.size());
   if (lists.empty()) return 0.0;
-  double acc = 0.0;
-  for (size_t k = 0; k < lists.size(); ++k) {
-    acc += Ndcg(users_[k], lists[k]);
-  }
+  // Ordered chunked sum: same value at every thread count (Equation 2's
+  // average over U is a fixed summation tree; see common/parallel.h).
+  double acc = ParallelSum(static_cast<int64_t>(lists.size()), [&](int64_t k) {
+    return Ndcg(users_[static_cast<size_t>(k)], lists[static_cast<size_t>(k)]);
+  });
   return acc / static_cast<double>(lists.size());
 }
 

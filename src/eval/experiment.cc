@@ -31,7 +31,12 @@ std::vector<SweepCell> RunNdcgSweep(const RecommenderFactory& factory,
   std::vector<SweepCell> cells;
   uint64_t cell_seed = options.seed;
   for (double epsilon : options.epsilons) {
-    // One RunningStats per N, accumulated across trials.
+    // One RunningStats per N, accumulated across trials. The (ε, trial)
+    // loop stays serial — the cell_seed sequence and each recommender's
+    // invocation counter are part of the reproducibility contract — while
+    // the per-user work inside Recommend() and MeanNdcg() runs on the
+    // deterministic parallel layer (common/parallel.h), so sweep results
+    // are bit-identical for every --threads value.
     std::vector<RunningStats> stats(options.ns.size());
     for (int trial = 0; trial < options.trials; ++trial) {
       std::unique_ptr<core::Recommender> rec =

@@ -18,7 +18,10 @@ std::vector<SimilarityEntry> Katz::Row(const graph::SocialGraph& g,
   // starting from the indicator of u. The accumulator collects
   // Σ_l α^l * walks_l[v].
   std::vector<std::pair<graph::NodeId, double>> walks = {{u, 1.0}};
-  DenseScratch step;
+  // Reused across rows (and safe under the parallel workload layer, which
+  // runs one row per thread at a time): the loop below drains `step` every
+  // iteration, so it is all-zero again when the call returns.
+  thread_local DenseScratch step;
   step.Resize(g.num_nodes());
   double alpha_pow = 1.0;
   for (int64_t l = 1; l <= max_length_; ++l) {

@@ -64,7 +64,11 @@ class SimilarityMeasure {
   virtual std::string Name() const = 0;
 
   // Computes the similarity row of u. `scratch` must outlive the call and
-  // may be reused across calls (single-threaded use).
+  // may be reused across calls, but must not be shared between concurrent
+  // calls. Implementations must be safe to call concurrently from multiple
+  // threads on the same graph with distinct scratches (any internal state
+  // must be per-call or thread_local) — the parallel workload
+  // materialization (similarity/workload.cc) relies on this.
   virtual std::vector<SimilarityEntry> Row(const graph::SocialGraph& g,
                                            graph::NodeId u,
                                            DenseScratch* scratch) const = 0;

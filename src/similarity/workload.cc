@@ -1,26 +1,81 @@
 #include "similarity/workload.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace privrec::similarity {
+
+namespace {
+
+// Per-chunk partial of the workload materialization. Folded in chunk-index
+// order, so the assembled CSR layout and the FP column sums are identical
+// for every thread count (see common/parallel.h).
+struct RowChunk {
+  // Stored-row sizes for every user in the chunk (0 for masked-out rows).
+  std::vector<size_t> stored_sizes;
+  // Stored rows concatenated in user order.
+  std::vector<SimilarityEntry> entries;
+  // Column-sum contributions of ALL the chunk's rows (stored or not),
+  // summed within the chunk in user order, extracted sorted by user id.
+  std::vector<SimilarityEntry> column_contrib;
+  double max_entry = 0.0;
+};
+
+}  // namespace
 
 void SimilarityWorkload::FillRows(const graph::SocialGraph& g,
                                   const SimilarityMeasure& measure,
                                   const std::vector<bool>* store_mask,
                                   SimilarityWorkload* w) {
-  DenseScratch scratch;
-  std::vector<double> column_sums(static_cast<size_t>(g.num_nodes()), 0.0);
-  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
-    std::vector<SimilarityEntry> row = measure.Row(g, u, &scratch);
-    for (const SimilarityEntry& e : row) {
-      column_sums[static_cast<size_t>(e.user)] += e.score;
-      w->max_entry_ = std::max(w->max_entry_, e.score);
-    }
-    if (store_mask == nullptr || (*store_mask)[static_cast<size_t>(u)]) {
-      w->entries_.insert(w->entries_.end(), row.begin(), row.end());
-    }
-    w->offsets_.push_back(w->entries_.size());
-  }
+  const graph::NodeId n = g.num_nodes();
+  std::vector<double> column_sums(static_cast<size_t>(n), 0.0);
+
+  Result<std::monostate> folded = ParallelReduce(
+      static_cast<int64_t>(n), std::monostate{},
+      [&](int64_t, int64_t begin, int64_t end) {
+        // Row and column scratch are reused across the chunks a worker
+        // executes; both are fully drained between chunks, so a chunk's
+        // partial depends only on its own [begin, end) slice.
+        thread_local DenseScratch row_scratch;
+        thread_local DenseScratch col_scratch;
+        col_scratch.Resize(n);
+        RowChunk chunk;
+        chunk.stored_sizes.reserve(static_cast<size_t>(end - begin));
+        for (graph::NodeId u = static_cast<graph::NodeId>(begin);
+             u < static_cast<graph::NodeId>(end); ++u) {
+          std::vector<SimilarityEntry> row =
+              measure.Row(g, u, &row_scratch);
+          for (const SimilarityEntry& e : row) {
+            col_scratch.Accumulate(e.user, e.score);
+            chunk.max_entry = std::max(chunk.max_entry, e.score);
+          }
+          if (store_mask == nullptr ||
+              (*store_mask)[static_cast<size_t>(u)]) {
+            chunk.stored_sizes.push_back(row.size());
+            chunk.entries.insert(chunk.entries.end(), row.begin(),
+                                 row.end());
+          } else {
+            chunk.stored_sizes.push_back(0);
+          }
+        }
+        chunk.column_contrib = col_scratch.TakeSortedPositive();
+        return chunk;
+      },
+      [&](std::monostate&, RowChunk chunk) {
+        for (size_t size : chunk.stored_sizes) {
+          w->offsets_.push_back(w->offsets_.back() + size);
+        }
+        w->entries_.insert(w->entries_.end(), chunk.entries.begin(),
+                           chunk.entries.end());
+        for (const SimilarityEntry& e : chunk.column_contrib) {
+          column_sums[static_cast<size_t>(e.user)] += e.score;
+        }
+        w->max_entry_ = std::max(w->max_entry_, chunk.max_entry);
+      });
+  PRIVREC_CHECK_MSG(folded.ok(), folded.status().message().c_str());
+
   for (double s : column_sums) {
     w->max_column_sum_ = std::max(w->max_column_sum_, s);
   }

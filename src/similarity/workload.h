@@ -18,6 +18,10 @@ namespace privrec::similarity {
 class SimilarityWorkload {
  public:
   // Computes every row of the measure over g. O(Σ_u |row(u)| log) time.
+  // Runs on the deterministic parallel layer (common/parallel.h): rows are
+  // computed in fixed user chunks and assembled in chunk order, so the
+  // workload — including the FP column-sum statistics — is bit-identical
+  // for every thread count.
   static SimilarityWorkload Compute(const graph::SocialGraph& g,
                                     const SimilarityMeasure& measure);
 

@@ -5,13 +5,16 @@
 // inputs.
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
 #include "core/exact_recommender.h"
@@ -300,6 +303,151 @@ TEST(MechanismEdgeCaseTest, TopNLargerThanCatalog) {
                          {.epsilon = 0.5, .seed = 86});
   auto list = rec.RecommendOne(0, 500);
   EXPECT_EQ(list.size(), 12u);  // the whole catalog, ranked
+}
+
+// --------------------------- SplitRng Laplace stream distribution
+//
+// The parallel layer replaces one sequential noise stream with one
+// independent SplitRng stream per chunk (common/parallel.h). The ε-DP
+// calibration only survives that change if every per-chunk stream still
+// draws correctly distributed Laplace noise AND the streams are mutually
+// uncorrelated. These checks are deterministic: fixed seeds, bounds wide
+// enough (≈5σ) that they fail only on a genuine distribution bug.
+
+class SplitRngLaplaceStreamTest : public ::testing::Test {
+ protected:
+  static constexpr double kEpsilon = 0.5;
+  static constexpr double kSensitivity = 1.0;
+  static constexpr double kScale = kSensitivity / kEpsilon;  // b = Δ/ε
+  static constexpr int kDraws = 40000;
+
+  // The noise draws of chunk `chunk` of invocation `invocation`, exactly
+  // as ClusterRecommender derives them.
+  static std::vector<double> ChunkNoise(uint64_t seed, uint64_t invocation,
+                                        uint64_t chunk, int draws = kDraws) {
+    SplitRng split(seed, invocation);
+    dp::LaplaceMechanism laplace(kEpsilon, split.StreamFor(chunk));
+    std::vector<double> noise(static_cast<size_t>(draws));
+    for (double& x : noise) x = laplace.Release(0.0, kSensitivity);
+    return noise;
+  }
+
+  static double Mean(const std::vector<double>& xs) {
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+  }
+
+  static double Variance(const std::vector<double>& xs, double mean) {
+    double s = 0.0;
+    for (double x : xs) s += (x - mean) * (x - mean);
+    return s / static_cast<double>(xs.size() - 1);
+  }
+
+  // Lap(0, b) CDF.
+  static double LaplaceCdf(double x) {
+    if (x < 0.0) return 0.5 * std::exp(x / kScale);
+    return 1.0 - 0.5 * std::exp(-x / kScale);
+  }
+};
+
+TEST_F(SplitRngLaplaceStreamTest, PerChunkStreamsHaveLaplaceMeanAndVariance) {
+  // Lap(0, b): mean 0 with stddev-of-sample-mean sqrt(2b²/N); variance 2b²
+  // with relative sampling error ~sqrt(5/N) (kurtosis of Laplace is 6).
+  const double var_expected = 2.0 * kScale * kScale;
+  const double mean_bound = 5.0 * std::sqrt(var_expected / kDraws);
+  const double var_rel_bound = 5.0 * std::sqrt(5.0 / kDraws);
+  for (uint64_t chunk : {0u, 1u, 7u, 255u}) {
+    std::vector<double> noise = ChunkNoise(/*seed=*/301, /*invocation=*/0,
+                                           chunk);
+    const double mean = Mean(noise);
+    const double var = Variance(noise, mean);
+    EXPECT_LT(std::abs(mean), mean_bound) << "chunk " << chunk;
+    EXPECT_LT(std::abs(var - var_expected) / var_expected, var_rel_bound)
+        << "chunk " << chunk << " var " << var;
+  }
+}
+
+TEST_F(SplitRngLaplaceStreamTest, PerChunkStreamsPassKsBound) {
+  // Kolmogorov–Smirnov-style check: the max gap between the empirical and
+  // analytic Laplace CDF must stay below ~1.95/sqrt(N) (the α = 0.001
+  // critical value), per chunk stream and per invocation.
+  const double ks_bound = 1.95 / std::sqrt(static_cast<double>(kDraws));
+  for (uint64_t invocation : {0u, 3u}) {
+    for (uint64_t chunk : {0u, 42u}) {
+      std::vector<double> noise = ChunkNoise(/*seed=*/302, invocation,
+                                             chunk);
+      std::sort(noise.begin(), noise.end());
+      double max_gap = 0.0;
+      const double n = static_cast<double>(noise.size());
+      for (size_t k = 0; k < noise.size(); ++k) {
+        const double cdf = LaplaceCdf(noise[k]);
+        max_gap = std::max(max_gap,
+                           std::abs(cdf - static_cast<double>(k) / n));
+        max_gap = std::max(
+            max_gap, std::abs(static_cast<double>(k + 1) / n - cdf));
+      }
+      EXPECT_LT(max_gap, ks_bound)
+          << "invocation " << invocation << " chunk " << chunk;
+    }
+  }
+}
+
+TEST_F(SplitRngLaplaceStreamTest, StreamsAreMutuallyUncorrelated) {
+  // Pearson correlation of paired draws across (a) sibling chunk streams,
+  // (b) the same chunk across invocations, and (c) adjacent seeds. For
+  // independent streams |r| is O(1/sqrt(N)); 5/sqrt(N) is a ≈5σ bound.
+  const double corr_bound = 5.0 / std::sqrt(static_cast<double>(kDraws));
+  auto correlation = [](const std::vector<double>& a,
+                        const std::vector<double>& b) {
+    const double ma = Mean(a);
+    const double mb = Mean(b);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (size_t k = 0; k < a.size(); ++k) {
+      cov += (a[k] - ma) * (b[k] - mb);
+      va += (a[k] - ma) * (a[k] - ma);
+      vb += (b[k] - mb) * (b[k] - mb);
+    }
+    return cov / std::sqrt(va * vb);
+  };
+  const std::vector<double> base = ChunkNoise(303, 0, 0);
+  const std::vector<std::pair<std::string, std::vector<double>>> others = {
+      {"sibling chunk", ChunkNoise(303, 0, 1)},
+      {"distant chunk", ChunkNoise(303, 0, 200)},
+      {"next invocation", ChunkNoise(303, 1, 0)},
+      {"adjacent seed", ChunkNoise(304, 0, 0)},
+  };
+  for (const auto& [label, other] : others) {
+    EXPECT_LT(std::abs(correlation(base, other)), corr_bound) << label;
+  }
+}
+
+TEST_F(SplitRngLaplaceStreamTest, ChunkedUnionIsStillLaplace) {
+  // What the release actually publishes is the union of all per-chunk
+  // streams; pooled across 64 chunks it must still pass the moment and
+  // KS bounds (catches per-stream bias that single-stream checks miss).
+  std::vector<double> pooled;
+  for (uint64_t chunk = 0; chunk < 64; ++chunk) {
+    std::vector<double> noise = ChunkNoise(305, 0, chunk, /*draws=*/1000);
+    pooled.insert(pooled.end(), noise.begin(), noise.end());
+  }
+  const double var_expected = 2.0 * kScale * kScale;
+  const double mean = Mean(pooled);
+  const double var = Variance(pooled, mean);
+  EXPECT_LT(std::abs(mean),
+            5.0 * std::sqrt(var_expected / pooled.size()));
+  EXPECT_LT(std::abs(var - var_expected) / var_expected,
+            5.0 * std::sqrt(5.0 / static_cast<double>(pooled.size())));
+  std::sort(pooled.begin(), pooled.end());
+  double max_gap = 0.0;
+  const double n = static_cast<double>(pooled.size());
+  for (size_t k = 0; k < pooled.size(); ++k) {
+    const double cdf = LaplaceCdf(pooled[k]);
+    max_gap = std::max(max_gap, std::abs(cdf - static_cast<double>(k) / n));
+    max_gap =
+        std::max(max_gap, std::abs(static_cast<double>(k + 1) / n - cdf));
+  }
+  EXPECT_LT(max_gap, 1.95 / std::sqrt(n));
 }
 
 }  // namespace
