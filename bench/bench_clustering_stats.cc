@@ -13,6 +13,7 @@
 #include "bench/bench_common.h"
 #include "common/flags.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "community/louvain.h"
 #include "community/quality.h"
 #include "data/synthetic.h"
@@ -24,7 +25,8 @@ namespace {
 
 void Report(const std::string& label, const graph::SocialGraph& g,
             eval::TablePrinter* table) {
-  WallTimer timer;
+  ScopedTimer timer(&obs::GetHistogram(
+      "privrec.bench.clustering_ms", obs::ExponentialBuckets(1.0, 4.0, 12)));
   community::LouvainResult r =
       community::RunLouvain(g, {.restarts = 10, .seed = 404});
   graph::ComponentInfo components = graph::ConnectedComponents(g);
@@ -50,7 +52,7 @@ void Report(const std::string& label, const graph::SocialGraph& g,
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ApplyThreadsFlag(flags);
+  privrec::ObsSession obs_session = bench::ApplyStandardFlags(flags);
   const int64_t flixster_users = flags.GetInt("flixster_users", 12000);
   if (!flags.Validate()) return 1;
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/macros.h"
 #include "common/parallel.h"
@@ -22,14 +23,19 @@
 
 namespace privrec::bench {
 
-// Consumes the --threads flag (default: hardware concurrency, or the
-// PRIVREC_THREADS environment variable if set) and installs it as the
-// process-wide thread count for the deterministic parallel layer. Results
-// are bit-identical for every value — the flag trades wall-clock only.
+// Forwarder kept for source compatibility; the parsing lives in
+// common/driver_flags.h so bench and example binaries share one
+// implementation.
 inline int64_t ApplyThreadsFlag(FlagParser& flags) {
-  int64_t threads = flags.GetInt("threads", GlobalThreadCount());
-  SetGlobalThreadCount(threads);
-  return GlobalThreadCount();
+  return ::privrec::ApplyThreadsFlag(flags);
+}
+
+// The standard bench prologue: --threads plus the observability flags
+// (--metrics-json, --trace-out, --metrics-stderr). Keep the returned
+// session alive for the driver's whole run; its destructor writes the
+// requested exports.
+inline ObsSession ApplyStandardFlags(FlagParser& flags) {
+  return ApplyDriverFlags(flags);
 }
 
 // The paper's four instantiations, in its citation order.

@@ -14,6 +14,7 @@
 #include "bench/bench_common.h"
 #include "common/flags.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
 #include "data/synthetic.h"
@@ -26,7 +27,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ApplyThreadsFlag(flags);
+  privrec::ObsSession obs_session = bench::ApplyStandardFlags(flags);
   // The paper uses 10 trials over all 1892 users; the defaults trade a
   // little averaging for a bench suite that finishes quickly on one core
   // (pass --trials=10 --eval_users=1892 for the full configuration).
@@ -36,7 +37,8 @@ int Main(int argc, char** argv) {
 
   std::cout << "=== Figure 1: NDCG@N vs epsilon on Last.fm (cluster "
                "framework, " << trials << " trials) ===\n\n";
-  WallTimer total_timer;
+  ScopedTimer total_timer(&obs::GetHistogram(
+      "privrec.bench.sweep_ms", obs::ExponentialBuckets(1e3, 4.0, 10)));
   data::Dataset dataset = data::MakeSyntheticLastFm();
   std::vector<graph::NodeId> users =
       bench::SampleUsers(dataset.social.num_nodes(), eval_count, 17);

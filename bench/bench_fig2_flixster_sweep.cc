@@ -17,6 +17,7 @@
 #include "bench/bench_common.h"
 #include "common/flags.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
 #include "data/synthetic.h"
@@ -29,7 +30,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ApplyThreadsFlag(flags);
+  privrec::ObsSession obs_session = bench::ApplyStandardFlags(flags);
   const int trials = static_cast<int>(flags.GetInt("trials", 3));
   const int64_t num_users = flags.GetInt("users", 12000);
   const int64_t num_items = flags.GetInt("items", 8000);
@@ -39,7 +40,8 @@ int Main(int argc, char** argv) {
   std::cout << "=== Figure 2: NDCG@N vs epsilon on Flixster-synth ("
             << num_users << " users, " << trials << " trials, "
             << eval_count << " evaluation users) ===\n\n";
-  WallTimer total_timer;
+  ScopedTimer total_timer(&obs::GetHistogram(
+      "privrec.bench.sweep_ms", obs::ExponentialBuckets(1e3, 4.0, 10)));
   data::SyntheticFlixsterOptions opt;
   opt.num_users = num_users;
   opt.num_items = num_items;

@@ -22,6 +22,7 @@
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
 #include "core/group_smooth_recommender.h"
@@ -64,7 +65,7 @@ double MeanNdcgOverTrials(core::Recommender* rec,
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ApplyThreadsFlag(flags);
+  privrec::ObsSession obs_session = bench::ApplyStandardFlags(flags);
   const int trials = static_cast<int>(flags.GetInt("trials", 2));
   const int64_t lrm_rank = flags.GetInt("lrm_rank", 150);
   const bool skip_lrm = flags.GetBool("skip_lrm", false);
@@ -73,7 +74,8 @@ int Main(int argc, char** argv) {
 
   std::cout << "=== Figure 4: baseline comparison on Last.fm, NDCG@50, "
             << trials << " trials ===\n\n";
-  WallTimer total_timer;
+  ScopedTimer total_timer(&obs::GetHistogram(
+      "privrec.bench.sweep_ms", obs::ExponentialBuckets(1e3, 4.0, 10)));
   data::Dataset dataset = data::MakeSyntheticLastFm();
   std::vector<graph::NodeId> users =
       bench::SampleUsers(dataset.social.num_nodes(), eval_count, 19);

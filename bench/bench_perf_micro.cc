@@ -21,6 +21,8 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/version.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "community/louvain.h"
 #include "core/cluster_recommender.h"
 #include "core/exact_recommender.h"
@@ -355,6 +357,32 @@ int main(int argc, char** argv) {
       "chunking", "fixed; target " +
                       std::to_string(privrec::kDefaultTargetChunks) +
                       " chunks (DefaultChunkSize = ceil(n/target))");
+  benchmark::AddCustomContext(
+      "obs_compiled_in", privrec::obs::kCompiledIn ? "true" : "false");
+
+  // Warm the shared fixtures once (outside any timed region), then stamp
+  // the resulting metrics snapshot into the BENCH JSON context: every
+  // BENCH_*.json record carries the workload-shape counters (similarity
+  // entries, Laplace draws, cluster counts) its timings were measured
+  // against.
+  if (privrec::obs::kCompiledIn) {
+    privrec::RecommenderFixture& f = privrec::SharedFixture();
+    privrec::core::ClusterRecommender warm(
+        f.context, f.louvain.partition, {.epsilon = 0.1, .seed = 7});
+    auto averages = warm.ComputeNoisyClusterAverages();
+    benchmark::DoNotOptimize(averages.data());
+    privrec::obs::MetricsSnapshot snapshot =
+        privrec::obs::MetricsRegistry::Instance().Snapshot();
+    for (const auto& counter : snapshot.counters) {
+      benchmark::AddCustomContext("metrics." + counter.name,
+                                  std::to_string(counter.value));
+    }
+    // Benchmarks re-run these paths thousands of times; the warmup
+    // snapshot above is the meaningful workload shape, so drop the warmup
+    // counts from the registry rather than letting them skew any
+    // post-run exports.
+    privrec::obs::MetricsRegistry::Instance().ResetValues();
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

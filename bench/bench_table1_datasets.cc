@@ -39,7 +39,7 @@ std::vector<std::string> SummaryRow(const std::string& label,
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ApplyThreadsFlag(flags);
+  privrec::ObsSession obs_session = bench::ApplyStandardFlags(flags);
   const int64_t flixster_users = flags.GetInt("flixster_users", 12000);
   const int64_t flixster_items = flags.GetInt("flixster_items", 8000);
   const std::string lastfm_dir = flags.GetString("lastfm_dir", "");

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Asserts that the always-on observability layer costs less than
+# OBS_OVERHEAD_PCT (default 3%) on the reconstruction hot loop
+# (BM_ClusterRecommendPerUser), by comparing the default build against a
+# PRIVREC_OBS=OFF build of the same revision.
+#
+# Instrumentation sits at record/release granularity — per chunk, per
+# cluster, per trial — never inside per-element loops, so the real cost is
+# a handful of relaxed atomic adds per recommendation batch. The median of
+# several repetitions keeps the check stable on noisy single-core CI
+# hosts; widen the threshold with OBS_OVERHEAD_PCT if a box is too jittery
+# to resolve 3%.
+#
+# Usage: ci/obs_overhead.sh [repetitions]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-7}"
+THRESHOLD="${OBS_OVERHEAD_PCT:-3}"
+BENCH_FILTER="BM_ClusterRecommendPerUser"
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$(nproc)" --target bench_perf_micro
+cmake --preset no-obs >/dev/null
+cmake --build --preset no-obs -j"$(nproc)" --target bench_perf_micro
+
+run_median() {
+  "$1" --threads=1 \
+    "--benchmark_filter=^${BENCH_FILTER}\$" \
+    "--benchmark_repetitions=${REPS}" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json 2>/dev/null |
+    python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+for b in doc["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        print(b["real_time"])
+        break
+'
+}
+
+ON_NS="$(run_median build/bench/bench_perf_micro)"
+OFF_NS="$(run_median build-noobs/bench/bench_perf_micro)"
+
+python3 - "$ON_NS" "$OFF_NS" "$THRESHOLD" <<'EOF'
+import sys
+on, off, threshold = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+overhead = (on - off) / off * 100.0
+print(f"obs on:  {on:.0f} ns/iter")
+print(f"obs off: {off:.0f} ns/iter")
+print(f"overhead: {overhead:+.2f}% (threshold {threshold}%)")
+if overhead > threshold:
+    print("FAIL: observability overhead exceeds threshold", file=sys.stderr)
+    sys.exit(1)
+print("OK")
+EOF

@@ -16,9 +16,23 @@ cmake --build --preset asan-ubsan -j"$(nproc)"
 ctest --preset asan-ubsan -j"$(nproc)" "$@"
 
 # ThreadSanitizer pass: the tests that drive the deterministic parallel
-# layer (common/parallel.h) through its concurrent paths.
-TSAN_TESTS="parallel_test|core_test|similarity_test"
+# layer (common/parallel.h) and the lock-free metrics/tracing fast paths
+# (src/obs) through their concurrent paths.
+TSAN_TESTS="parallel_test|core_test|similarity_test|obs_test"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target parallel_test core_test similarity_test
+  --target parallel_test core_test similarity_test obs_test
 ctest --preset tsan -j"$(nproc)" -R "^(${TSAN_TESTS})\$" "$@"
+
+# PRIVREC_OBS=OFF pass: the no-op shells must keep the whole suite green,
+# and the compile-out must be real — no registry or tracer machinery may
+# survive into the obs library's object code.
+cmake --preset no-obs
+cmake --build --preset no-obs -j"$(nproc)"
+ctest --preset no-obs -j"$(nproc)" "$@"
+if nm --defined-only build-noobs/src/obs/libprivrec_obs.a 2>/dev/null \
+    | grep -E "MetricsRegistry|Tracer|SpanScope" ; then
+  echo "FAIL: PRIVREC_OBS=OFF build still defines obs runtime symbols" >&2
+  exit 1
+fi
+echo "no-obs symbol check: clean (metrics registry and tracer compiled out)"

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/fault_injection.h"
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "core/dynamic_recommender.h"
@@ -35,7 +36,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
-  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  ObsSession obs_session = ApplyDriverFlags(flags);
   const int64_t weeks = flags.GetInt("weeks", 8);
   const double total_epsilon = flags.GetDouble("total_epsilon", 1.0);
   const std::string allocation =

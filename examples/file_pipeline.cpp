@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -28,7 +29,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
-  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  ObsSession obs_session = ApplyDriverFlags(flags);
   const std::string social_path =
       flags.GetString("social", "/tmp/privrec_social.tsv");
   const std::string prefs_path =

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "data/synthetic.h"
@@ -28,7 +29,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
-  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  ObsSession obs_session = ApplyDriverFlags(flags);
   const graph::NodeId user =
       static_cast<graph::NodeId>(flags.GetInt("user", 10));
   const int64_t top = flags.GetInt("top", 6);

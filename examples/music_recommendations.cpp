@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -32,7 +33,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
-  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  ObsSession obs_session = ApplyDriverFlags(flags);
   const double epsilon = flags.GetDouble("epsilon", 0.6);
   const int64_t num_users = flags.GetInt("users", 1892);
   const int64_t num_items = flags.GetInt("items", 17632);

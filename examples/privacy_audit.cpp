@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "community/partition.h"
@@ -26,7 +27,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
-  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  ObsSession obs_session = ApplyDriverFlags(flags);
   const double epsilon = flags.GetDouble("epsilon", 0.7);
   const int64_t samples = flags.GetInt("samples", 40000);
   if (!flags.Validate()) return 1;

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "community/louvain.h"
@@ -22,7 +23,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
-  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  ObsSession obs_session = ApplyDriverFlags(flags);
   const double epsilon = flags.GetDouble("epsilon", 0.5);
   const int64_t top_n = flags.GetInt("top_n", 5);
   if (!flags.Validate()) return 1;

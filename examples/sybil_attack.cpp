@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/stats.h"
@@ -32,7 +33,7 @@
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
-  SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  ObsSession obs_session = ApplyDriverFlags(flags);
   const double epsilon = flags.GetDouble("epsilon", 0.5);
   const int trials = static_cast<int>(flags.GetInt("trials", 20));
   if (!flags.Validate()) return 1;

@@ -1,0 +1,71 @@
+#include "common/driver_flags.h"
+
+#include <iostream>
+#include <utility>
+
+#include "common/parallel.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace privrec {
+
+int64_t ApplyThreadsFlag(FlagParser& flags) {
+  int64_t threads = flags.GetInt("threads", GlobalThreadCount());
+  SetGlobalThreadCount(threads);
+  return GlobalThreadCount();
+}
+
+ObsSession ObsSession::FromFlags(FlagParser& flags) {
+  ObsSession session;
+  session.metrics_json_path_ = flags.GetString("metrics-json", "");
+  session.trace_path_ = flags.GetString("trace-out", "");
+  session.metrics_stderr_ = flags.GetBool("metrics-stderr", false);
+  session.finished_ = false;
+  if (!session.trace_path_.empty()) {
+    obs::Tracer::Instance().SetEnabled(true);
+  }
+  return session;
+}
+
+ObsSession& ObsSession::operator=(ObsSession&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    metrics_json_path_ = std::move(other.metrics_json_path_);
+    trace_path_ = std::move(other.trace_path_);
+    metrics_stderr_ = other.metrics_stderr_;
+    finished_ = other.finished_;
+    other.finished_ = true;
+  }
+  return *this;
+}
+
+void ObsSession::Finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  std::string error;
+  if (metrics_stderr_ || !metrics_json_path_.empty()) {
+    obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Instance().Snapshot();
+    if (metrics_stderr_) {
+      obs::MetricsToTable(snapshot, std::cerr);
+    }
+    if (!metrics_json_path_.empty() &&
+        !obs::WriteTextFile(metrics_json_path_,
+                            obs::MetricsToJson(snapshot), &error)) {
+      std::cerr << "metrics export failed: " << error << "\n";
+    }
+  }
+  if (!trace_path_.empty()) {
+    obs::Tracer::Instance().SetEnabled(false);
+    if (!obs::WriteTextFile(
+            trace_path_,
+            obs::SpansToChromeTrace(obs::Tracer::Instance().Snapshot()),
+            &error)) {
+      std::cerr << "trace export failed: " << error << "\n";
+    }
+  }
+}
+
+}  // namespace privrec

@@ -1,0 +1,63 @@
+// Shared command-line conventions for every bench and example driver:
+// the --threads flag (deterministic parallel layer) and the observability
+// flags (--metrics-json, --trace-out, --metrics-stderr). One helper so the
+// parsing is not copy-pasted per binary and unknown-flag typo suggestions
+// (common/flags.h) automatically cover all of them.
+
+#ifndef PRIVREC_COMMON_DRIVER_FLAGS_H_
+#define PRIVREC_COMMON_DRIVER_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/flags.h"
+
+namespace privrec {
+
+// Consumes the --threads flag (default: hardware concurrency, or the
+// PRIVREC_THREADS environment variable if set) and installs it as the
+// process-wide thread count for the deterministic parallel layer. Results
+// are bit-identical for every value — the flag trades wall-clock only.
+int64_t ApplyThreadsFlag(FlagParser& flags);
+
+// RAII export session for the observability flags:
+//   --metrics-json=PATH   write a MetricsToJson snapshot on exit
+//   --trace-out=PATH      enable the span tracer, write a Chrome
+//                         trace_event file on exit (chrome://tracing,
+//                         Perfetto)
+//   --metrics-stderr=BOOL print the metrics table to stderr on exit
+// FromFlags() consumes the flags (so Validate() knows them) and enables
+// tracing immediately when --trace-out is set; Finish() — called by the
+// destructor at the latest — takes the snapshots and writes the requested
+// exports. Export failures print to stderr and never fail the driver.
+class ObsSession {
+ public:
+  static ObsSession FromFlags(FlagParser& flags);
+
+  ObsSession() = default;
+  ~ObsSession() { Finish(); }
+
+  ObsSession(ObsSession&& other) noexcept { *this = std::move(other); }
+  ObsSession& operator=(ObsSession&& other) noexcept;
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  // Idempotent: exports once, then becomes a no-op.
+  void Finish();
+
+ private:
+  std::string metrics_json_path_;
+  std::string trace_path_;
+  bool metrics_stderr_ = false;
+  bool finished_ = true;  // armed by FromFlags
+};
+
+// The standard driver prologue: --threads plus the obs flags.
+inline ObsSession ApplyDriverFlags(FlagParser& flags) {
+  ApplyThreadsFlag(flags);
+  return ObsSession::FromFlags(flags);
+}
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_DRIVER_FLAGS_H_

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace privrec {
 
@@ -40,6 +41,41 @@ std::string LoadReport::ToString() const {
     out += " [" + std::to_string(io_retries) + " retries]";
   }
   return out;
+}
+
+void RecordLoadMetrics(const LoadReport& report) {
+  static obs::Counter& loads = obs::GetCounter("privrec.data.loads");
+  static obs::Counter& lines =
+      obs::GetCounter("privrec.data.lines_scanned");
+  static obs::Counter& loaded =
+      obs::GetCounter("privrec.data.records_loaded");
+  static obs::Counter& malformed =
+      obs::GetCounter("privrec.data.skipped_malformed");
+  static obs::Counter& out_of_range =
+      obs::GetCounter("privrec.data.skipped_out_of_range");
+  static obs::Counter& duplicates =
+      obs::GetCounter("privrec.data.skipped_duplicates");
+  static obs::Counter& self_loops =
+      obs::GetCounter("privrec.data.skipped_self_loops");
+  static obs::Counter& bad_weight =
+      obs::GetCounter("privrec.data.skipped_bad_weight");
+  static obs::Counter& truncated_loads =
+      obs::GetCounter("privrec.data.truncated_loads");
+  static obs::Counter& empty_inputs =
+      obs::GetCounter("privrec.data.empty_inputs");
+  static obs::Counter& io_retry_count =
+      obs::GetCounter("privrec.data.io_retries");
+  loads.Increment();
+  lines.Add(report.lines_scanned);
+  loaded.Add(report.records_loaded);
+  malformed.Add(report.skipped_malformed);
+  out_of_range.Add(report.skipped_out_of_range);
+  duplicates.Add(report.skipped_duplicates);
+  self_loops.Add(report.skipped_self_loops);
+  bad_weight.Add(report.skipped_bad_weight);
+  if (report.truncated) truncated_loads.Increment();
+  if (report.empty_input) empty_inputs.Increment();
+  io_retry_count.Add(report.io_retries);
 }
 
 }  // namespace privrec

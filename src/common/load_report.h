@@ -60,6 +60,11 @@ struct LoadReport {
   std::string ToString() const;
 };
 
+// Records a completed load into the metrics registry: rows read/loaded
+// plus one counter per defect class under privrec.data.* (loaders call
+// this once per finished load, success or failure).
+void RecordLoadMetrics(const LoadReport& report);
+
 }  // namespace privrec
 
 #endif  // PRIVREC_COMMON_LOAD_REPORT_H_

@@ -6,9 +6,27 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace privrec {
 
 namespace {
+
+// Per-(job, thread) claim tallies. One histogram observation per thread
+// per parallel region — load imbalance shows up as a wide spread of
+// chunks-per-thread within one region. Never touches results: metrics are
+// recorded after the chunks ran.
+void RecordThreadClaims(int64_t claimed) {
+  if (claimed <= 0) return;
+  static obs::Histogram& per_thread = obs::GetHistogram(
+      "privrec.parallel.chunks_per_thread",
+      obs::ExponentialBuckets(1.0, 2.0, 12));
+  static obs::Counter& total =
+      obs::GetCounter("privrec.parallel.chunks_executed");
+  per_thread.Observe(static_cast<double>(claimed));
+  total.Add(claimed);
+}
 
 // True while this thread is executing chunks of some parallel region;
 // nested parallel calls then run serially inline (no deadlock on the run
@@ -111,10 +129,13 @@ class ThreadPool {
   }
 
   void WorkOn(Job& job) {
+    int64_t claimed = 0;
     while (true) {
       const int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= job.num_chunks) break;
       if (job.cancelled.load(std::memory_order_relaxed)) break;
+      ++claimed;
+      PRIVREC_SPAN_CHUNK("parallel.chunk", c);
       Status s = (*job.fn)(c);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lk(mutex_);
@@ -125,6 +146,7 @@ class ThreadPool {
         job.cancelled.store(true, std::memory_order_relaxed);
       }
     }
+    RecordThreadClaims(claimed);
   }
 
   std::mutex run_mutex_;
@@ -177,16 +199,30 @@ Status RunChunks(int64_t num_chunks, int64_t threads,
   threads = std::min(threads, num_chunks);
   if (threads <= 1 || t_in_parallel_region) {
     // Serial reference path: chunks in index order, stop at first error.
-    const bool saved = t_in_parallel_region;
+    // Nested regions are not counted as runs of their own — their chunks
+    // belong to the enclosing region's accounting.
+    const bool nested = t_in_parallel_region;
+    if (!nested) {
+      static obs::Counter& serial_runs =
+          obs::GetCounter("privrec.parallel.runs_serial");
+      serial_runs.Increment();
+    }
     t_in_parallel_region = true;
     Status result;
+    int64_t executed = 0;
     for (int64_t c = 0; c < num_chunks; ++c) {
+      PRIVREC_SPAN_CHUNK("parallel.chunk", c);
       result = chunk_fn(c);
+      ++executed;
       if (!result.ok()) break;
     }
-    t_in_parallel_region = saved;
+    t_in_parallel_region = nested;
+    if (!nested) RecordThreadClaims(executed);
     return result;
   }
+  static obs::Counter& pooled_runs =
+      obs::GetCounter("privrec.parallel.runs_pooled");
+  pooled_runs.Increment();
   return ThreadPool::Global().Run(num_chunks, threads, chunk_fn);
 }
 

@@ -1,9 +1,13 @@
-// Wall-clock timer for experiment reporting.
+// Wall-clock timers for experiment reporting: WallTimer for ad-hoc
+// elapsed-time reads, ScopedTimer for scoped phases that should also
+// accumulate into a metrics histogram.
 
 #ifndef PRIVREC_COMMON_TIMER_H_
 #define PRIVREC_COMMON_TIMER_H_
 
 #include <chrono>
+
+#include "obs/metrics.h"
 
 namespace privrec {
 
@@ -22,6 +26,35 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// The scoped/accumulating variant: observes the elapsed milliseconds into
+// a metrics histogram when the scope exits (or when Stop() is called
+// explicitly), while still exposing the WallTimer read API for printed
+// progress lines. With a null sink it degrades to a plain WallTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram* sink) : sink_(sink) {}
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
+
+  // Records the current elapsed time into the sink now (idempotent; the
+  // destructor then records nothing further).
+  void Stop() {
+    if (sink_ != nullptr) {
+      sink_->Observe(timer_.ElapsedMillis());
+      sink_ = nullptr;
+    }
+  }
+
+ private:
+  WallTimer timer_;
+  obs::Histogram* sink_;
 };
 
 }  // namespace privrec

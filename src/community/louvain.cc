@@ -8,6 +8,8 @@
 
 #include "common/random.h"
 #include "community/modularity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace privrec::community {
 
@@ -186,13 +188,25 @@ SingleRunResult RunOnce(const graph::SocialGraph& g,
   std::vector<WeightedGraph> graphs;
   std::vector<std::vector<int64_t>> level_comms;
 
+  // Per-level gain of the local-moving pass: the modularity improvement
+  // each contraction level contributed (observation only — never feeds
+  // back into the optimization).
+  static obs::Histogram& level_gain_hist = obs::GetHistogram(
+      "privrec.community.level_gain",
+      std::vector<double>{0.0, 0.001, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0});
+  static obs::Counter& passes =
+      obs::GetCounter("privrec.community.local_move_passes");
+
   SingleRunResult result;
   while (true) {
+    PRIVREC_SPAN_CHUNK("community.louvain.level", result.levels);
     std::vector<int64_t> comm(static_cast<size_t>(level_graph.n));
     std::iota(comm.begin(), comm.end(), 0);
     double gain =
         LocalMove(level_graph, &comm, &rng, options.resolution,
                   options.min_gain, options.max_sweeps);
+    level_gain_hist.Observe(gain);
+    passes.Increment();
     int64_t k = CompactLabels(&comm);
     graphs.push_back(level_graph);
     level_comms.push_back(comm);
@@ -238,12 +252,14 @@ SingleRunResult RunOnce(const graph::SocialGraph& g,
 
 LouvainResult RunLouvain(const graph::SocialGraph& g,
                          const LouvainOptions& options) {
+  PRIVREC_SPAN("community.louvain");
   PRIVREC_CHECK(options.restarts >= 1);
   Rng master(options.seed);
 
   LouvainResult best;
   best.modularity = -2.0;  // below the Q >= -1/2 lower bound
   for (int r = 0; r < options.restarts; ++r) {
+    PRIVREC_SPAN_CHUNK("community.louvain.restart", r);
     SingleRunResult run =
         RunOnce(g, options, master.Fork(static_cast<uint64_t>(r)));
     Partition partition(run.assignment);
@@ -257,6 +273,19 @@ LouvainResult RunLouvain(const graph::SocialGraph& g,
     }
   }
   best.modularity = Modularity(g, best.partition);
+
+  static obs::Counter& runs =
+      obs::GetCounter("privrec.community.louvain_runs");
+  static obs::Counter& levels =
+      obs::GetCounter("privrec.community.levels");
+  static obs::Gauge& modularity =
+      obs::GetGauge("privrec.community.modularity");
+  static obs::Gauge& clusters =
+      obs::GetGauge("privrec.community.clusters");
+  runs.Increment();
+  levels.Add(best.levels);
+  modularity.Set(best.modularity);
+  clusters.Set(static_cast<double>(best.partition.num_clusters()));
   return best;
 }
 

@@ -6,7 +6,10 @@
 
 #include "common/fault_injection.h"
 #include "common/parallel.h"
+#include "core/degradation.h"
 #include "dp/mechanisms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace privrec::core {
 
@@ -33,6 +36,7 @@ ClusterRecommender::ClusterRecommender(
 }
 
 ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
+  PRIVREC_SPAN("core.publication");
   const int64_t num_clusters = partition_.num_clusters();
   const graph::ItemId num_items = context_.preferences->num_items();
   // Fresh per-invocation noise keeps repeated trials independent while the
@@ -66,6 +70,11 @@ ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
   // paper's unweighted model. Clusters are processed in fixed chunks with
   // disjoint rows; the per-chunk tallies fold in chunk order.
   const double w_max = context_.preferences->max_weight();
+  // Sensitivity of each released cluster row (w_max/|c|): small values mean
+  // large clusters whose averages need little noise.
+  static obs::Histogram& sensitivity_hist = obs::GetHistogram(
+      "privrec.core.cluster_sensitivity",
+      obs::ExponentialBuckets(1e-4, 4.0, 10));
   Result<AverageTallies> tallies = ParallelReduce(
       num_clusters, AverageTallies{},
       [&](int64_t chunk, int64_t begin, int64_t end) {
@@ -85,6 +94,7 @@ ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
           if (members == 1) ++t.singleton_clusters;
           double size = static_cast<double>(members);
           double sensitivity = w_max / size;
+          sensitivity_hist.Observe(sensitivity);
           for (graph::ItemId i = 0; i < num_items; ++i) {
             row[i] = laplace.Release(row[i] / size, sensitivity);
           }
@@ -109,6 +119,22 @@ ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
   result.empty_clusters = tallies->empty_clusters;
   result.singleton_clusters = tallies->singleton_clusters;
   result.nonfinite_sanitized = tallies->nonfinite_sanitized;
+
+  static obs::Counter& releases = obs::GetCounter("privrec.core.releases");
+  static obs::Counter& laplace_draws =
+      obs::GetCounter("privrec.core.laplace_draws");
+  static obs::Counter& empty =
+      obs::GetCounter("privrec.core.empty_clusters");
+  static obs::Counter& singleton =
+      obs::GetCounter("privrec.core.singleton_clusters");
+  static obs::Counter& sanitized =
+      obs::GetCounter("privrec.core.nonfinite_sanitized");
+  releases.Increment();
+  laplace_draws.Add((num_clusters - result.empty_clusters) *
+                    static_cast<int64_t>(num_items));
+  empty.Add(result.empty_clusters);
+  singleton.Add(result.singleton_clusters);
+  sanitized.Add(result.nonfinite_sanitized);
   return result;
 }
 
@@ -123,6 +149,7 @@ RecommendedBatch ClusterRecommender::RecommendWithReport(
   const NoisyAverages noisy = ComputeAverages();
   const std::vector<double>& averages = noisy.values;
 
+  PRIVREC_SPAN("core.reconstruction");
   RecommendedBatch batch;
   batch.report.empty_clusters = noisy.empty_clusters;
   batch.report.singleton_clusters = noisy.singleton_clusters;
@@ -210,6 +237,7 @@ RecommendedBatch ClusterRecommender::RecommendWithReport(
       [](int64_t& acc, int64_t part) { acc += part; });
   PRIVREC_CHECK_MSG(degraded.ok(), degraded.status().message().c_str());
   batch.report.users_degraded = *degraded;
+  RecordServingMetrics(batch);
   return batch;
 }
 

@@ -1,8 +1,10 @@
 #include "core/degradation.h"
 
+#include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace privrec::core {
 
@@ -31,6 +33,23 @@ std::string ServingReport::ToString() const {
   note(degenerate_groups, "degenerate groups");
   note(nonfinite_sanitized, "non-finite values sanitized");
   return parts.empty() ? "clean" : Join(parts, ", ");
+}
+
+void RecordServingMetrics(const RecommendedBatch& batch) {
+  static obs::Counter& served =
+      obs::GetCounter("privrec.serving.users_served");
+  static obs::Counter& degraded =
+      obs::GetCounter("privrec.serving.users_degraded");
+  served.Add(static_cast<int64_t>(batch.lists.size()));
+  degraded.Add(batch.report.users_degraded);
+  for (const DegradationInfo& info : batch.degradation) {
+    if (!info.degraded()) continue;
+    // One counter per reason; the name set is small and fixed, so the
+    // registry lookup (with its mutex) only ever sees a handful of keys.
+    obs::GetCounter(std::string("privrec.serving.degraded.") +
+                    DegradationReasonName(info.reason))
+        .Increment();
+  }
 }
 
 }  // namespace privrec::core

@@ -66,6 +66,11 @@ struct RecommendedBatch {
   ServingReport report;
 };
 
+// Folds a served batch into the process-wide metrics registry:
+// privrec.serving.users_served, privrec.serving.users_degraded, and one
+// privrec.serving.degraded.<reason> counter per DegradationReason.
+void RecordServingMetrics(const RecommendedBatch& batch);
+
 }  // namespace privrec::core
 
 #endif  // PRIVREC_CORE_DEGRADATION_H_

@@ -6,6 +6,8 @@
 #include "common/fault_injection.h"
 #include "common/random.h"
 #include "core/cluster_recommender.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace privrec::core {
 
@@ -63,6 +65,14 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
     const std::vector<graph::NodeId>& users, int64_t top_n) {
   context.CheckValid();
   const int64_t t = snapshots_processed_;
+  PRIVREC_SPAN_CHUNK("core.dynamic.snapshot", t);
+  static obs::Counter& snapshots =
+      obs::GetCounter("privrec.dynamic.snapshots");
+  static obs::Counter& stale_replays =
+      obs::GetCounter("privrec.dynamic.stale_replays");
+  static obs::Counter& resumed =
+      obs::GetCounter("privrec.dynamic.resumed_from_intent");
+  snapshots.Increment();
   const double epsilon = EpsilonForSnapshot(t);
 
   // Write-ahead accounting. Three cases:
@@ -85,6 +95,7 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
         release.cumulative_epsilon = epsilon_spent();
         release.snapshot_index = t;
         release.stale = true;
+        stale_replays.Increment();
         return release;
       }
       return Status::ResourceExhausted(
@@ -132,6 +143,7 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
   release.snapshot_index = t;
   release.num_clusters = louvain.partition.num_clusters();
   release.resumed_from_intent = resumed_intent;
+  if (resumed_intent) resumed.Increment();
 
   if (ledger_ && !ledger_->IsCommitted(t)) {
     Status committed = ledger_->AppendCommit(t);

@@ -9,6 +9,7 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "graph/components.h"
+#include "obs/trace.h"
 
 namespace privrec::data {
 
@@ -241,12 +242,16 @@ Result<Dataset> LoadOnce(const std::string& dir,
 
 Result<Dataset> LoadFlixster(const std::string& dir,
                              const FlixsterOptions& options) {
+  PRIVREC_SPAN("data.load_flixster");
   RetryOptions retry = options.retry;
   retry.max_attempts = options.max_attempts;
   RetryStats stats;
   auto result = RetryWithBackoff([&] { return LoadOnce(dir, options); },
                                  retry, &stats);
-  if (result.ok()) result->report.io_retries = stats.attempts - 1;
+  if (result.ok()) {
+    result->report.io_retries = stats.attempts - 1;
+    RecordLoadMetrics(result->report);
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "common/fault_injection.h"
 #include "common/retry.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace privrec::data {
 
@@ -180,12 +181,16 @@ Result<Dataset> LoadOnce(const std::string& dir,
 
 Result<Dataset> LoadHetRecLastFm(const std::string& dir,
                                  const LastFmOptions& options) {
+  PRIVREC_SPAN("data.load_hetrec_lastfm");
   RetryOptions retry = options.retry;
   retry.max_attempts = options.max_attempts;
   RetryStats stats;
   auto result = RetryWithBackoff([&] { return LoadOnce(dir, options); },
                                  retry, &stats);
-  if (result.ok()) result->report.io_retries = stats.attempts - 1;
+  if (result.ok()) {
+    result->report.io_retries = stats.attempts - 1;
+    RecordLoadMetrics(result->report);
+  }
   return result;
 }
 

@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace privrec::dp {
+
+namespace {
+
+// The ε gauges track the most recent accountant that charged or replayed.
+// With several live budgets the gauges follow the latest activity; the
+// counters (charges, charged ε) accumulate across all of them.
+void UpdateEpsilonGauges(const PrivacyBudget& budget) {
+  static obs::Gauge& spent = obs::GetGauge("privrec.dp.epsilon_spent");
+  static obs::Gauge& remaining =
+      obs::GetGauge("privrec.dp.epsilon_remaining");
+  static obs::Gauge& total = obs::GetGauge("privrec.dp.epsilon_total");
+  spent.Set(budget.Spent());
+  remaining.Set(std::max(0.0, budget.total_epsilon() - budget.Spent()));
+  total.Set(budget.total_epsilon());
+}
+
+}  // namespace
 
 PrivacyBudget::PrivacyBudget(double total_epsilon)
     : total_epsilon_(total_epsilon) {
@@ -25,8 +43,19 @@ bool PrivacyBudget::CanCharge(const std::string& group,
 }
 
 bool PrivacyBudget::Charge(const std::string& group, double epsilon) {
-  if (!CanCharge(group, epsilon)) return false;
+  static obs::Counter& charges = obs::GetCounter("privrec.dp.charges");
+  static obs::Counter& rejected =
+      obs::GetCounter("privrec.dp.charges_rejected");
+  static obs::Gauge& charged_total =
+      obs::GetGauge("privrec.dp.epsilon_charged_total");
+  if (!CanCharge(group, epsilon)) {
+    rejected.Increment();
+    return false;
+  }
   per_group_[group] += epsilon;
+  charges.Increment();
+  charged_total.Add(epsilon);
+  UpdateEpsilonGauges(*this);
   return true;
 }
 
@@ -35,7 +64,11 @@ void PrivacyBudget::RestoreGroupSpent(const std::string& group,
   PRIVREC_CHECK(epsilon >= 0.0);
   PRIVREC_CHECK_MSG(epsilon <= limit(),
                     "replayed ledger spend exceeds the budget total");
+  static obs::Gauge& replayed =
+      obs::GetGauge("privrec.dp.epsilon_replayed_total");
+  replayed.Add(epsilon);
   per_group_[group] = epsilon;
+  UpdateEpsilonGauges(*this);
 }
 
 double PrivacyBudget::GroupSpent(const std::string& group) const {

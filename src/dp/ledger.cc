@@ -6,6 +6,7 @@
 #include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace privrec::dp {
 
@@ -181,6 +182,14 @@ Result<BudgetLedger> BudgetLedger::Open(const std::string& path,
     return Status::IoError("cannot reopen ledger " + path +
                            " for appending");
   }
+  static obs::Counter& opens = obs::GetCounter("privrec.dp.ledger_opens");
+  static obs::Counter& replayed =
+      obs::GetCounter("privrec.dp.ledger_entries_replayed");
+  static obs::Counter& torn_tails =
+      obs::GetCounter("privrec.dp.ledger_torn_tails");
+  opens.Increment();
+  replayed.Add(static_cast<int64_t>(ledger.entries_.size()));
+  if (ledger.recovered_torn_tail_) torn_tails.Increment();
   return ledger;
 }
 
@@ -219,6 +228,9 @@ Status BudgetLedger::AppendIntent(int64_t seq, const std::string& group,
                         " " + HexDouble(epsilon));
   if (!s.ok()) return s;
   entries_.push_back({seq, group, epsilon, false});
+  static obs::Counter& intents =
+      obs::GetCounter("privrec.dp.ledger_intents");
+  intents.Increment();
   return Status::Ok();
 }
 
@@ -229,6 +241,9 @@ Status BudgetLedger::AppendCommit(int64_t seq) {
   for (Entry& e : entries_) {
     if (e.seq == seq) e.committed = true;
   }
+  static obs::Counter& commits =
+      obs::GetCounter("privrec.dp.ledger_commits");
+  commits.Increment();
   return Status::Ok();
 }
 

@@ -5,12 +5,15 @@
 #include "common/parallel.h"
 #include "core/exact_recommender.h"
 #include "eval/ndcg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace privrec::eval {
 
 ExactReference ExactReference::Compute(
     const core::RecommenderContext& context,
     const std::vector<graph::NodeId>& users, int64_t max_n) {
+  PRIVREC_SPAN("eval.exact_reference");
   PRIVREC_CHECK(max_n >= 1);
   ExactReference ref;
   ref.users_ = users;
@@ -107,8 +110,15 @@ double ExactReference::Ndcg(
 
 double ExactReference::MeanNdcg(
     const std::vector<core::RecommendationList>& lists) const {
+  PRIVREC_SPAN("eval.ndcg");
   PRIVREC_CHECK(lists.size() == users_.size());
   if (lists.empty()) return 0.0;
+  static obs::Counter& evaluations =
+      obs::GetCounter("privrec.eval.ndcg_evaluations");
+  static obs::Counter& lists_scored =
+      obs::GetCounter("privrec.eval.lists_scored");
+  evaluations.Increment();
+  lists_scored.Add(static_cast<int64_t>(lists.size()));
   // Ordered chunked sum: same value at every thread count (Equation 2's
   // average over U is a fixed summation tree; see common/parallel.h).
   double acc = ParallelSum(static_cast<int64_t>(lists.size()), [&](int64_t k) {

@@ -1,9 +1,14 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/random.h"
 #include "common/stats.h"
+#include "common/timer.h"
+#include "dp/budget.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace privrec::eval {
 
@@ -28,6 +33,29 @@ std::vector<SweepCell> RunNdcgSweep(const RecommenderFactory& factory,
       *std::max_element(options.ns.begin(), options.ns.end());
   PRIVREC_CHECK(max_n <= reference.max_n());
 
+  PRIVREC_SPAN("eval.sweep");
+  static obs::Counter& sweeps = obs::GetCounter("privrec.eval.sweeps");
+  static obs::Counter& trials_run =
+      obs::GetCounter("privrec.eval.trials");
+  static obs::Histogram& trial_ms = obs::GetHistogram(
+      "privrec.eval.trial_ms", obs::ExponentialBuckets(1.0, 4.0, 10));
+  sweeps.Increment();
+
+  // Sequential-composition accounting for the whole sweep (Theorem 2):
+  // every trial at a finite ε is an independent release over the same
+  // data, so the sweep as a whole is (Σ ε_i · trials)-differentially
+  // private. Charging each trial through a PrivacyBudget keeps the
+  // process-wide privrec.dp.epsilon_spent gauge in sync with what the
+  // sweep actually released; ∞ cells (the non-private reference curve)
+  // release the exact averages and are excluded from the DP ledger.
+  double sweep_total = 0.0;
+  for (double epsilon : options.epsilons) {
+    if (std::isfinite(epsilon)) {
+      sweep_total += epsilon * static_cast<double>(options.trials);
+    }
+  }
+  dp::PrivacyBudget sweep_budget(sweep_total);
+
   std::vector<SweepCell> cells;
   uint64_t cell_seed = options.seed;
   for (double epsilon : options.epsilons) {
@@ -39,6 +67,14 @@ std::vector<SweepCell> RunNdcgSweep(const RecommenderFactory& factory,
     // are bit-identical for every --threads value.
     std::vector<RunningStats> stats(options.ns.size());
     for (int trial = 0; trial < options.trials; ++trial) {
+      PRIVREC_SPAN_CHUNK("eval.trial", trial);
+      ScopedTimer timer(&trial_ms);
+      trials_run.Increment();
+      if (std::isfinite(epsilon)) {
+        // Spends are accumulated in the same order the budget total was
+        // summed, so the charge can only fail on a genuine overspend.
+        PRIVREC_CHECK(sweep_budget.Charge("sweep", epsilon));
+      }
       std::unique_ptr<core::Recommender> rec =
           factory(epsilon, SplitMix64(cell_seed++));
       std::vector<core::RecommendationList> lists =

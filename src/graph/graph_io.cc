@@ -8,6 +8,8 @@
 
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace privrec::graph {
 
@@ -303,21 +305,37 @@ RetryOptions EffectiveRetry(const GraphIoOptions& options) {
 
 Result<LoadedSocialGraph> LoadSocialGraph(const std::string& path,
                                           const GraphIoOptions& options) {
+  PRIVREC_SPAN("graph.load_social");
   RetryStats stats;
   auto result = RetryWithBackoff(
       [&] { return LoadSocialGraphOnce(path, options.mode); },
       EffectiveRetry(options), &stats);
-  if (result.ok()) result->report.io_retries = stats.attempts - 1;
+  if (result.ok()) {
+    result->report.io_retries = stats.attempts - 1;
+    RecordLoadMetrics(result->report);
+  } else {
+    static obs::Counter& failed =
+        obs::GetCounter("privrec.data.failed_loads");
+    failed.Increment();
+  }
   return result;
 }
 
 Result<LoadedPreferenceGraph> LoadPreferenceGraph(
     const std::string& path, const GraphIoOptions& options) {
+  PRIVREC_SPAN("graph.load_preferences");
   RetryStats stats;
   auto result = RetryWithBackoff(
       [&] { return LoadPreferenceGraphOnce(path, options.mode); },
       EffectiveRetry(options), &stats);
-  if (result.ok()) result->report.io_retries = stats.attempts - 1;
+  if (result.ok()) {
+    result->report.io_retries = stats.attempts - 1;
+    RecordLoadMetrics(result->report);
+  } else {
+    static obs::Counter& failed =
+        obs::GetCounter("privrec.data.failed_loads");
+    failed.Increment();
+  }
   return result;
 }
 

@@ -1,0 +1,179 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+
+namespace privrec::obs {
+
+namespace {
+
+// Shortest-round-trip-safe formatting: integral values print without an
+// exponent, everything else with enough digits to reconstruct the double
+// bit-exactly (ε accounting must survive the JSON round trip).
+std::string FormatJsonDouble(double x) {
+  char buf[64];
+  if (x == static_cast<double>(static_cast<int64_t>(x)) &&
+      x > -1e15 && x < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(x));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsToTable(const MetricsSnapshot& snapshot, std::ostream& out) {
+  size_t width = 0;
+  for (const CounterSample& c : snapshot.counters) {
+    width = std::max(width, c.name.size());
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    width = std::max(width, g.name.size());
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    width = std::max(width, h.name.size());
+  }
+
+  out << "--- metrics ---\n";
+  if (snapshot.Empty()) {
+    out << "(no metrics registered)\n";
+    return;
+  }
+  for (const CounterSample& c : snapshot.counters) {
+    out << std::left << std::setw(static_cast<int>(width)) << c.name
+        << "  " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    out << std::left << std::setw(static_cast<int>(width)) << g.name
+        << "  " << FormatJsonDouble(g.value) << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    out << std::left << std::setw(static_cast<int>(width)) << h.name
+        << "  count=" << h.count << " sum=" << FormatJsonDouble(h.sum)
+        << " mean="
+        << FormatJsonDouble(h.count > 0
+                                ? h.sum / static_cast<double>(h.count)
+                                : 0.0)
+        << "\n";
+  }
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterSample& c : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(c.name) +
+           "\": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const GaugeSample& g : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(g.name) +
+           "\": " + FormatJsonDouble(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramSample& h : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(h.name) + "\": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FormatJsonDouble(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + FormatJsonDouble(h.sum) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": \"" + JsonEscape(s.name) +
+           "\", \"cat\": \"privrec\", \"ph\": \"X\", \"ts\": " +
+           FormatJsonDouble(static_cast<double>(s.start_ns) / 1e3) +
+           ", \"dur\": " +
+           FormatJsonDouble(static_cast<double>(s.duration_ns) / 1e3) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(s.thread_id);
+    out += ", \"args\": {\"depth\": " + std::to_string(s.depth);
+    if (s.chunk >= 0) {
+      out += ", \"chunk\": " + std::to_string(s.chunk);
+    }
+    out += "}}";
+  }
+  out += first ? "],\n" : "\n],\n";
+  out += "\"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents,
+                   std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << contents;
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace privrec::obs

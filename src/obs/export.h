@@ -1,0 +1,41 @@
+// Exporters for metrics snapshots and span traces.
+//
+// Three formats:
+//   MetricsToTable   — human-readable aligned table (typically to stderr)
+//   MetricsToJson    — one JSON document: {"counters": {...}, "gauges":
+//                      {...}, "histograms": {name: {bounds, counts, count,
+//                      sum}}}; doubles printed with %.17g so ε accounting
+//                      round-trips exactly
+//   SpansToChromeTrace — Chrome trace_event JSON ("X" complete events,
+//                      microsecond timestamps), loadable in
+//                      chrome://tracing and https://ui.perfetto.dev
+//
+// These operate on the plain value types of obs/snapshot.h and are always
+// compiled, even under PRIVREC_OBS=OFF (a disabled build exports empty
+// documents).
+
+#ifndef PRIVREC_OBS_EXPORT_H_
+#define PRIVREC_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.h"
+
+namespace privrec::obs {
+
+void MetricsToTable(const MetricsSnapshot& snapshot, std::ostream& out);
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans);
+
+// Writes `contents` to `path`, returning false (with a diagnostic in
+// *error if non-null) on failure.
+bool WriteTextFile(const std::string& path, const std::string& contents,
+                   std::string* error = nullptr);
+
+}  // namespace privrec::obs
+
+#endif  // PRIVREC_OBS_EXPORT_H_

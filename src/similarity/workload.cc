@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace privrec::similarity {
 
@@ -29,6 +31,7 @@ void SimilarityWorkload::FillRows(const graph::SocialGraph& g,
                                   const SimilarityMeasure& measure,
                                   const std::vector<bool>* store_mask,
                                   SimilarityWorkload* w) {
+  PRIVREC_SPAN("similarity.workload");
   const graph::NodeId n = g.num_nodes();
   std::vector<double> column_sums(static_cast<size_t>(n), 0.0);
 
@@ -79,6 +82,16 @@ void SimilarityWorkload::FillRows(const graph::SocialGraph& g,
   for (double s : column_sums) {
     w->max_column_sum_ = std::max(w->max_column_sum_, s);
   }
+
+  static obs::Counter& workloads =
+      obs::GetCounter("privrec.similarity.workloads");
+  static obs::Counter& rows =
+      obs::GetCounter("privrec.similarity.rows_materialized");
+  static obs::Counter& stored =
+      obs::GetCounter("privrec.similarity.entries_stored");
+  workloads.Increment();
+  rows.Add(static_cast<int64_t>(n));
+  stored.Add(static_cast<int64_t>(w->entries_.size()));
 }
 
 SimilarityWorkload SimilarityWorkload::Compute(

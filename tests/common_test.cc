@@ -14,6 +14,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 
 namespace privrec {
 namespace {
@@ -434,6 +435,88 @@ TEST(FlagsTest, NoSuggestionWhenNothingIsClose) {
   flags.GetInt("trials", 3);
   EXPECT_EQ(flags.SuggestionFor("zzzqqq"), "");
   EXPECT_FALSE(flags.Validate());
+}
+
+// ----------------------------------------------------------------- Timer
+
+TEST(TimerTest, ElapsedIsMonotonicAndResets) {
+  WallTimer timer;
+  double t1 = timer.ElapsedSeconds();
+  double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  // Millis and seconds are separate clock reads, so only the unit
+  // relation holds: millis of a later read >= 1e3 * seconds of an
+  // earlier one.
+  EXPECT_GE(timer.ElapsedMillis(), t2 * 1e3);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 60.0);
+}
+
+// ------------------------------------------------------- More statistics
+
+TEST(StatsTest, PercentileInterpolatesBetweenRanks) {
+  std::vector<double> values = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+  // Rank position for p=50 over 4 samples: 1.5 -> midpoint of 20 and 30.
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 25.0), 17.5);
+  // Unsorted input is sorted internally.
+  EXPECT_DOUBLE_EQ(Percentile({40.0, 10.0, 30.0, 20.0}, 50.0), 25.0);
+}
+
+TEST(StatsTest, HistogramBinsAndClamps) {
+  Histogram hist(0.0, 10.0, 5);  // bins of width 2
+  hist.Add(1.0);   // bin 0
+  hist.Add(3.0);   // bin 1
+  hist.Add(9.9);   // bin 4
+  hist.Add(-5.0);  // clamped into bin 0
+  hist.Add(42.0);  // clamped into bin 4
+  EXPECT_EQ(hist.num_bins(), 5);
+  EXPECT_EQ(hist.total(), 5);
+  EXPECT_EQ(hist.bin_count(0), 2);
+  EXPECT_EQ(hist.bin_count(1), 1);
+  EXPECT_EQ(hist.bin_count(2), 0);
+  EXPECT_EQ(hist.bin_count(4), 2);
+  EXPECT_DOUBLE_EQ(hist.Fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(hist.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.BinCenter(4), 9.0);
+}
+
+TEST(StatsTest, RunningStatsMergeMatchesCombinedStream) {
+  Rng rng(77);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Normal());
+
+  RunningStats all;
+  for (double v : values) all.Add(v);
+
+  RunningStats left;
+  RunningStats right;
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i < 80 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatsTest, MergeWithEmptySidesIsIdentity) {
+  RunningStats stats;
+  stats.Add(2.0);
+  stats.Add(4.0);
+  RunningStats empty;
+  stats.Merge(empty);
+  EXPECT_EQ(stats.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  empty.Merge(stats);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
 }
 
 }  // namespace

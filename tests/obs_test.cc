@@ -1,0 +1,434 @@
+// Tests for the observability layer (src/obs): registry semantics under
+// concurrency, span nesting, exporter goldens, driver flag plumbing, and
+// the determinism guard (metrics + tracing must never perturb
+// recommendation output).
+//
+// Live-registry assertions are gated on obs::kCompiledIn so this suite
+// stays green in a PRIVREC_OBS=OFF build (where the no-op shells always
+// report zero and exporters emit empty documents).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/driver_flags.h"
+#include "common/flags.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "community/louvain.h"
+#include "core/cluster_recommender.h"
+#include "data/synthetic.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "similarity/common_neighbors.h"
+#include "similarity/workload.h"
+
+namespace privrec {
+namespace {
+
+// ---------------------------------------------------------------- Buckets
+
+TEST(BucketsTest, LinearBuckets) {
+  std::vector<double> b = obs::LinearBuckets(0.0, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 10.0);
+  EXPECT_DOUBLE_EQ(b[2], 20.0);
+  EXPECT_DOUBLE_EQ(b[3], 30.0);
+}
+
+TEST(BucketsTest, ExponentialBuckets) {
+  std::vector<double> b = obs::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 4.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(MetricsRegistryTest, CounterIsExactUnderConcurrency) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& counter = obs::GetCounter("privrec.test.concurrent");
+  counter.ResetValue();
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Gauge& gauge = obs::GetGauge("privrec.test.gauge");
+  gauge.Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.Add(0.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.75);
+  gauge.ResetValue();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketing) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Histogram& hist = obs::GetHistogram(
+      "privrec.test.hist", std::vector<double>{1.0, 10.0, 100.0});
+  hist.ResetValue();
+  hist.Observe(0.5);    // <= 1     -> bucket 0
+  hist.Observe(1.0);    // <= 1     -> bucket 0 (bounds are inclusive)
+  hist.Observe(5.0);    // <= 10    -> bucket 1
+  hist.Observe(100.0);  // <= 100   -> bucket 2
+  hist.Observe(1e6);    // overflow -> bucket 3
+  ASSERT_EQ(hist.num_buckets(), 4u);
+  EXPECT_EQ(hist.bucket_count(0), 2);
+  EXPECT_EQ(hist.bucket_count(1), 1);
+  EXPECT_EQ(hist.bucket_count(2), 1);
+  EXPECT_EQ(hist.bucket_count(3), 1);
+  EXPECT_EQ(hist.count(), 5);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+}
+
+TEST(MetricsRegistryTest, HistogramTotalsExactUnderConcurrency) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Histogram& hist = obs::GetHistogram(
+      "privrec.test.hist_concurrent", std::vector<double>{0.5});
+  hist.ResetValue();
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hist] {
+      for (int64_t i = 0; i < kPerThread; ++i) hist.Observe(1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(hist.sum(),
+                   static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(hist.bucket_count(1), kThreads * kPerThread);  // overflow
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameObject) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& a = obs::GetCounter("privrec.test.same");
+  obs::Counter& b = obs::GetCounter("privrec.test.same");
+  EXPECT_EQ(&a, &b);
+  // Re-registration with different bounds returns the first histogram.
+  obs::Histogram& h1 = obs::GetHistogram("privrec.test.same_hist",
+                                         std::vector<double>{1.0, 2.0});
+  obs::Histogram& h2 = obs::GetHistogram("privrec.test.same_hist",
+                                         std::vector<double>{99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& counter = obs::GetCounter("privrec.test.reset");
+  counter.Add(41);
+  obs::MetricsRegistry::Instance().ResetValues();
+  EXPECT_EQ(counter.value(), 0);
+  // The cached reference is still live and still registered.
+  counter.Increment();
+  obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Instance().Snapshot();
+  bool found = false;
+  for (const obs::CounterSample& c : snapshot.counters) {
+    if (c.name == "privrec.test.reset") {
+      found = true;
+      EXPECT_EQ(c.value, 1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::GetCounter("privrec.test.zz");
+  obs::GetCounter("privrec.test.aa");
+  obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Instance().Snapshot();
+  for (size_t k = 1; k < snapshot.counters.size(); ++k) {
+    EXPECT_LT(snapshot.counters[k - 1].name, snapshot.counters[k].name);
+  }
+}
+
+// ----------------------------------------------------------------- Tracer
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  obs::Tracer::Instance().SetEnabled(false);
+  obs::Tracer::Instance().Clear();
+  { PRIVREC_SPAN("test.disabled"); }
+  EXPECT_TRUE(obs::Tracer::Instance().Snapshot().empty());
+}
+
+TEST(TracerTest, RecordsNestedSpansWithDepthAndChunk) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Tracer::Instance().Clear();
+  obs::Tracer::Instance().SetEnabled(true);
+  {
+    PRIVREC_SPAN("test.outer");
+    {
+      PRIVREC_SPAN_CHUNK("test.inner", 7);
+    }
+  }
+  obs::Tracer::Instance().SetEnabled(false);
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Instance().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by (thread, start): the outer span starts first.
+  EXPECT_EQ(spans[0].name, "test.outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].chunk, -1);
+  EXPECT_EQ(spans[1].name, "test.inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].chunk, 7);
+  // Containment: the inner interval nests inside the outer one.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].duration_ns,
+            spans[0].start_ns + spans[0].duration_ns);
+  obs::Tracer::Instance().Clear();
+}
+
+TEST(TracerTest, SpansFromParallelChunksCarryChunkIds) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Tracer::Instance().Clear();
+  obs::Tracer::Instance().SetEnabled(true);
+  ScopedThreadCount scoped(4);
+  Status run = ParallelFor(1000, [](int64_t, int64_t, int64_t) {});
+  ASSERT_TRUE(run.ok());
+  obs::Tracer::Instance().SetEnabled(false);
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Instance().Snapshot();
+  int64_t chunk_spans = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "parallel.chunk") {
+      ++chunk_spans;
+      EXPECT_GE(s.chunk, 0);
+    }
+  }
+  EXPECT_GT(chunk_spans, 0);
+  obs::Tracer::Instance().Clear();
+}
+
+// -------------------------------------------------------------- Exporters
+
+obs::MetricsSnapshot GoldenSnapshot() {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"privrec.a.count", 3});
+  snapshot.gauges.push_back({"privrec.b.eps", 0.5});
+  obs::HistogramSample hist;
+  hist.name = "privrec.c.ms";
+  hist.bounds = {1.0, 10.0};
+  hist.counts = {2, 1, 0};
+  hist.count = 3;
+  hist.sum = 12.5;
+  snapshot.histograms.push_back(hist);
+  return snapshot;
+}
+
+TEST(ExportTest, TableGolden) {
+  std::ostringstream out;
+  obs::MetricsToTable(GoldenSnapshot(), out);
+  EXPECT_EQ(out.str(),
+            "--- metrics ---\n"
+            "privrec.a.count  3\n"
+            "privrec.b.eps    0.5\n"
+            "privrec.c.ms     count=3 sum=12.5 "
+            "mean=4.166666666666667\n");
+}
+
+TEST(ExportTest, TableEmptySnapshot) {
+  std::ostringstream out;
+  obs::MetricsToTable(obs::MetricsSnapshot{}, out);
+  EXPECT_EQ(out.str(), "--- metrics ---\n(no metrics registered)\n");
+}
+
+TEST(ExportTest, JsonGolden) {
+  EXPECT_EQ(obs::MetricsToJson(GoldenSnapshot()),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"privrec.a.count\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"privrec.b.eps\": 0.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"privrec.c.ms\": {\"bounds\": [1, 10], "
+            "\"counts\": [2, 1, 0], \"count\": 3, \"sum\": 12.5}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ExportTest, JsonEmptySnapshot) {
+  EXPECT_EQ(obs::MetricsToJson(obs::MetricsSnapshot{}),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
+TEST(ExportTest, ChromeTraceGolden) {
+  std::vector<obs::SpanRecord> spans;
+  spans.push_back({"phase.outer", 1000, 5000, 0, 0, -1});
+  spans.push_back({"phase.chunk", 2000, 1000, 1, 1, 3});
+  EXPECT_EQ(obs::SpansToChromeTrace(spans),
+            "{\"traceEvents\": [\n"
+            "  {\"name\": \"phase.outer\", \"cat\": \"privrec\", "
+            "\"ph\": \"X\", \"ts\": 1, \"dur\": 5, \"pid\": 1, "
+            "\"tid\": 0, \"args\": {\"depth\": 0}},\n"
+            "  {\"name\": \"phase.chunk\", \"cat\": \"privrec\", "
+            "\"ph\": \"X\", \"ts\": 2, \"dur\": 1, \"pid\": 1, "
+            "\"tid\": 1, \"args\": {\"depth\": 1, \"chunk\": 3}}\n"
+            "],\n"
+            "\"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(ExportTest, ChromeTraceEmpty) {
+  EXPECT_EQ(obs::SpansToChromeTrace({}),
+            "{\"traceEvents\": [],\n\"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(ExportTest, JsonEscapesSpecialCharacters) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"bad\"name\\with\nnewline", 1});
+  std::string json = obs::MetricsToJson(snapshot);
+  EXPECT_NE(json.find("bad\\\"name\\\\with\\nnewline"), std::string::npos);
+}
+
+// ------------------------------------------------------------ ScopedTimer
+
+TEST(ScopedTimerTest, AccumulatesIntoHistogram) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Histogram& hist = obs::GetHistogram(
+      "privrec.test.timer_ms", obs::ExponentialBuckets(1.0, 10.0, 4));
+  hist.ResetValue();
+  {
+    ScopedTimer timer(&hist);
+  }
+  EXPECT_EQ(hist.count(), 1);
+  EXPECT_GE(hist.sum(), 0.0);
+  // Stop() is idempotent: a second stop records nothing more.
+  ScopedTimer timer(&hist);
+  timer.Stop();
+  timer.Stop();
+  EXPECT_EQ(hist.count(), 2);
+}
+
+TEST(ScopedTimerTest, NullSinkIsSafe) {
+  ScopedTimer timer(nullptr);
+  timer.Stop();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+// ------------------------------------------------------------- ObsSession
+
+TEST(ObsSessionTest, WritesRequestedExports) {
+  const std::string metrics_path = ::testing::TempDir() + "obs_m.json";
+  const std::string trace_path = ::testing::TempDir() + "obs_t.json";
+  const std::string metrics_arg = "--metrics-json=" + metrics_path;
+  const std::string trace_arg = "--trace-out=" + trace_path;
+  const char* argv[] = {"prog", metrics_arg.c_str(), trace_arg.c_str()};
+  FlagParser flags(3, const_cast<char**>(argv));
+  {
+    ObsSession session = ApplyDriverFlags(flags);
+    EXPECT_TRUE(flags.Validate());
+    obs::GetCounter("privrec.test.session").Increment();
+    { PRIVREC_SPAN("test.session_span"); }
+  }
+  // The destructor wrote both files and disabled the tracer.
+  EXPECT_FALSE(obs::Tracer::Instance().enabled());
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.good());
+  std::stringstream metrics_text;
+  metrics_text << metrics_in.rdbuf();
+  EXPECT_NE(metrics_text.str().find("\"counters\""), std::string::npos);
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  EXPECT_NE(trace_text.str().find("traceEvents"), std::string::npos);
+  if (obs::kCompiledIn) {
+    EXPECT_NE(metrics_text.str().find("privrec.test.session"),
+              std::string::npos);
+    EXPECT_NE(trace_text.str().find("test.session_span"),
+              std::string::npos);
+  }
+  obs::Tracer::Instance().Clear();
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(ObsSessionTest, TypoSuggestionsCoverObsFlags) {
+  const char* argv[] = {"prog", "--trace-oot=/tmp/t.json"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  ObsSession session = ApplyDriverFlags(flags);
+  EXPECT_EQ(flags.SuggestionFor("trace-oot"), "trace-out");
+  EXPECT_FALSE(flags.Validate());
+  EXPECT_EQ(flags.SuggestionFor("metrics-jsan"), "metrics-json");
+}
+
+// ---------------------------------------------------- Determinism guard
+
+std::vector<core::RecommendationList> RunPipelineOnce(int64_t threads) {
+  ScopedThreadCount scoped(threads);
+  static const data::Dataset& dataset =
+      *new data::Dataset(data::MakeTinyDataset(300, 400, 3));
+  similarity::SimilarityWorkload workload =
+      similarity::SimilarityWorkload::Compute(
+          dataset.social, similarity::CommonNeighbors());
+  core::RecommenderContext context{&dataset.social, &dataset.preferences,
+                                   &workload};
+  community::LouvainResult louvain =
+      community::RunLouvain(dataset.social, {.restarts = 2, .seed = 11});
+  core::ClusterRecommender rec(context, louvain.partition,
+                               {.epsilon = 0.5, .seed = 12});
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < dataset.social.num_nodes(); ++u) {
+    users.push_back(u);
+  }
+  return rec.Recommend(users, 10);
+}
+
+TEST(ObsDeterminismTest, TracingAndMetricsNeverPerturbOutput) {
+  // The zero-interference contract: the full pipeline produces
+  // bit-identical recommendations whether tracing is on or off, at any
+  // thread count. This is what makes it safe to leave instrumentation in
+  // the DP release paths — observation cannot consume randomness or
+  // change FP evaluation order.
+  obs::Tracer::Instance().SetEnabled(false);
+  obs::Tracer::Instance().Clear();
+  std::vector<core::RecommendationList> baseline = RunPipelineOnce(1);
+
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    obs::Tracer::Instance().SetEnabled(true);
+    std::vector<core::RecommendationList> traced =
+        RunPipelineOnce(threads);
+    obs::Tracer::Instance().SetEnabled(false);
+    obs::Tracer::Instance().Clear();
+    ASSERT_EQ(traced.size(), baseline.size());
+    for (size_t u = 0; u < baseline.size(); ++u) {
+      ASSERT_EQ(traced[u].size(), baseline[u].size()) << "user " << u;
+      for (size_t k = 0; k < baseline[u].size(); ++k) {
+        EXPECT_EQ(traced[u][k].item, baseline[u][k].item)
+            << "user " << u << " rank " << k;
+        EXPECT_EQ(traced[u][k].utility, baseline[u][k].utility)
+            << "user " << u << " rank " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privrec
