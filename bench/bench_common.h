@@ -8,13 +8,18 @@
 #include <string>
 #include <vector>
 
+#include "artifact/builder.h"
+#include "artifact/serving.h"
 #include "common/driver_flags.h"
 #include "common/flags.h"
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "community/partition.h"
+#include "core/recommender_factory.h"
 #include "dp/mechanisms.h"
+#include "eval/experiment.h"
 #include "graph/social_graph.h"
 #include "similarity/adamic_adar.h"
 #include "similarity/common_neighbors.h"
@@ -84,6 +89,49 @@ inline std::vector<graph::NodeId> SampleUsers(graph::NodeId n,
     users.push_back(static_cast<graph::NodeId>(raw));
   }
   return users;
+}
+
+// Cluster-mechanism factory for the NDCG sweeps, routed through the
+// two-phase pipeline by default: every (ε, trial) cell re-runs the A_w
+// publication via a shared ModelArtifactBuilder and serves from the
+// resulting in-memory artifact. This is bit-identical to constructing
+// core::ClusterRecommender directly — artifact_test pins the equivalence
+// — so benches expose --in-memory only as a way to time the legacy
+// single-process path, not to change results.
+inline eval::RecommenderFactory ClusterFactory(
+    bool in_memory, const core::RecommenderContext& context,
+    const community::Partition& partition) {
+  if (in_memory) {
+    return [&context, &partition](double eps, uint64_t seed) {
+      return std::make_unique<core::ClusterRecommender>(
+          context, partition,
+          core::ClusterRecommenderOptions{.epsilon = eps, .seed = seed});
+    };
+  }
+  auto builder = std::make_shared<artifact::ModelArtifactBuilder>(
+      context.social, context.preferences);
+  builder->SetPartition(&partition);
+  builder->SetWorkload(context.workload);
+  return [builder](double eps,
+                   uint64_t seed) -> std::unique_ptr<core::Recommender> {
+    artifact::BuildOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    options.include_reference_sections = false;
+    auto model = builder->Build(options);
+    PRIVREC_CHECK_MSG(model.ok(), "artifact build failed");
+    auto engine = serving::ServingEngine::FromModel(std::move(*model));
+    PRIVREC_CHECK_MSG(engine.ok(), "artifact rejected by serving engine");
+    core::RecommenderSpec spec;
+    spec.mechanism = "Cluster";
+    spec.epsilon = eps;
+    spec.seed = seed;
+    auto rec = core::MakeArtifactRecommender(
+        std::make_shared<const serving::ServingEngine>(std::move(*engine)),
+        spec);
+    PRIVREC_CHECK_MSG(rec.ok(), "artifact-backed recommender rejected");
+    return std::move(*rec);
+  };
 }
 
 }  // namespace privrec::bench

@@ -33,6 +33,7 @@ int Main(int argc, char** argv) {
   // (pass --trials=10 --eval_users=1892 for the full configuration).
   const int trials = static_cast<int>(flags.GetInt("trials", 5));
   const int64_t eval_count = flags.GetInt("eval_users", 1000);
+  const bool in_memory = flags.GetBool("in-memory", false);
   if (!flags.Validate()) return 1;
 
   std::cout << "=== Figure 1: NDCG@N vs epsilon on Last.fm (cluster "
@@ -62,11 +63,8 @@ int Main(int argc, char** argv) {
     eval::ExactReference reference =
         eval::ExactReference::Compute(context, users, 100);
 
-    eval::RecommenderFactory factory = [&](double eps, uint64_t seed) {
-      return std::make_unique<core::ClusterRecommender>(
-          context, louvain.partition,
-          core::ClusterRecommenderOptions{.epsilon = eps, .seed = seed});
-    };
+    eval::RecommenderFactory factory =
+        bench::ClusterFactory(in_memory, context, louvain.partition);
     eval::SweepOptions sweep;
     sweep.epsilons = bench::PaperEpsilons();
     sweep.ns = ns;

@@ -35,6 +35,7 @@ int Main(int argc, char** argv) {
   const int64_t num_users = flags.GetInt("users", 12000);
   const int64_t num_items = flags.GetInt("items", 8000);
   const int64_t eval_count = flags.GetInt("eval_users", 1500);
+  const bool in_memory = flags.GetBool("in-memory", false);
   if (!flags.Validate()) return 1;
 
   std::cout << "=== Figure 2: NDCG@N vs epsilon on Flixster-synth ("
@@ -67,11 +68,8 @@ int Main(int argc, char** argv) {
     eval::ExactReference reference =
         eval::ExactReference::Compute(context, users, 100);
 
-    eval::RecommenderFactory factory = [&](double eps, uint64_t seed) {
-      return std::make_unique<core::ClusterRecommender>(
-          context, louvain.partition,
-          core::ClusterRecommenderOptions{.epsilon = eps, .seed = seed});
-    };
+    eval::RecommenderFactory factory =
+        bench::ClusterFactory(in_memory, context, louvain.partition);
     eval::SweepOptions sweep;
     sweep.epsilons = bench::PaperEpsilons();
     sweep.ns = ns;

@@ -43,7 +43,7 @@ void WriteScatter(const std::string& path,
 }
 
 void RunDataset(const std::string& label, const data::Dataset& dataset,
-                const std::vector<graph::NodeId>& users) {
+                const std::vector<graph::NodeId>& users, bool in_memory) {
   community::LouvainResult louvain =
       community::RunLouvain(dataset.social, {.restarts = 10, .seed = 77});
   auto measure = bench::MakeMeasure("CN");
@@ -54,10 +54,12 @@ void RunDataset(const std::string& label, const data::Dataset& dataset,
                                    &workload};
   eval::ExactReference reference =
       eval::ExactReference::Compute(context, users, 50);
-  core::ClusterRecommender rec(context, louvain.partition,
-                               {.epsilon = dp::kEpsilonInfinity,
-                                .seed = 5});
-  auto lists = rec.Recommend(users, 50);
+  // ε = ∞ exercises the noiseless route of the two-phase pipeline: the
+  // artifact's noisy-averages table degenerates to the exact cluster
+  // averages, isolating approximation error as in the paper.
+  std::unique_ptr<core::Recommender> rec = bench::ClusterFactory(
+      in_memory, context, louvain.partition)(dp::kEpsilonInfinity, 5);
+  auto lists = rec->Recommend(users, 50);
   WriteScatter("/tmp/privrec_fig3_" + dataset.name + ".tsv", dataset,
                users, reference, lists);
 
@@ -112,13 +114,14 @@ int Main(int argc, char** argv) {
   privrec::ObsSession obs_session = bench::ApplyStandardFlags(flags);
   const int64_t flixster_users = flags.GetInt("flixster_users", 12000);
   const int64_t flixster_eval = flags.GetInt("flixster_eval", 2000);
+  const bool in_memory = flags.GetBool("in-memory", false);
   if (!flags.Validate()) return 1;
 
   std::cout << "=== Figure 3: user degree vs NDCG@50 under approximation "
                "error alone ===\n\n";
   data::Dataset lastfm = data::MakeSyntheticLastFm();
   RunDataset("lastfm-synth (Fig. 3a)", lastfm,
-             bench::AllUsers(lastfm.social.num_nodes()));
+             bench::AllUsers(lastfm.social.num_nodes()), in_memory);
 
   data::SyntheticFlixsterOptions opt;
   opt.num_users = flixster_users;
@@ -126,7 +129,8 @@ int Main(int argc, char** argv) {
   data::Dataset flixster = data::MakeSyntheticFlixster(opt);
   RunDataset("flixster-synth (Fig. 3b)", flixster,
              bench::SampleUsers(flixster.social.num_nodes(), flixster_eval,
-                                31));
+                                31),
+             in_memory);
   return 0;
 }
 

@@ -11,13 +11,25 @@
 // concurrency / PRIVREC_THREADS) sets the default thread count; the
 // */threads:N benchmarks override it per run. Thread count never changes
 // results — only wall-clock.
+//
+// The BM_Artifact* group times the two-phase pipeline's hot paths (save,
+// load, serve-side reconstruction); capture them with
+// --benchmark_filter=Artifact --benchmark_out=BENCH_artifact.json
+// --benchmark_out_format=json. The context block carries the artifact's
+// on-disk byte size (artifact_bytes) next to git_revision, so size and
+// latency regressions are visible in the same record.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "artifact/builder.h"
+#include "artifact/model_io.h"
+#include "artifact/serving.h"
+#include "common/macros.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/version.h"
@@ -314,6 +326,111 @@ void BM_SpectralKMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_SpectralKMeans);
 
+// --- Two-phase pipeline: save / load / serve on the shared dataset. ---
+
+struct ArtifactFixture {
+  ArtifactFixture() {
+    RecommenderFixture& f = SharedFixture();
+    artifact::ModelArtifactBuilder builder(&f.dataset.social,
+                                           &f.dataset.preferences);
+    builder.SetPartition(&f.louvain.partition);
+    builder.SetWorkload(&f.workload);
+    artifact::BuildOptions options;
+    options.epsilon = 0.1;
+    options.seed = 12;
+    options.include_reference_sections = false;
+    auto built = builder.Build(options);
+    PRIVREC_CHECK_MSG(built.ok(), "artifact build failed");
+    model = std::move(*built);
+    path = (std::filesystem::temp_directory_path() /
+            "privrec_bench_model.pvra")
+               .string();
+    Status saved = serving::SaveArtifact(model, path);
+    PRIVREC_CHECK_MSG(saved.ok(), "artifact save failed");
+    bytes = static_cast<int64_t>(std::filesystem::file_size(path));
+  }
+
+  serving::ArtifactModel model;
+  std::string path;
+  int64_t bytes = 0;
+};
+
+ArtifactFixture& SharedArtifactFixture() {
+  static ArtifactFixture& fixture = *new ArtifactFixture();
+  return fixture;
+}
+
+void BM_ArtifactSave(benchmark::State& state) {
+  ArtifactFixture& f = SharedArtifactFixture();
+  const std::string path = f.path + ".save_bench";
+  for (auto _ : state) {
+    Status saved = serving::SaveArtifact(f.model, path);
+    benchmark::DoNotOptimize(saved.ok());
+  }
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(state.iterations() * f.bytes);
+}
+BENCHMARK(BM_ArtifactSave);
+
+void BM_ArtifactLoad(benchmark::State& state) {
+  ArtifactFixture& f = SharedArtifactFixture();
+  for (auto _ : state) {
+    auto engine = serving::ServingEngine::Load(f.path);
+    benchmark::DoNotOptimize(engine.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * f.bytes);
+}
+BENCHMARK(BM_ArtifactLoad);
+
+// Top-N reconstruction from the loaded artifact — the serve-side answer
+// to BM_ClusterRecommendPerUser (same users, same N; the two paths are
+// bit-identical, so any delta here is pure dispatch overhead).
+void BM_ArtifactClusterServe(benchmark::State& state) {
+  ArtifactFixture& f = SharedArtifactFixture();
+  auto engine = serving::ServingEngine::Load(f.path);
+  PRIVREC_CHECK_MSG(engine.ok(), "artifact load failed");
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = 0.1;
+  auto server = serving::MakeServeRecommender(&*engine, spec);
+  PRIVREC_CHECK_MSG(server.ok(), "serve recommender rejected");
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 200; ++u) users.push_back(u);
+  for (auto _ : state) {
+    auto batch = (*server)->Recommend(users, 50);
+    benchmark::DoNotOptimize(batch.lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_ArtifactClusterServe);
+
+void BM_ArtifactClusterServeThreads(benchmark::State& state) {
+  ArtifactFixture& f = SharedArtifactFixture();
+  auto engine = serving::ServingEngine::Load(f.path);
+  PRIVREC_CHECK_MSG(engine.ok(), "artifact load failed");
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = 0.1;
+  auto server = serving::MakeServeRecommender(&*engine, spec);
+  PRIVREC_CHECK_MSG(server.ok(), "serve recommender rejected");
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId u = 0; u < 200; ++u) users.push_back(u);
+  ScopedThreadCount scoped(state.range(0));
+  for (auto _ : state) {
+    auto batch = (*server)->Recommend(users, 50);
+    benchmark::DoNotOptimize(batch.lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(users.size()));
+}
+BENCHMARK(BM_ArtifactClusterServeThreads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
 void BM_ExactRecommendPerUser(benchmark::State& state) {
   RecommenderFixture& f = SharedFixture();
   core::ExactRecommender rec(f.context);
@@ -359,6 +476,11 @@ int main(int argc, char** argv) {
                       " chunks (DefaultChunkSize = ceil(n/target))");
   benchmark::AddCustomContext(
       "obs_compiled_in", privrec::obs::kCompiledIn ? "true" : "false");
+  // On-disk size of the model the BM_Artifact* group saves/loads/serves,
+  // so BENCH_artifact.json records pair byte-size with latency.
+  benchmark::AddCustomContext(
+      "artifact_bytes",
+      std::to_string(privrec::SharedArtifactFixture().bytes));
 
   // Warm the shared fixtures once (outside any timed region), then stamp
   // the resulting metrics snapshot into the BENCH JSON context: every

@@ -36,3 +36,45 @@ if nm --defined-only build-noobs/src/obs/libprivrec_obs.a 2>/dev/null \
   exit 1
 fi
 echo "no-obs symbol check: clean (metrics registry and tracer compiled out)"
+
+# Two-phase pipeline determinism pass: build→save→load→serve must be
+# byte-stable — the same inputs produce the same .pvra bytes on every run
+# and at every thread count, and recommendations served from a freshly
+# built engine equal those served from a saved-then-loaded artifact.
+# (The asan-ubsan tree is already built above; running under ASan also
+# shakes the save/load paths for memory bugs.)
+SCRATCH=artifact-scratch
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+FP=build-asan-ubsan/examples/file_pipeline
+run_pipeline() {  # run_pipeline <tag> <threads> <extra args...>
+  local tag="$1" threads="$2"
+  shift 2
+  "$FP" --social="$SCRATCH/social.tsv" --prefs="$SCRATCH/prefs.tsv" \
+    --epsilon=0.5 --top_n=10 --threads="$threads" \
+    --out="$SCRATCH/recs_$tag.tsv" "$@" > "$SCRATCH/log_$tag.txt"
+}
+run_pipeline t1a 1 --artifact-out="$SCRATCH/model_t1a.pvra"
+run_pipeline t1b 1 --artifact-out="$SCRATCH/model_t1b.pvra"
+run_pipeline t2  2 --artifact-out="$SCRATCH/model_t2.pvra"
+cmp "$SCRATCH/model_t1a.pvra" "$SCRATCH/model_t1b.pvra"
+cmp "$SCRATCH/model_t1a.pvra" "$SCRATCH/model_t2.pvra"
+# Serve a prior build (no rebuild, no ε re-spend) at a third thread
+# count: the recommendations must still be byte-identical.
+run_pipeline replay 4 --artifact-in="$SCRATCH/model_t1a.pvra"
+cmp "$SCRATCH/recs_t1a.tsv" "$SCRATCH/recs_t1b.tsv"
+cmp "$SCRATCH/recs_t1a.tsv" "$SCRATCH/recs_t2.tsv"
+cmp "$SCRATCH/recs_t1a.tsv" "$SCRATCH/recs_replay.tsv"
+rm -rf "$SCRATCH"
+echo "artifact determinism: .pvra bytes and served output stable across" \
+     "runs, thread counts, and save/load"
+
+# Privacy isolation: the serving library must stay free of preference-
+# and social-graph code — the CMake allowlist enforces the link layer,
+# this enforces the object code.
+if nm --defined-only build-asan-ubsan/src/artifact/libprivrec_serving.a \
+    2>/dev/null | grep -E "PreferenceGraph|SocialGraph" ; then
+  echo "FAIL: privrec_serving object code references the graph types" >&2
+  exit 1
+fi
+echo "serving symbol check: clean (no preference/social graph code)"

@@ -19,19 +19,25 @@
 //                     [--ledger=/tmp/quarter.ledger]
 //                     [--faults='dynamic.after_journal=io_error@3']
 //                     [--serve_stale]
+//                     [--artifact-dir=/tmp/quarter_artifacts]
+//
+// --artifact-dir routes every weekly release through the two-phase
+// pipeline: each snapshot is built into <dir>/snapshot_<t>.pvra and served
+// from the saved artifact (bit-identical to the in-process path). The
+// .pvra files are the quarter's audit trail — each records its ε_t, seed,
+// and ledger id in its provenance section.
 
 #include <cstdio>
 #include <string>
 
 #include "common/fault_injection.h"
 #include "common/driver_flags.h"
+#include "common/experiment_inputs.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "core/dynamic_recommender.h"
 #include "data/synthetic.h"
 #include "eval/exact_reference.h"
-#include "similarity/common_neighbors.h"
-#include "similarity/workload.h"
 
 int main(int argc, char** argv) {
   using namespace privrec;
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   const std::string ledger_path = flags.GetString("ledger", "");
   const std::string faults = flags.GetString("faults", "");
   const bool serve_stale = flags.GetBool("serve_stale", false);
+  const std::string artifact_dir = flags.GetString("artifact-dir", "");
   if (!flags.Validate()) return 1;
 
   // PRIVREC_FAULTS from the environment composes with --faults; the
@@ -57,12 +64,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  data::Dataset full = data::MakeTinyDataset(400, 500, 77);
+  // Shared driver prologue; the session re-clusters per snapshot itself.
+  ExperimentInputsOptions inputs_options;
+  inputs_options.tiny_users = 400;
+  inputs_options.tiny_items = 500;
+  inputs_options.tiny_seed = 77;
+  inputs_options.run_louvain = false;
+  auto inputs = LoadExperimentInputs(inputs_options);
+  if (!inputs.ok()) {
+    std::fprintf(stderr, "%s\n", inputs.status().ToString().c_str());
+    return 1;
+  }
+  const data::Dataset& full = inputs->dataset;
   auto snapshots =
       data::GrowingPreferenceSnapshots(full.preferences, weeks, 78);
-  similarity::SimilarityWorkload workload =
-      similarity::SimilarityWorkload::Compute(
-          full.social, similarity::CommonNeighbors());
   std::vector<graph::NodeId> users;
   for (graph::NodeId u = 0; u < full.social.num_nodes(); u += 4) {
     users.push_back(u);
@@ -78,6 +93,7 @@ int main(int argc, char** argv) {
   opt.seed = 79;
   opt.ledger_path = ledger_path;
   opt.serve_stale_on_exhaustion = serve_stale;
+  opt.artifact_dir = artifact_dir;
   auto session = core::DynamicRecommenderSession::Open(opt);
   if (!session.ok()) {
     std::fprintf(stderr, "cannot open session: %s\n",
@@ -102,7 +118,8 @@ int main(int argc, char** argv) {
        ++week) {  // one past the budget
     const graph::PreferenceGraph& prefs =
         snapshots[static_cast<size_t>(std::min(week, weeks - 1))];
-    core::RecommenderContext context{&full.social, &prefs, &workload};
+    core::RecommenderContext context{&full.social, &prefs,
+                                     &inputs->workload};
     auto release = session->ProcessSnapshot(context, users, 20);
     if (!release.ok()) {
       std::printf("%-6lld %s\n", static_cast<long long>(week),

@@ -1,154 +1,124 @@
-// End-to-end file pipeline: the shape of a production batch job.
+// End-to-end file pipeline: the shape of a production batch job, now in
+// two phases.
 //
 // Reads a social edge list and a preference edge list from disk (TSV, one
-// edge per line, '#' comments), produces ε-DP top-N recommendations for
-// every user, and writes them to an output TSV. When the input files do
-// not exist, a demo dataset is generated and saved first, so the example
-// is runnable out of the box:
+// edge per line, '#' comments), BUILDS a model artifact (clustering +
+// similarity + the ε-DP publication), then SERVES top-N recommendations
+// for every user from that artifact — the serving step never touches the
+// raw preference edges. When the input files do not exist, a demo dataset
+// is generated and saved first, so the example is runnable out of the box:
 //
 //   ./file_pipeline [--social=social.tsv] [--prefs=prefs.tsv]
 //                   [--out=recommendations.tsv] [--epsilon=0.5] [--top_n=10]
+//                   [--artifact-out=model.pvra]   # persist the build phase
+//                   [--artifact-in=model.pvra]    # serve a prior build
+//                                                 # (no ε re-spend)
+//
+// --artifact-in replays a previous publication: the build phase is skipped
+// entirely and the compatibility gates verify the artifact matches the
+// inputs (graph fingerprint) and the requested ε (provenance).
 
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 
+#include "artifact/builder.h"
+#include "artifact/model_io.h"
+#include "artifact/serving.h"
 #include "common/driver_flags.h"
+#include "common/experiment_inputs.h"
 #include "common/flags.h"
-#include "common/parallel.h"
 #include "common/timer.h"
-#include "community/louvain.h"
-#include "community/partition_io.h"
-#include "core/cluster_recommender.h"
-#include "data/synthetic.h"
-#include "graph/graph_io.h"
-#include "similarity/common_neighbors.h"
-#include "similarity/workload.h"
-#include "similarity/workload_io.h"
+#include "graph/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace privrec;
   FlagParser flags(argc, argv);
   ObsSession obs_session = ApplyDriverFlags(flags);
-  const std::string social_path =
+  ExperimentInputsOptions inputs_options;
+  inputs_options.social_path =
       flags.GetString("social", "/tmp/privrec_social.tsv");
-  const std::string prefs_path =
+  inputs_options.prefs_path =
       flags.GetString("prefs", "/tmp/privrec_prefs.tsv");
+  // Optional caches: clustering and similarity rows read only public
+  // data, so a deployment computes them once and reuses them across
+  // releases.
+  inputs_options.partition_path = flags.GetString("partition", "");
+  inputs_options.workload_path = flags.GetString("workload", "");
+  inputs_options.louvain.seed = 7;
+  inputs_options.verbose = true;
   const std::string out_path =
       flags.GetString("out", "/tmp/privrec_recommendations.tsv");
   const double epsilon = flags.GetDouble("epsilon", 0.5);
   const int64_t top_n = flags.GetInt("top_n", 10);
-  // Optional caches: clustering and similarity rows read only public
-  // data, so a deployment computes them once and reuses them across
-  // releases.
-  const std::string partition_path = flags.GetString("partition", "");
-  const std::string workload_path = flags.GetString("workload", "");
+  const std::string artifact_out = flags.GetString("artifact-out", "");
+  const std::string artifact_in = flags.GetString("artifact-in", "");
   if (!flags.Validate()) return 1;
 
-  // Bootstrap demo inputs when absent.
-  if (!std::filesystem::exists(social_path) ||
-      !std::filesystem::exists(prefs_path)) {
-    std::printf("inputs not found; writing a demo dataset to %s / %s\n",
-                social_path.c_str(), prefs_path.c_str());
-    data::Dataset demo = data::MakeTinyDataset(400, 600, 2024);
-    Status s1 = graph::SaveSocialGraph(demo.social, social_path);
-    Status s2 = graph::SavePreferenceGraph(demo.preferences, prefs_path);
-    if (!s1.ok() || !s2.ok()) {
-      std::fprintf(stderr, "failed to write demo inputs: %s %s\n",
-                   s1.ToString().c_str(), s2.ToString().c_str());
-      return 1;
-    }
-  }
-
   WallTimer timer;
-  auto social = graph::LoadSocialGraph(social_path);
-  if (!social.ok()) {
-    std::fprintf(stderr, "%s\n", social.status().ToString().c_str());
+  auto inputs = LoadExperimentInputs(inputs_options);
+  if (!inputs.ok()) {
+    std::fprintf(stderr, "%s\n", inputs.status().ToString().c_str());
     return 1;
   }
-  auto prefs = graph::LoadPreferenceGraph(prefs_path);
-  if (!prefs.ok()) {
-    std::fprintf(stderr, "%s\n", prefs.status().ToString().c_str());
-    return 1;
-  }
-  if (prefs->graph.num_users() != social->graph.num_nodes()) {
-    std::fprintf(stderr,
-                 "preference users (%lld) do not match social nodes "
-                 "(%lld); the graphs must cover the same user set\n",
-                 static_cast<long long>(prefs->graph.num_users()),
-                 static_cast<long long>(social->graph.num_nodes()));
-    return 1;
-  }
-  std::printf("loaded %lld users, %lld social edges, %lld items, %lld "
-              "preference edges (%.0f ms)\n",
-              static_cast<long long>(social->graph.num_nodes()),
-              static_cast<long long>(social->graph.num_edges()),
-              static_cast<long long>(prefs->graph.num_items()),
-              static_cast<long long>(prefs->graph.num_edges()),
+  const uint64_t graph_hash = graph::DatasetFingerprint(
+      inputs->dataset.social, inputs->dataset.preferences);
+  std::printf("inputs ready: %lld users over %lld clusters (%.0f ms)\n",
+              static_cast<long long>(inputs->dataset.social.num_nodes()),
+              static_cast<long long>(
+                  inputs->louvain.partition.num_clusters()),
               timer.ElapsedMillis());
 
+  // ---- Build phase (skipped when serving a prior build) ----
   timer.Reset();
-  similarity::SimilarityWorkload workload;
-  bool workload_cached = false;
-  if (!workload_path.empty() && std::filesystem::exists(workload_path)) {
-    auto cached = similarity::LoadWorkload(workload_path);
-    if (cached.ok() && cached->num_users() == social->graph.num_nodes()) {
-      workload = std::move(*cached);
-      workload_cached = true;
-      std::printf("loaded cached similarity workload from %s\n",
-                  workload_path.c_str());
+  Result<serving::ServingEngine> engine = [&]() {
+    if (!artifact_in.empty()) {
+      std::printf("loading model artifact from %s (no epsilon re-spend)\n",
+                  artifact_in.c_str());
+      return serving::ServingEngine::Load(artifact_in);
     }
-  }
-  if (!workload_cached) {
-    workload = similarity::SimilarityWorkload::Compute(
-        social->graph, similarity::CommonNeighbors());
-    if (!workload_path.empty()) {
-      Status s = similarity::SaveWorkload(workload, workload_path);
-      if (s.ok()) {
-        std::printf("cached similarity workload to %s\n",
-                    workload_path.c_str());
-      }
+    artifact::ModelArtifactBuilder builder(&inputs->dataset.social,
+                                           &inputs->dataset.preferences);
+    builder.SetPartition(&inputs->louvain.partition);
+    builder.SetWorkload(&inputs->workload);
+    artifact::BuildOptions build_options;
+    build_options.epsilon = epsilon;
+    build_options.seed = 11;
+    // The sanitized sections alone serve the paper's mechanism.
+    build_options.include_reference_sections = false;
+    auto model = builder.Build(build_options);
+    if (!model.ok()) return Result<serving::ServingEngine>(model.status());
+    if (!artifact_out.empty()) {
+      Status saved = serving::SaveArtifact(*model, artifact_out);
+      if (!saved.ok()) return Result<serving::ServingEngine>(saved);
+      std::printf("saved model artifact to %s (epsilon=%.2f frozen in its "
+                  "provenance)\n",
+                  artifact_out.c_str(), epsilon);
+      // Serve what was written, proving the round trip.
+      return serving::ServingEngine::Load(artifact_out);
     }
+    return serving::ServingEngine::FromModel(std::move(*model));
+  }();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
   }
 
-  community::Partition clusters;
-  bool cache_hit = false;
-  if (!partition_path.empty() &&
-      std::filesystem::exists(partition_path)) {
-    auto cached = community::LoadPartition(partition_path);
-    if (cached.ok() && cached->num_nodes() == social->graph.num_nodes()) {
-      clusters = std::move(*cached);
-      cache_hit = true;
-      std::printf("loaded cached clustering from %s (%lld clusters)\n",
-                  partition_path.c_str(),
-                  static_cast<long long>(clusters.num_clusters()));
-    }
+  // ---- Serve phase: sanitized sections only, gated for compatibility ----
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = epsilon;
+  spec.expected_graph_hash = graph_hash;
+  auto server = serving::MakeServeRecommender(&*engine, spec);
+  if (!server.ok()) {
+    std::fprintf(stderr, "artifact rejected: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
   }
-  if (!cache_hit) {
-    clusters = community::RunLouvain(social->graph,
-                                     {.restarts = 10, .seed = 7})
-                   .partition;
-    if (!partition_path.empty()) {
-      Status s = community::SavePartition(clusters, partition_path);
-      if (s.ok()) {
-        std::printf("cached clustering to %s\n", partition_path.c_str());
-      }
-    }
-  }
-
-  core::RecommenderContext context{&social->graph, &prefs->graph,
-                                   &workload};
-  core::ClusterRecommender rec(context, clusters,
-                               {.epsilon = epsilon, .seed = 11});
-  std::vector<graph::NodeId> users;
-  for (graph::NodeId u = 0; u < social->graph.num_nodes(); ++u) {
-    users.push_back(u);
-  }
-  auto lists = rec.Recommend(users, top_n);
-  std::printf("recommended top-%lld for %zu users at epsilon=%.2f over "
-              "%lld clusters (%.0f ms)\n",
+  std::vector<graph::NodeId> users = inputs->AllUsers();
+  auto batch = (*server)->Recommend(users, top_n);
+  std::printf("served top-%lld for %zu users at epsilon=%.2f from the "
+              "artifact (%.0f ms total)\n",
               static_cast<long long>(top_n), users.size(), epsilon,
-              static_cast<long long>(clusters.num_clusters()),
               timer.ElapsedMillis());
 
   // Output uses the ORIGINAL ids from the input files.
@@ -160,12 +130,13 @@ int main(int argc, char** argv) {
   out << "# user\trank\titem\tnoisy_utility\n";
   for (size_t k = 0; k < users.size(); ++k) {
     int64_t original_user =
-        social->original_id[static_cast<size_t>(users[k])];
-    for (size_t p = 0; p < lists[k].size(); ++p) {
+        inputs->original_user_id[static_cast<size_t>(users[k])];
+    for (size_t p = 0; p < batch.lists[k].size(); ++p) {
       int64_t original_item =
-          prefs->original_item_id[static_cast<size_t>(lists[k][p].item)];
+          inputs->original_item_id[static_cast<size_t>(
+              batch.lists[k][p].item)];
       out << original_user << '\t' << p + 1 << '\t' << original_item
-          << '\t' << lists[k][p].utility << '\n';
+          << '\t' << batch.lists[k][p].utility << '\n';
     }
   }
   std::printf("wrote %s\n", out_path.c_str());

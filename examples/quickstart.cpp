@@ -1,24 +1,25 @@
 // Quickstart: build a small social + preference graph, cluster the users
-// with Louvain, and produce differentially private top-N recommendations.
+// with Louvain, publish a differentially private model artifact, and serve
+// top-N recommendations from it.
 //
 //   ./quickstart [--epsilon=0.5] [--top_n=5]
 //
-// This walks the full public API surface in ~80 lines: graphs, similarity
-// workloads, community detection, the private recommender and the NDCG
-// evaluator.
+// This walks the full public API surface in ~100 lines: experiment inputs
+// (graphs + similarity workload + clustering), the two-phase
+// build→save→load→serve pipeline, and the NDCG evaluator. The serve step
+// reads ONLY the sanitized artifact — the private preference graph is out
+// of reach by construction.
 
 #include <cstdio>
 
+#include "artifact/builder.h"
+#include "artifact/model_io.h"
+#include "artifact/serving.h"
 #include "common/driver_flags.h"
+#include "common/experiment_inputs.h"
 #include "common/flags.h"
-#include "common/parallel.h"
-#include "community/louvain.h"
-#include "core/cluster_recommender.h"
 #include "core/exact_recommender.h"
-#include "data/synthetic.h"
 #include "eval/exact_reference.h"
-#include "similarity/common_neighbors.h"
-#include "similarity/workload.h"
 
 int main(int argc, char** argv) {
   using namespace privrec;
@@ -28,47 +29,84 @@ int main(int argc, char** argv) {
   const int64_t top_n = flags.GetInt("top_n", 5);
   if (!flags.Validate()) return 1;
 
-  // 1. Data: a synthetic community-structured dataset (swap in
-  //    data::LoadHetRecLastFm(dir) if you have the real files).
-  data::Dataset dataset = data::MakeTinyDataset(/*num_users=*/300,
-                                                /*num_items=*/400,
-                                                /*seed=*/42);
+  // 1. Inputs: a synthetic community-structured dataset plus the public
+  //    precomputations — similarity workload and Louvain clusters (swap in
+  //    real TSV files via ExperimentInputsOptions::social_path/prefs_path).
+  ExperimentInputsOptions inputs_options;
+  inputs_options.tiny_users = 300;
+  inputs_options.tiny_items = 400;
+  inputs_options.tiny_seed = 42;
+  inputs_options.louvain.seed = 7;
+  auto inputs = LoadExperimentInputs(inputs_options);
+  if (!inputs.ok()) {
+    std::fprintf(stderr, "%s\n", inputs.status().ToString().c_str());
+    return 1;
+  }
   std::printf("dataset: %lld users, %lld social edges, %lld items, "
               "%lld preference edges\n",
-              static_cast<long long>(dataset.social.num_nodes()),
-              static_cast<long long>(dataset.social.num_edges()),
-              static_cast<long long>(dataset.preferences.num_items()),
-              static_cast<long long>(dataset.preferences.num_edges()));
-
-  // 2. Similarity workload over the PUBLIC social graph only.
-  similarity::CommonNeighbors measure;
-  similarity::SimilarityWorkload workload =
-      similarity::SimilarityWorkload::Compute(dataset.social, measure);
-
-  // 3. createClusters(G_s): Louvain with restarts, exactly as the paper
-  //    configures it.
-  community::LouvainResult louvain =
-      community::RunLouvain(dataset.social, {.restarts = 10, .seed = 7});
+              static_cast<long long>(inputs->dataset.social.num_nodes()),
+              static_cast<long long>(inputs->dataset.social.num_edges()),
+              static_cast<long long>(
+                  inputs->dataset.preferences.num_items()),
+              static_cast<long long>(
+                  inputs->dataset.preferences.num_edges()));
   std::printf("louvain: %lld clusters, modularity %.3f\n",
-              static_cast<long long>(louvain.partition.num_clusters()),
-              louvain.modularity);
+              static_cast<long long>(
+                  inputs->louvain.partition.num_clusters()),
+              inputs->louvain.modularity);
 
-  // 4. The private recommender (Algorithm 1).
-  core::RecommenderContext context{&dataset.social, &dataset.preferences,
-                                   &workload};
-  core::ClusterRecommender private_rec(context, louvain.partition,
-                                       {.epsilon = epsilon, .seed = 1});
+  // 2. BUILD: run Algorithm 1's publication step (the only ε-spending
+  //    moment) and freeze it into a .pvra model artifact.
+  artifact::ModelArtifactBuilder builder(&inputs->dataset.social,
+                                         &inputs->dataset.preferences);
+  builder.SetPartition(&inputs->louvain.partition);
+  builder.SetWorkload(&inputs->workload);
+  artifact::BuildOptions build_options;
+  build_options.epsilon = epsilon;
+  build_options.seed = 1;
+  build_options.include_reference_sections = false;
+  auto model = builder.Build(build_options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const std::string artifact_path = "/tmp/privrec_quickstart.pvra";
+  Status saved = serving::SaveArtifact(*model, artifact_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("built + saved model artifact: %s\n", artifact_path.c_str());
+
+  // 3. SERVE: load the artifact back and reconstruct recommendations from
+  //    the sanitized release alone. Serving is post-processing — rerun it
+  //    as often as you like at zero additional privacy cost.
+  auto engine = serving::ServingEngine::Load(artifact_path);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = epsilon;
+  spec.expected_graph_hash = builder.graph_hash();
+  auto server = serving::MakeServeRecommender(&*engine, spec);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Compare private (served) vs non-private lists for one user.
+  core::RecommenderContext context = inputs->Context();
   core::ExactRecommender exact_rec(context);
-
-  // 5. Compare private vs non-private lists for one user.
   const graph::NodeId user = 17;
   core::RecommendationList private_list =
-      private_rec.RecommendOne(user, top_n);
+      (*server)->Recommend({user}, top_n).lists[0];
   core::RecommendationList exact_list = exact_rec.RecommendOne(user, top_n);
   std::printf("\nuser %lld, epsilon = %.2f\n",
               static_cast<long long>(user), epsilon);
   std::printf("%-6s %-18s %-18s\n", "rank", "exact item(util)",
-              "private item(util)");
+              "served item(util)");
   for (int64_t k = 0; k < top_n; ++k) {
     char exact_cell[32] = "-";
     char private_cell[32] = "-";
@@ -86,15 +124,13 @@ int main(int argc, char** argv) {
                 exact_cell, private_cell);
   }
 
-  // 6. Accuracy across all users (Equation 2).
-  std::vector<graph::NodeId> users;
-  for (graph::NodeId u = 0; u < dataset.social.num_nodes(); ++u) {
-    users.push_back(u);
-  }
+  // 5. Accuracy across all users (Equation 2), served from the artifact.
+  std::vector<graph::NodeId> users = inputs->AllUsers();
   eval::ExactReference reference =
       eval::ExactReference::Compute(context, users, top_n);
-  double ndcg = reference.MeanNdcg(private_rec.Recommend(users, top_n));
-  std::printf("\nNDCG@%lld across %zu users: %.3f\n",
+  double ndcg =
+      reference.MeanNdcg((*server)->Recommend(users, top_n).lists);
+  std::printf("\nNDCG@%lld across %zu users (served): %.3f\n",
               static_cast<long long>(top_n), users.size(), ndcg);
   return 0;
 }

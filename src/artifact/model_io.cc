@@ -1,0 +1,379 @@
+#include "artifact/model_io.h"
+
+#include <fstream>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "artifact/format.h"
+#include "common/fault_injection.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace privrec::serving {
+
+namespace {
+
+std::string Name(SectionId id) { return SectionName(id); }
+
+// ---- Section payload encoders ----
+
+RawSection Encode(SectionId id, std::string payload) {
+  return RawSection{static_cast<uint32_t>(id), std::move(payload)};
+}
+
+std::string EncodeGraphMeta(const GraphMetaSection& s) {
+  ByteWriter w;
+  w.U64(s.graph_hash);
+  w.I64(s.num_users);
+  w.I64(s.num_items);
+  w.I64(s.num_social_edges);
+  w.I64(s.num_preference_edges);
+  w.F64(s.max_weight);
+  w.Str(s.measure_name);
+  return w.Take();
+}
+
+std::string EncodePartition(const PartitionSection& s) {
+  ByteWriter w;
+  w.U64(s.cluster_of.size());
+  for (int64_t c : s.cluster_of) w.I64(c);
+  w.U64(s.sizes.size());
+  for (int64_t n : s.sizes) w.I64(n);
+  return w.Take();
+}
+
+std::string EncodeWorkload(const WorkloadSection& s) {
+  ByteWriter w;
+  w.U64(s.offsets.size());
+  for (uint64_t o : s.offsets) w.U64(o);
+  w.U64(s.entries.size());
+  for (const WorkloadEntry& e : s.entries) {
+    w.I64(e.user);
+    w.F64(e.score);
+  }
+  w.F64(s.max_column_sum);
+  w.F64(s.max_entry);
+  return w.Take();
+}
+
+std::string EncodeNoisyTable(const NoisyTableSection& s) {
+  ByteWriter w;
+  w.I64(s.num_clusters);
+  w.U64(s.values.size());
+  for (double v : s.values) w.F64(v);
+  w.U64(s.sanitized.size());
+  for (uint8_t f : s.sanitized) w.U8(f);
+  w.I64(s.empty_clusters);
+  w.I64(s.singleton_clusters);
+  w.I64(s.nonfinite_sanitized);
+  return w.Take();
+}
+
+std::string EncodeProvenance(const ProvenanceSection& s) {
+  ByteWriter w;
+  w.F64(s.epsilon);
+  w.F64(s.sensitivity);
+  w.U64(s.seed);
+  w.Str(s.ledger_id);
+  return w.Take();
+}
+
+std::string EncodePreferences(const PreferenceSection& s) {
+  ByteWriter w;
+  w.U64(s.offsets.size());
+  for (uint64_t o : s.offsets) w.U64(o);
+  w.U64(s.items.size());
+  for (int64_t i : s.items) w.I64(i);
+  for (double x : s.weights) w.F64(x);
+  return w.Take();
+}
+
+std::string EncodeLowRank(const LowRankSection& s) {
+  ByteWriter w;
+  w.I64(s.rank);
+  w.U64(s.b.size());
+  for (double x : s.b) w.F64(x);
+  w.U64(s.l.size());
+  for (double x : s.l) w.F64(x);
+  w.F64(s.noise_sensitivity);
+  w.F64(s.factorization_error);
+  return w.Take();
+}
+
+// ---- Section payload decoders ----
+//
+// Each decoder bounds-checks every count against the remaining payload
+// before allocating, so a bit-flipped length field fails with a named
+// parse error rather than an allocation blowup or a silent short vector.
+
+Status DecodeGraphMeta(const std::string& payload, GraphMetaSection* s) {
+  ByteReader r(payload, Name(SectionId::kGraphMeta));
+  if (!r.U64(&s->graph_hash) || !r.I64(&s->num_users) ||
+      !r.I64(&s->num_items) || !r.I64(&s->num_social_edges) ||
+      !r.I64(&s->num_preference_edges) || !r.F64(&s->max_weight) ||
+      !r.Str(&s->measure_name) || !r.AtEnd()) {
+    return r.Truncated();
+  }
+  if (s->num_users < 0 || s->num_items < 0) return r.Truncated();
+  return Status::Ok();
+}
+
+Status DecodePartition(const std::string& payload, PartitionSection* s) {
+  ByteReader r(payload, Name(SectionId::kPartition));
+  uint64_t n;
+  if (!r.U64(&n) || !r.FitsCount(n, 8)) return r.Truncated();
+  s->cluster_of.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.I64(&s->cluster_of[k])) return r.Truncated();
+  }
+  if (!r.U64(&n) || !r.FitsCount(n, 8)) return r.Truncated();
+  s->sizes.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.I64(&s->sizes[k])) return r.Truncated();
+  }
+  if (!r.AtEnd()) return r.Truncated();
+  return Status::Ok();
+}
+
+Status DecodeWorkload(const std::string& payload, WorkloadSection* s) {
+  ByteReader r(payload, Name(SectionId::kWorkload));
+  uint64_t n;
+  if (!r.U64(&n) || !r.FitsCount(n, 8)) return r.Truncated();
+  s->offsets.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.U64(&s->offsets[k])) return r.Truncated();
+  }
+  if (!r.U64(&n) || !r.FitsCount(n, 16)) return r.Truncated();
+  s->entries.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.I64(&s->entries[k].user) || !r.F64(&s->entries[k].score)) {
+      return r.Truncated();
+    }
+  }
+  if (!r.F64(&s->max_column_sum) || !r.F64(&s->max_entry) || !r.AtEnd()) {
+    return r.Truncated();
+  }
+  return Status::Ok();
+}
+
+Status DecodeNoisyTable(const std::string& payload, NoisyTableSection* s) {
+  ByteReader r(payload, Name(SectionId::kNoisyTable));
+  uint64_t n;
+  if (!r.I64(&s->num_clusters)) return r.Truncated();
+  if (!r.U64(&n) || !r.FitsCount(n, 8)) return r.Truncated();
+  s->values.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.F64(&s->values[k])) return r.Truncated();
+  }
+  if (!r.U64(&n) || !r.FitsCount(n, 1)) return r.Truncated();
+  s->sanitized.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.U8(&s->sanitized[k])) return r.Truncated();
+  }
+  if (!r.I64(&s->empty_clusters) || !r.I64(&s->singleton_clusters) ||
+      !r.I64(&s->nonfinite_sanitized) || !r.AtEnd()) {
+    return r.Truncated();
+  }
+  return Status::Ok();
+}
+
+Status DecodeProvenance(const std::string& payload, ProvenanceSection* s) {
+  ByteReader r(payload, Name(SectionId::kProvenance));
+  if (!r.F64(&s->epsilon) || !r.F64(&s->sensitivity) || !r.U64(&s->seed) ||
+      !r.Str(&s->ledger_id) || !r.AtEnd()) {
+    return r.Truncated();
+  }
+  return Status::Ok();
+}
+
+Status DecodePreferences(const std::string& payload, PreferenceSection* s) {
+  ByteReader r(payload, Name(SectionId::kPreferences));
+  uint64_t n;
+  if (!r.U64(&n) || !r.FitsCount(n, 8)) return r.Truncated();
+  s->offsets.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.U64(&s->offsets[k])) return r.Truncated();
+  }
+  if (!r.U64(&n) || !r.FitsCount(n, 16)) return r.Truncated();
+  s->items.resize(n);
+  s->weights.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.I64(&s->items[k])) return r.Truncated();
+  }
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.F64(&s->weights[k])) return r.Truncated();
+  }
+  if (!r.AtEnd()) return r.Truncated();
+  return Status::Ok();
+}
+
+Status DecodeLowRank(const std::string& payload, LowRankSection* s) {
+  ByteReader r(payload, Name(SectionId::kLowRank));
+  uint64_t n;
+  if (!r.I64(&s->rank)) return r.Truncated();
+  if (!r.U64(&n) || !r.FitsCount(n, 8)) return r.Truncated();
+  s->b.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.F64(&s->b[k])) return r.Truncated();
+  }
+  if (!r.U64(&n) || !r.FitsCount(n, 8)) return r.Truncated();
+  s->l.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    if (!r.F64(&s->l[k])) return r.Truncated();
+  }
+  if (!r.F64(&s->noise_sensitivity) || !r.F64(&s->factorization_error) ||
+      !r.AtEnd()) {
+    return r.Truncated();
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeArtifact(const ArtifactModel& model) {
+  std::vector<RawSection> sections;
+  sections.push_back(
+      Encode(SectionId::kGraphMeta, EncodeGraphMeta(model.meta)));
+  sections.push_back(
+      Encode(SectionId::kPartition, EncodePartition(model.partition)));
+  sections.push_back(
+      Encode(SectionId::kWorkload, EncodeWorkload(model.workload)));
+  sections.push_back(
+      Encode(SectionId::kNoisyTable, EncodeNoisyTable(model.noisy)));
+  sections.push_back(
+      Encode(SectionId::kProvenance, EncodeProvenance(model.provenance)));
+  if (model.has_preferences) {
+    sections.push_back(
+        Encode(SectionId::kPreferences, EncodePreferences(model.preferences)));
+  }
+  if (model.has_lowrank) {
+    sections.push_back(
+        Encode(SectionId::kLowRank, EncodeLowRank(model.lowrank)));
+  }
+  return EncodeContainer(kArtifactVersion, sections);
+}
+
+Result<ArtifactModel> DecodeArtifact(const std::string& bytes) {
+  Result<std::vector<RawSection>> sections =
+      DecodeContainer(bytes, kArtifactVersion);
+  if (!sections.ok()) return sections.status();
+
+  ArtifactModel model;
+  bool seen[8] = {};
+  for (const RawSection& s : *sections) {
+    Status st = Status::Ok();
+    switch (static_cast<SectionId>(s.id)) {
+      case SectionId::kGraphMeta:
+        st = DecodeGraphMeta(s.payload, &model.meta);
+        break;
+      case SectionId::kPartition:
+        st = DecodePartition(s.payload, &model.partition);
+        break;
+      case SectionId::kWorkload:
+        st = DecodeWorkload(s.payload, &model.workload);
+        break;
+      case SectionId::kNoisyTable:
+        st = DecodeNoisyTable(s.payload, &model.noisy);
+        break;
+      case SectionId::kProvenance:
+        st = DecodeProvenance(s.payload, &model.provenance);
+        break;
+      case SectionId::kPreferences:
+        st = DecodePreferences(s.payload, &model.preferences);
+        model.has_preferences = st.ok();
+        break;
+      case SectionId::kLowRank:
+        st = DecodeLowRank(s.payload, &model.lowrank);
+        model.has_lowrank = st.ok();
+        break;
+      default:
+        // Unknown sections are skipped (forward compatibility within a
+        // version is not promised, but choking on an extra section helps
+        // nobody — the CRC already vouched for its integrity).
+        break;
+    }
+    if (!st.ok()) return st;
+    if (s.id >= 1 && s.id < 8) seen[s.id] = true;
+  }
+  for (SectionId required :
+       {SectionId::kGraphMeta, SectionId::kPartition, SectionId::kWorkload,
+        SectionId::kNoisyTable, SectionId::kProvenance}) {
+    if (!seen[static_cast<uint32_t>(required)]) {
+      return Status::ParseError("artifact is missing required section '" +
+                                Name(required) + "'");
+    }
+  }
+  return model;
+}
+
+Status SaveArtifact(const ArtifactModel& model, const std::string& path) {
+  PRIVREC_SPAN("artifact.save");
+  static obs::Histogram& save_ms = obs::GetHistogram(
+      "privrec.artifact.save_ms", obs::ExponentialBuckets(0.1, 4.0, 10));
+  ScopedTimer timer(&save_ms);
+
+  if (fault::Hit("artifact.open") == fault::FaultKind::kIoError) {
+    return Status::IoError("injected open failure for '" + path + "'");
+  }
+  const std::string bytes = EncodeArtifact(model);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (fault::Hit("artifact.write") == fault::FaultKind::kIoError) {
+    return Status::IoError("injected write failure for '" + path + "'");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+
+  static obs::Gauge& bytes_gauge = obs::GetGauge("privrec.artifact.bytes");
+  static obs::Gauge& sections_gauge =
+      obs::GetGauge("privrec.artifact.sections");
+  bytes_gauge.Set(static_cast<double>(bytes.size()));
+  sections_gauge.Set(5.0 + (model.has_preferences ? 1.0 : 0.0) +
+                     (model.has_lowrank ? 1.0 : 0.0));
+  return Status::Ok();
+}
+
+Result<ArtifactModel> LoadArtifact(const std::string& path) {
+  PRIVREC_SPAN("artifact.load");
+  static obs::Histogram& load_ms = obs::GetHistogram(
+      "privrec.artifact.load_ms", obs::ExponentialBuckets(0.1, 4.0, 10));
+  ScopedTimer timer(&load_ms);
+
+  if (fault::Hit("artifact.open") == fault::FaultKind::kIoError) {
+    return Status::IoError("injected open failure for '" + path + "'");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open artifact '" + path + "'");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError("read of artifact '" + path + "' failed");
+  }
+  const fault::FaultKind k = fault::Hit("artifact.read");
+  if (k == fault::FaultKind::kIoError) {
+    return Status::IoError("injected read failure for '" + path + "'");
+  }
+  if (k == fault::FaultKind::kShortRead) {
+    // Simulated truncation: drop the tail and let the section-level
+    // robustness path produce the named error.
+    bytes.resize(bytes.size() / 2);
+  }
+
+  Result<ArtifactModel> model = DecodeArtifact(bytes);
+  if (model.ok()) {
+    static obs::Gauge& bytes_gauge = obs::GetGauge("privrec.artifact.bytes");
+    bytes_gauge.Set(static_cast<double>(bytes.size()));
+  }
+  return model;
+}
+
+}  // namespace privrec::serving

@@ -1,0 +1,36 @@
+// Serialization of ArtifactModel to/from the .pvra container.
+//
+// Save and load are instrumented (privrec.artifact.{bytes,sections,
+// save_ms,load_ms} plus artifact.save / artifact.load spans) and faultable
+// (points artifact.open / artifact.write / artifact.read; a short_read
+// fault truncates the loaded bytes so the section-level robustness path is
+// exercised end to end).
+//
+// Byte determinism: encoding an ArtifactModel is a pure function of its
+// contents — no timestamps, pointers, or locale-dependent text — so two
+// builds from the same inputs produce identical files. ci/sanitize.sh
+// byte-compares artifacts across runs and thread counts to hold this.
+
+#ifndef PRIVREC_ARTIFACT_MODEL_IO_H_
+#define PRIVREC_ARTIFACT_MODEL_IO_H_
+
+#include <string>
+
+#include "artifact/model.h"
+#include "common/status.h"
+
+namespace privrec::serving {
+
+// The container bytes for a model (no I/O) — what SaveArtifact writes.
+std::string EncodeArtifact(const ArtifactModel& model);
+
+// Parses container bytes back into a model. Errors carry the section name
+// and come back as kParseError (damage), kVersionMismatch (format skew).
+Result<ArtifactModel> DecodeArtifact(const std::string& bytes);
+
+Status SaveArtifact(const ArtifactModel& model, const std::string& path);
+Result<ArtifactModel> LoadArtifact(const std::string& path);
+
+}  // namespace privrec::serving
+
+#endif  // PRIVREC_ARTIFACT_MODEL_IO_H_

@@ -1,0 +1,138 @@
+// The A_R reconstruction step of Algorithm 1 (lines 8-20), shared between
+// the in-memory ClusterRecommender and the artifact-backed ServingEngine.
+//
+// Both paths call the same template over the same chunked parallel layer,
+// so build→save→load→serve is bit-identical to in-memory by construction:
+// there is exactly one FP accumulation order, one fallback rule, and one
+// degradation policy, not two copies that could drift.
+//
+// Reconstruction is pure post-processing of the released noisy table — it
+// never reads the preference graph — which is why this header lives in the
+// serving layer and depends only on ids, lists, and the parallel runtime.
+
+#ifndef PRIVREC_ARTIFACT_RECONSTRUCT_H_
+#define PRIVREC_ARTIFACT_RECONSTRUCT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/degradation.h"
+#include "core/recommendation.h"
+#include "graph/ids.h"
+
+namespace privrec::serving {
+
+// A non-owning view of one A_w release: everything reconstruction needs,
+// whether the backing storage is a live ClusterRecommender or a loaded
+// artifact.
+struct ReleaseView {
+  const double* values = nullptr;        // row-major [cluster][item]
+  const uint8_t* sanitized = nullptr;    // per cluster
+  const int64_t* cluster_of = nullptr;   // per user node
+  const int64_t* cluster_sizes = nullptr;  // per cluster
+  int64_t num_clusters = 0;
+  int64_t num_items = 0;
+  int64_t num_users = 0;  // |U|, the social graph's node count
+};
+
+// Global-average utilities, the fallback row for users with no similarity
+// support: Σ_c |c|·ŵ_c^i / |U| re-weights the released cluster rows back
+// into one population-level row. Pure post-processing of the same release,
+// so serving it costs no additional privacy.
+inline std::vector<double> GlobalAverageUtilities(const ReleaseView& r) {
+  const double num_users_d = static_cast<double>(r.num_users);
+  std::vector<double> global(static_cast<size_t>(r.num_items), 0.0);
+  for (int64_t c = 0; c < r.num_clusters; ++c) {
+    double size = static_cast<double>(r.cluster_sizes[c]);
+    if (size == 0.0) continue;
+    const double* row = r.values + c * r.num_items;
+    for (int64_t i = 0; i < r.num_items; ++i) {
+      global[static_cast<size_t>(i)] += size * row[i] / num_users_d;
+    }
+  }
+  return global;
+}
+
+// Per-user reconstruction, parallel over fixed chunks of the request batch.
+// `row_of(u)` yields u's sparse similarity row as a range of entries with
+// `.user` / `.score` members (similarity::SimilarityEntry in-memory, the
+// artifact's own record type when serving). `global` must come from
+// GlobalAverageUtilities on the same view. Lists and diagnostics are
+// written to their slots in `lists` / `degradation` (resized here); the
+// return value is the number of degraded users, folded in chunk order.
+template <typename RowOf>
+Result<int64_t> ReconstructTopN(const ReleaseView& release, RowOf&& row_of,
+                                const std::vector<double>& global,
+                                const std::vector<graph::NodeId>& users,
+                                int64_t top_n,
+                                std::vector<core::RecommendationList>* lists,
+                                std::vector<core::DegradationInfo>* degradation) {
+  const int64_t num_clusters = release.num_clusters;
+  const int64_t num_items = release.num_items;
+  const double* averages = release.values;
+  lists->resize(users.size());
+  degradation->resize(users.size());
+  return ParallelReduce(
+      static_cast<int64_t>(users.size()), int64_t{0},
+      [&](int64_t, int64_t begin, int64_t end) {
+        // Worker-local scratch, fully re-zeroed between users (sim_sum via
+        // the touched list, utilities via std::fill), so results do not
+        // depend on which chunks this worker ran before.
+        thread_local std::vector<double> sim_sum;
+        thread_local std::vector<int64_t> touched;
+        thread_local std::vector<double> utilities;
+        if (sim_sum.size() < static_cast<size_t>(num_clusters)) {
+          sim_sum.assign(static_cast<size_t>(num_clusters), 0.0);
+        }
+        utilities.resize(static_cast<size_t>(num_items));
+        int64_t chunk_degraded = 0;
+        for (int64_t k = begin; k < end; ++k) {
+          graph::NodeId u = users[static_cast<size_t>(k)];
+          touched.clear();
+          for (const auto& e : row_of(u)) {
+            int64_t c = release.cluster_of[e.user];
+            if (sim_sum[static_cast<size_t>(c)] == 0.0) touched.push_back(c);
+            sim_sum[static_cast<size_t>(c)] += e.score;
+          }
+          core::DegradationInfo info;
+          if (touched.empty()) {
+            // No similarity support: the reconstruction formula would rank
+            // every item 0. Serve the global-average ranking instead of an
+            // arbitrary tie-break.
+            info.reason = core::DegradationReason::kIsolatedUser;
+            (*lists)[static_cast<size_t>(k)] =
+                core::TopNFromDense(global, top_n);
+          } else {
+            std::fill(utilities.begin(), utilities.end(), 0.0);
+            bool touched_sanitized = false;
+            for (int64_t c : touched) {
+              double s = sim_sum[static_cast<size_t>(c)];
+              if (release.sanitized[static_cast<size_t>(c)]) {
+                touched_sanitized = true;
+              }
+              const double* row = averages + c * num_items;
+              for (int64_t i = 0; i < num_items; ++i) {
+                utilities[static_cast<size_t>(i)] += s * row[i];
+              }
+              sim_sum[static_cast<size_t>(c)] = 0.0;
+            }
+            if (touched_sanitized) {
+              info.reason = core::DegradationReason::kNonFiniteSanitized;
+            }
+            (*lists)[static_cast<size_t>(k)] =
+                core::TopNFromDense(utilities, top_n);
+          }
+          if (info.degraded()) ++chunk_degraded;
+          (*degradation)[static_cast<size_t>(k)] = info;
+        }
+        return chunk_degraded;
+      },
+      [](int64_t& acc, int64_t part) { acc += part; });
+}
+
+}  // namespace privrec::serving
+
+#endif  // PRIVREC_ARTIFACT_RECONSTRUCT_H_

@@ -1,0 +1,139 @@
+// ServingEngine: the online half of the build/serve split.
+//
+// An engine wraps one immutable ArtifactModel (loaded from a .pvra file or
+// handed over in memory) and constructs serve-side recommenders that read
+// ONLY artifact sections. The private PreferenceGraph type is not merely
+// unused here — it is unlinkable: the privrec_serving library must not
+// depend on privrec_graph, which CMake asserts and artifact_test verifies
+// at the include level. The paper's point (and Machanavajjhala et al.'s):
+// after the ε-DP publication, serving is post-processing and must depend
+// only on the sanitized release.
+//
+// Serve-side mechanisms replicate the in-memory recommenders' arithmetic
+// exactly (same RNG forks, same invocation counters, same accumulation
+// order), so for a fixed seed the k-th serve call is bit-identical to the
+// k-th Recommend of a fresh in-memory recommender at any thread count.
+
+#ifndef PRIVREC_ARTIFACT_SERVING_H_
+#define PRIVREC_ARTIFACT_SERVING_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "artifact/model.h"
+#include "artifact/reconstruct.h"
+#include "common/status.h"
+#include "core/degradation.h"
+#include "core/recommendation.h"
+#include "graph/ids.h"
+
+namespace privrec::serving {
+
+class ServingEngine {
+ public:
+  // Load + validate from a .pvra file (errors: kNotFound, kIoError,
+  // kParseError with the damaged section's name, kVersionMismatch).
+  static Result<ServingEngine> Load(const std::string& path);
+
+  // Adopt an in-memory model (the no-I/O serve path used by the benches).
+  // Validates internal consistency exactly like Load.
+  static Result<ServingEngine> FromModel(ArtifactModel model);
+
+  const ArtifactModel& model() const { return model_; }
+
+  // ---- Compatibility gates (distinct codes per gate) ----
+  // kGraphMismatch: the model was built from a different (G_s, G_p).
+  Status CheckGraph(uint64_t expected_hash) const;
+  // kProvenanceMismatch: the request's ε is not the ε this release paid.
+  Status CheckEpsilon(double expected_epsilon) const;
+
+  // ---- Read API for serve paths ----
+  int64_t num_users() const { return model_.meta.num_users; }
+  int64_t num_items() const { return model_.meta.num_items; }
+
+  std::span<const WorkloadEntry> WorkloadRow(graph::NodeId u) const {
+    const auto& w = model_.workload;
+    return {w.entries.data() + w.offsets[static_cast<size_t>(u)],
+            w.entries.data() + w.offsets[static_cast<size_t>(u) + 1]};
+  }
+
+  bool has_preferences() const { return model_.has_preferences; }
+  bool has_lowrank() const { return model_.has_lowrank; }
+
+  // Preference CSR accessors (only valid when has_preferences()).
+  std::span<const int64_t> ItemsOf(graph::NodeId u) const {
+    const auto& p = model_.preferences;
+    return {p.items.data() + p.offsets[static_cast<size_t>(u)],
+            p.items.data() + p.offsets[static_cast<size_t>(u) + 1]};
+  }
+  std::span<const double> WeightsOf(graph::NodeId u) const {
+    const auto& p = model_.preferences;
+    return {p.weights.data() + p.offsets[static_cast<size_t>(u)],
+            p.weights.data() + p.offsets[static_cast<size_t>(u) + 1]};
+  }
+  // Item-major view, derived once at construction (users ascending per
+  // item — the same order PreferenceGraph::UsersOf yields).
+  std::span<const int64_t> UsersOf(graph::ItemId i) const {
+    return {item_users_.data() + item_offsets_[static_cast<size_t>(i)],
+            item_users_.data() + item_offsets_[static_cast<size_t>(i) + 1]};
+  }
+  std::span<const double> ItemWeights(graph::ItemId i) const {
+    return {item_weights_.data() + item_offsets_[static_cast<size_t>(i)],
+            item_weights_.data() + item_offsets_[static_cast<size_t>(i) + 1]};
+  }
+
+  // The A_w release as a reconstruction view, plus its cached global-
+  // average fallback row.
+  ReleaseView release_view() const;
+  const std::vector<double>& global_average() const { return global_average_; }
+
+ private:
+  ArtifactModel model_;
+  // Derived (not persisted): item-major preference CSR and the global
+  // fallback row.
+  std::vector<uint64_t> item_offsets_;
+  std::vector<int64_t> item_users_;
+  std::vector<double> item_weights_;
+  std::vector<double> global_average_;
+};
+
+// What to serve from an engine. `epsilon` is the gate value for the
+// Cluster path (noise is already frozen in the artifact) and the
+// serve-time noise budget for the reference baselines, which draw fresh
+// noise per call from `seed`.
+struct ServeSpec {
+  std::string mechanism = "Cluster";
+  double epsilon = 1.0;
+  uint64_t seed = 1;
+  int64_t gs_group_size = 128;
+  // When nonzero, the engine must match this dataset fingerprint
+  // (kGraphMismatch otherwise).
+  uint64_t expected_graph_hash = 0;
+};
+
+// A recommender over a loaded artifact. Unlike core::Recommender this is
+// constructed fallibly (the compatibility gates run at construction) and
+// reports degradation with every batch.
+class ServeRecommender {
+ public:
+  virtual ~ServeRecommender() = default;
+  virtual std::string Name() const = 0;
+  virtual core::RecommendedBatch Recommend(
+      const std::vector<graph::NodeId>& users, int64_t top_n) = 0;
+};
+
+// Constructs the serve path for `spec.mechanism` ("Exact", "Cluster",
+// "NOU", "NOE", "GS", "LRM"). The engine must outlive the recommender.
+// Errors: kGraphMismatch / kProvenanceMismatch per the gates above,
+// kFailedPrecondition when the artifact lacks the sections the mechanism
+// needs (preferences for the baselines, low-rank factors for LRM),
+// kInvalidArgument for an unknown mechanism or bad parameters.
+Result<std::unique_ptr<ServeRecommender>> MakeServeRecommender(
+    const ServingEngine* engine, const ServeSpec& spec);
+
+}  // namespace privrec::serving
+
+#endif  // PRIVREC_ARTIFACT_SERVING_H_

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum
+// artifact sections. Chosen over a cryptographic hash because the threat
+// model is accidental corruption (truncation, bit rot), not tampering, and
+// the table-driven implementation has no dependencies.
+
+#ifndef PRIVREC_COMMON_CRC32_H_
+#define PRIVREC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace privrec {
+
+// CRC of `size` bytes starting at `data`. `seed` is the running CRC for
+// incremental use (pass the previous return value); the default starts a
+// fresh checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_CRC32_H_

@@ -20,6 +20,12 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case StatusCode::kGraphMismatch:
+      return "GRAPH_MISMATCH";
+    case StatusCode::kProvenanceMismatch:
+      return "PROVENANCE_MISMATCH";
   }
   return "UNKNOWN";
 }

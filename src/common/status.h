@@ -30,6 +30,14 @@ enum class StatusCode {
   // from kFailedPrecondition so callers can tell "budget gone — stop
   // releasing" from other ordering/state errors.
   kResourceExhausted,
+  // Artifact compatibility gates (src/artifact). Each gate gets its own
+  // code so callers can distinguish "rebuild with the new format"
+  // (kVersionMismatch) from "this model was built on different data"
+  // (kGraphMismatch) from "the DP provenance does not match the request"
+  // (kProvenanceMismatch).
+  kVersionMismatch,
+  kGraphMismatch,
+  kProvenanceMismatch,
 };
 
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -64,6 +72,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
+  static Status GraphMismatch(std::string msg) {
+    return Status(StatusCode::kGraphMismatch, std::move(msg));
+  }
+  static Status ProvenanceMismatch(std::string msg) {
+    return Status(StatusCode::kProvenanceMismatch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

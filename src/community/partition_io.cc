@@ -3,6 +3,7 @@
 #include <fstream>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace privrec::community {
@@ -20,15 +21,40 @@ Status SavePartition(const Partition& partition, const std::string& path) {
 }
 
 Result<Partition> LoadPartition(const std::string& path) {
+  if (fault::Hit("partition_io.open") == fault::FaultKind::kIoError) {
+    return Status::IoError("cannot open " + path + " (injected fault)");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::vector<int64_t> labels;
   std::vector<bool> seen;
   std::string line;
   int64_t line_no = 0;
+  int64_t expected_nodes = -1;  // from the "# privrec partition:" header
+  bool short_read = false;
   while (std::getline(in, line)) {
     ++line_no;
+    const fault::FaultKind k = fault::Hit("partition_io.read");
+    if (k == fault::FaultKind::kIoError) {
+      return Status::IoError("read failed for " + path + " (injected fault)");
+    }
+    if (k == fault::FaultKind::kShortRead) {
+      short_read = true;
+      break;
+    }
     std::string_view sv = Trim(line);
+    if (StartsWith(sv, "# privrec partition:")) {
+      // "# privrec partition: <N> nodes, <K> clusters" — N guards against
+      // files truncated at a line boundary, which lose trailing nodes
+      // without tripping any per-line check.
+      auto fields = SplitWhitespace(sv);
+      if (fields.size() < 4 || !ParseInt64(fields[3], &expected_nodes) ||
+          expected_nodes < 0) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad partition header");
+      }
+      continue;
+    }
     if (sv.empty() || sv[0] == '#') continue;
     auto fields = SplitWhitespace(sv);
     if (fields.size() < 2) {
@@ -55,6 +81,16 @@ Result<Partition> LoadPartition(const std::string& path) {
     }
     seen[static_cast<size_t>(node)] = true;
     labels[static_cast<size_t>(node)] = cluster;
+  }
+  if (short_read) {
+    return Status::ParseError(path + ": truncated partition (short read)");
+  }
+  if (expected_nodes >= 0 &&
+      expected_nodes != static_cast<int64_t>(labels.size())) {
+    return Status::ParseError(
+        path + ": truncated partition (header promises " +
+        std::to_string(expected_nodes) + " nodes, got " +
+        std::to_string(labels.size()) + ")");
   }
   for (size_t u = 0; u < labels.size(); ++u) {
     if (!seen[u]) {

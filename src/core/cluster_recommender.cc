@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "artifact/reconstruct.h"
 #include "common/fault_injection.h"
 #include "common/parallel.h"
 #include "core/degradation.h"
@@ -35,7 +36,7 @@ ClusterRecommender::ClusterRecommender(
   PRIVREC_CHECK_MSG(dp::IsValidEpsilon(options_.epsilon), "bad epsilon");
 }
 
-ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
+ClusterRelease ClusterRecommender::ComputeRelease() {
   PRIVREC_SPAN("core.publication");
   const int64_t num_clusters = partition_.num_clusters();
   const graph::ItemId num_items = context_.preferences->num_items();
@@ -45,7 +46,7 @@ ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
   // bit-identical for every thread count (see common/parallel.h).
   const SplitRng split(options_.seed, invocation_++);
 
-  NoisyAverages result;
+  ClusterRelease result;
   result.sanitized.assign(static_cast<size_t>(num_clusters), 0);
 
   // Lines 2-6 of Algorithm 1: per-(cluster, item) edge-weight sums via one
@@ -139,15 +140,12 @@ ClusterRecommender::NoisyAverages ClusterRecommender::ComputeAverages() {
 }
 
 std::vector<double> ClusterRecommender::ComputeNoisyClusterAverages() {
-  return ComputeAverages().values;
+  return ComputeRelease().values;
 }
 
 RecommendedBatch ClusterRecommender::RecommendWithReport(
     const std::vector<graph::NodeId>& users, int64_t top_n) {
-  const int64_t num_clusters = partition_.num_clusters();
-  const graph::ItemId num_items = context_.preferences->num_items();
-  const NoisyAverages noisy = ComputeAverages();
-  const std::vector<double>& averages = noisy.values;
+  const ClusterRelease noisy = ComputeRelease();
 
   PRIVREC_SPAN("core.reconstruction");
   RecommendedBatch batch;
@@ -155,86 +153,21 @@ RecommendedBatch ClusterRecommender::RecommendWithReport(
   batch.report.singleton_clusters = noisy.singleton_clusters;
   batch.report.nonfinite_sanitized = noisy.nonfinite_sanitized;
 
-  // Global-average utilities, the fallback for users with no similarity
-  // support: Σ_c |c|·ŵ_c^i / |U| re-weights the released cluster rows back
-  // into one population-level row. Pure post-processing of the same
-  // release, so serving it costs no additional privacy.
-  const double num_users_d =
-      static_cast<double>(context_.social->num_nodes());
-  std::vector<double> global(static_cast<size_t>(num_items), 0.0);
-  for (int64_t c = 0; c < num_clusters; ++c) {
-    double size = static_cast<double>(partition_.ClusterSize(c));
-    if (size == 0.0) continue;
-    const double* row = averages.data() + c * num_items;
-    for (graph::ItemId i = 0; i < num_items; ++i) {
-      global[static_cast<size_t>(i)] += size * row[i] / num_users_d;
-    }
-  }
-
-  // Lines 8-20: per-user reconstruction, parallel over fixed chunks of the
-  // request batch. Each user's list and diagnostics are written to its own
-  // slot; the per-chunk degradation counts fold in chunk order. sim_sum per
-  // cluster is sparse (a user's similarity set touches few clusters); the
-  // item-utility vector is dense because every noisy average is nonzero.
-  batch.lists.resize(users.size());
-  batch.degradation.resize(users.size());
-  Result<int64_t> degraded = ParallelReduce(
-      static_cast<int64_t>(users.size()), int64_t{0},
-      [&](int64_t, int64_t begin, int64_t end) {
-        // Worker-local scratch, fully re-zeroed between users (sim_sum via
-        // the touched list, utilities via std::fill), so results do not
-        // depend on which chunks this worker ran before.
-        thread_local std::vector<double> sim_sum;
-        thread_local std::vector<int64_t> touched;
-        thread_local std::vector<double> utilities;
-        if (sim_sum.size() < static_cast<size_t>(num_clusters)) {
-          sim_sum.assign(static_cast<size_t>(num_clusters), 0.0);
-        }
-        utilities.resize(static_cast<size_t>(num_items));
-        int64_t chunk_degraded = 0;
-        for (int64_t k = begin; k < end; ++k) {
-          graph::NodeId u = users[static_cast<size_t>(k)];
-          touched.clear();
-          for (const similarity::SimilarityEntry& e :
-               context_.workload->Row(u)) {
-            int64_t c = partition_.ClusterOf(e.user);
-            if (sim_sum[static_cast<size_t>(c)] == 0.0) touched.push_back(c);
-            sim_sum[static_cast<size_t>(c)] += e.score;
-          }
-          DegradationInfo info;
-          if (touched.empty()) {
-            // No similarity support: the reconstruction formula would rank
-            // every item 0. Serve the global-average ranking instead of an
-            // arbitrary tie-break.
-            info.reason = DegradationReason::kIsolatedUser;
-            batch.lists[static_cast<size_t>(k)] =
-                TopNFromDense(global, top_n);
-          } else {
-            std::fill(utilities.begin(), utilities.end(), 0.0);
-            bool touched_sanitized = false;
-            for (int64_t c : touched) {
-              double s = sim_sum[static_cast<size_t>(c)];
-              if (noisy.sanitized[static_cast<size_t>(c)]) {
-                touched_sanitized = true;
-              }
-              const double* row = averages.data() + c * num_items;
-              for (graph::ItemId i = 0; i < num_items; ++i) {
-                utilities[static_cast<size_t>(i)] += s * row[i];
-              }
-              sim_sum[static_cast<size_t>(c)] = 0.0;
-            }
-            if (touched_sanitized) {
-              info.reason = DegradationReason::kNonFiniteSanitized;
-            }
-            batch.lists[static_cast<size_t>(k)] =
-                TopNFromDense(utilities, top_n);
-          }
-          if (info.degraded()) ++chunk_degraded;
-          batch.degradation[static_cast<size_t>(k)] = info;
-        }
-        return chunk_degraded;
-      },
-      [](int64_t& acc, int64_t part) { acc += part; });
+  // Lines 8-20 run through the shared serving::ReconstructTopN template —
+  // the exact same code the artifact-backed ServingEngine executes — fed
+  // here from the live release and the in-memory workload rows.
+  serving::ReleaseView view;
+  view.values = noisy.values.data();
+  view.sanitized = noisy.sanitized.data();
+  view.cluster_of = partition_.cluster_of().data();
+  view.cluster_sizes = partition_.sizes().data();
+  view.num_clusters = partition_.num_clusters();
+  view.num_items = context_.preferences->num_items();
+  view.num_users = context_.social->num_nodes();
+  const std::vector<double> global = serving::GlobalAverageUtilities(view);
+  Result<int64_t> degraded = serving::ReconstructTopN(
+      view, [&](graph::NodeId u) { return context_.workload->Row(u); },
+      global, users, top_n, &batch.lists, &batch.degradation);
   PRIVREC_CHECK_MSG(degraded.ok(), degraded.status().message().c_str());
   batch.report.users_degraded = *degraded;
   RecordServingMetrics(batch);

@@ -45,6 +45,20 @@ struct ClusterRecommenderOptions {
   uint64_t seed = 100;
 };
 
+// The full A_w output: the noisy table plus the sanitation diagnostics the
+// reconstruction step needs. This is exactly what the artifact builder
+// persists into the noisy-table section of a .pvra model — serving needs
+// nothing else from the private phase.
+struct ClusterRelease {
+  std::vector<double> values;  // row-major [cluster][item]
+  // Per-cluster flag: a non-finite value in this cluster's row was
+  // sanitized to 0.
+  std::vector<uint8_t> sanitized;
+  int64_t empty_clusters = 0;
+  int64_t singleton_clusters = 0;
+  int64_t nonfinite_sanitized = 0;
+};
+
 class ClusterRecommender final : public Recommender {
  public:
   // `partition` is the createClusters output; it must cover exactly the
@@ -70,21 +84,15 @@ class ClusterRecommender final : public Recommender {
   // once per invocation.
   std::vector<double> ComputeNoisyClusterAverages();
 
+  // The A_w module with its full diagnostics — the Fit() half of the
+  // build/serve split. Each call draws fresh noise (advancing the
+  // invocation counter exactly like Recommend does), so the k-th
+  // ComputeRelease matches the release the k-th Recommend would have used.
+  ClusterRelease ComputeRelease();
+
   const community::Partition& partition() const { return partition_; }
 
  private:
-  struct NoisyAverages {
-    std::vector<double> values;  // row-major [cluster][item]
-    // Per-cluster flag: a non-finite value in this cluster's row was
-    // sanitized to 0.
-    std::vector<uint8_t> sanitized;
-    int64_t empty_clusters = 0;
-    int64_t singleton_clusters = 0;
-    int64_t nonfinite_sanitized = 0;
-  };
-
-  NoisyAverages ComputeAverages();
-
   RecommenderContext context_;
   community::Partition partition_;
   ClusterRecommenderOptions options_;

@@ -1,8 +1,13 @@
 #include "core/dynamic_recommender.h"
 
 #include <cmath>
+#include <filesystem>
+#include <memory>
 #include <utility>
 
+#include "artifact/builder.h"
+#include "artifact/model_io.h"
+#include "artifact/serving.h"
 #include "common/fault_injection.h"
 #include "common/random.h"
 #include "core/cluster_recommender.h"
@@ -127,12 +132,53 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
   community::LouvainResult louvain =
       community::RunLouvain(*context.social, louvain_options);
 
-  ClusterRecommender recommender(
-      context, louvain.partition,
-      {.epsilon = epsilon,
-       .seed = SplitMix64(options_.seed + 0x9e37 +
-                          static_cast<uint64_t>(t))});
-  RecommendedBatch batch = recommender.RecommendWithReport(users, top_n);
+  const uint64_t noise_seed =
+      SplitMix64(options_.seed + 0x9e37 + static_cast<uint64_t>(t));
+  RecommendedBatch batch;
+  if (!options_.artifact_dir.empty()) {
+    // Two-phase route: build → save → load → serve. The artifact's
+    // publication uses the same (partition, workload, ε_t, seed) as the
+    // in-process route and serving runs the same reconstruction template,
+    // so the released lists are bit-identical either way.
+    std::error_code ec;
+    std::filesystem::create_directories(options_.artifact_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create artifact dir '" +
+                             options_.artifact_dir + "': " + ec.message());
+    }
+    artifact::ModelArtifactBuilder builder(context.social,
+                                           context.preferences);
+    builder.SetPartition(&louvain.partition);
+    builder.SetWorkload(context.workload);
+    artifact::BuildOptions build_options;
+    build_options.epsilon = epsilon;
+    build_options.seed = noise_seed;
+    build_options.include_reference_sections = false;
+    build_options.ledger_id =
+        options_.ledger_path.empty()
+            ? "snapshot_" + std::to_string(t)
+            : options_.ledger_path + "#" + std::to_string(t);
+    Result<serving::ArtifactModel> model = builder.Build(build_options);
+    if (!model.ok()) return model.status();
+    const std::string path = options_.artifact_dir + "/snapshot_" +
+                             std::to_string(t) + ".pvra";
+    Status saved = serving::SaveArtifact(*model, path);
+    if (!saved.ok()) return saved;
+    Result<serving::ServingEngine> engine = serving::ServingEngine::Load(path);
+    if (!engine.ok()) return engine.status();
+    serving::ServeSpec spec;
+    spec.mechanism = "Cluster";
+    spec.epsilon = epsilon;
+    spec.expected_graph_hash = builder.graph_hash();
+    Result<std::unique_ptr<serving::ServeRecommender>> server =
+        serving::MakeServeRecommender(&*engine, spec);
+    if (!server.ok()) return server.status();
+    batch = (*server)->Recommend(users, top_n);
+  } else {
+    ClusterRecommender recommender(context, louvain.partition,
+                                   {.epsilon = epsilon, .seed = noise_seed});
+    batch = recommender.RecommendWithReport(users, top_n);
+  }
 
   SnapshotRelease release;
   release.lists = std::move(batch.lists);

@@ -69,6 +69,12 @@ struct DynamicRecommenderOptions {
   // On budget exhaustion, replay the last paid release (flagged
   // kStaleReplay) instead of failing with RESOURCE_EXHAUSTED.
   bool serve_stale_on_exhaustion = false;
+  // Non-empty: route each snapshot through the two-phase pipeline — build
+  // a model artifact, save it as <artifact_dir>/snapshot_<t>.pvra, load it
+  // back, and serve the release from the artifact (bit-identical to the
+  // in-process path). The saved artifacts are the session's audit trail:
+  // each records its ε_t, seed, and ledger id in its provenance section.
+  std::string artifact_dir;
 };
 
 struct SnapshotRelease {

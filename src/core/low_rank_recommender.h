@@ -51,6 +51,12 @@ class LowRankRecommender final : public Recommender {
   // Relative Frobenius error ||W - BL|| / ||W|| of the factorization.
   double factorization_error() const { return factorization_error_; }
 
+  // The factor matrices (B is |U| x r, L is r x |U|), exposed so the
+  // artifact builder can serialize the Fit() output; the serve side replays
+  // the release from these factors alone.
+  const la::DenseMatrix& b() const { return b_; }
+  const la::DenseMatrix& l() const { return l_; }
+
  private:
   RecommenderContext context_;
   LowRankRecommenderOptions options_;

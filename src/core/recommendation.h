@@ -9,7 +9,8 @@
 #include <utility>
 #include <vector>
 
-#include "graph/preference_graph.h"
+#include "common/macros.h"
+#include "graph/ids.h"
 
 namespace privrec::core {
 

@@ -1,5 +1,7 @@
 #include "core/recommender_factory.h"
 
+#include <utility>
+
 #include "core/cluster_recommender.h"
 #include "core/exact_recommender.h"
 #include "core/group_smooth_recommender.h"
@@ -8,6 +10,42 @@
 #include "core/nou_recommender.h"
 
 namespace privrec::core {
+
+namespace {
+
+// Adapts a serving::ServeRecommender to the core::Recommender interface.
+// Optionally co-owns the engine (MakeArtifactRecommender) so the serve
+// path needs no external lifetime management.
+class ArtifactBackedRecommender : public Recommender {
+ public:
+  ArtifactBackedRecommender(
+      std::shared_ptr<const serving::ServingEngine> owned_engine,
+      std::unique_ptr<serving::ServeRecommender> server)
+      : owned_engine_(std::move(owned_engine)), server_(std::move(server)) {}
+
+  std::string Name() const override { return server_->Name(); }
+
+  std::vector<RecommendationList> Recommend(
+      const std::vector<graph::NodeId>& users, int64_t top_n) override {
+    return std::move(server_->Recommend(users, top_n).lists);
+  }
+
+ private:
+  std::shared_ptr<const serving::ServingEngine> owned_engine_;
+  std::unique_ptr<serving::ServeRecommender> server_;
+};
+
+serving::ServeSpec ToServeSpec(const RecommenderSpec& spec) {
+  serving::ServeSpec serve;
+  serve.mechanism = spec.mechanism;
+  serve.epsilon = spec.epsilon;
+  serve.seed = spec.seed;
+  serve.gs_group_size = spec.gs_group_size;
+  serve.expected_graph_hash = spec.expected_graph_hash;
+  return serve;
+}
+
+}  // namespace
 
 const std::vector<std::string>& MechanismNames() {
   static const std::vector<std::string>& kNames =
@@ -18,6 +56,13 @@ const std::vector<std::string>& MechanismNames() {
 
 Result<std::unique_ptr<Recommender>> MakeRecommender(
     const RecommenderContext& context, const RecommenderSpec& spec) {
+  if (spec.engine != nullptr) {
+    Result<std::unique_ptr<serving::ServeRecommender>> server =
+        serving::MakeServeRecommender(spec.engine, ToServeSpec(spec));
+    if (!server.ok()) return server.status();
+    return std::unique_ptr<Recommender>(new ArtifactBackedRecommender(
+        nullptr, std::move(server).value()));
+  }
   if (spec.mechanism == "Exact") {
     return std::unique_ptr<Recommender>(new ExactRecommender(context));
   }
@@ -51,6 +96,17 @@ Result<std::unique_ptr<Recommender>> MakeRecommender(
                   .seed = spec.seed}));
   }
   return Status::InvalidArgument("unknown mechanism: " + spec.mechanism);
+}
+
+Result<std::unique_ptr<Recommender>> MakeArtifactRecommender(
+    std::shared_ptr<const serving::ServingEngine> engine,
+    const RecommenderSpec& spec) {
+  PRIVREC_CHECK(engine != nullptr);
+  Result<std::unique_ptr<serving::ServeRecommender>> server =
+      serving::MakeServeRecommender(engine.get(), ToServeSpec(spec));
+  if (!server.ok()) return server.status();
+  return std::unique_ptr<Recommender>(new ArtifactBackedRecommender(
+      std::move(engine), std::move(server).value()));
 }
 
 }  // namespace privrec::core

@@ -1,0 +1,23 @@
+// Identifier types shared across the graph layer and everything above it.
+//
+// Split out of social_graph.h / preference_graph.h so that code which only
+// speaks in ids — notably the serving layer (src/artifact), which must not
+// see the private PreferenceGraph even transitively — can name users and
+// items without pulling in any graph container.
+
+#ifndef PRIVREC_GRAPH_IDS_H_
+#define PRIVREC_GRAPH_IDS_H_
+
+#include <cstdint>
+
+namespace privrec::graph {
+
+// A user node of the social graph G_s (and of the user side of G_p).
+using NodeId = int64_t;
+
+// An item node of the bipartite preference graph G_p.
+using ItemId = int64_t;
+
+}  // namespace privrec::graph
+
+#endif  // PRIVREC_GRAPH_IDS_H_

@@ -1,12 +1,51 @@
 #include "graph/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "common/random.h"
 #include "graph/components.h"
 
 namespace privrec::graph {
+
+namespace {
+
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  // FNV-1a over the 8 bytes of v, little-endian.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t DatasetFingerprint(const SocialGraph& social,
+                            const PreferenceGraph& preferences) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis.
+  h = FnvMix(h, static_cast<uint64_t>(social.num_nodes()));
+  h = FnvMix(h, static_cast<uint64_t>(social.num_edges()));
+  for (NodeId u = 0; u < social.num_nodes(); ++u) {
+    for (NodeId v : social.Neighbors(u)) {
+      h = FnvMix(h, static_cast<uint64_t>(u));
+      h = FnvMix(h, static_cast<uint64_t>(v));
+    }
+  }
+  h = FnvMix(h, static_cast<uint64_t>(preferences.num_users()));
+  h = FnvMix(h, static_cast<uint64_t>(preferences.num_items()));
+  h = FnvMix(h, static_cast<uint64_t>(preferences.num_edges()));
+  for (NodeId u = 0; u < preferences.num_users(); ++u) {
+    auto items = preferences.ItemsOf(u);
+    auto weights = preferences.WeightsOf(u);
+    for (size_t k = 0; k < items.size(); ++k) {
+      h = FnvMix(h, static_cast<uint64_t>(items[k]));
+      h = FnvMix(h, std::bit_cast<uint64_t>(weights[k]));
+    }
+  }
+  return h;
+}
 
 namespace {
 

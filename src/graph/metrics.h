@@ -8,9 +8,17 @@
 
 #include <cstdint>
 
+#include "graph/preference_graph.h"
 #include "graph/social_graph.h"
 
 namespace privrec::graph {
+
+// Order-sensitive FNV-1a fingerprint of a (social, preference) graph pair:
+// dimensions, every social edge, and every weighted preference edge feed
+// the hash. Used as the artifact compatibility gate — a model built on one
+// dataset must refuse to serve another. Not cryptographic.
+uint64_t DatasetFingerprint(const SocialGraph& social,
+                            const PreferenceGraph& preferences);
 
 // Global clustering coefficient: 3 * #triangles / #connected-triples.
 // 0 on graphs without triples.

@@ -24,11 +24,10 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "graph/ids.h"
 #include "graph/social_graph.h"
 
 namespace privrec::graph {
-
-using ItemId = int64_t;
 
 // One weighted preference edge (used by the weighted builder).
 struct PreferenceEdge {

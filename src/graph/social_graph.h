@@ -14,10 +14,9 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "graph/ids.h"
 
 namespace privrec::graph {
-
-using NodeId = int64_t;
 
 class SocialGraph {
  public:

@@ -75,6 +75,12 @@ class SimilarityWorkload {
   double AverageRowSize() const;
   int64_t TotalEntries() const { return static_cast<int64_t>(entries_.size()); }
 
+  // Raw CSR parts, for serialization (workload_io, the artifact builder).
+  // offsets() has num_users + 1 entries; entries() holds the concatenated
+  // rows in user order.
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  const std::vector<SimilarityEntry>& entries() const { return entries_; }
+
  private:
   // Shared implementation: computes all rows, storing only those allowed
   // by `store_mask` (null = store all).

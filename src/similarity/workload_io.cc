@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace privrec::similarity {
@@ -13,11 +14,15 @@ Status SaveWorkload(const SimilarityWorkload& workload,
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   char header[256];
+  // `entries=` lets the loader distinguish a file truncated at a line
+  // boundary (silently shorter, otherwise undetectable) from a complete one.
   std::snprintf(header, sizeof(header),
                 "# privrec workload measure=%s users=%" PRId64
+                " entries=%" PRId64
                 " max_column_sum=%.17g max_entry=%.17g\n",
                 workload.measure_name().c_str(), workload.num_users(),
-                workload.MaxColumnSum(), workload.MaxEntry());
+                workload.TotalEntries(), workload.MaxColumnSum(),
+                workload.MaxEntry());
   out << header;
   char line[96];
   for (graph::NodeId u = 0; u < workload.num_users(); ++u) {
@@ -33,6 +38,9 @@ Status SaveWorkload(const SimilarityWorkload& workload,
 }
 
 Result<SimilarityWorkload> LoadWorkload(const std::string& path) {
+  if (fault::Hit("workload_io.open") == fault::FaultKind::kIoError) {
+    return Status::IoError("cannot open " + path + " (injected fault)");
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
 
@@ -42,6 +50,7 @@ Result<SimilarityWorkload> LoadWorkload(const std::string& path) {
   }
   std::string measure_name;
   graph::NodeId num_users = -1;
+  int64_t num_entries = -1;  // absent in files written before the field
   double max_column_sum = -1.0;
   double max_entry = -1.0;
   for (std::string_view field : SplitWhitespace(line)) {
@@ -54,6 +63,10 @@ Result<SimilarityWorkload> LoadWorkload(const std::string& path) {
     } else if (key == "users") {
       if (!ParseInt64(value, &num_users)) {
         return Status::ParseError(path + ": bad users field");
+      }
+    } else if (key == "entries") {
+      if (!ParseInt64(value, &num_entries) || num_entries < 0) {
+        return Status::ParseError(path + ": bad entries field");
       }
     } else if (key == "max_column_sum") {
       if (!ParseDouble(value, &max_column_sum)) {
@@ -75,8 +88,17 @@ Result<SimilarityWorkload> LoadWorkload(const std::string& path) {
   std::vector<SimilarityEntry> entries;
   graph::NodeId current = 0;
   int64_t line_no = 1;
+  bool short_read = false;
   while (std::getline(in, line)) {
     ++line_no;
+    const fault::FaultKind k = fault::Hit("workload_io.read");
+    if (k == fault::FaultKind::kIoError) {
+      return Status::IoError("read failed for " + path + " (injected fault)");
+    }
+    if (k == fault::FaultKind::kShortRead) {
+      short_read = true;
+      break;
+    }
     std::string_view sv = Trim(line);
     if (sv.empty() || sv[0] == '#') continue;
     auto fields = SplitWhitespace(sv);
@@ -105,6 +127,16 @@ Result<SimilarityWorkload> LoadWorkload(const std::string& path) {
   while (current < num_users) {
     offsets.push_back(entries.size());
     ++current;
+  }
+  if (short_read) {
+    return Status::ParseError(path + ": truncated workload (short read)");
+  }
+  if (num_entries >= 0 &&
+      num_entries != static_cast<int64_t>(entries.size())) {
+    return Status::ParseError(
+        path + ": truncated workload (header promises " +
+        std::to_string(num_entries) + " entries, got " +
+        std::to_string(entries.size()) + ")");
   }
   return SimilarityWorkload::FromParts(num_users, std::move(measure_name),
                                        std::move(offsets),

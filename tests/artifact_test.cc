@@ -1,0 +1,507 @@
+// Tests for the two-phase build/serve split: .pvra round-trip bit-identity
+// for every mechanism at every thread count, byte-determinism of the saved
+// container, the compatibility gates (version / graph / ε-provenance, each
+// with its own status code), corruption robustness, and the privacy
+// isolation of the serving layer.
+
+// The isolation guarantee, checked at the include level: the serving
+// headers are included FIRST, and must not (transitively) pull in the
+// private graph containers. The CMake side of the same guarantee forbids
+// privrec_serving from linking privrec_graph.
+#include "artifact/format.h"
+#include "artifact/model.h"
+#include "artifact/model_io.h"
+#include "artifact/reconstruct.h"
+#include "artifact/serving.h"
+
+#if defined(PRIVREC_GRAPH_PREFERENCE_GRAPH_H_) || \
+    defined(PRIVREC_GRAPH_SOCIAL_GRAPH_H_)
+#error "serving headers must not include the private graph containers"
+#endif
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "artifact/builder.h"
+#include "common/fault_injection.h"
+#include "common/parallel.h"
+#include "community/louvain.h"
+#include "core/dynamic_recommender.h"
+#include "core/recommender_factory.h"
+#include "data/synthetic.h"
+#include "similarity/common_neighbors.h"
+
+namespace privrec {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::RecommendationList;
+
+std::string ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class ArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("privrec_artifact_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    dataset_ = data::MakeTinyDataset(/*num_users=*/120, /*num_items=*/80,
+                                     /*seed=*/7);
+    workload_ = similarity::SimilarityWorkload::Compute(
+        dataset_.social, similarity::CommonNeighbors());
+    context_ = {&dataset_.social, &dataset_.preferences, &workload_};
+    louvain_ = community::RunLouvain(dataset_.social,
+                                     {.restarts = 2, .seed = 3});
+    for (graph::NodeId u = 0; u < dataset_.social.num_nodes(); ++u) {
+      users_.push_back(u);
+    }
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  artifact::ModelArtifactBuilder MakeBuilder() {
+    artifact::ModelArtifactBuilder builder(&dataset_.social,
+                                           &dataset_.preferences);
+    builder.SetPartition(&louvain_.partition);
+    builder.SetWorkload(&workload_);
+    return builder;
+  }
+
+  // Build (advancing the builder's publisher invocation), save, load, and
+  // serve one batch — the full offline→online round trip.
+  std::vector<RecommendationList> BuildSaveLoadServe(
+      artifact::ModelArtifactBuilder& builder,
+      const artifact::BuildOptions& build_options,
+      const serving::ServeSpec& spec, const std::string& name) {
+    auto model = builder.Build(build_options);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    const std::string path = Path(name);
+    Status saved = serving::SaveArtifact(*model, path);
+    EXPECT_TRUE(saved.ok()) << saved.ToString();
+    auto engine = serving::ServingEngine::Load(path);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    auto server = serving::MakeServeRecommender(&*engine, spec);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return (*server)->Recommend(users_, kTopN).lists;
+  }
+
+  static constexpr int64_t kTopN = 10;
+  static constexpr double kEps = 0.7;
+  static constexpr uint64_t kSeed = 42;
+
+  fs::path dir_;
+  data::Dataset dataset_;
+  similarity::SimilarityWorkload workload_;
+  core::RecommenderContext context_;
+  community::LouvainResult louvain_;
+  std::vector<graph::NodeId> users_;
+};
+
+// ------------------------------------------------------------ bit-identity
+
+// The paper's mechanism: the A_w release is frozen at build time, so the
+// k-th Build+serve must reproduce the k-th Recommend of a fresh in-memory
+// recommender — at every thread count, through an actual file.
+TEST_F(ArtifactTest, ClusterRoundTripBitIdentityAcrossThreadCounts) {
+  // Reference: two successive in-memory releases at one thread.
+  std::vector<std::vector<RecommendationList>> reference;
+  {
+    ScopedThreadCount baseline(1);
+    core::ClusterRecommender rec(context_, louvain_.partition,
+                                 {.epsilon = kEps, .seed = kSeed});
+    reference.push_back(rec.Recommend(users_, kTopN));
+    reference.push_back(rec.Recommend(users_, kTopN));
+  }
+
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = kEps;
+  for (int64_t threads : {int64_t{1}, int64_t{2}, HardwareThreads()}) {
+    ScopedThreadCount scoped(threads);
+    // In-memory stays thread-invariant...
+    core::ClusterRecommender rec(context_, louvain_.partition,
+                                 {.epsilon = kEps, .seed = kSeed});
+    EXPECT_EQ(rec.Recommend(users_, kTopN), reference[0]) << threads;
+    EXPECT_EQ(rec.Recommend(users_, kTopN), reference[1]) << threads;
+    // ...and so does the build→save→load→serve route, invocation by
+    // invocation.
+    artifact::ModelArtifactBuilder builder = MakeBuilder();
+    artifact::BuildOptions build_options;
+    build_options.epsilon = kEps;
+    build_options.seed = kSeed;
+    EXPECT_EQ(BuildSaveLoadServe(builder, build_options, spec, "c0.pvra"),
+              reference[0])
+        << threads;
+    EXPECT_EQ(BuildSaveLoadServe(builder, build_options, spec, "c1.pvra"),
+              reference[1])
+        << threads;
+  }
+}
+
+// The reference baselines draw fresh noise at serve time: the k-th call of
+// a served artifact must equal the k-th call of a fresh in-memory
+// recommender with the same seed.
+TEST_F(ArtifactTest, BaselinesRoundTripBitIdentityAcrossThreadCounts) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  artifact::BuildOptions build_options;
+  build_options.epsilon = kEps;
+  build_options.seed = kSeed;
+  build_options.include_reference_sections = true;
+  build_options.include_lowrank = true;
+  build_options.lrm_target_rank = 16;
+  build_options.lrm_seed = kSeed;
+  auto model = builder.Build(build_options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const std::string path = Path("full.pvra");
+  ASSERT_TRUE(serving::SaveArtifact(*model, path).ok());
+
+  for (const char* mechanism : {"Exact", "NOU", "NOE", "GS", "LRM"}) {
+    // Reference: two successive calls at one thread.
+    std::vector<std::vector<RecommendationList>> reference;
+    core::RecommenderSpec mem_spec;
+    mem_spec.mechanism = mechanism;
+    mem_spec.epsilon = kEps;
+    mem_spec.seed = kSeed;
+    mem_spec.gs_group_size = 8;
+    mem_spec.lrm_target_rank = 16;
+    {
+      ScopedThreadCount baseline(1);
+      auto rec = core::MakeRecommender(context_, mem_spec);
+      ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+      reference.push_back((*rec)->Recommend(users_, kTopN));
+      reference.push_back((*rec)->Recommend(users_, kTopN));
+    }
+    for (int64_t threads : {int64_t{1}, int64_t{2}, HardwareThreads()}) {
+      ScopedThreadCount scoped(threads);
+      auto engine = serving::ServingEngine::Load(path);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      serving::ServeSpec spec;
+      spec.mechanism = mechanism;
+      spec.epsilon = kEps;
+      spec.seed = kSeed;
+      spec.gs_group_size = 8;
+      auto server = serving::MakeServeRecommender(&*engine, spec);
+      ASSERT_TRUE(server.ok()) << server.status().ToString();
+      EXPECT_EQ((*server)->Recommend(users_, kTopN).lists, reference[0])
+          << mechanism << " threads=" << threads;
+      EXPECT_EQ((*server)->Recommend(users_, kTopN).lists, reference[1])
+          << mechanism << " threads=" << threads;
+    }
+  }
+}
+
+// Two independent builders with identical options must emit identical
+// bytes, even at different thread counts — .pvra files are reproducible
+// build products (no timestamps, deterministic noise).
+TEST_F(ArtifactTest, SavedBytesAreDeterministicAcrossThreadCounts) {
+  artifact::BuildOptions build_options;
+  build_options.epsilon = kEps;
+  build_options.seed = kSeed;
+  build_options.include_lowrank = true;
+  build_options.lrm_target_rank = 8;
+
+  std::string first;
+  for (int64_t threads : {int64_t{1}, int64_t{2}, HardwareThreads()}) {
+    ScopedThreadCount scoped(threads);
+    artifact::ModelArtifactBuilder builder = MakeBuilder();
+    auto model = builder.Build(build_options);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    const std::string path = Path("det_" + std::to_string(threads) + ".pvra");
+    ASSERT_TRUE(serving::SaveArtifact(*model, path).ok());
+    std::string bytes = ReadAllBytes(path);
+    ASSERT_FALSE(bytes.empty());
+    if (first.empty()) {
+      first = bytes;
+    } else {
+      EXPECT_EQ(bytes, first) << "threads=" << threads;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ gates
+
+TEST_F(ArtifactTest, VersionGateRefusesFutureFormat) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  auto model = builder.Build({.epsilon = kEps, .seed = kSeed});
+  ASSERT_TRUE(model.ok());
+  const std::string path = Path("v.pvra");
+  ASSERT_TRUE(serving::SaveArtifact(*model, path).ok());
+
+  // The version field is the u32 after the magic; bump it.
+  std::string bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), 8u);
+  bytes[4] = static_cast<char>(bytes[4] + 1);
+  WriteAllBytes(path, bytes);
+
+  auto engine = serving::ServingEngine::Load(path);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kVersionMismatch)
+      << engine.status().ToString();
+}
+
+TEST_F(ArtifactTest, GraphGateRefusesMismatchedFingerprint) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  auto model = builder.Build({.epsilon = kEps, .seed = kSeed});
+  ASSERT_TRUE(model.ok());
+  auto engine = serving::ServingEngine::FromModel(std::move(*model));
+  ASSERT_TRUE(engine.ok());
+
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = kEps;
+  spec.expected_graph_hash = builder.graph_hash() ^ 1;
+  auto server = serving::MakeServeRecommender(&*engine, spec);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kGraphMismatch)
+      << server.status().ToString();
+
+  spec.expected_graph_hash = builder.graph_hash();
+  EXPECT_TRUE(serving::MakeServeRecommender(&*engine, spec).ok());
+}
+
+TEST_F(ArtifactTest, EpsilonGateRefusesForeignProvenance) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  auto model = builder.Build({.epsilon = kEps, .seed = kSeed});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model).provenance.epsilon, kEps);
+  auto engine = serving::ServingEngine::FromModel(std::move(*model));
+  ASSERT_TRUE(engine.ok());
+
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = kEps + 0.1;  // not the ε this release paid
+  auto server = serving::MakeServeRecommender(&*engine, spec);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kProvenanceMismatch)
+      << server.status().ToString();
+}
+
+TEST_F(ArtifactTest, MissingSectionsAreFailedPreconditions) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  artifact::BuildOptions build_options;
+  build_options.epsilon = kEps;
+  build_options.seed = kSeed;
+  build_options.include_reference_sections = false;  // production shape
+  auto model = builder.Build(build_options);
+  ASSERT_TRUE(model.ok());
+  auto engine = serving::ServingEngine::FromModel(std::move(*model));
+  ASSERT_TRUE(engine.ok());
+
+  for (const char* needs_preferences : {"Exact", "NOU", "NOE", "GS"}) {
+    serving::ServeSpec spec;
+    spec.mechanism = needs_preferences;
+    spec.epsilon = kEps;
+    auto server = serving::MakeServeRecommender(&*engine, spec);
+    ASSERT_FALSE(server.ok()) << needs_preferences;
+    EXPECT_EQ(server.status().code(), StatusCode::kFailedPrecondition)
+        << needs_preferences;
+  }
+  serving::ServeSpec lrm;
+  lrm.mechanism = "LRM";
+  lrm.epsilon = kEps;
+  auto server = serving::MakeServeRecommender(&*engine, lrm);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kFailedPrecondition);
+
+  serving::ServeSpec unknown;
+  unknown.mechanism = "Oracle";
+  EXPECT_EQ(serving::MakeServeRecommender(&*engine, unknown).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------- corruption
+
+TEST_F(ArtifactTest, TruncatedFileIsAParseErrorNotACrash) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  auto model = builder.Build({.epsilon = kEps, .seed = kSeed});
+  ASSERT_TRUE(model.ok());
+  const std::string path = Path("t.pvra");
+  ASSERT_TRUE(serving::SaveArtifact(*model, path).ok());
+  const std::string bytes = ReadAllBytes(path);
+
+  // Every truncation point must fail cleanly with a section-naming parse
+  // error (or version/magic error for header cuts), never crash or load.
+  for (double frac : {0.02, 0.3, 0.6, 0.95}) {
+    const std::string cut =
+        bytes.substr(0, static_cast<size_t>(bytes.size() * frac));
+    WriteAllBytes(path, cut);
+    auto engine = serving::ServingEngine::Load(path);
+    ASSERT_FALSE(engine.ok()) << "frac=" << frac;
+    EXPECT_EQ(engine.status().code(), StatusCode::kParseError)
+        << engine.status().ToString();
+    EXPECT_NE(engine.status().message().find("artifact"), std::string::npos)
+        << engine.status().ToString();
+  }
+}
+
+TEST_F(ArtifactTest, BitFlipFailsTheSectionCrc) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  auto model = builder.Build({.epsilon = kEps, .seed = kSeed});
+  ASSERT_TRUE(model.ok());
+  const std::string path = Path("b.pvra");
+  ASSERT_TRUE(serving::SaveArtifact(*model, path).ok());
+  const std::string bytes = ReadAllBytes(path);
+
+  for (double frac : {0.2, 0.5, 0.9}) {
+    std::string flipped = bytes;
+    flipped[static_cast<size_t>(flipped.size() * frac)] ^= 0x10;
+    WriteAllBytes(path, flipped);
+    auto engine = serving::ServingEngine::Load(path);
+    // A flip may land in a section-size field (truncation error) or a
+    // payload (CRC error); silently loading damaged data is the only
+    // unacceptable outcome.
+    ASSERT_FALSE(engine.ok()) << "frac=" << frac;
+    EXPECT_EQ(engine.status().code(), StatusCode::kParseError)
+        << engine.status().ToString();
+    EXPECT_NE(engine.status().message().find("artifact section"),
+              std::string::npos)
+        << engine.status().ToString();
+  }
+}
+
+TEST_F(ArtifactTest, InjectedIoFaultsSurfaceAsStatusErrors) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  auto model = builder.Build({.epsilon = kEps, .seed = kSeed});
+  ASSERT_TRUE(model.ok());
+  const std::string path = Path("f.pvra");
+
+  {
+    fault::ScopedFaultInjection scope(
+        "artifact.open", fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    EXPECT_EQ(serving::SaveArtifact(*model, path).code(),
+              StatusCode::kIoError);
+  }
+  {
+    fault::ScopedFaultInjection scope(
+        "artifact.write",
+        fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    EXPECT_EQ(serving::SaveArtifact(*model, path).code(),
+              StatusCode::kIoError);
+  }
+  ASSERT_TRUE(serving::SaveArtifact(*model, path).ok());
+  {
+    fault::ScopedFaultInjection scope(
+        "artifact.open", fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    EXPECT_EQ(serving::ServingEngine::Load(path).status().code(),
+              StatusCode::kIoError);
+  }
+  {
+    fault::ScopedFaultInjection scope(
+        "artifact.read", fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    EXPECT_EQ(serving::ServingEngine::Load(path).status().code(),
+              StatusCode::kIoError);
+  }
+  {
+    // A short read behaves exactly like a truncated file on disk.
+    fault::ScopedFaultInjection scope(
+        "artifact.read",
+        fault::FaultSpec{.kind = fault::FaultKind::kShortRead});
+    auto engine = serving::ServingEngine::Load(path);
+    ASSERT_FALSE(engine.ok());
+    EXPECT_EQ(engine.status().code(), StatusCode::kParseError)
+        << engine.status().ToString();
+  }
+  EXPECT_TRUE(serving::ServingEngine::Load(path).ok());
+}
+
+TEST_F(ArtifactTest, NotAnArtifactFileIsRejectedByMagic) {
+  const std::string path = Path("noise.pvra");
+  WriteAllBytes(path, "definitely not a model artifact");
+  auto engine = serving::ServingEngine::Load(path);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(serving::ServingEngine::Load(Path("missing.pvra")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST_F(ArtifactTest, FactoryServesFromAnEngineBehindTheSameInterface) {
+  artifact::ModelArtifactBuilder builder = MakeBuilder();
+  auto model = builder.Build({.epsilon = kEps, .seed = kSeed});
+  ASSERT_TRUE(model.ok());
+
+  std::vector<RecommendationList> reference;
+  {
+    core::ClusterRecommender rec(context_, louvain_.partition,
+                                 {.epsilon = kEps, .seed = kSeed});
+    reference = rec.Recommend(users_, kTopN);
+  }
+
+  auto engine = serving::ServingEngine::FromModel(std::move(*model));
+  ASSERT_TRUE(engine.ok());
+  auto shared =
+      std::make_shared<const serving::ServingEngine>(std::move(*engine));
+
+  core::RecommenderSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = kEps;
+  spec.seed = kSeed;
+  spec.expected_graph_hash = builder.graph_hash();
+
+  // Non-owning path through MakeRecommender (context ignored)...
+  spec.engine = shared.get();
+  auto rec = core::MakeRecommender(context_, spec);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ((*rec)->Name(), "Cluster");
+  EXPECT_EQ((*rec)->Recommend(users_, kTopN), reference);
+
+  // ...and the engine-owning variant.
+  spec.engine = nullptr;
+  auto owning = core::MakeArtifactRecommender(shared, spec);
+  ASSERT_TRUE(owning.ok()) << owning.status().ToString();
+  EXPECT_EQ((*owning)->Recommend(users_, kTopN), reference);
+}
+
+// ---------------------------------------------------------------- dynamic
+
+TEST_F(ArtifactTest, DynamicSessionArtifactRouteMatchesInMemory) {
+  core::DynamicRecommenderOptions options;
+  options.total_epsilon = 2.0;
+  options.planned_snapshots = 4;
+  options.seed = 11;
+  core::DynamicRecommenderSession in_memory(options);
+  options.artifact_dir = Path("snapshots");
+  core::DynamicRecommenderSession two_phase(options);
+
+  for (int64_t t = 0; t < 2; ++t) {
+    auto a = in_memory.ProcessSnapshot(context_, users_, kTopN);
+    auto b = two_phase.ProcessSnapshot(context_, users_, kTopN);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->lists, b->lists) << "snapshot " << t;
+    EXPECT_EQ(a->epsilon_spent, b->epsilon_spent);
+    // The snapshot's audit artifact landed on disk.
+    EXPECT_TRUE(fs::exists(Path("snapshots/snapshot_" + std::to_string(t) +
+                                ".pvra")));
+  }
+}
+
+}  // namespace
+}  // namespace privrec

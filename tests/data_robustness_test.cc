@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include "common/fault_injection.h"
+#include "community/partition_io.h"
 #include "data/hetrec_lastfm.h"
 #include "graph/graph_io.h"
+#include "similarity/workload_io.h"
 
 namespace privrec {
 namespace {
@@ -269,6 +271,186 @@ TEST_F(LastFmRobustnessTest, BomHeaderIsStripped) {
                                    {.parse_mode = ParseMode::kLenient});
   ASSERT_TRUE(ds.ok()) << ds.status().ToString();
   EXPECT_TRUE(ds->report.bom_stripped);
+}
+
+// -------------------------------------- workload / partition cache files
+//
+// The two-phase pipeline caches materialized similarity workloads and
+// Louvain partitions on disk (LoadExperimentInputs) and the artifact
+// builder consumes them; a corrupted cache must surface as a status error,
+// never crash or silently feed a shorter workload into a DP release.
+
+class CacheFileRobustnessTest : public DataRobustnessTest {
+ protected:
+  // A tiny valid workload file: 3 users, 4 entries.
+  std::string WriteWorkloadFile() {
+    return WriteFile("workload.tsv",
+                     "# privrec workload measure=cn users=3 entries=4 "
+                     "max_column_sum=3 max_entry=2\n"
+                     "0\t1\t2\n"
+                     "0\t2\t1\n"
+                     "1\t0\t2\n"
+                     "2\t0\t1\n");
+  }
+  // A tiny valid partition file: 4 nodes in 2 clusters.
+  std::string WritePartitionFile() {
+    return WriteFile("partition.tsv",
+                     "# privrec partition: 4 nodes, 2 clusters\n"
+                     "0\t0\n"
+                     "1\t0\n"
+                     "2\t1\n"
+                     "3\t1\n");
+  }
+};
+
+TEST_F(CacheFileRobustnessTest, WorkloadSaveLoadRoundTripsEntryCount) {
+  auto loaded = similarity::LoadWorkload(WriteWorkloadFile());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_users(), 3);
+  EXPECT_EQ(loaded->TotalEntries(), 4);
+
+  const std::string resaved = (dir_ / "resaved.tsv").string();
+  ASSERT_TRUE(similarity::SaveWorkload(*loaded, resaved).ok());
+  auto again = similarity::LoadWorkload(resaved);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->TotalEntries(), 4);
+}
+
+TEST_F(CacheFileRobustnessTest, WorkloadTruncatedAtLineBoundaryIsDetected) {
+  // Drop the final entry line — every remaining line parses, so only the
+  // header's entries= count can catch the loss.
+  const std::string path =
+      WriteFile("workload.tsv",
+                "# privrec workload measure=cn users=3 entries=4 "
+                "max_column_sum=3 max_entry=2\n"
+                "0\t1\t2\n"
+                "0\t2\t1\n"
+                "1\t0\t2\n");
+  auto loaded = similarity::LoadWorkload(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("truncated workload"),
+            std::string::npos);
+}
+
+TEST_F(CacheFileRobustnessTest, WorkloadTruncatedMidRecordIsParseError) {
+  const std::string path =
+      WriteFile("workload.tsv",
+                "# privrec workload measure=cn users=3 entries=4 "
+                "max_column_sum=3 max_entry=2\n"
+                "0\t1\t2\n"
+                "0\t2\t1.");  // cut mid-double, no trailing newline
+  auto loaded = similarity::LoadWorkload(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(CacheFileRobustnessTest, WorkloadBitFlipIsParseErrorNotACrash) {
+  // Flip a byte in an id field (digit -> letter) and one in the header.
+  const std::string good =
+      "# privrec workload measure=cn users=3 entries=4 "
+      "max_column_sum=3 max_entry=2\n"
+      "0\t1\t2\n0\t2\t1\n1\t0\t2\n2\t0\t1\n";
+  for (size_t flip : {size_t(30), size_t(70), good.size() - 2}) {
+    std::string bad = good;
+    bad[flip] = static_cast<char>(bad[flip] ^ 0x40);
+    auto loaded = similarity::LoadWorkload(
+        WriteFile("flip_" + std::to_string(flip) + ".tsv", bad));
+    ASSERT_FALSE(loaded.ok()) << "flip at byte " << flip;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST_F(CacheFileRobustnessTest, WorkloadShortReadFaultIsTruncation) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = WriteWorkloadFile();
+  fault::ScopedFaultInjection scope;
+  fault::FaultInjector::Instance().ArmNth("workload_io.read",
+                                          fault::FaultKind::kShortRead, 2);
+  auto loaded = similarity::LoadWorkload(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("short read"), std::string::npos);
+}
+
+TEST_F(CacheFileRobustnessTest, WorkloadOpenAndReadFaultsAreIoErrors) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = WriteWorkloadFile();
+  {
+    fault::ScopedFaultInjection scope(
+        "workload_io.open",
+        fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    auto loaded = similarity::LoadWorkload(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+  {
+    fault::ScopedFaultInjection scope(
+        "workload_io.read",
+        fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    auto loaded = similarity::LoadWorkload(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+  // Disarmed again: the same file loads cleanly.
+  auto loaded = similarity::LoadWorkload(path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST_F(CacheFileRobustnessTest, PartitionTruncatedAtLineBoundaryIsDetected) {
+  const std::string path =
+      WriteFile("partition.tsv",
+                "# privrec partition: 4 nodes, 2 clusters\n"
+                "0\t0\n"
+                "1\t0\n"
+                "2\t1\n");  // node 3 lost to truncation
+  auto loaded = community::LoadPartition(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("truncated partition"),
+            std::string::npos);
+}
+
+TEST_F(CacheFileRobustnessTest, PartitionBitFlipIsParseErrorNotACrash) {
+  const std::string good =
+      "# privrec partition: 4 nodes, 2 clusters\n"
+      "0\t0\n1\t0\n2\t1\n3\t1\n";
+  // Flip bytes across header and body (digit -> letter / '#' -> 'c').
+  for (size_t flip : {size_t(0), size_t(21), size_t(41), good.size() - 2}) {
+    std::string bad = good;
+    bad[flip] = static_cast<char>(bad[flip] ^ 0x40);
+    auto loaded = community::LoadPartition(
+        WriteFile("flip_" + std::to_string(flip) + ".tsv", bad));
+    ASSERT_FALSE(loaded.ok()) << "flip at byte " << flip;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError)
+        << "flip at byte " << flip;
+  }
+}
+
+TEST_F(CacheFileRobustnessTest, PartitionShortReadAndIoFaultsSurface) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = WritePartitionFile();
+  {
+    fault::ScopedFaultInjection scope;
+    fault::FaultInjector::Instance().ArmNth("partition_io.read",
+                                            fault::FaultKind::kShortRead, 3);
+    auto loaded = community::LoadPartition(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+    EXPECT_NE(loaded.status().message().find("short read"),
+              std::string::npos);
+  }
+  {
+    fault::ScopedFaultInjection scope(
+        "partition_io.open",
+        fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+    auto loaded = community::LoadPartition(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+  auto loaded = community::LoadPartition(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 4);
 }
 
 TEST_F(LastFmRobustnessTest, TransientReadFaultIsRetriedAway) {
