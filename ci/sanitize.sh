@@ -24,6 +24,30 @@ cmake --build --preset tsan -j"$(nproc)" \
   --target parallel_test core_test similarity_test obs_test
 ctest --preset tsan -j"$(nproc)" -R "^(${TSAN_TESTS})\$" "$@"
 
+# Chaos pass: the serving-runtime soak — >= 500 hot-swap iterations mixing
+# corrupt artifacts and injected I/O faults while 4 request threads hammer
+# the runtime (PRIVREC_THREADS=4 in the tsan preset keeps the parallel
+# layer concurrent too). TSan shakes the epoch-publication and admission
+# paths for real races; the asan-ubsan full-suite run above already covers
+# the same soak for memory bugs. serve_test rides along for the breaker /
+# admission / swap state machines.
+cmake --build --preset tsan -j"$(nproc)" --target serve_test serve_chaos_test
+PRIVREC_CHAOS_ITERS=500 \
+  ctest --preset tsan -j"$(nproc)" -R "^(serve_test|serve_chaos_test)\$" "$@"
+echo "chaos soak: 500 swap iterations with faults, clean under TSan"
+
+# Probes-compiled-out pass for the serving runtime: with
+# PRIVREC_NO_FAULT_INJECTION the fault probes in the artifact I/O and
+# serve paths are constexpr no-ops, and the runtime (plus its tests, which
+# skip or downgrade their armed-fault branches via fault::kCompiledIn)
+# must still build and stay green — real corruption is caught either way.
+cmake --preset no-fault-injection
+cmake --build --preset no-fault-injection -j"$(nproc)" \
+  --target serve_test serve_chaos_test data_robustness_test
+ctest --preset no-fault-injection -j"$(nproc)" \
+  -R "^(serve_test|serve_chaos_test|data_robustness_test)\$" "$@"
+echo "no-fault-injection build: serving runtime compiles and soaks clean"
+
 # PRIVREC_OBS=OFF pass: the no-op shells must keep the whole suite green,
 # and the compile-out must be real — no registry or tracer machinery may
 # survive into the obs library's object code.
@@ -78,3 +102,11 @@ if nm --defined-only build-asan-ubsan/src/artifact/libprivrec_serving.a \
   exit 1
 fi
 echo "serving symbol check: clean (no preference/social graph code)"
+
+# The serving runtime (src/serve) inherits the same isolation guarantee.
+if nm --defined-only build-asan-ubsan/src/serve/libprivrec_serve.a \
+    2>/dev/null | grep -E "PreferenceGraph|SocialGraph" ; then
+  echo "FAIL: privrec_serve object code references the graph types" >&2
+  exit 1
+fi
+echo "serve runtime symbol check: clean (no preference/social graph code)"

@@ -26,6 +26,16 @@
 // from the saved artifact (bit-identical to the in-process path). The
 // .pvra files are the quarter's audit trail — each records its ε_t, seed,
 // and ledger id in its provenance section.
+//
+// With --artifact-dir the example also runs the resilient serving runtime
+// (serve::ServeRuntime): every saved snapshot is HOT-RELOADED into a live
+// runtime — gates, self-check probe, epoch publication — and a request
+// batch is answered from the new epoch, so the printout shows the swap
+// protocol working week over week. The --serve-* flags size the runtime:
+//
+//   --serve-deadline-ms --serve-queue-depth --serve-max-concurrency
+//   --serve-breaker-failures --serve-breaker-cooldown-ms
+//   --serve-reload-period (reload every Nth week; default every week)
 
 #include <cstdio>
 #include <string>
@@ -38,6 +48,7 @@
 #include "core/dynamic_recommender.h"
 #include "data/synthetic.h"
 #include "eval/exact_reference.h"
+#include "serve/runtime.h"
 
 int main(int argc, char** argv) {
   using namespace privrec;
@@ -51,7 +62,24 @@ int main(int argc, char** argv) {
   const std::string faults = flags.GetString("faults", "");
   const bool serve_stale = flags.GetBool("serve_stale", false);
   const std::string artifact_dir = flags.GetString("artifact-dir", "");
+  const ServeFlagSettings serve_settings = ApplyServeFlags(flags);
   if (!flags.Validate()) return 1;
+
+  // The live runtime the quarter's snapshots are hot-swapped into. Weekly
+  // ε legitimately varies under geometric allocation and the preference
+  // graph grows every week, so this stream adopts each artifact's
+  // provenance ε and does not pin the dataset fingerprint (a static-
+  // dataset deployment would leave pin_graph_hash on).
+  serve::ServeRuntimeOptions serve_options;
+  serve_options.swap.adopt_artifact_epsilon = true;
+  serve_options.swap.pin_graph_hash = false;
+  serve_options.admission.queue_depth = serve_settings.queue_depth;
+  serve_options.admission.max_concurrency = serve_settings.max_concurrency;
+  serve_options.breaker.failure_threshold = serve_settings.breaker_failures;
+  serve_options.breaker.cooldown_ms = serve_settings.breaker_cooldown_ms;
+  serve::ServeRuntime runtime(serve_options);
+  const int64_t reload_every =
+      serve_settings.reload_period > 0 ? serve_settings.reload_period : 1;
 
   // PRIVREC_FAULTS from the environment composes with --faults; the
   // explicit flag wins for points named in both.
@@ -147,6 +175,48 @@ int main(int argc, char** argv) {
                 release->epsilon_spent, release->cumulative_epsilon,
                 static_cast<long long>(release->num_clusters),
                 reference.MeanNdcg(release->lists), notes.c_str());
+
+    // Hot-swap the just-saved snapshot into the live runtime and answer a
+    // request batch from the new epoch. A gate or probe failure rolls the
+    // swap back and the runtime keeps serving last week's epoch.
+    if (!artifact_dir.empty() &&
+        release->snapshot_index % reload_every == 0) {
+      const std::string snapshot_path =
+          artifact_dir + "/snapshot_" +
+          std::to_string(release->snapshot_index) + ".pvra";
+      Status swapped = runtime.Activate(snapshot_path);
+      if (!swapped.ok()) {
+        std::printf("       hot swap rolled back: %s (still serving epoch "
+                    "%lld)\n",
+                    swapped.ToString().c_str(),
+                    static_cast<long long>(runtime.swapper().current_epoch()));
+      } else {
+        serve::ServeRequest request;
+        request.users = users;
+        request.top_n = 20;
+        request.deadline_ms = serve_settings.deadline_ms;
+        serve::ServeResponse response = runtime.Handle(request);
+        std::printf("       hot swap -> epoch %lld (seed %llu, eps %.3f): "
+                    "served %zu users%s\n",
+                    static_cast<long long>(response.epoch),
+                    static_cast<unsigned long long>(response.artifact_seed),
+                    runtime.swapper().Acquire()->epsilon,
+                    response.batch.lists.size(),
+                    response.degraded_fallback ? " [degraded fallback]"
+                                               : "");
+      }
+    }
+  }
+  if (!artifact_dir.empty()) {
+    std::printf("\nserving runtime: %lld swaps, %lld rollbacks, epoch %lld "
+                "live%s%s\n",
+                static_cast<long long>(runtime.swapper().swaps()),
+                static_cast<long long>(runtime.swapper().rollbacks()),
+                static_cast<long long>(runtime.swapper().current_epoch()),
+                runtime.swapper().rollbacks() > 0 ? "; last error: " : "",
+                runtime.swapper().rollbacks() > 0
+                    ? runtime.swapper().last_error().c_str()
+                    : "");
   }
   std::printf(
       "\nwith uniform allocation the session hard-stops after the planned "

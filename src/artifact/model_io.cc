@@ -1,7 +1,10 @@
 #include "artifact/model_io.h"
 
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -318,17 +321,39 @@ Status SaveArtifact(const ArtifactModel& model, const std::string& path) {
     return Status::IoError("injected open failure for '" + path + "'");
   }
   const std::string bytes = EncodeArtifact(model);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
+
+  // Atomic publication: write the container to a sibling temp file, flush
+  // and close it, then rename over the destination. A crash (or injected
+  // fault) at ANY point before the rename leaves the previous artifact at
+  // `path` intact — the swapper can never observe a torn .pvra. The temp
+  // file lives in the same directory so the rename never crosses a
+  // filesystem boundary.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open '" + tmp + "' for writing");
+    }
+    if (fault::Hit("artifact.write") == fault::FaultKind::kIoError) {
+      std::remove(tmp.c_str());
+      return Status::IoError("injected write failure for '" + path + "'");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write to '" + tmp + "' failed");
+    }
   }
-  if (fault::Hit("artifact.write") == fault::FaultKind::kIoError) {
-    return Status::IoError("injected write failure for '" + path + "'");
+  if (fault::Hit("artifact.rename") == fault::FaultKind::kIoError) {
+    // A crash between write and rename: the temp file is garbage we clean
+    // up, the destination is untouched.
+    std::remove(tmp.c_str());
+    return Status::IoError("injected rename failure for '" + path + "'");
   }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) {
-    return Status::IoError("write to '" + path + "' failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
   }
 
   static obs::Gauge& bytes_gauge = obs::GetGauge("privrec.artifact.bytes");
@@ -361,6 +386,12 @@ Result<ArtifactModel> LoadArtifact(const std::string& path) {
   const fault::FaultKind k = fault::Hit("artifact.read");
   if (k == fault::FaultKind::kIoError) {
     return Status::IoError("injected read failure for '" + path + "'");
+  }
+  if (k == fault::FaultKind::kLatency) {
+    // Simulated slow disk: the read succeeds but stalls. Wall-clock only —
+    // results are unaffected — so reload paths can be soaked against I/O
+    // latency without a real slow device.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   if (k == fault::FaultKind::kShortRead) {
     // Simulated truncation: drop the tail and let the section-level

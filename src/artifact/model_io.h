@@ -1,10 +1,17 @@
 // Serialization of ArtifactModel to/from the .pvra container.
 //
+// Saves are atomic: the container is written to a same-directory temp
+// file, flushed, and renamed over the destination, so a crash mid-save
+// can never leave a torn artifact where a reader (or the hot-swap
+// runtime, src/serve) would pick it up — the previous file survives
+// intact until the rename commits.
+//
 // Save and load are instrumented (privrec.artifact.{bytes,sections,
 // save_ms,load_ms} plus artifact.save / artifact.load spans) and faultable
-// (points artifact.open / artifact.write / artifact.read; a short_read
-// fault truncates the loaded bytes so the section-level robustness path is
-// exercised end to end).
+// (points artifact.open / artifact.write / artifact.rename /
+// artifact.read; a short_read fault truncates the loaded bytes so the
+// section-level robustness path is exercised end to end, and a latency
+// fault on artifact.read stalls the load like a slow disk).
 //
 // Byte determinism: encoding an ArtifactModel is a pure function of its
 // contents — no timestamps, pointers, or locale-dependent text — so two

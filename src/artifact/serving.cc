@@ -168,6 +168,8 @@ class ClusterServe final : public ServeRecommender {
 
   std::string Name() const override { return "Cluster"; }
 
+  bool ConcurrentSafe() const override { return true; }
+
   core::RecommendedBatch Recommend(const std::vector<graph::NodeId>& users,
                                    int64_t top_n) override {
     PRIVREC_SPAN("artifact.reconstruction");
@@ -196,6 +198,8 @@ class ExactServe final : public ServeRecommender {
   explicit ExactServe(const ServingEngine* engine) : engine_(engine) {}
 
   std::string Name() const override { return "Exact"; }
+
+  bool ConcurrentSafe() const override { return true; }
 
   core::RecommendedBatch Recommend(const std::vector<graph::NodeId>& users,
                                    int64_t top_n) override {

@@ -123,6 +123,12 @@ class ServeRecommender {
   virtual std::string Name() const = 0;
   virtual core::RecommendedBatch Recommend(
       const std::vector<graph::NodeId>& users, int64_t top_n) = 0;
+
+  // True when concurrent Recommend calls on one instance are safe (the
+  // mechanism keeps no per-call mutable state — Cluster and Exact read the
+  // frozen artifact only). The fresh-noise baselines advance an invocation
+  // counter per call, so the serving runtime serializes them per epoch.
+  virtual bool ConcurrentSafe() const { return false; }
 };
 
 // Constructs the serve path for `spec.mechanism` ("Exact", "Cluster",

@@ -16,6 +16,20 @@ int64_t ApplyThreadsFlag(FlagParser& flags) {
   return GlobalThreadCount();
 }
 
+ServeFlagSettings ApplyServeFlags(FlagParser& flags) {
+  ServeFlagSettings s;
+  s.deadline_ms = flags.GetInt("serve-deadline-ms", s.deadline_ms);
+  s.queue_depth = flags.GetInt("serve-queue-depth", s.queue_depth);
+  s.max_concurrency =
+      flags.GetInt("serve-max-concurrency", s.max_concurrency);
+  s.breaker_failures =
+      flags.GetInt("serve-breaker-failures", s.breaker_failures);
+  s.breaker_cooldown_ms =
+      flags.GetInt("serve-breaker-cooldown-ms", s.breaker_cooldown_ms);
+  s.reload_period = flags.GetInt("serve-reload-period", s.reload_period);
+  return s;
+}
+
 ObsSession ObsSession::FromFlags(FlagParser& flags) {
   ObsSession session;
   session.metrics_json_path_ = flags.GetString("metrics-json", "");

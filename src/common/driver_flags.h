@@ -58,6 +58,22 @@ inline ObsSession ApplyDriverFlags(FlagParser& flags) {
   return ObsSession::FromFlags(flags);
 }
 
+// Serving-runtime knobs, shared by every driver that embeds a
+// serve::ServeRuntime. Plain integers here (common must not depend on
+// serve); drivers copy them into ServeRuntimeOptions. Consuming them
+// through the parser also teaches Validate()'s typo suggestions the
+// --serve-* vocabulary.
+struct ServeFlagSettings {
+  int64_t deadline_ms = 1000;       // --serve-deadline-ms
+  int64_t queue_depth = 8;          // --serve-queue-depth
+  int64_t max_concurrency = 4;      // --serve-max-concurrency
+  int64_t breaker_failures = 3;     // --serve-breaker-failures
+  int64_t breaker_cooldown_ms = 1000;  // --serve-breaker-cooldown-ms
+  int64_t reload_period = 0;        // --serve-reload-period (0 = off)
+};
+
+ServeFlagSettings ApplyServeFlags(FlagParser& flags);
+
 }  // namespace privrec
 
 #endif  // PRIVREC_COMMON_DRIVER_FLAGS_H_

@@ -22,6 +22,8 @@ const char* FaultKindName(FaultKind kind) {
       return "inf";
     case FaultKind::kBadAlloc:
       return "bad_alloc";
+    case FaultKind::kLatency:
+      return "latency";
   }
   return "none";
 }
@@ -29,7 +31,7 @@ const char* FaultKindName(FaultKind kind) {
 bool ParseFaultKind(const std::string& name, FaultKind* out) {
   for (FaultKind kind :
        {FaultKind::kIoError, FaultKind::kShortRead, FaultKind::kNaN,
-        FaultKind::kInf, FaultKind::kBadAlloc}) {
+        FaultKind::kInf, FaultKind::kBadAlloc, FaultKind::kLatency}) {
     if (name == FaultKindName(kind)) {
       *out = kind;
       return true;

@@ -22,7 +22,7 @@
 //   point=kind@N+         fire on every hit from the Nth on
 //   point=kind@N+K        fire on hits N .. N+K-1
 //   point=kind%P:SEED     fire each hit with probability P (seeded coin)
-// kinds: io_error, short_read, nan, inf, bad_alloc
+// kinds: io_error, short_read, nan, inf, bad_alloc, latency
 // e.g. PRIVREC_FAULTS="graph_io.open=io_error@1+2;cluster.noisy_averages=nan"
 
 #ifndef PRIVREC_COMMON_FAULT_INJECTION_H_
@@ -47,6 +47,7 @@ enum class FaultKind {
   kNaN,        // poison a floating-point value with quiet NaN
   kInf,        // poison a floating-point value with +infinity
   kBadAlloc,   // simulated allocation failure
+  kLatency,    // the operation succeeds but stalls (slow disk, cold cache)
 };
 
 // Stable lowercase name used by the spec grammar ("io_error", "nan", ...).

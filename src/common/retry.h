@@ -10,6 +10,13 @@
 //   RetryStats stats;
 //   auto r = RetryWithBackoff(
 //       [&] { return graph::LoadSocialGraph(path); }, {}, &stats);
+//
+// Optional deterministic jitter: with `jitter` in (0, 1] the k-th backoff
+// is scaled by a factor in [1 - jitter, 1 + jitter] drawn from a
+// SplitRng(jitter_seed) stream keyed on the attempt index. The schedule is
+// bit-identical for a fixed seed (no global entropy, no wall clock) yet
+// de-synchronizes a fleet of retriers whose seeds differ — the classic
+// thundering-herd fix, minus the nondeterminism. Off by default.
 
 #ifndef PRIVREC_COMMON_RETRY_H_
 #define PRIVREC_COMMON_RETRY_H_
@@ -17,7 +24,9 @@
 #include <cstdint>
 #include <functional>
 #include <utility>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 
 namespace privrec {
@@ -28,6 +37,14 @@ struct RetryOptions {
   // Backoff before retry k (1-based) is initial_backoff_ms * multiplier^(k-1).
   double initial_backoff_ms = 10.0;
   double backoff_multiplier = 2.0;
+  // Jitter half-width as a fraction of the nominal backoff: the k-th
+  // backoff is multiplied by a deterministic factor in
+  // [1 - jitter, 1 + jitter]. 0 disables jitter (exact exponential
+  // schedule). Must be in [0, 1].
+  double jitter = 0.0;
+  // Seed of the SplitRng the jitter factors are drawn from; attempt k uses
+  // stream k, so the schedule depends only on (jitter_seed, k).
+  uint64_t jitter_seed = 0;
   // Invoked with each backoff duration; null = don't sleep (tests, tools
   // that prefer immediate retries). Real services pass a thread sleep.
   std::function<void(double ms)> sleeper;
@@ -41,6 +58,9 @@ struct RetryOptions {
 struct RetryStats {
   int attempts = 0;
   double total_backoff_ms = 0.0;
+  // The backoff actually applied before each retry (jitter included), in
+  // order — one entry per sleep, so max_attempts - 1 entries at most.
+  std::vector<double> backoff_schedule_ms;
 };
 
 namespace internal {
@@ -55,6 +75,7 @@ template <typename Fn>
 auto RetryWithBackoff(Fn&& fn, const RetryOptions& options = {},
                       RetryStats* stats = nullptr) -> decltype(fn()) {
   double backoff = options.initial_backoff_ms;
+  const SplitRng jitter_rng(options.jitter_seed);
   int attempts = 0;
   for (;;) {
     auto result = fn();
@@ -64,8 +85,17 @@ auto RetryWithBackoff(Fn&& fn, const RetryOptions& options = {},
         !options.retryable(internal::CodeOf(result))) {
       return result;
     }
-    if (stats != nullptr) stats->total_backoff_ms += backoff;
-    if (options.sleeper) options.sleeper(backoff);
+    double applied = backoff;
+    if (options.jitter > 0.0) {
+      Rng stream = jitter_rng.StreamFor(static_cast<uint64_t>(attempts));
+      applied = backoff * (1.0 - options.jitter +
+                           2.0 * options.jitter * stream.UniformDouble());
+    }
+    if (stats != nullptr) {
+      stats->total_backoff_ms += applied;
+      stats->backoff_schedule_ms.push_back(applied);
+    }
+    if (options.sleeper) options.sleeper(applied);
     backoff *= options.backoff_multiplier;
   }
 }

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kVersionMismatch:
       return "VERSION_MISMATCH";
     case StatusCode::kGraphMismatch:

@@ -30,6 +30,11 @@ enum class StatusCode {
   // from kFailedPrecondition so callers can tell "budget gone — stop
   // releasing" from other ordering/state errors.
   kResourceExhausted,
+  // The request's deadline passed before (or while) it could be served.
+  // The serving runtime (src/serve) distinguishes this from
+  // kResourceExhausted so clients know whether to retry with backoff
+  // (overload) or with a larger deadline (slow path).
+  kDeadlineExceeded,
   // Artifact compatibility gates (src/artifact). Each gate gets its own
   // code so callers can distinguish "rebuild with the new format"
   // (kVersionMismatch) from "this model was built on different data"
@@ -72,6 +77,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status VersionMismatch(std::string msg) {
     return Status(StatusCode::kVersionMismatch, std::move(msg));

@@ -18,6 +18,8 @@ const char* DegradationReasonName(DegradationReason reason) {
       return "nonfinite_sanitized";
     case DegradationReason::kStaleReplay:
       return "stale_replay";
+    case DegradationReason::kLoadShed:
+      return "load_shed";
   }
   return "none";
 }

@@ -29,6 +29,13 @@ enum class DegradationReason {
   // The privacy budget could not cover a fresh release; the user received
   // a replay of the last paid release.
   kStaleReplay,
+  // The serving runtime shed this request (queue full or deadline
+  // exceeded) and answered from the global-average fallback tier instead
+  // of running the personalized reconstruction. The response's Status
+  // still carries the typed rejection (kResourceExhausted /
+  // kDeadlineExceeded); this reason marks the degraded answer that rode
+  // along with it.
+  kLoadShed,
 };
 
 const char* DegradationReasonName(DegradationReason reason);

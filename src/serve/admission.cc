@@ -1,0 +1,83 @@
+#include "serve/admission.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace privrec::serve {
+
+void AdmissionTicket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         const Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SteadyClock::Instance()) {}
+
+int64_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int64_t AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  slot_free_.notify_one();
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(int64_t deadline_ms) {
+  static obs::Counter& admitted =
+      obs::GetCounter("privrec.serve.admitted_total");
+  static obs::Counter& shed = obs::GetCounter("privrec.serve.shed_total");
+  static obs::Counter& expired =
+      obs::GetCounter("privrec.serve.deadline_exceeded_total");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (clock_->NowMs() >= deadline_ms) {
+    expired.Increment();
+    return Status::DeadlineExceeded("deadline expired before admission");
+  }
+  if (in_flight_ < options_.max_concurrency) {
+    ++in_flight_;
+    admitted.Increment();
+    return AdmissionTicket(this);
+  }
+  if (waiting_ >= options_.queue_depth) {
+    shed.Increment();
+    return Status::ResourceExhausted(
+        "serving queue full (" + std::to_string(waiting_) +
+        " waiting); retry in " + std::to_string(options_.retry_after_ms) +
+        "ms");
+  }
+
+  // Queue for a slot, re-checking the injected clock each wakeup. The
+  // condition variable waits in short real-time slices so a ManualClock
+  // advanced by another thread is observed promptly; with the default
+  // SteadyClock the slice is just a coarse timed wait.
+  ++waiting_;
+  while (in_flight_ >= options_.max_concurrency) {
+    if (clock_->NowMs() >= deadline_ms) {
+      --waiting_;
+      expired.Increment();
+      return Status::DeadlineExceeded("deadline expired while queued");
+    }
+    slot_free_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  --waiting_;
+  ++in_flight_;
+  admitted.Increment();
+  return AdmissionTicket(this);
+}
+
+}  // namespace privrec::serve

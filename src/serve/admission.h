@@ -1,0 +1,106 @@
+// Admission control for the serving runtime: a concurrency limiter with a
+// bounded wait queue, per-request deadlines, and load shedding.
+//
+// The policy, evaluated on the injected clock:
+//
+//   - at most `max_concurrency` requests hold a serving slot at once;
+//   - at most `queue_depth` further requests may WAIT for a slot; a
+//     request arriving beyond that is shed immediately with
+//     kResourceExhausted and a retry-after hint (failing fast under
+//     overload keeps the queue short and latency bounded — Zhao et al.'s
+//     serving-side lesson);
+//   - a request whose deadline passes before it gets a slot (or that
+//     arrives with an already-expired deadline) fails with
+//     kDeadlineExceeded.
+//
+// Both rejection codes are typed so the runtime can layer the degradation
+// tiers on top: a shed request can still be answered from the global-
+// average fallback (core/degradation kLoadShed) without touching the
+// contended serve path.
+
+#ifndef PRIVREC_SERVE_ADMISSION_H_
+#define PRIVREC_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "serve/clock.h"
+
+namespace privrec::serve {
+
+struct AdmissionOptions {
+  // Concurrent requests allowed past admission.
+  int64_t max_concurrency = 4;
+  // Requests allowed to wait for a slot beyond max_concurrency; arrivals
+  // beyond this are shed immediately.
+  int64_t queue_depth = 8;
+  // Retry-after hint attached to shed responses.
+  int64_t retry_after_ms = 50;
+};
+
+class AdmissionController;
+
+// RAII slot: releasing returns the slot to the controller and wakes one
+// waiter. Move-only; a default-constructed ticket holds nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool holds_slot() const { return controller_ != nullptr; }
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+  AdmissionController* controller_ = nullptr;
+};
+
+class AdmissionController {
+ public:
+  // Null clock = SteadyClock.
+  explicit AdmissionController(AdmissionOptions options,
+                               const Clock* clock = nullptr);
+
+  // Tries to take a serving slot before `deadline_ms` (absolute, on the
+  // injected clock). Errors: kResourceExhausted (shed — queue full),
+  // kDeadlineExceeded (deadline hit while queued or already expired).
+  Result<AdmissionTicket> Admit(int64_t deadline_ms);
+
+  int64_t in_flight() const;
+  int64_t waiting() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  friend class AdmissionTicket;
+  void ReleaseSlot();
+
+  const AdmissionOptions options_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int64_t in_flight_ = 0;
+  int64_t waiting_ = 0;
+};
+
+}  // namespace privrec::serve
+
+#endif  // PRIVREC_SERVE_ADMISSION_H_

@@ -1,0 +1,60 @@
+// Injected time source for the serving runtime.
+//
+// Every time-dependent policy in src/serve (admission deadlines, circuit-
+// breaker cooldowns) reads time through this interface rather than the
+// wall clock directly, so the state machines can be driven deterministically
+// in tests: a ManualClock advances only when told to, which makes
+// "cooldown elapsed" and "deadline passed" exact, repeatable events instead
+// of races against the scheduler. Production code uses SteadyClock, a
+// monotonic clock immune to wall-time jumps.
+
+#ifndef PRIVREC_SERVE_CLOCK_H_
+#define PRIVREC_SERVE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace privrec::serve {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Milliseconds on an arbitrary monotonic scale; only differences matter.
+  virtual int64_t NowMs() const = 0;
+};
+
+// Monotonic wall clock (std::chrono::steady_clock).
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowMs() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // Shared instance for the common "no clock injected" default.
+  static const SteadyClock* Instance() {
+    static const SteadyClock clock;
+    return &clock;
+  }
+};
+
+// Test clock: starts at 0, moves only via Advance/Set. Thread-safe.
+class ManualClock final : public Clock {
+ public:
+  int64_t NowMs() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void Advance(int64_t ms) {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+  void Set(int64_t ms) { now_ms_.store(ms, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_ms_{0};
+};
+
+}  // namespace privrec::serve
+
+#endif  // PRIVREC_SERVE_CLOCK_H_

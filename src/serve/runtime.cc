@@ -1,0 +1,113 @@
+#include "serve/runtime.h"
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/recommendation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace privrec::serve {
+
+namespace {
+
+obs::Counter& RequestCounter() {
+  static obs::Counter& c = obs::GetCounter("privrec.serve.requests_total");
+  return c;
+}
+
+obs::Counter& FallbackCounter() {
+  static obs::Counter& c = obs::GetCounter("privrec.serve.fallback_total");
+  return c;
+}
+
+obs::Histogram& RequestLatency() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "privrec.serve.request_ms", obs::ExponentialBuckets(0.5, 2.0, 12));
+  return h;
+}
+
+}  // namespace
+
+ServeRuntime::ServeRuntime(ServeRuntimeOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SteadyClock::Instance()),
+      swapper_(options.swap),
+      admission_(options.admission, clock_),
+      reload_breaker_("artifact_reload", options.breaker, clock_) {}
+
+Status ServeRuntime::Activate(const std::string& path) {
+  return reload_breaker_.Run([&] { return swapper_.Activate(path); });
+}
+
+ServeResponse ServeRuntime::Fallback(
+    Status status, const std::shared_ptr<EpochSnapshot>& epoch,
+    const ServeRequest& request, int64_t retry_after_ms) {
+  ServeResponse response;
+  response.status = std::move(status);
+  response.retry_after_ms = retry_after_ms;
+  response.epoch = epoch->epoch;
+  response.artifact_seed = epoch->artifact_seed;
+  if (!options_.degraded_fallback) return response;
+
+  // The global-average row is a pure function of the frozen release, so
+  // the fallback tier needs neither admission nor the serve mutex.
+  const std::vector<double>& row = epoch->engine.global_average();
+  core::RecommendationList list = core::TopNFromDense(row, request.top_n);
+  response.batch.lists.assign(request.users.size(), list);
+  response.batch.degradation.assign(
+      request.users.size(),
+      core::DegradationInfo{core::DegradationReason::kLoadShed});
+  response.batch.report.users_degraded =
+      static_cast<int64_t>(request.users.size());
+  response.degraded_fallback = true;
+  FallbackCounter().Increment();
+  return response;
+}
+
+ServeResponse ServeRuntime::Handle(const ServeRequest& request) {
+  PRIVREC_SPAN("serve.request");
+  RequestCounter().Increment();
+  const int64_t start_ms = clock_->NowMs();
+
+  // Pin the epoch for the whole request: a concurrent swap cannot change
+  // what this batch is served from, and the snapshot outlives the swap.
+  std::shared_ptr<EpochSnapshot> epoch = swapper_.AcquireMutable();
+  if (epoch == nullptr) {
+    ServeResponse response;
+    response.status =
+        Status::FailedPrecondition("no artifact activated yet");
+    return response;
+  }
+
+  const int64_t deadline = start_ms + request.deadline_ms;
+  Result<AdmissionTicket> ticket = admission_.Admit(deadline);
+  if (!ticket.ok()) {
+    const int64_t retry_after =
+        ticket.status().code() == StatusCode::kResourceExhausted
+            ? options_.admission.retry_after_ms
+            : 0;
+    return Fallback(ticket.status(), epoch, request, retry_after);
+  }
+
+  ServeResponse response;
+  response.epoch = epoch->epoch;
+  response.artifact_seed = epoch->artifact_seed;
+  if (epoch->recommender->ConcurrentSafe()) {
+    response.batch = epoch->recommender->Recommend(request.users,
+                                                   request.top_n);
+  } else {
+    std::lock_guard<std::mutex> lock(epoch->serve_mu);
+    response.batch = epoch->recommender->Recommend(request.users,
+                                                   request.top_n);
+  }
+  ticket->Release();
+
+  RequestLatency().Observe(
+      static_cast<double>(clock_->NowMs() - start_ms));
+  return response;
+}
+
+}  // namespace privrec::serve

@@ -1,0 +1,107 @@
+// ServeRuntime: the resilient request-serving loop over the artifact
+// serving engine. It composes the three mechanisms of this layer:
+//
+//   - ArtifactSwapper: epoch-based hot swap; requests pin their epoch via
+//     shared_ptr, reloads validate/gate/probe off the request path and
+//     roll back without ever exposing a bad artifact;
+//   - AdmissionController: per-request deadlines, a bounded wait queue,
+//     and load shedding with typed rejections and a retry-after hint;
+//   - CircuitBreaker: reload/backing-store protection — after repeated
+//     reload failures the breaker opens and later reloads fail fast until
+//     a half-open probe (with bounded retries) succeeds.
+//
+// Shed or expired requests are not necessarily empty-handed: with
+// `degraded_fallback` on, the response still carries the global-average
+// fallback ranking (core/degradation kLoadShed tier) computed from the
+// pinned epoch — the caller gets both the typed rejection AND a usable
+// degraded answer, mirroring the degradation contract of the offline
+// recommenders.
+
+#ifndef PRIVREC_SERVE_RUNTIME_H_
+#define PRIVREC_SERVE_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/degradation.h"
+#include "graph/ids.h"
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
+#include "serve/clock.h"
+#include "serve/swapper.h"
+
+namespace privrec::serve {
+
+struct ServeRuntimeOptions {
+  SwapPolicy swap;
+  AdmissionOptions admission;
+  CircuitBreakerOptions breaker;
+  // Answer shed/expired requests from the global-average fallback tier of
+  // the pinned epoch instead of returning the bare rejection.
+  bool degraded_fallback = true;
+  // Null = SteadyClock; tests inject a ManualClock shared with the
+  // admission controller and the breaker.
+  const Clock* clock = nullptr;
+};
+
+struct ServeRequest {
+  std::vector<graph::NodeId> users;
+  int64_t top_n = 10;
+  // Relative deadline budget, measured on the runtime's clock from the
+  // moment Handle() is entered.
+  int64_t deadline_ms = 1000;
+};
+
+struct ServeResponse {
+  // kOk: `batch` is the personalized answer. kResourceExhausted /
+  // kDeadlineExceeded: the request was shed or expired — `batch` holds
+  // the kLoadShed fallback ranking iff degraded_fallback was on.
+  // kFailedPrecondition: no artifact has been activated yet.
+  Status status = Status::Ok();
+  core::RecommendedBatch batch;
+  // Generation identity of the epoch that (fully) served this response.
+  int64_t epoch = 0;
+  uint64_t artifact_seed = 0;
+  // True when `batch` came from the global-average fallback tier.
+  bool degraded_fallback = false;
+  // Nonzero on kResourceExhausted: hint for when to retry.
+  int64_t retry_after_ms = 0;
+};
+
+class ServeRuntime {
+ public:
+  explicit ServeRuntime(ServeRuntimeOptions options);
+
+  // Activates (first call) or hot-swaps (later calls) the artifact at
+  // `path`, routed through the reload circuit breaker: while the breaker
+  // is open this fails fast with kResourceExhausted without touching the
+  // backing store.
+  Status Activate(const std::string& path);
+
+  // Serves one request against the currently pinned epoch. Thread-safe;
+  // concurrent calls during an Activate() finish on whichever epoch they
+  // pinned at entry.
+  ServeResponse Handle(const ServeRequest& request);
+
+  const ArtifactSwapper& swapper() const { return swapper_; }
+  const CircuitBreaker& reload_breaker() const { return reload_breaker_; }
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  ServeResponse Fallback(Status status,
+                         const std::shared_ptr<EpochSnapshot>& epoch,
+                         const ServeRequest& request,
+                         int64_t retry_after_ms);
+
+  ServeRuntimeOptions options_;
+  const Clock* clock_;
+  ArtifactSwapper swapper_;
+  AdmissionController admission_;
+  CircuitBreaker reload_breaker_;
+};
+
+}  // namespace privrec::serve
+
+#endif  // PRIVREC_SERVE_RUNTIME_H_

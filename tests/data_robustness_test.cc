@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include "artifact/builder.h"
+#include "artifact/model_io.h"
 #include "common/fault_injection.h"
+#include "community/louvain.h"
 #include "community/partition_io.h"
 #include "data/hetrec_lastfm.h"
 #include "graph/graph_io.h"
+#include "similarity/common_neighbors.h"
 #include "similarity/workload_io.h"
 
 namespace privrec {
@@ -464,6 +468,80 @@ TEST_F(LastFmRobustnessTest, TransientReadFaultIsRetriedAway) {
   ASSERT_TRUE(ds.ok()) << ds.status().ToString();
   EXPECT_EQ(ds->report.io_retries, 1);
   EXPECT_EQ(ds->social.num_edges(), 2);
+}
+
+// ------------------------------------------------- atomic artifact saves
+
+// SaveArtifact publishes via write-temp-then-rename: a crash (simulated by
+// a fault between the temp write and the rename) must leave the previous
+// artifact byte-intact and no temp debris a reloader could mistake for a
+// release.
+class ArtifactSaveRobustnessTest : public DataRobustnessTest {
+ protected:
+  serving::ArtifactModel BuildModel(uint64_t seed) {
+    artifact::ModelArtifactBuilder builder(&social_, &prefs_);
+    builder.SetPartition(&partition_);
+    builder.SetWorkload(&workload_);
+    artifact::BuildOptions build_options;
+    build_options.epsilon = 0.9;
+    build_options.seed = seed;
+    auto model = builder.Build(build_options);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(*model);
+  }
+
+  graph::SocialGraph social_ =
+      graph::SocialGraph::FromEdges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  graph::PreferenceGraph prefs_ = graph::PreferenceGraph::FromEdges(
+      5, 3, {{0, 0}, {1, 0}, {2, 1}, {3, 2}});
+  similarity::SimilarityWorkload workload_ =
+      similarity::SimilarityWorkload::Compute(social_,
+                                              similarity::CommonNeighbors());
+  community::Partition partition_{{0, 0, 0, 1, 1}};
+};
+
+TEST_F(ArtifactSaveRobustnessTest, SuccessfulSaveLeavesNoTempFile) {
+  const std::string path = (dir_ / "model.pvra").string();
+  serving::ArtifactModel model = BuildModel(5);
+  ASSERT_TRUE(serving::SaveArtifact(model, path).ok());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_TRUE(serving::LoadArtifact(path).ok());
+}
+
+TEST_F(ArtifactSaveRobustnessTest, CrashBeforeRenameKeepsOldArtifact) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = (dir_ / "model.pvra").string();
+  ASSERT_TRUE(serving::SaveArtifact(BuildModel(5), path).ok());
+
+  // The overwrite "crashes" after fully writing the temp file, before the
+  // rename: the published artifact must still be generation 5.
+  fault::ScopedFaultInjection scope(
+      "artifact.rename",
+      fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+  Status failed = serving::SaveArtifact(BuildModel(6), path);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  auto survivor = serving::LoadArtifact(path);
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  EXPECT_EQ(survivor->provenance.seed, 5u);
+}
+
+TEST_F(ArtifactSaveRobustnessTest, WriteFaultNeverTouchesDestination) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = (dir_ / "model.pvra").string();
+  ASSERT_TRUE(serving::SaveArtifact(BuildModel(5), path).ok());
+
+  fault::ScopedFaultInjection scope(
+      "artifact.write",
+      fault::FaultSpec{.kind = fault::FaultKind::kIoError});
+  ASSERT_FALSE(serving::SaveArtifact(BuildModel(6), path).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  auto survivor = serving::LoadArtifact(path);
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_EQ(survivor->provenance.seed, 5u);
 }
 
 }  // namespace

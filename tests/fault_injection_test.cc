@@ -91,6 +91,16 @@ TEST(FaultInjectionTest, ZeroProbabilityNeverFires) {
   for (int i = 0; i < 32; ++i) EXPECT_EQ(Hit("p"), FaultKind::kNone);
 }
 
+TEST(FaultInjectionTest, LatencyKindArmsFromSpecString) {
+  PRIVREC_REQUIRE_FAULT_PROBES();
+  ScopedFaultInjection scope;
+  Status s = FaultInjector::Instance().ArmFromSpec("slow.read=latency@2");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(Hit("slow.read"), FaultKind::kNone);
+  EXPECT_EQ(Hit("slow.read"), FaultKind::kLatency);
+  EXPECT_EQ(Hit("slow.read"), FaultKind::kNone);
+}
+
 TEST(FaultInjectionTest, SpecStringArmsMultiplePoints) {
   PRIVREC_REQUIRE_FAULT_PROBES();
   ScopedFaultInjection scope;
@@ -174,7 +184,7 @@ TEST(FaultInjectionTest, RearmingResetsTheHitCounter) {
 TEST(FaultInjectionTest, KindNamesRoundTrip) {
   for (FaultKind kind :
        {FaultKind::kIoError, FaultKind::kShortRead, FaultKind::kNaN,
-        FaultKind::kInf, FaultKind::kBadAlloc}) {
+        FaultKind::kInf, FaultKind::kBadAlloc, FaultKind::kLatency}) {
     FaultKind parsed = FaultKind::kNone;
     ASSERT_TRUE(ParseFaultKind(FaultKindName(kind), &parsed));
     EXPECT_EQ(parsed, kind);

@@ -1,0 +1,668 @@
+// Tests for the resilient serving runtime (src/serve): the circuit
+// breaker state machine on an injected clock, admission control
+// (shedding, deadlines, slot recycling), the epoch-based hot artifact
+// swap with rollback, and the ServeRuntime composition — including the
+// degradation-tier interplay (shed requests answered from the
+// global-average fallback, isolated users stable across swaps).
+
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
+#include "serve/clock.h"
+#include "serve/runtime.h"
+#include "serve/swapper.h"
+
+// The serving runtime inherits the include-level privacy isolation of the
+// serving layer: none of the headers above may pull in the private graph
+// containers.
+#if defined(PRIVREC_GRAPH_PREFERENCE_GRAPH_H_) || \
+    defined(PRIVREC_GRAPH_SOCIAL_GRAPH_H_)
+#error "serve headers must not include the private graph containers"
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "artifact/builder.h"
+#include "artifact/model_io.h"
+#include "common/driver_flags.h"
+#include "common/flags.h"
+#include "community/louvain.h"
+#include "data/synthetic.h"
+#include "graph/preference_graph.h"
+#include "graph/social_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "similarity/common_neighbors.h"
+
+namespace privrec {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::DegradationReason;
+using serve::AdmissionController;
+using serve::AdmissionOptions;
+using serve::AdmissionTicket;
+using serve::ArtifactSwapper;
+using serve::BreakerState;
+using serve::CircuitBreaker;
+using serve::CircuitBreakerOptions;
+using serve::ManualClock;
+using serve::ServeRequest;
+using serve::ServeResponse;
+using serve::ServeRuntime;
+using serve::ServeRuntimeOptions;
+using serve::SwapPolicy;
+
+// ------------------------------------------------------------ breaker
+
+TEST(CircuitBreakerTest, OpensAfterThresholdRejectsThenRecovers) {
+  ManualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_ms = 100;
+  CircuitBreaker breaker("test", options, &clock);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  int calls = 0;
+  auto fail = [&] {
+    ++calls;
+    return Status::IoError("backing store down");
+  };
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(breaker.Run(fail).code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_GT(breaker.retry_after_ms(), 0);
+
+  // Open: fail fast with a typed rejection, the operation never runs.
+  Status rejected = breaker.Run(fail);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.ToString().find("retry in"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+
+  // Cooldown elapses -> half-open; a successful probe closes it.
+  clock.Advance(100);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.Run([&] { return Status::Ok(); }).ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeGetsBoundedRetries) {
+  ManualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_ms = 50;
+  options.probe_retry.max_attempts = 3;
+  CircuitBreaker breaker("probe", options, &clock);
+
+  ASSERT_EQ(breaker.Run([] { return Status::IoError("x"); }).code(),
+            StatusCode::kIoError);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  clock.Advance(50);
+
+  // The half-open probe wraps the op in RetryWithBackoff: two transient
+  // failures then success all inside ONE probe, and the breaker closes.
+  int calls = 0;
+  Status probed = breaker.Run([&] {
+    return ++calls < 3 ? Status::IoError("flaky") : Status::Ok();
+  });
+  EXPECT_TRUE(probed.ok()) << probed.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, FailedProbeRestartsCooldown) {
+  ManualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_ms = 100;
+  options.probe_retry.max_attempts = 1;
+  CircuitBreaker breaker("restart", options, &clock);
+
+  ASSERT_EQ(breaker.Run([] { return Status::IoError("x"); }).code(),
+            StatusCode::kIoError);
+  clock.Advance(100);
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // The probe itself fails: back to open for a FULL new cooldown.
+  EXPECT_EQ(breaker.Run([] { return Status::IoError("still down"); }).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock.Advance(99);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock.Advance(1);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, NonFailureCodesDoNotAccumulateAcrossSuccess) {
+  ManualClock clock;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker("reset", options, &clock);
+  EXPECT_EQ(breaker.Run([] { return Status::IoError("x"); }).code(),
+            StatusCode::kIoError);
+  EXPECT_TRUE(breaker.Run([] { return Status::Ok(); }).ok());
+  // The success reset the streak; one more failure must not trip it.
+  EXPECT_EQ(breaker.Run([] { return Status::IoError("x"); }).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(AdmissionTest, ShedsImmediatelyWhenQueueFull) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.queue_depth = 0;
+  options.retry_after_ms = 25;
+  AdmissionController admission(options, &clock);
+
+  Result<AdmissionTicket> first = admission.Admit(1000);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(admission.in_flight(), 1);
+
+  Result<AdmissionTicket> second = admission.Admit(1000);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(second.status().ToString().find("retry in 25ms"),
+            std::string::npos);
+
+  // Releasing the slot makes the next admit succeed.
+  first->Release();
+  EXPECT_EQ(admission.in_flight(), 0);
+  EXPECT_TRUE(admission.Admit(1000).ok());
+}
+
+TEST(AdmissionTest, ExpiredDeadlineIsTyped) {
+  ManualClock clock;
+  clock.Set(500);
+  AdmissionController admission({}, &clock);
+  Result<AdmissionTicket> late = admission.Admit(500);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(AdmissionTest, QueuedRequestTimesOutOnInjectedClock) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.queue_depth = 4;
+  AdmissionController admission(options, &clock);
+  Result<AdmissionTicket> holder = admission.Admit(10'000);
+  ASSERT_TRUE(holder.ok());
+
+  std::atomic<int> code{-1};
+  std::thread waiter([&] {
+    Result<AdmissionTicket> queued = admission.Admit(100);
+    code.store(static_cast<int>(queued.status().code()));
+  });
+  // Let the waiter queue up, then advance the injected clock past its
+  // deadline; the timed cv slices re-check the clock and give up.
+  while (admission.waiting() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  clock.Advance(200);
+  waiter.join();
+  EXPECT_EQ(code.load(), static_cast<int>(StatusCode::kDeadlineExceeded));
+  EXPECT_EQ(admission.waiting(), 0);
+}
+
+TEST(AdmissionTest, QueuedRequestGetsSlotWhenReleased) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.queue_depth = 4;
+  AdmissionController admission(options, &clock);
+  Result<AdmissionTicket> holder = admission.Admit(10'000);
+  ASSERT_TRUE(holder.ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    Result<AdmissionTicket> queued = admission.Admit(10'000);
+    admitted.store(queued.ok());
+  });
+  while (admission.waiting() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  holder->Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(admission.in_flight(), 0);  // waiter's ticket already destroyed
+}
+
+TEST(AdmissionTest, TicketIsMoveOnlyRaii) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  AdmissionController admission(options, &clock);
+  {
+    Result<AdmissionTicket> ticket = admission.Admit(1000);
+    ASSERT_TRUE(ticket.ok());
+    AdmissionTicket moved = std::move(*ticket);
+    EXPECT_TRUE(moved.holds_slot());
+    EXPECT_FALSE(ticket->holds_slot());
+    EXPECT_EQ(admission.in_flight(), 1);
+  }
+  // Scope exit released exactly once despite the move.
+  EXPECT_EQ(admission.in_flight(), 0);
+}
+
+// ------------------------------------------------------------ swapper
+
+class ServeSwapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("privrec_serve_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    dataset_ = data::MakeTinyDataset(/*num_users=*/60, /*num_items=*/40,
+                                     /*seed=*/7);
+    workload_ = similarity::SimilarityWorkload::Compute(
+        dataset_.social, similarity::CommonNeighbors());
+    louvain_ = community::RunLouvain(dataset_.social,
+                                     {.restarts = 2, .seed = 3});
+    for (graph::NodeId u = 0; u < dataset_.social.num_nodes(); u += 3) {
+      users_.push_back(u);
+    }
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Builds a fresh artifact (fresh builder: invocation 0) at `path`.
+  std::string BuildArtifact(const std::string& name, uint64_t seed,
+                            double epsilon) {
+    artifact::ModelArtifactBuilder builder(&dataset_.social,
+                                           &dataset_.preferences);
+    builder.SetPartition(&louvain_.partition);
+    builder.SetWorkload(&workload_);
+    artifact::BuildOptions build_options;
+    build_options.epsilon = epsilon;
+    build_options.seed = seed;
+    auto model = builder.Build(build_options);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    const std::string path = Path(name);
+    Status saved = serving::SaveArtifact(*model, path);
+    EXPECT_TRUE(saved.ok()) << saved.ToString();
+    return path;
+  }
+
+  SwapPolicy ClusterPolicy(double epsilon) const {
+    SwapPolicy policy;
+    policy.spec.mechanism = "Cluster";
+    policy.spec.epsilon = epsilon;
+    return policy;
+  }
+
+  static constexpr double kEps = 0.7;
+
+  fs::path dir_;
+  data::Dataset dataset_;
+  similarity::SimilarityWorkload workload_;
+  community::LouvainResult louvain_;
+  std::vector<graph::NodeId> users_;
+};
+
+TEST_F(ServeSwapTest, ActivatePublishesEpochAndServes) {
+  const std::string path = BuildArtifact("a.pvra", 11, kEps);
+  ArtifactSwapper swapper(ClusterPolicy(kEps));
+  EXPECT_EQ(swapper.Acquire(), nullptr);
+
+  Status activated = swapper.Activate(path);
+  ASSERT_TRUE(activated.ok()) << activated.ToString();
+  EXPECT_EQ(swapper.current_epoch(), 1);
+  EXPECT_EQ(swapper.swaps(), 1);
+  EXPECT_EQ(swapper.rollbacks(), 0);
+
+  auto epoch = swapper.AcquireMutable();
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->epoch, 1);
+  core::RecommendedBatch batch = epoch->recommender->Recommend(users_, 10);
+  ASSERT_EQ(batch.lists.size(), users_.size());
+
+  // Same artifact served directly must be bit-identical.
+  auto engine = serving::ServingEngine::Load(path);
+  ASSERT_TRUE(engine.ok());
+  auto server = serving::MakeServeRecommender(&*engine,
+                                              ClusterPolicy(kEps).spec);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ((*server)->Recommend(users_, 10).lists, batch.lists);
+  EXPECT_EQ(epoch->artifact_seed, 11u);
+}
+
+TEST_F(ServeSwapTest, CorruptArtifactRollsBackAndKeepsServing) {
+  const std::string good = BuildArtifact("good.pvra", 11, kEps);
+  const std::string bad = BuildArtifact("bad.pvra", 12, kEps);
+  {
+    // Flip one payload bit: CRC must reject the section.
+    std::fstream f(bad, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(200);
+    char byte = 0;
+    f.seekg(200);
+    f.read(&byte, 1);
+    byte ^= 0x10;
+    f.seekp(200);
+    f.write(&byte, 1);
+  }
+
+  obs::Tracer::Instance().SetEnabled(true);
+  obs::Counter& rollback_metric =
+      obs::GetCounter("privrec.serve.swap_rollback_total");
+  const int64_t rollbacks_before = rollback_metric.value();
+
+  ArtifactSwapper swapper(ClusterPolicy(kEps));
+  ASSERT_TRUE(swapper.Activate(good).ok());
+  auto before = swapper.Acquire();
+  core::RecommendedBatch reference =
+      swapper.AcquireMutable()->recommender->Recommend(users_, 10);
+
+  Status swapped = swapper.Activate(bad);
+  EXPECT_FALSE(swapped.ok());
+  EXPECT_EQ(swapper.current_epoch(), 1);
+  EXPECT_EQ(swapper.rollbacks(), 1);
+  EXPECT_FALSE(swapper.last_error().empty());
+  EXPECT_EQ(rollback_metric.value(), rollbacks_before + 1);
+
+  // The published epoch is untouched and still serves identically.
+  auto after = swapper.AcquireMutable();
+  EXPECT_EQ(after->epoch, 1);
+  EXPECT_EQ(after->recommender->Recommend(users_, 10).lists,
+            reference.lists);
+  EXPECT_EQ(before, swapper.Acquire());
+
+  // Every attempt (success and rollback) traced a serve.swap span.
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Instance().Snapshot();
+  obs::Tracer::Instance().SetEnabled(false);
+  int64_t swap_spans = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "serve.swap") ++swap_spans;
+  }
+  EXPECT_GE(swap_spans, 2);
+}
+
+TEST_F(ServeSwapTest, ProvenanceGateRollsBack) {
+  const std::string good = BuildArtifact("good.pvra", 11, kEps);
+  const std::string other = BuildArtifact("other.pvra", 11, kEps / 2);
+  ArtifactSwapper swapper(ClusterPolicy(kEps));
+  ASSERT_TRUE(swapper.Activate(good).ok());
+  Status swapped = swapper.Activate(other);
+  EXPECT_EQ(swapped.code(), StatusCode::kProvenanceMismatch);
+  EXPECT_EQ(swapper.current_epoch(), 1);
+  EXPECT_EQ(swapper.rollbacks(), 1);
+}
+
+TEST_F(ServeSwapTest, PinnedGraphHashRejectsForeignDataset) {
+  const std::string good = BuildArtifact("good.pvra", 11, kEps);
+
+  // Same shape, different dataset: a different fingerprint.
+  data::Dataset foreign = data::MakeTinyDataset(60, 40, /*seed=*/8);
+  auto foreign_workload = similarity::SimilarityWorkload::Compute(
+      foreign.social, similarity::CommonNeighbors());
+  auto foreign_louvain =
+      community::RunLouvain(foreign.social, {.restarts = 2, .seed = 3});
+  artifact::ModelArtifactBuilder builder(&foreign.social,
+                                         &foreign.preferences);
+  builder.SetPartition(&foreign_louvain.partition);
+  builder.SetWorkload(&foreign_workload);
+  artifact::BuildOptions build_options;
+  build_options.epsilon = kEps;
+  build_options.seed = 11;
+  auto model = builder.Build(build_options);
+  ASSERT_TRUE(model.ok());
+  const std::string foreign_path = Path("foreign.pvra");
+  ASSERT_TRUE(serving::SaveArtifact(*model, foreign_path).ok());
+
+  ArtifactSwapper swapper(ClusterPolicy(kEps));
+  ASSERT_TRUE(swapper.Activate(good).ok());
+  EXPECT_EQ(swapper.Activate(foreign_path).code(),
+            StatusCode::kGraphMismatch);
+  EXPECT_EQ(swapper.current_epoch(), 1);
+}
+
+TEST_F(ServeSwapTest, InFlightEpochSurvivesSwap) {
+  const std::string a = BuildArtifact("a.pvra", 11, kEps);
+  const std::string b = BuildArtifact("b.pvra", 12, kEps);
+  ArtifactSwapper swapper(ClusterPolicy(kEps));
+  ASSERT_TRUE(swapper.Activate(a).ok());
+
+  auto held = swapper.AcquireMutable();
+  core::RecommendedBatch before = held->recommender->Recommend(users_, 10);
+
+  ASSERT_TRUE(swapper.Activate(b).ok());
+  EXPECT_EQ(swapper.current_epoch(), 2);
+
+  // The held snapshot still serves epoch 1, bit-identically, even though
+  // the swapper has moved on.
+  EXPECT_EQ(held->epoch, 1);
+  EXPECT_EQ(held->recommender->Recommend(users_, 10).lists, before.lists);
+  EXPECT_EQ(swapper.Acquire()->epoch, 2);
+}
+
+// ------------------------------------------------------------ runtime
+
+TEST_F(ServeSwapTest, RuntimeServesAndRecordsEpochIdentity) {
+  const std::string path = BuildArtifact("a.pvra", 21, kEps);
+  ManualClock clock;
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  ServeRuntime runtime(options);
+
+  // Before activation: typed precondition failure.
+  ServeRequest request{users_, 10, 1000};
+  EXPECT_EQ(runtime.Handle(request).status.code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(runtime.Activate(path).ok());
+  ServeResponse first = runtime.Handle(request);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.epoch, 1);
+  EXPECT_EQ(first.artifact_seed, 21u);
+  EXPECT_FALSE(first.degraded_fallback);
+  ASSERT_EQ(first.batch.lists.size(), users_.size());
+
+  // Cluster serving is frozen-release post-processing: repeat requests
+  // within one epoch are bit-identical.
+  ServeResponse second = runtime.Handle(request);
+  EXPECT_EQ(second.batch.lists, first.batch.lists);
+}
+
+TEST_F(ServeSwapTest, ShedRequestGetsGlobalFallbackTier) {
+  const std::string path = BuildArtifact("a.pvra", 21, kEps);
+  ManualClock clock;
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  options.admission.max_concurrency = 0;  // no slots: everything sheds...
+  options.admission.queue_depth = 0;      // ...immediately, never queued
+  options.admission.retry_after_ms = 40;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+
+  ServeRequest request{users_, 10, 1000};
+  ServeResponse shed = runtime.Handle(request);
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.retry_after_ms, 40);
+  EXPECT_TRUE(shed.degraded_fallback);
+  ASSERT_EQ(shed.batch.lists.size(), users_.size());
+  ASSERT_EQ(shed.batch.degradation.size(), users_.size());
+  for (const core::DegradationInfo& info : shed.batch.degradation) {
+    EXPECT_EQ(info.reason, DegradationReason::kLoadShed);
+  }
+
+  // The fallback ranking is the epoch's global-average row.
+  auto epoch = runtime.swapper().Acquire();
+  core::RecommendationList expected =
+      core::TopNFromDense(epoch->engine.global_average(), 10);
+  for (const core::RecommendationList& list : shed.batch.lists) {
+    EXPECT_EQ(list, expected);
+  }
+}
+
+TEST_F(ServeSwapTest, ExpiredDeadlineFallsBackWithTypedStatus) {
+  const std::string path = BuildArtifact("a.pvra", 21, kEps);
+  ManualClock clock;
+  clock.Set(100);
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+
+  ServeRequest request{users_, 10, /*deadline_ms=*/0};
+  ServeResponse expired = runtime.Handle(request);
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.retry_after_ms, 0);
+  EXPECT_TRUE(expired.degraded_fallback);
+
+  // With the fallback tier disabled the rejection is bare.
+  options.degraded_fallback = false;
+  ServeRuntime bare(options);
+  ASSERT_TRUE(bare.Activate(path).ok());
+  ServeResponse rejected = bare.Handle(request);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(rejected.batch.lists.empty());
+}
+
+TEST_F(ServeSwapTest, ReloadBreakerOpensOnRepeatedBadArtifacts) {
+  const std::string good = BuildArtifact("good.pvra", 21, kEps);
+  ManualClock clock;
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_ms = 500;
+  options.breaker.probe_retry.max_attempts = 1;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(good).ok());
+
+  const std::string missing = Path("missing.pvra");
+  EXPECT_EQ(runtime.Activate(missing).code(), StatusCode::kNotFound);
+  EXPECT_EQ(runtime.Activate(missing).code(), StatusCode::kNotFound);
+  EXPECT_EQ(runtime.reload_breaker().state(), BreakerState::kOpen);
+
+  // Open breaker: the reload fails fast WITHOUT touching the swapper.
+  const int64_t rollbacks = runtime.swapper().rollbacks();
+  EXPECT_EQ(runtime.Activate(good).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(runtime.swapper().rollbacks(), rollbacks);
+
+  // After cooldown the half-open probe lets the good artifact through.
+  clock.Advance(500);
+  EXPECT_TRUE(runtime.Activate(good).ok());
+  EXPECT_EQ(runtime.reload_breaker().state(), BreakerState::kClosed);
+  EXPECT_EQ(runtime.swapper().current_epoch(), 2);
+}
+
+// Satellite: an isolated user served from the global fallback tier must
+// get the SAME ranking before, during, and after a hot swap to an
+// artifact with identical provenance (same inputs, seed, and ε).
+TEST(ServeIsolatedUserTest, FallbackRankingStableAcrossHotSwap) {
+  namespace fsn = std::filesystem;
+  const fsn::path dir =
+      fsn::temp_directory_path() / "privrec_serve_isolated";
+  fsn::remove_all(dir);
+  fsn::create_directories(dir);
+
+  // Node 4 has no social edges: empty similarity row -> isolated user.
+  graph::SocialGraph social =
+      graph::SocialGraph::FromEdges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  graph::PreferenceGraph prefs =
+      graph::PreferenceGraph::FromEdges(5, 3, {{0, 0}, {1, 0}, {2, 1},
+                                               {3, 2}});
+  auto workload = similarity::SimilarityWorkload::Compute(
+      social, similarity::CommonNeighbors());
+  community::Partition partition({0, 0, 0, 1, 1});
+
+  auto build = [&](const std::string& name) {
+    artifact::ModelArtifactBuilder builder(&social, &prefs);
+    builder.SetPartition(&partition);
+    builder.SetWorkload(&workload);
+    artifact::BuildOptions build_options;
+    build_options.epsilon = 0.9;
+    build_options.seed = 33;
+    auto model = builder.Build(build_options);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    const std::string path = (dir / name).string();
+    EXPECT_TRUE(serving::SaveArtifact(*model, path).ok());
+    return path;
+  };
+  const std::string a = build("a.pvra");
+  const std::string b = build("b.pvra");
+
+  ServeRuntimeOptions options;
+  options.swap.spec.mechanism = "Cluster";
+  options.swap.spec.epsilon = 0.9;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(a).ok());
+
+  ServeRequest request{{4}, 3, 1000};
+  ServeResponse before = runtime.Handle(request);
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_EQ(before.batch.degradation.size(), 1u);
+  EXPECT_EQ(before.batch.degradation[0].reason,
+            DegradationReason::kIsolatedUser);
+
+  // "During": a request that pinned epoch 1 and completes after the swap.
+  auto held = runtime.swapper().AcquireMutable();
+  ASSERT_TRUE(runtime.Activate(b).ok());
+  core::RecommendedBatch during = held->recommender->Recommend({4}, 3);
+
+  ServeResponse after = runtime.Handle(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.epoch, 2);
+
+  EXPECT_EQ(during.lists, before.batch.lists);
+  EXPECT_EQ(after.batch.lists, before.batch.lists);
+  // Identical provenance: both epochs carry the same seed.
+  EXPECT_EQ(before.artifact_seed, after.artifact_seed);
+
+  fsn::remove_all(dir);
+}
+
+// Satellite: the --serve-* flags are consumed by ApplyServeFlags, so the
+// typo suggester knows the vocabulary.
+TEST(ServeFlagsTest, ValuesParsedAndTyposSuggested) {
+  const char* argv[] = {"driver",
+                        "--serve-deadline-ms=250",
+                        "--serve-queue-depth=16",
+                        "--serve-max-concurrency=2",
+                        "--serve-breaker-failures=5",
+                        "--serve-breaker-cooldown-ms=750",
+                        "--serve-reload-period=4"};
+  FlagParser flags(7, const_cast<char**>(argv));
+  ServeFlagSettings settings = ApplyServeFlags(flags);
+  EXPECT_TRUE(flags.Validate());
+  EXPECT_EQ(settings.deadline_ms, 250);
+  EXPECT_EQ(settings.queue_depth, 16);
+  EXPECT_EQ(settings.max_concurrency, 2);
+  EXPECT_EQ(settings.breaker_failures, 5);
+  EXPECT_EQ(settings.breaker_cooldown_ms, 750);
+  EXPECT_EQ(settings.reload_period, 4);
+
+  const char* typo_argv[] = {"driver", "--serve-quue-depth=9"};
+  FlagParser typo(2, const_cast<char**>(typo_argv));
+  (void)ApplyServeFlags(typo);
+  EXPECT_FALSE(typo.Validate());
+  EXPECT_EQ(typo.SuggestionFor("serve-quue-depth"), "serve-queue-depth");
+  EXPECT_EQ(typo.SuggestionFor("serve-deadlin-ms"), "serve-deadline-ms");
+  EXPECT_EQ(typo.SuggestionFor("serve-max-concurency"),
+            "serve-max-concurrency");
+}
+
+}  // namespace
+}  // namespace privrec
