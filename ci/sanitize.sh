@@ -110,3 +110,8 @@ if nm --defined-only build-asan-ubsan/src/serve/libprivrec_serve.a \
   exit 1
 fi
 echo "serve runtime symbol check: clean (no preference/social graph code)"
+
+# Rated-load SLO gate: open-loop load + swap storm against the serving
+# runtime, with determinism, budget-enforcement and TSan wall-mode gates
+# (see ci/serve_slo.sh for the budgets and methodology).
+ci/serve_slo.sh

@@ -30,6 +30,34 @@ ServeFlagSettings ApplyServeFlags(FlagParser& flags) {
   return s;
 }
 
+LoadFlagSettings ApplyLoadFlags(FlagParser& flags) {
+  LoadFlagSettings s;
+  s.rps = flags.GetDouble("load-rps", s.rps);
+  s.duration_ms = flags.GetInt("load-duration-ms", s.duration_ms);
+  s.seed = flags.GetInt("load-seed", s.seed);
+  s.zipf_s = flags.GetDouble("load-zipf-s", s.zipf_s);
+  s.users_per_request =
+      flags.GetInt("load-users-per-request", s.users_per_request);
+  s.burst_factor = flags.GetDouble("load-burst-factor", s.burst_factor);
+  s.burst_period_ms =
+      flags.GetInt("load-burst-period-ms", s.burst_period_ms);
+  s.burst_duration_ms =
+      flags.GetInt("load-burst-duration-ms", s.burst_duration_ms);
+  s.swap_period_ms = flags.GetInt("load-swap-period-ms", s.swap_period_ms);
+  s.swap_storm = flags.GetBool("load-swap-storm", s.swap_storm);
+  s.threads = flags.GetInt("load-threads", s.threads);
+  s.wall = flags.GetBool("load-wall", s.wall);
+  s.slo_p50_ms = flags.GetDouble("load-slo-p50-ms", s.slo_p50_ms);
+  s.slo_p99_ms = flags.GetDouble("load-slo-p99-ms", s.slo_p99_ms);
+  s.slo_p999_ms = flags.GetDouble("load-slo-p999-ms", s.slo_p999_ms);
+  s.slo_shed_rate =
+      flags.GetDouble("load-slo-shed-rate", s.slo_shed_rate);
+  s.slo_rollback_rate =
+      flags.GetDouble("load-slo-rollback-rate", s.slo_rollback_rate);
+  s.report = flags.GetString("load-report", s.report);
+  return s;
+}
+
 ObsSession ObsSession::FromFlags(FlagParser& flags) {
   ObsSession session;
   session.metrics_json_path_ = flags.GetString("metrics-json", "");

@@ -74,6 +74,34 @@ struct ServeFlagSettings {
 
 ServeFlagSettings ApplyServeFlags(FlagParser& flags);
 
+// Open-loop load-harness knobs (bench_serve_load and any driver that
+// embeds the loadgen harness). Plain scalars for the same layering reason
+// as ServeFlagSettings: common must not depend on loadgen, so drivers
+// copy these into loadgen::LoadSpec / SwapStormSpec / SloBudget.
+// Negative SLO budgets mean "not enforced".
+struct LoadFlagSettings {
+  double rps = 2000.0;              // --load-rps
+  int64_t duration_ms = 2000;       // --load-duration-ms
+  int64_t seed = 1;                 // --load-seed
+  double zipf_s = 1.1;              // --load-zipf-s
+  int64_t users_per_request = 4;    // --load-users-per-request
+  double burst_factor = 4.0;        // --load-burst-factor
+  int64_t burst_period_ms = 500;    // --load-burst-period-ms
+  int64_t burst_duration_ms = 50;   // --load-burst-duration-ms
+  int64_t swap_period_ms = 0;       // --load-swap-period-ms (0 = no storm)
+  bool swap_storm = false;          // --load-swap-storm (corrupt + faults)
+  int64_t threads = 4;              // --load-threads (wall mode)
+  bool wall = false;                // --load-wall (real threads + clock)
+  double slo_p50_ms = -1.0;         // --load-slo-p50-ms
+  double slo_p99_ms = -1.0;         // --load-slo-p99-ms
+  double slo_p999_ms = -1.0;        // --load-slo-p999-ms
+  double slo_shed_rate = -1.0;      // --load-slo-shed-rate
+  double slo_rollback_rate = -1.0;  // --load-slo-rollback-rate
+  std::string report = "BENCH_serve.json";  // --load-report ("" = none)
+};
+
+LoadFlagSettings ApplyLoadFlags(FlagParser& flags);
+
 }  // namespace privrec
 
 #endif  // PRIVREC_COMMON_DRIVER_FLAGS_H_

@@ -1,0 +1,123 @@
+// Load-run accounting and the BENCH_serve.json emitter.
+//
+// LatencyRecorder is a plain (non-atomic) histogram over the shared
+// obs::LatencyBucketsMs() grid. The harness records into it directly so
+// that results are identical whether or not the obs layer is compiled in
+// (obs histograms become no-ops under PRIVREC_NO_OBS; the bench report
+// must not).
+//
+// The JSON layout follows the BENCH_parallel.json / BENCH_artifact.json
+// convention: a context block (git revision, library version, mode) so a
+// committed record identifies the code it measured, the resolved spec,
+// the measured results, and the SLO verdict.
+
+#ifndef PRIVREC_LOADGEN_REPORT_H_
+#define PRIVREC_LOADGEN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/schedule.h"
+#include "obs/snapshot.h"
+
+namespace privrec::loadgen {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  void Observe(double ms);
+  void Merge(const LatencyRecorder& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  // Quantile via obs::HistogramQuantile (linear interpolation within the
+  // log-spaced bucket holding the target rank).
+  double Quantile(double q) const;
+
+  obs::HistogramSample Sample(const std::string& name) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+struct LoadSummary {
+  // Request accounting. scheduled = ok + shed + expired + other_errors.
+  int64_t scheduled = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t expired = 0;
+  int64_t other_errors = 0;
+  // Responses that carried the degraded global-average fallback tier
+  // (subset of shed + expired).
+  int64_t degraded = 0;
+
+  int64_t correctness_violations = 0;
+  std::string first_violation;
+
+  // Scheduled-send -> resolution, for every request (0 for a request shed
+  // in the same millisecond it was sent). ok_latency covers kOk only.
+  LatencyRecorder latency;
+  LatencyRecorder ok_latency;
+
+  // Swap storm accounting. Pauses are wall-clock per Activate() call —
+  // the one intentionally non-deterministic section of the report.
+  int64_t swap_attempts = 0;
+  int64_t swap_ok = 0;
+  int64_t swap_rejected = 0;
+  int64_t rollbacks = 0;
+  LatencyRecorder swap_pause_ms;
+
+  // Largest load-aware retry hint observed on a shed response.
+  int64_t max_retry_after_ms = 0;
+
+  // Virtual (or wall) makespan of the run and the derived rates.
+  double makespan_ms = 0.0;
+  double achieved_rps = 0.0;
+  double shed_rate = 0.0;
+  double rollback_rate = 0.0;
+
+  // Fills the derived rate fields from the raw tallies.
+  void Finalize();
+};
+
+struct SloBudget {
+  // Latency ceilings over ALL responses, ms; < 0 disables a line.
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double p999_ms = -1.0;
+  // Ceilings on shed / rollback fractions; < 0 disables.
+  double max_shed_rate = -1.0;
+  double max_rollback_rate = -1.0;
+  // Zero-tolerance lines, always on unless explicitly relaxed.
+  bool require_no_violations = true;
+  int64_t min_ok = 1;
+};
+
+struct SloVerdict {
+  bool pass = true;
+  std::vector<std::string> failures;
+};
+
+SloVerdict EvaluateSlo(const SloBudget& budget,
+                       const LoadSummary& summary);
+
+// Renders the full BENCH_serve.json document. `mode` is "virtual" or
+// "wall"; `threads` the request-thread count (1 for virtual);
+// swap_period_ms <= 0 means the storm was off.
+std::string LoadReportJson(const LoadSpec& spec, int64_t swap_period_ms,
+                           const LoadSummary& summary,
+                           const SloBudget& budget,
+                           const SloVerdict& verdict,
+                           const std::string& mode, int64_t threads);
+
+}  // namespace privrec::loadgen
+
+#endif  // PRIVREC_LOADGEN_REPORT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
@@ -56,6 +57,35 @@ std::string JsonEscape(const std::string& s) {
 }
 
 }  // namespace
+
+double HistogramQuantile(const HistogramSample& sample, double q) {
+  if (sample.count <= 0 || sample.counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, rounded up: p999 of 1000
+  // observations is the 999th).
+  const double rank =
+      std::max(1.0, std::ceil(q * static_cast<double>(sample.count)));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < sample.counts.size(); ++b) {
+    const int64_t in_bucket = sample.counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b >= sample.bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return sample.bounds.empty() ? 0.0 : sample.bounds.back();
+    }
+    const double lo = b == 0 ? 0.0 : sample.bounds[b - 1];
+    const double hi = sample.bounds[b];
+    const double within =
+        (rank - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lo + (hi - lo) * within;
+  }
+  return sample.bounds.empty() ? 0.0 : sample.bounds.back();
+}
 
 void MetricsToTable(const MetricsSnapshot& snapshot, std::ostream& out) {
   size_t width = 0;

@@ -27,6 +27,13 @@ namespace privrec::obs {
 
 void MetricsToTable(const MetricsSnapshot& snapshot, std::ostream& out);
 
+// Quantile estimate (q in [0, 1]) from a fixed-bucket histogram sample of
+// non-negative observations (latencies), by linear interpolation inside
+// the bucket holding the target rank. Observations in the overflow bucket
+// cannot be interpolated; a quantile landing there reports the last
+// bound. Returns 0 for an empty sample.
+double HistogramQuantile(const HistogramSample& sample, double q);
+
 std::string MetricsToJson(const MetricsSnapshot& snapshot);
 
 std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans);

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace privrec::obs {
 
@@ -21,6 +22,19 @@ std::vector<double> ExponentialBuckets(double start, double factor,
   for (int i = 0; i < count; ++i) {
     bounds.push_back(b);
     b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LatencyBucketsMs() {
+  // Five log-spaced buckets per decade across seven decades:
+  // 0.01 ms .. 1e5 ms (100 s). Bounds are computed as exact powers so the
+  // grid is identical on every platform.
+  std::vector<double> bounds;
+  bounds.reserve(36);
+  for (int i = 0; i <= 35; ++i) {
+    bounds.push_back(0.01 *
+                     std::pow(10.0, static_cast<double>(i) / 5.0));
   }
   return bounds;
 }

@@ -46,6 +46,13 @@ std::vector<double> LinearBuckets(double start, double width, int count);
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        int count);
 
+// The shared latency preset: log-spaced bounds, five buckets per decade
+// from 0.01 ms to 100 s. One preset for every latency histogram (serve
+// request latency, load-harness response latency, swap pauses) so their
+// quantiles are computed over identical bucket grids and stay comparable
+// across BENCH_*.json records.
+std::vector<double> LatencyBucketsMs();
+
 #ifndef PRIVREC_NO_OBS
 
 inline constexpr bool kCompiledIn = true;

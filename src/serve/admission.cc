@@ -1,14 +1,92 @@
 #include "serve/admission.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <string>
 
+#include "common/macros.h"
 #include "obs/metrics.h"
 
 namespace privrec::serve {
 
+namespace {
+
+obs::Counter& AdmittedCounter() {
+  static obs::Counter& c = obs::GetCounter("privrec.serve.admitted_total");
+  return c;
+}
+obs::Counter& ShedCounter() {
+  static obs::Counter& c = obs::GetCounter("privrec.serve.shed_total");
+  return c;
+}
+obs::Counter& ExpiredCounter() {
+  static obs::Counter& c =
+      obs::GetCounter("privrec.serve.deadline_exceeded_total");
+  return c;
+}
+obs::Counter& PurgedCounter() {
+  static obs::Counter& c =
+      obs::GetCounter("privrec.serve.admission_purged_total");
+  return c;
+}
+
+}  // namespace
+
+// Shared state of one admission attempt. Guarded by the owning
+// controller's mu_ (the controller must outlive every handle).
+struct PendingAdmit::Rep {
+  Rep(AdmissionController* c, int64_t deadline)
+      : controller(c), deadline_ms(deadline) {}
+
+  AdmissionController* controller;
+  const int64_t deadline_ms;
+  State state = State::kQueued;
+  // Valid when kAdmitted: grant time on the injected clock.
+  int64_t admit_ms = 0;
+  // Valid when kShed: the load-aware hint captured at rejection.
+  int64_t retry_after_ms = 0;
+  bool ticket_taken = false;
+};
+
+PendingAdmit::State PendingAdmit::state() const {
+  std::lock_guard<std::mutex> lock(rep_->controller->mu_);
+  return rep_->state;
+}
+
+int64_t PendingAdmit::retry_after_ms() const {
+  std::lock_guard<std::mutex> lock(rep_->controller->mu_);
+  return rep_->retry_after_ms;
+}
+
+Status PendingAdmit::status() const {
+  std::lock_guard<std::mutex> lock(rep_->controller->mu_);
+  switch (rep_->state) {
+    case State::kQueued:
+    case State::kAdmitted:
+      return Status::Ok();
+    case State::kShed:
+      return Status::ResourceExhausted(
+          "serving queue full; retry in " +
+          std::to_string(rep_->retry_after_ms) + "ms");
+    case State::kExpired:
+      return Status::DeadlineExceeded("deadline expired before a slot");
+  }
+  return Status::Internal("unreachable admission state");
+}
+
+AdmissionTicket PendingAdmit::TakeTicket() {
+  std::lock_guard<std::mutex> lock(rep_->controller->mu_);
+  PRIVREC_CHECK_MSG(rep_->state == State::kAdmitted,
+                    "TakeTicket on an unadmitted request");
+  PRIVREC_CHECK_MSG(!rep_->ticket_taken, "TakeTicket called twice");
+  rep_->ticket_taken = true;
+  return AdmissionTicket(rep_->controller, rep_->admit_ms);
+}
+
 void AdmissionTicket::Release() {
   if (controller_ != nullptr) {
-    controller_->ReleaseSlot();
+    controller_->ReleaseSlot(admit_ms_);
     controller_ = nullptr;
   }
 }
@@ -28,56 +106,160 @@ int64_t AdmissionController::waiting() const {
   return waiting_;
 }
 
-void AdmissionController::ReleaseSlot() {
+double AdmissionController::EstimatedHoldMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hold_ewma_ms_;
+}
+
+int64_t AdmissionController::RetryAfterHintMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetryAfterHintLocked();
+}
+
+int64_t AdmissionController::RetryAfterHintLocked() const {
+  if (hold_ewma_ms_ <= 0.0) return options_.retry_after_ms;
+  // Expected wait for an arrival at the back of the queue: every
+  // max_concurrency releases drain one queue layer, each layer costing
+  // one estimated hold time.
+  const double layers =
+      static_cast<double>(waiting_ + 1) /
+      static_cast<double>(std::max<int64_t>(1, options_.max_concurrency));
+  const int64_t estimate =
+      static_cast<int64_t>(std::ceil(hold_ewma_ms_ * layers));
+  return std::max(options_.retry_after_ms, estimate);
+}
+
+int64_t AdmissionController::PurgeExpiredLocked(int64_t now_ms) {
+  int64_t purged = 0;
+  for (auto& rep : queue_) {
+    if (rep->state == PendingAdmit::State::kQueued &&
+        now_ms >= rep->deadline_ms) {
+      rep->state = PendingAdmit::State::kExpired;
+      --waiting_;
+      ++purged;
+    }
+  }
+  if (purged > 0) {
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [](const auto& rep) {
+                                  return rep->state !=
+                                         PendingAdmit::State::kQueued;
+                                }),
+                 queue_.end());
+    ExpiredCounter().Add(purged);
+    PurgedCounter().Add(purged);
+  }
+  return purged;
+}
+
+int64_t AdmissionController::PurgeExpired() {
+  int64_t purged;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    --in_flight_;
+    purged = PurgeExpiredLocked(clock_->NowMs());
   }
-  slot_free_.notify_one();
+  if (purged > 0) slot_free_.notify_all();
+  return purged;
+}
+
+void AdmissionController::ReleaseSlot(int64_t admit_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now = clock_->NowMs();
+    const double hold =
+        static_cast<double>(std::max<int64_t>(0, now - admit_ms));
+    if (!has_hold_) {
+      hold_ewma_ms_ = hold;
+      has_hold_ = true;
+    } else {
+      const double a = options_.hold_ewma_alpha;
+      hold_ewma_ms_ = a * hold + (1.0 - a) * hold_ewma_ms_;
+    }
+    // Dead requests first: a waiter whose deadline already passed must
+    // not consume the freed slot just to wake up and fail.
+    PurgeExpiredLocked(now);
+    if (!queue_.empty()) {
+      // Hand the slot straight to the first live waiter — in_flight_
+      // stays constant across the transfer.
+      std::shared_ptr<PendingAdmit::Rep> granted = queue_.front();
+      queue_.pop_front();
+      --waiting_;
+      granted->state = PendingAdmit::State::kAdmitted;
+      granted->admit_ms = now;
+      AdmittedCounter().Increment();
+    } else {
+      --in_flight_;
+    }
+  }
+  slot_free_.notify_all();
+}
+
+PendingAdmit AdmissionController::ResolveEntry(int64_t deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = clock_->NowMs();
+  PurgeExpiredLocked(now);
+  auto rep = std::make_shared<PendingAdmit::Rep>(this, deadline_ms);
+  if (now >= deadline_ms) {
+    rep->state = PendingAdmit::State::kExpired;
+    ExpiredCounter().Increment();
+  } else if (in_flight_ < options_.max_concurrency) {
+    ++in_flight_;
+    rep->state = PendingAdmit::State::kAdmitted;
+    rep->admit_ms = now;
+    AdmittedCounter().Increment();
+  } else if (waiting_ >= options_.queue_depth) {
+    rep->state = PendingAdmit::State::kShed;
+    rep->retry_after_ms = RetryAfterHintLocked();
+    ShedCounter().Increment();
+  } else {
+    queue_.push_back(rep);
+    ++waiting_;
+  }
+  return PendingAdmit(std::move(rep));
+}
+
+PendingAdmit AdmissionController::AdmitAsync(int64_t deadline_ms) {
+  return ResolveEntry(deadline_ms);
 }
 
 Result<AdmissionTicket> AdmissionController::Admit(int64_t deadline_ms) {
-  static obs::Counter& admitted =
-      obs::GetCounter("privrec.serve.admitted_total");
-  static obs::Counter& shed = obs::GetCounter("privrec.serve.shed_total");
-  static obs::Counter& expired =
-      obs::GetCounter("privrec.serve.deadline_exceeded_total");
+  PendingAdmit pending = ResolveEntry(deadline_ms);
+  std::shared_ptr<PendingAdmit::Rep> rep = pending.rep_;
 
   std::unique_lock<std::mutex> lock(mu_);
-  if (clock_->NowMs() >= deadline_ms) {
-    expired.Increment();
-    return Status::DeadlineExceeded("deadline expired before admission");
-  }
-  if (in_flight_ < options_.max_concurrency) {
-    ++in_flight_;
-    admitted.Increment();
-    return AdmissionTicket(this);
-  }
-  if (waiting_ >= options_.queue_depth) {
-    shed.Increment();
-    return Status::ResourceExhausted(
-        "serving queue full (" + std::to_string(waiting_) +
-        " waiting); retry in " + std::to_string(options_.retry_after_ms) +
-        "ms");
-  }
-
-  // Queue for a slot, re-checking the injected clock each wakeup. The
-  // condition variable waits in short real-time slices so a ManualClock
-  // advanced by another thread is observed promptly; with the default
-  // SteadyClock the slice is just a coarse timed wait.
-  ++waiting_;
-  while (in_flight_ >= options_.max_concurrency) {
-    if (clock_->NowMs() >= deadline_ms) {
+  // Queued: wait in short real-time slices, re-checking the injected
+  // clock each wakeup so a ManualClock advanced by another thread is
+  // observed promptly; with the default SteadyClock the slice is just a
+  // coarse timed wait. A grant races a concurrent expiry in our favor:
+  // once ReleaseSlot marked this waiter admitted, it keeps the slot.
+  while (rep->state == PendingAdmit::State::kQueued) {
+    if (clock_->NowMs() >= rep->deadline_ms) {
+      rep->state = PendingAdmit::State::kExpired;
       --waiting_;
-      expired.Increment();
-      return Status::DeadlineExceeded("deadline expired while queued");
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), rep),
+                   queue_.end());
+      ExpiredCounter().Increment();
+      break;
     }
     slot_free_.wait_for(lock, std::chrono::milliseconds(1));
   }
-  --waiting_;
-  ++in_flight_;
-  admitted.Increment();
-  return AdmissionTicket(this);
+
+  switch (rep->state) {
+    case PendingAdmit::State::kAdmitted:
+      rep->ticket_taken = true;
+      return AdmissionTicket(this, rep->admit_ms);
+    case PendingAdmit::State::kShed:
+      return Status::ResourceExhausted(
+          "serving queue full (" + std::to_string(waiting_) +
+          " waiting); retry in " + std::to_string(rep->retry_after_ms) +
+          "ms");
+    case PendingAdmit::State::kExpired:
+      return Status::DeadlineExceeded(
+          "deadline expired before or while queued for admission");
+    case PendingAdmit::State::kQueued:
+      break;
+  }
+  return Status::Internal("unreachable admission state");
 }
 
 }  // namespace privrec::serve

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/macros.h"
 #include "core/recommendation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,7 +25,7 @@ obs::Counter& FallbackCounter() {
 
 obs::Histogram& RequestLatency() {
   static obs::Histogram& h = obs::GetHistogram(
-      "privrec.serve.request_ms", obs::ExponentialBuckets(0.5, 2.0, 12));
+      "privrec.serve.request_ms", obs::LatencyBucketsMs());
   return h;
 }
 
@@ -67,6 +68,19 @@ ServeResponse ServeRuntime::Fallback(
   return response;
 }
 
+void ServeRuntime::ServeFromEpoch(EpochSnapshot& epoch,
+                                  const ServeRequest& request,
+                                  ServeResponse* response) {
+  if (epoch.recommender->ConcurrentSafe()) {
+    response->batch =
+        epoch.recommender->Recommend(request.users, request.top_n);
+  } else {
+    std::lock_guard<std::mutex> lock(epoch.serve_mu);
+    response->batch =
+        epoch.recommender->Recommend(request.users, request.top_n);
+  }
+}
+
 ServeResponse ServeRuntime::Handle(const ServeRequest& request) {
   PRIVREC_SPAN("serve.request");
   RequestCounter().Increment();
@@ -82,32 +96,115 @@ ServeResponse ServeRuntime::Handle(const ServeRequest& request) {
     return response;
   }
 
+  ServeResponse response;
+  response.epoch = epoch->epoch;
+  response.artifact_seed = epoch->artifact_seed;
+
+  if (request.top_n <= 0) {
+    response.status =
+        Status::InvalidArgument("top_n must be positive, got " +
+                                std::to_string(request.top_n));
+    return response;
+  }
+  if (request.users.empty()) {
+    // Nothing to rank; answer OK without consuming a serving slot.
+    return response;
+  }
+
   const int64_t deadline = start_ms + request.deadline_ms;
   Result<AdmissionTicket> ticket = admission_.Admit(deadline);
   if (!ticket.ok()) {
     const int64_t retry_after =
         ticket.status().code() == StatusCode::kResourceExhausted
-            ? options_.admission.retry_after_ms
+            ? admission_.RetryAfterHintMs()
             : 0;
     return Fallback(ticket.status(), epoch, request, retry_after);
   }
 
-  ServeResponse response;
-  response.epoch = epoch->epoch;
-  response.artifact_seed = epoch->artifact_seed;
-  if (epoch->recommender->ConcurrentSafe()) {
-    response.batch = epoch->recommender->Recommend(request.users,
-                                                   request.top_n);
-  } else {
-    std::lock_guard<std::mutex> lock(epoch->serve_mu);
-    response.batch = epoch->recommender->Recommend(request.users,
-                                                   request.top_n);
-  }
+  ServeFromEpoch(*epoch, request, &response);
   ticket->Release();
 
   RequestLatency().Observe(
       static_cast<double>(clock_->NowMs() - start_ms));
   return response;
+}
+
+AsyncServe ServeRuntime::BeginAsync(const ServeRequest& request,
+                                    int64_t arrival_ms) {
+  RequestCounter().Increment();
+  AsyncServe op;
+  op.request = request;
+  op.arrival_ms = arrival_ms;
+
+  op.epoch = swapper_.AcquireMutable();
+  if (op.epoch == nullptr) {
+    op.response.status =
+        Status::FailedPrecondition("no artifact activated yet");
+    op.done = true;
+    return op;
+  }
+  op.response.epoch = op.epoch->epoch;
+  op.response.artifact_seed = op.epoch->artifact_seed;
+
+  if (request.top_n <= 0) {
+    op.response.status =
+        Status::InvalidArgument("top_n must be positive, got " +
+                                std::to_string(request.top_n));
+    op.done = true;
+    return op;
+  }
+  if (request.users.empty()) {
+    op.done = true;  // OK, empty batch
+    return op;
+  }
+
+  op.pending =
+      admission_.AdmitAsync(arrival_ms + request.deadline_ms);
+  PollAsync(op);
+  return op;
+}
+
+bool ServeRuntime::PollAsync(AsyncServe& op) {
+  if (op.done || op.admitted) return true;
+  PendingAdmit::State state = op.pending->state();
+  if (state == PendingAdmit::State::kQueued) {
+    // A clock advance may have expired this (or an earlier) waiter
+    // without any release to notice it.
+    if (admission_.PurgeExpired() == 0) return false;
+    state = op.pending->state();
+    if (state == PendingAdmit::State::kQueued) return false;
+  }
+  switch (state) {
+    case PendingAdmit::State::kAdmitted:
+      op.ticket = op.pending->TakeTicket();
+      op.admitted = true;
+      return true;
+    case PendingAdmit::State::kShed:
+      op.response = Fallback(op.pending->status(), op.epoch, op.request,
+                             op.pending->retry_after_ms());
+      op.done = true;
+      return true;
+    case PendingAdmit::State::kExpired:
+      op.response =
+          Fallback(op.pending->status(), op.epoch, op.request, 0);
+      op.done = true;
+      return true;
+    case PendingAdmit::State::kQueued:
+      break;
+  }
+  return false;
+}
+
+ServeResponse ServeRuntime::FinishAsync(AsyncServe& op) {
+  if (op.done) return op.response;
+  PRIVREC_CHECK_MSG(op.admitted,
+                    "FinishAsync on an operation that is still queued");
+  ServeFromEpoch(*op.epoch, op.request, &op.response);
+  op.ticket.Release();
+  RequestLatency().Observe(
+      static_cast<double>(clock_->NowMs() - op.arrival_ms));
+  op.done = true;
+  return op.response;
 }
 
 }  // namespace privrec::serve

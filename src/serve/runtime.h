@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,27 @@ struct ServeResponse {
   int64_t retry_after_ms = 0;
 };
 
+// One in-flight request on the non-blocking serve path (see
+// ServeRuntime::BeginAsync). The epoch is pinned at Begin time, exactly
+// like Handle(): a swap that lands while this request is queued does not
+// change what it is served from.
+struct AsyncServe {
+  ServeRequest request;
+  // When the request entered the runtime (injected clock); the latency
+  // recorded at FinishAsync is measured from here, so queue wait is
+  // charged to the request (coordinated-omission-safe accounting).
+  int64_t arrival_ms = 0;
+  std::shared_ptr<EpochSnapshot> epoch;
+  std::optional<PendingAdmit> pending;
+  AdmissionTicket ticket;
+  ServeResponse response;
+  // True once `response` is final (immediate rejection, validation error,
+  // shed/expired resolution, or a completed FinishAsync).
+  bool done = false;
+  // True once a slot has been granted and the ticket taken.
+  bool admitted = false;
+};
+
 class ServeRuntime {
  public:
   explicit ServeRuntime(ServeRuntimeOptions options);
@@ -83,17 +105,47 @@ class ServeRuntime {
   // Serves one request against the currently pinned epoch. Thread-safe;
   // concurrent calls during an Activate() finish on whichever epoch they
   // pinned at entry.
+  //
+  // Validation: an empty `users` list is answered OK with an empty batch
+  // (carrying the pinned epoch's identity) without taking a serving slot;
+  // `top_n <= 0` is kInvalidArgument (no fallback — the request is
+  // malformed, not overload); `deadline_ms <= 0` expires at admission and
+  // follows the normal kDeadlineExceeded path.
   ServeResponse Handle(const ServeRequest& request);
+
+  // Non-blocking counterpart of Handle() for single-threaded drivers
+  // (the open-loop load harness): BeginAsync pins the epoch, validates,
+  // and enters admission without ever parking a thread. The returned
+  // operation is either already done (rejection, validation error,
+  // empty-users fast path), admitted (serve it with FinishAsync), or
+  // queued (poll after advancing the clock / releasing capacity).
+  AsyncServe BeginAsync(const ServeRequest& request, int64_t arrival_ms);
+
+  // Advances a queued operation: purges expired waiters, takes the ticket
+  // on grant, finalizes shed/expired responses. Returns true when the
+  // operation is ready — either done, or admitted and awaiting
+  // FinishAsync.
+  bool PollAsync(AsyncServe& op);
+
+  // Serves an admitted operation from its pinned epoch and releases the
+  // slot. For an already-done operation this just returns the response.
+  ServeResponse FinishAsync(AsyncServe& op);
 
   const ArtifactSwapper& swapper() const { return swapper_; }
   const CircuitBreaker& reload_breaker() const { return reload_breaker_; }
   const AdmissionController& admission() const { return admission_; }
+
+  // Mutable admission access for clock-advancing drivers that need
+  // PurgeExpired() between arrivals.
+  AdmissionController& admission_mutable() { return admission_; }
 
  private:
   ServeResponse Fallback(Status status,
                          const std::shared_ptr<EpochSnapshot>& epoch,
                          const ServeRequest& request,
                          int64_t retry_after_ms);
+  void ServeFromEpoch(EpochSnapshot& epoch, const ServeRequest& request,
+                      ServeResponse* response);
 
   ServeRuntimeOptions options_;
   const Clock* clock_;

@@ -51,6 +51,7 @@ using serve::AdmissionController;
 using serve::AdmissionOptions;
 using serve::AdmissionTicket;
 using serve::ArtifactSwapper;
+using serve::AsyncServe;
 using serve::BreakerState;
 using serve::CircuitBreaker;
 using serve::CircuitBreakerOptions;
@@ -254,6 +255,140 @@ TEST(AdmissionTest, TicketIsMoveOnlyRaii) {
     EXPECT_EQ(admission.in_flight(), 1);
   }
   // Scope exit released exactly once despite the move.
+  EXPECT_EQ(admission.in_flight(), 0);
+}
+
+// Satellite: the retry-after hint is load-aware — an EWMA of observed
+// slot-hold times scaled by queue occupancy, floored at the configured
+// constant.
+TEST(AdmissionTest, RetryAfterHintScalesWithQueueOccupancy) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 2;
+  options.queue_depth = 3;
+  options.retry_after_ms = 5;     // the floor
+  options.hold_ewma_alpha = 1.0;  // track the latest hold exactly
+  AdmissionController admission(options, &clock);
+
+  // Before any hold has been observed the hint is the bare floor.
+  EXPECT_EQ(admission.RetryAfterHintMs(), 5);
+
+  serve::PendingAdmit first = admission.AdmitAsync(10'000);
+  ASSERT_EQ(first.state(), serve::PendingAdmit::State::kAdmitted);
+  AdmissionTicket ticket = first.TakeTicket();
+  clock.Advance(100);
+  ticket.Release();
+  EXPECT_DOUBLE_EQ(admission.EstimatedHoldMs(), 100.0);
+
+  // Idle system: ceil(100 * (0 + 1) / 2 slots) = 50.
+  EXPECT_EQ(admission.RetryAfterHintMs(), 50);
+
+  // Two slots held, three waiters queued: ceil(100 * 4 / 2) = 200.
+  serve::PendingAdmit s1 = admission.AdmitAsync(10'000);
+  serve::PendingAdmit s2 = admission.AdmitAsync(10'000);
+  serve::PendingAdmit w1 = admission.AdmitAsync(10'000);
+  serve::PendingAdmit w2 = admission.AdmitAsync(10'000);
+  serve::PendingAdmit w3 = admission.AdmitAsync(10'000);
+  ASSERT_EQ(admission.waiting(), 3);
+  EXPECT_EQ(admission.RetryAfterHintMs(), 200);
+
+  // A request shed off the full queue carries the scaled hint, not the
+  // floor.
+  serve::PendingAdmit shed = admission.AdmitAsync(10'000);
+  ASSERT_EQ(shed.state(), serve::PendingAdmit::State::kShed);
+  EXPECT_EQ(shed.retry_after_ms(), 200);
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().ToString().find("retry in 200ms"),
+            std::string::npos);
+}
+
+// Satellite regression: a queued request whose deadline has passed is
+// purged when the next slot frees — the slot goes to the first LIVE
+// waiter instead of waking a dead request just to fail it.
+TEST(AdmissionTest, ExpiredWaiterIsPurgedWhenSlotFrees) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.queue_depth = 4;
+  AdmissionController admission(options, &clock);
+
+  serve::PendingAdmit holder = admission.AdmitAsync(10'000);
+  ASSERT_EQ(holder.state(), serve::PendingAdmit::State::kAdmitted);
+  AdmissionTicket ticket = holder.TakeTicket();
+
+  serve::PendingAdmit dead = admission.AdmitAsync(50);
+  serve::PendingAdmit live = admission.AdmitAsync(10'000);
+  ASSERT_EQ(dead.state(), serve::PendingAdmit::State::kQueued);
+  ASSERT_EQ(admission.waiting(), 2);
+
+  clock.Advance(100);  // dead's deadline passes while it waits
+  ticket.Release();
+
+  EXPECT_EQ(dead.state(), serve::PendingAdmit::State::kExpired);
+  EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded);
+  // The freed slot was handed past the corpse to the live waiter —
+  // in_flight never dipped (slot transfer, not release + re-admit).
+  EXPECT_EQ(live.state(), serve::PendingAdmit::State::kAdmitted);
+  EXPECT_EQ(admission.waiting(), 0);
+  EXPECT_EQ(admission.in_flight(), 1);
+  live.TakeTicket().Release();
+  EXPECT_EQ(admission.in_flight(), 0);
+}
+
+TEST(AdmissionTest, PurgeExpiredResolvesWaitersWithoutTraffic) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.queue_depth = 4;
+  AdmissionController admission(options, &clock);
+
+  serve::PendingAdmit holder = admission.AdmitAsync(10'000);
+  AdmissionTicket ticket = holder.TakeTicket();
+  serve::PendingAdmit w1 = admission.AdmitAsync(20);
+  serve::PendingAdmit w2 = admission.AdmitAsync(40);
+  ASSERT_EQ(admission.waiting(), 2);
+
+  // A clock-advancing driver purges without any release happening.
+  clock.Advance(30);
+  EXPECT_EQ(admission.PurgeExpired(), 1);
+  EXPECT_EQ(w1.state(), serve::PendingAdmit::State::kExpired);
+  EXPECT_EQ(w2.state(), serve::PendingAdmit::State::kQueued);
+  clock.Advance(20);
+  EXPECT_EQ(admission.PurgeExpired(), 1);
+  EXPECT_EQ(w2.state(), serve::PendingAdmit::State::kExpired);
+  EXPECT_EQ(admission.waiting(), 0);
+  EXPECT_EQ(admission.PurgeExpired(), 0);
+}
+
+// Async and blocking admissions share ONE FIFO queue: a release grants
+// whichever waiter is in front, regardless of style.
+TEST(AdmissionTest, AsyncAndBlockingShareOneFifoQueue) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.queue_depth = 4;
+  AdmissionController admission(options, &clock);
+
+  serve::PendingAdmit holder = admission.AdmitAsync(10'000);
+  AdmissionTicket ticket = holder.TakeTicket();
+
+  serve::PendingAdmit front = admission.AdmitAsync(10'000);
+  ASSERT_EQ(front.state(), serve::PendingAdmit::State::kQueued);
+
+  std::atomic<bool> blocking_admitted{false};
+  std::thread blocking([&] {
+    Result<AdmissionTicket> queued = admission.Admit(10'000);
+    blocking_admitted.store(queued.ok());
+  });
+  while (admission.waiting() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ticket.Release();  // front of the queue is the async waiter
+  EXPECT_EQ(front.state(), serve::PendingAdmit::State::kAdmitted);
+  front.TakeTicket().Release();  // ...and the next grant is the blocker
+  blocking.join();
+  EXPECT_TRUE(blocking_admitted.load());
   EXPECT_EQ(admission.in_flight(), 0);
 }
 
@@ -568,6 +703,118 @@ TEST_F(ServeSwapTest, ReloadBreakerOpensOnRepeatedBadArtifacts) {
   EXPECT_EQ(runtime.swapper().current_epoch(), 2);
 }
 
+// Satellite hardening: an empty user list is a valid no-op request — it
+// succeeds with epoch identity attached and consumes no admission slot.
+TEST_F(ServeSwapTest, EmptyUserListServedWithoutSlot) {
+  const std::string path = BuildArtifact("a.pvra", 21, kEps);
+  ManualClock clock;
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  options.admission.max_concurrency = 0;  // any slot grab would shed
+  options.admission.queue_depth = 0;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+
+  ServeRequest request{{}, 10, 1000};
+  ServeResponse response = runtime.Handle(request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.epoch, 1);
+  EXPECT_EQ(response.artifact_seed, 21u);
+  EXPECT_FALSE(response.degraded_fallback);
+  EXPECT_TRUE(response.batch.lists.empty());
+}
+
+// Satellite hardening: non-positive top_n is a caller bug, not a load
+// condition — typed kInvalidArgument, no fallback tier.
+TEST_F(ServeSwapTest, NonPositiveTopNIsInvalidArgument) {
+  const std::string path = BuildArtifact("a.pvra", 21, kEps);
+  ManualClock clock;
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+
+  for (int64_t top_n : {int64_t{0}, int64_t{-3}}) {
+    ServeRequest request{users_, top_n, 1000};
+    ServeResponse response = runtime.Handle(request);
+    EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(response.degraded_fallback);
+    EXPECT_TRUE(response.batch.lists.empty());
+    // Epoch identity is still stamped so the rejection is attributable.
+    EXPECT_EQ(response.epoch, 1);
+  }
+}
+
+// Satellite hardening: a negative deadline is already expired on arrival
+// and takes the same typed degrade path as deadline_ms=0.
+TEST_F(ServeSwapTest, NegativeDeadlineExpiresWithTypedStatus) {
+  const std::string path = BuildArtifact("a.pvra", 21, kEps);
+  ManualClock clock;
+  clock.Set(100);
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+
+  ServeRequest request{users_, 10, /*deadline_ms=*/-10};
+  ServeResponse expired = runtime.Handle(request);
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(expired.degraded_fallback);
+  ASSERT_EQ(expired.batch.lists.size(), users_.size());
+}
+
+// Satellite hardening: Activate racing an in-flight request. The async
+// request pins its epoch at BeginAsync; a hot swap completing before
+// FinishAsync must not change what it serves — including a request that
+// was still QUEUED for admission when the swap landed.
+TEST_F(ServeSwapTest, AsyncServeMatchesBlockingHandleAcrossSwap) {
+  const std::string a = BuildArtifact("a.pvra", 21, kEps);
+  const std::string b = BuildArtifact("b.pvra", 22, kEps);
+  ManualClock clock;
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  options.admission.max_concurrency = 1;
+  options.admission.queue_depth = 2;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(a).ok());
+
+  ServeRequest request{users_, 10, 10'000};
+  ServeResponse reference = runtime.Handle(request);
+  ASSERT_TRUE(reference.status.ok());
+
+  AsyncServe first = runtime.BeginAsync(request, clock.NowMs());
+  ASSERT_TRUE(runtime.PollAsync(first));  // slot free: admitted at once
+  AsyncServe queued = runtime.BeginAsync(request, clock.NowMs());
+  EXPECT_FALSE(runtime.PollAsync(queued));  // one slot: waits behind first
+
+  // Hot swap lands while both requests are in flight.
+  ASSERT_TRUE(runtime.Activate(b).ok());
+
+  ServeResponse first_response = runtime.FinishAsync(first);
+  ASSERT_TRUE(first_response.status.ok());
+  EXPECT_EQ(first_response.epoch, 1);
+  EXPECT_EQ(first_response.artifact_seed, 21u);
+  EXPECT_EQ(first_response.batch.lists, reference.batch.lists);
+
+  // first's slot transferred to the queued waiter on FinishAsync.
+  ASSERT_TRUE(runtime.PollAsync(queued));
+  ServeResponse queued_response = runtime.FinishAsync(queued);
+  ASSERT_TRUE(queued_response.status.ok());
+  EXPECT_EQ(queued_response.epoch, 1);
+  EXPECT_EQ(queued_response.artifact_seed, 21u);
+  EXPECT_EQ(queued_response.batch.lists, reference.batch.lists);
+
+  // Fresh traffic sees the new epoch.
+  ServeResponse fresh = runtime.Handle(request);
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_EQ(fresh.epoch, 2);
+  EXPECT_EQ(fresh.artifact_seed, 22u);
+}
+
 // Satellite: an isolated user served from the global fallback tier must
 // get the SAME ranking before, during, and after a hot swap to an
 // artifact with identical provenance (same inputs, seed, and ε).
@@ -662,6 +909,58 @@ TEST(ServeFlagsTest, ValuesParsedAndTyposSuggested) {
   EXPECT_EQ(typo.SuggestionFor("serve-deadlin-ms"), "serve-deadline-ms");
   EXPECT_EQ(typo.SuggestionFor("serve-max-concurency"),
             "serve-max-concurrency");
+}
+
+// Satellite: the --load-* vocabulary for bench_serve_load, same contract.
+TEST(LoadFlagsTest, ValuesParsedAndTyposSuggested) {
+  const char* argv[] = {"driver",
+                        "--load-rps=5000",
+                        "--load-duration-ms=1500",
+                        "--load-seed=9",
+                        "--load-zipf-s=1.3",
+                        "--load-users-per-request=6",
+                        "--load-burst-factor=8",
+                        "--load-burst-period-ms=400",
+                        "--load-burst-duration-ms=80",
+                        "--load-swap-period-ms=125",
+                        "--load-swap-storm",
+                        "--load-threads=2",
+                        "--load-wall",
+                        "--load-slo-p50-ms=2",
+                        "--load-slo-p99-ms=20",
+                        "--load-slo-p999-ms=80",
+                        "--load-slo-shed-rate=0.2",
+                        "--load-slo-rollback-rate=0.5",
+                        "--load-report=out.json"};
+  FlagParser flags(19, const_cast<char**>(argv));
+  LoadFlagSettings settings = ApplyLoadFlags(flags);
+  EXPECT_TRUE(flags.Validate());
+  EXPECT_DOUBLE_EQ(settings.rps, 5000.0);
+  EXPECT_EQ(settings.duration_ms, 1500);
+  EXPECT_EQ(settings.seed, 9);
+  EXPECT_DOUBLE_EQ(settings.zipf_s, 1.3);
+  EXPECT_EQ(settings.users_per_request, 6);
+  EXPECT_DOUBLE_EQ(settings.burst_factor, 8.0);
+  EXPECT_EQ(settings.burst_period_ms, 400);
+  EXPECT_EQ(settings.burst_duration_ms, 80);
+  EXPECT_EQ(settings.swap_period_ms, 125);
+  EXPECT_TRUE(settings.swap_storm);
+  EXPECT_EQ(settings.threads, 2);
+  EXPECT_TRUE(settings.wall);
+  EXPECT_DOUBLE_EQ(settings.slo_p50_ms, 2.0);
+  EXPECT_DOUBLE_EQ(settings.slo_p99_ms, 20.0);
+  EXPECT_DOUBLE_EQ(settings.slo_p999_ms, 80.0);
+  EXPECT_DOUBLE_EQ(settings.slo_shed_rate, 0.2);
+  EXPECT_DOUBLE_EQ(settings.slo_rollback_rate, 0.5);
+  EXPECT_EQ(settings.report, "out.json");
+
+  const char* typo_argv[] = {"driver", "--load-swap-strom"};
+  FlagParser typo(2, const_cast<char**>(typo_argv));
+  (void)ApplyLoadFlags(typo);
+  EXPECT_FALSE(typo.Validate());
+  EXPECT_EQ(typo.SuggestionFor("load-swap-strom"), "load-swap-storm");
+  EXPECT_EQ(typo.SuggestionFor("load-slo-p9-ms"), "load-slo-p99-ms");
+  EXPECT_EQ(typo.SuggestionFor("load-durration-ms"), "load-duration-ms");
 }
 
 }  // namespace
