@@ -1,0 +1,313 @@
+// Table-1-scale artifact bench: monolithic deserialize vs sharded
+// zero-copy serving, the measurement behind BENCH_artifact.json.
+//
+// The driver generates the synthetic Flixster substitute at the paper's
+// REAL Table-1 scale (137,372 users, ~1.27M social edges, ~7.5M
+// preference edges), builds one full artifact, then saves it both ways
+// and times every load route:
+//
+//   monolithic .pvra   ->  ServingEngine::Load  (per-element deserialize)
+//   sharded .pvram     ->  MappedArtifact::Open (mmap)  + FromMapped
+//   sharded .pvram     ->  MappedArtifact::Open (read fallback)
+//
+// plus the RSS delta of each route and of a SECOND engine over the same
+// files — the mmap route shares the page cache, the monolithic route
+// pays the full copy again. A probe batch is served from every engine
+// and compared byte-for-byte against the monolithic route.
+//
+//   ./bench_artifact_shard [--users=137372] [--items=48756] [--shards=6]
+//                          [--epsilon=0.5] [--top_n=10]
+//                          [--scratch-dir=artifact-shard-scratch]
+//                          [--report=BENCH_artifact.json]
+//
+// Exit status: 0 when the mapped load is >= 10x faster than the
+// monolithic deserialize AND every probe is bit-identical; 2 otherwise;
+// 1 on setup errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "artifact/builder.h"
+#include "artifact/mapped.h"
+#include "artifact/model_io.h"
+#include "artifact/serving.h"
+#include "artifact/shard_layout.h"
+#include "common/driver_flags.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "community/louvain.h"
+#include "data/synthetic.h"
+#include "obs/export.h"
+#include "similarity/common_neighbors.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace privrec;
+
+// VmRSS in kB from /proc/self/status; 0 when unavailable (non-Linux).
+int64_t CurrentRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string token;
+  while (status >> token) {
+    if (token == "VmRSS:") {
+      int64_t kb = 0;
+      status >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+struct LoadSample {
+  double total_ms = 0;
+  int64_t rss_delta_kb = 0;
+  int64_t second_rss_delta_kb = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  ObsSession obs_session = ApplyDriverFlags(flags);
+  data::SyntheticFlixsterOptions data_options;  // Table-1 scale defaults
+  const int64_t users = flags.GetInt("users", data_options.num_users);
+  const int64_t items = flags.GetInt("items", data_options.num_items);
+  const int64_t shards = flags.GetInt("shards", 6);
+  const double epsilon = flags.GetDouble("epsilon", 0.5);
+  const int64_t top_n = flags.GetInt("top_n", 10);
+  const std::string scratch =
+      flags.GetString("scratch-dir", "artifact-shard-scratch");
+  const std::string report =
+      flags.GetString("report", "BENCH_artifact.json");
+  if (!flags.Validate()) return 1;
+
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  // ---- Offline: dataset, workload, clustering, one full build.
+  WallTimer timer;
+  data_options.num_users = users;
+  data_options.num_items = items;
+  data::Dataset dataset = data::MakeSyntheticFlixster(data_options);
+  const double dataset_ms = timer.ElapsedMillis();
+  std::fprintf(stderr,
+               "dataset: %lld users, %lld social edges, %lld preference "
+               "edges (%.0f ms)\n",
+               static_cast<long long>(dataset.social.num_nodes()),
+               static_cast<long long>(dataset.social.num_edges()),
+               static_cast<long long>(dataset.preferences.num_edges()),
+               dataset_ms);
+
+  timer.Reset();
+  auto workload = similarity::SimilarityWorkload::Compute(
+      dataset.social, similarity::CommonNeighbors());
+  const double workload_ms = timer.ElapsedMillis();
+  timer.Reset();
+  auto louvain =
+      community::RunLouvain(dataset.social, {.restarts = 1, .seed = 3});
+  const double louvain_ms = timer.ElapsedMillis();
+  std::fprintf(stderr, "workload %.0f ms, louvain %.0f ms (%lld clusters)\n",
+               workload_ms, louvain_ms,
+               static_cast<long long>(louvain.partition.num_clusters()));
+
+  timer.Reset();
+  artifact::ModelArtifactBuilder builder(&dataset.social,
+                                         &dataset.preferences);
+  builder.SetPartition(&louvain.partition);
+  builder.SetWorkload(&workload);
+  artifact::BuildOptions build_options;
+  build_options.epsilon = epsilon;
+  build_options.seed = 11;
+  // Reference sections carry the Table-1-scale preference CSR into the
+  // artifact — that is most of the bytes, and exactly what the mapped
+  // route must serve without a deserialize pass.
+  build_options.include_reference_sections = true;
+  auto built = builder.Build(build_options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  serving::ArtifactModel model = std::move(*built);
+  const double build_ms = timer.ElapsedMillis();
+
+  const std::string mono = (fs::path(scratch) / "table1.pvra").string();
+  const std::string manifest =
+      (fs::path(scratch) / "table1.pvram").string();
+  timer.Reset();
+  Status saved = serving::SaveArtifact(model, mono);
+  const double save_mono_ms = timer.ElapsedMillis();
+  timer.Reset();
+  Status saved_sharded =
+      serving::SaveShardedArtifact(model, manifest, {.shards = shards});
+  const double save_sharded_ms = timer.ElapsedMillis();
+  if (!saved.ok() || !saved_sharded.ok()) {
+    std::fprintf(stderr, "save failed: %s %s\n", saved.ToString().c_str(),
+                 saved_sharded.ToString().c_str());
+    return 1;
+  }
+  uint64_t sharded_bytes = FileBytes(manifest);
+  for (int64_t s = 0; s < shards; ++s) {
+    sharded_bytes += FileBytes(manifest + ".shard" + std::to_string(s));
+  }
+  model = serving::ArtifactModel{};  // drop the copy before RSS baselines
+
+  // ---- Online: every load route, timed cold-ish (files are in page
+  // cache after the save — both routes see the same warm cache, which is
+  // the steady state a reloading server lives in anyway).
+  serving::ServeSpec spec;
+  spec.mechanism = "Cluster";
+  spec.epsilon = epsilon;
+  std::vector<graph::NodeId> probe_users;
+  for (graph::NodeId u = 0; u < users && probe_users.size() < 64; u += 97) {
+    probe_users.push_back(u);
+  }
+
+  std::vector<core::RecommendationList> reference;
+  bool bit_identical = true;
+  auto probe = [&](serving::ServingEngine* engine) {
+    auto server = serving::MakeServeRecommender(engine, spec);
+    if (!server.ok()) {
+      std::fprintf(stderr, "probe rejected: %s\n",
+                   server.status().ToString().c_str());
+      bit_identical = false;
+      return;
+    }
+    auto lists = (*server)->Recommend(probe_users, top_n).lists;
+    if (reference.empty()) {
+      reference = std::move(lists);
+    } else if (lists != reference) {
+      bit_identical = false;
+    }
+  };
+
+  LoadSample mono_sample;
+  {
+    const int64_t rss0 = CurrentRssKb();
+    timer.Reset();
+    auto engine = serving::ServingEngine::Load(mono);
+    mono_sample.total_ms = timer.ElapsedMillis();
+    mono_sample.rss_delta_kb = CurrentRssKb() - rss0;
+    if (!engine.ok()) {
+      std::fprintf(stderr, "monolithic load failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    probe(&*engine);
+    const int64_t rss1 = CurrentRssKb();
+    auto second = serving::ServingEngine::Load(mono);
+    mono_sample.second_rss_delta_kb = CurrentRssKb() - rss1;
+    if (!second.ok()) return 1;
+  }
+
+  auto mapped_route = [&](bool use_mmap, LoadSample* sample) -> int {
+    const int64_t rss0 = CurrentRssKb();
+    timer.Reset();
+    serving::MapOptions map_options;
+    map_options.use_mmap = use_mmap;
+    auto mapped = serving::MappedArtifact::Open(manifest, map_options);
+    const double open_ms = timer.ElapsedMillis();
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "mapped open failed: %s\n",
+                   mapped.status().ToString().c_str());
+      return 1;
+    }
+    auto engine = serving::ServingEngine::FromMapped(*mapped);
+    sample->total_ms = timer.ElapsedMillis();
+    std::fprintf(stderr, "  mapped(use_mmap=%d): open %.1f ms, engine %.1f ms\n",
+                 use_mmap ? 1 : 0, open_ms, sample->total_ms - open_ms);
+    sample->rss_delta_kb = CurrentRssKb() - rss0;
+    if (!engine.ok()) {
+      std::fprintf(stderr, "FromMapped failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    probe(&*engine);
+    const int64_t rss1 = CurrentRssKb();
+    auto again = serving::MappedArtifact::Open(manifest, map_options);
+    if (!again.ok()) return 1;
+    auto second = serving::ServingEngine::FromMapped(*again);
+    sample->second_rss_delta_kb = CurrentRssKb() - rss1;
+    if (!second.ok()) return 1;
+    return 0;
+  };
+  LoadSample mmap_sample;
+  LoadSample read_sample;
+  if (mapped_route(true, &mmap_sample) != 0) return 1;
+  if (mapped_route(false, &read_sample) != 0) return 1;
+
+  const double speedup =
+      mmap_sample.total_ms > 0 ? mono_sample.total_ms / mmap_sample.total_ms
+                               : 0;
+  const bool pass = speedup >= 10.0 && bit_identical;
+
+  char buffer[2560];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"context\": {\"bench\": \"bench_artifact_shard\", "
+      "\"scale\": \"table1-flixster\"},\n"
+      "  \"spec\": {\"users\": %lld, \"items\": %lld, \"shards\": %lld, "
+      "\"epsilon\": %.3f, \"social_edges\": %lld, \"pref_edges\": %lld, "
+      "\"clusters\": %lld},\n"
+      "  \"offline_ms\": {\"dataset\": %.1f, \"workload\": %.1f, "
+      "\"louvain\": %.1f, \"build\": %.1f, \"save_monolithic\": %.1f, "
+      "\"save_sharded\": %.1f},\n"
+      "  \"artifact_bytes\": {\"monolithic\": %llu, \"sharded_total\": "
+      "%llu},\n"
+      "  \"load\": {\n"
+      "    \"monolithic\": {\"total_ms\": %.2f, \"rss_delta_kb\": %lld, "
+      "\"second_engine_rss_delta_kb\": %lld},\n"
+      "    \"mapped_mmap\": {\"total_ms\": %.2f, \"rss_delta_kb\": %lld, "
+      "\"second_engine_rss_delta_kb\": %lld},\n"
+      "    \"mapped_read\": {\"total_ms\": %.2f, \"rss_delta_kb\": %lld, "
+      "\"second_engine_rss_delta_kb\": %lld}\n"
+      "  },\n"
+      "  \"results\": {\"mmap_speedup_vs_monolithic\": %.2f, "
+      "\"bit_identical_probes\": %s, \"pass\": %s}\n"
+      "}\n",
+      static_cast<long long>(users), static_cast<long long>(items),
+      static_cast<long long>(shards), epsilon,
+      static_cast<long long>(dataset.social.num_edges()),
+      static_cast<long long>(dataset.preferences.num_edges()),
+      static_cast<long long>(louvain.partition.num_clusters()), dataset_ms,
+      workload_ms, louvain_ms, build_ms, save_mono_ms, save_sharded_ms,
+      static_cast<unsigned long long>(FileBytes(mono)),
+      static_cast<unsigned long long>(sharded_bytes), mono_sample.total_ms,
+      static_cast<long long>(mono_sample.rss_delta_kb),
+      static_cast<long long>(mono_sample.second_rss_delta_kb),
+      mmap_sample.total_ms,
+      static_cast<long long>(mmap_sample.rss_delta_kb),
+      static_cast<long long>(mmap_sample.second_rss_delta_kb),
+      read_sample.total_ms,
+      static_cast<long long>(read_sample.rss_delta_kb),
+      static_cast<long long>(read_sample.second_rss_delta_kb), speedup,
+      bit_identical ? "true" : "false", pass ? "true" : "false");
+
+  if (!report.empty()) {
+    std::string error;
+    if (!obs::WriteTextFile(report, buffer, &error)) {
+      std::fprintf(stderr, "report write failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "bench_artifact_shard: monolithic %.1f ms, mmap %.1f ms, "
+               "read %.1f ms, speedup %.1fx, bit_identical=%d -> %s\n",
+               mono_sample.total_ms, mmap_sample.total_ms,
+               read_sample.total_ms, speedup, bit_identical ? 1 : 0,
+               pass ? "PASS" : "FAIL");
+  fs::remove_all(scratch);
+  return pass ? 0 : 2;
+}

@@ -20,6 +20,8 @@
 //                      [--load-wall --load-threads=4]
 //                      [--serve-max-concurrency=4 --serve-queue-depth=8 ...]
 //                      [--scratch-dir=serve-load-scratch]
+//                      [--load-shards=K]   # serve sharded .pvram artifacts
+//                                          # through the mmap zero-copy path
 //
 // Default mode is the virtual-time simulation: same seed -> same arrival
 // schedule, same shed/expired/degraded counts, same latency histogram,
@@ -37,6 +39,7 @@
 
 #include "artifact/builder.h"
 #include "artifact/model_io.h"
+#include "artifact/shard_layout.h"
 #include "common/driver_flags.h"
 #include "common/flags.h"
 #include "community/louvain.h"
@@ -78,6 +81,7 @@ int main(int argc, char** argv) {
   const LoadFlagSettings load_settings = ApplyLoadFlags(flags);
   const std::string scratch =
       flags.GetString("scratch-dir", "serve-load-scratch");
+  const int64_t load_shards = flags.GetInt("load-shards", 0);
   if (!flags.Validate()) return 1;
 
   // ---- Offline side: build the artifact generations the run swaps over.
@@ -104,8 +108,17 @@ int main(int argc, char** argv) {
                    model.status().ToString().c_str());
       return "";
     }
-    const std::string path = (fs::path(scratch) / name).string();
-    Status saved = serving::SaveArtifact(*model, path);
+    // With --load-shards the generations are sharded .pvram sets and the
+    // runtime serves them through the mmap zero-copy path; the rest of
+    // the harness is identical (Activate and the oracle both sniff).
+    const std::string path =
+        (fs::path(scratch) / (name + (load_shards > 0 ? ".pvram" : ".pvra")))
+            .string();
+    Status saved =
+        load_shards > 0
+            ? serving::SaveShardedArtifact(*model, path,
+                                           {.shards = load_shards})
+            : serving::SaveArtifact(*model, path);
     if (!saved.ok()) {
       std::fprintf(stderr, "artifact save failed: %s\n",
                    saved.ToString().c_str());
@@ -113,8 +126,8 @@ int main(int argc, char** argv) {
     }
     return path;
   };
-  const std::string good_a = build("good_a.pvra", 101);
-  const std::string good_b = build("good_b.pvra", 202);
+  const std::string good_a = build("good_a", 101);
+  const std::string good_b = build("good_b", 202);
   if (good_a.empty() || good_b.empty()) return 1;
 
   loadgen::SwapStormSpec storm;
@@ -196,7 +209,7 @@ int main(int argc, char** argv) {
   const std::string mode = load_settings.wall ? "wall" : "virtual";
   const std::string json = loadgen::LoadReportJson(
       run.load, storm.period_ms, summary, budget, verdict, mode,
-      load_settings.wall ? load_settings.threads : 1);
+      load_settings.wall ? load_settings.threads : 1, load_shards);
   if (!load_settings.report.empty()) {
     std::string error;
     if (!obs::WriteTextFile(load_settings.report, json, &error)) {

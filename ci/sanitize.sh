@@ -93,6 +93,35 @@ rm -rf "$SCRATCH"
 echo "artifact determinism: .pvra bytes and served output stable across" \
      "runs, thread counts, and save/load"
 
+# Sharded determinism pass: the same guarantees for the sharded .pvram
+# layout and the mmap zero-copy serve path. The manifest and every shard
+# file must be byte-stable across runs and thread counts, and serving a
+# sharded artifact — mapped or via the PRIVREC_NO_MMAP read fallback —
+# must reproduce the monolithic build's recommendations bit for bit.
+SCRATCH=artifact-shard-scratch-ci
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"/s1a "$SCRATCH"/s1b "$SCRATCH"/s2
+# The manifest's shard table references its shard files by relative
+# name, so byte-comparison needs the same artifact name — one
+# subdirectory per run.
+run_pipeline s1a 1 --artifact-out="$SCRATCH/s1a/model.pvram" --shards=3
+run_pipeline s1b 1 --artifact-out="$SCRATCH/s1b/model.pvram" --shards=3
+run_pipeline s2  2 --artifact-out="$SCRATCH/s2/model.pvram" --shards=3
+for part in "" .shard0 .shard1 .shard2; do
+  cmp "$SCRATCH/s1a/model.pvram$part" "$SCRATCH/s1b/model.pvram$part"
+  cmp "$SCRATCH/s1a/model.pvram$part" "$SCRATCH/s2/model.pvram$part"
+done
+run_pipeline mono 1 --artifact-out="$SCRATCH/model_mono.pvra"
+run_pipeline sreplay 4 --artifact-in="$SCRATCH/s1a/model.pvram"
+(export PRIVREC_NO_MMAP=1
+ run_pipeline sread 4 --artifact-in="$SCRATCH/s1a/model.pvram")
+cmp "$SCRATCH/recs_s1a.tsv" "$SCRATCH/recs_mono.tsv"
+cmp "$SCRATCH/recs_s1a.tsv" "$SCRATCH/recs_sreplay.tsv"
+cmp "$SCRATCH/recs_s1a.tsv" "$SCRATCH/recs_sread.tsv"
+rm -rf "$SCRATCH"
+echo "sharded determinism: .pvram manifest+shards byte-stable, mapped and" \
+     "read-fallback serving match the monolithic recommendations"
+
 # Privacy isolation: the serving library must stay free of preference-
 # and social-graph code — the CMake allowlist enforces the link layer,
 # this enforces the object code.

@@ -24,8 +24,14 @@ rm -rf "$SCRATCH"
 mkdir -p "$SCRATCH"
 
 cmake --preset default
-cmake --build --preset default -j"$(nproc)" --target bench_serve_load
+cmake --build --preset default -j"$(nproc)"
 BENCH=build/bench/bench_serve_load
+
+# Gate 0: the tier-1 fast lane. Every test is labeled (tier1 everywhere,
+# plus slow/chaos on the soaks) with a per-test TIMEOUT, so a hung swap
+# or a deadlocked admission queue fails the lane instead of wedging CI.
+ctest --preset default -L tier1 -j"$(nproc)" --output-on-failure
+echo "tier1 lane: labeled test suite green within per-test timeouts"
 
 # The rated-load invocation: 600 rps against ~890 rps of slot capacity,
 # so steady state is comfortable and only the 4x burst windows shed.
@@ -86,6 +92,25 @@ build-tsan/bench/bench_serve_load --scratch-dir="$SCRATCH/work_tsan" \
   > "$SCRATCH/log_tsan.txt" 2>&1
 grep -q '"pass": true' "$SCRATCH/report_tsan.json"
 echo "serve wall mode: 4 threads + swap storm clean under TSan"
+
+# Gate 5: the same rated load served from sharded .pvram artifacts over
+# the mmap zero-copy path (--load-shards routes every generation — good,
+# bit-flipped and truncated — through the manifest+shards layout). The
+# swap storm now exercises sharded admission, corrupt-manifest rejection
+# and epoch rollback; determinism and budgets are the monolithic gate's.
+run_rated shards --load-shards=3 \
+  --load-slo-p50-ms=12 --load-slo-p99-ms=30 --load-slo-p999-ms=40 \
+  --load-slo-shed-rate=0.30 --load-slo-rollback-rate=0.60
+grep -q '"pass": true' "$SCRATCH/report_shards.json"
+run_rated shards2 --load-shards=3 \
+  --load-slo-p50-ms=12 --load-slo-p99-ms=30 --load-slo-p999-ms=40 \
+  --load-slo-shed-rate=0.30 --load-slo-rollback-rate=0.60
+if ! diff <(normalize "$SCRATCH/report_shards.json") \
+          <(normalize "$SCRATCH/report_shards2.json") ; then
+  echo "FAIL: sharded load run not deterministic" >&2
+  exit 1
+fi
+echo "serve sharded gate: mmap-served load within budgets, deterministic"
 
 rm -rf "$SCRATCH"
 echo "serve_slo: all gates green"

@@ -13,17 +13,26 @@
 //                   [--artifact-out=model.pvra]   # persist the build phase
 //                   [--artifact-in=model.pvra]    # serve a prior build
 //                                                 # (no ε re-spend)
+//                   [--shards=K]                  # write a sharded .pvram
+//                                                 # manifest + K shard files
+//                   [--no-mmap]                   # serve sharded artifacts
+//                                                 # via the read fallback
 //
 // --artifact-in replays a previous publication: the build phase is skipped
 // entirely and the compatibility gates verify the artifact matches the
-// inputs (graph fingerprint) and the requested ε (provenance).
+// inputs (graph fingerprint) and the requested ε (provenance). It accepts
+// either a monolithic .pvra or a sharded .pvram manifest — the loader
+// sniffs the magic. With --shards=K the build phase writes the sharded
+// layout (cluster-range partitioned, mmap-served in place on load).
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "artifact/builder.h"
 #include "artifact/model_io.h"
 #include "artifact/serving.h"
+#include "artifact/shard_layout.h"
 #include "common/driver_flags.h"
 #include "common/experiment_inputs.h"
 #include "common/flags.h"
@@ -52,7 +61,10 @@ int main(int argc, char** argv) {
   const int64_t top_n = flags.GetInt("top_n", 10);
   const std::string artifact_out = flags.GetString("artifact-out", "");
   const std::string artifact_in = flags.GetString("artifact-in", "");
+  const int64_t shards = flags.GetInt("shards", 0);
+  const bool no_mmap = flags.GetBool("no-mmap", false);
   if (!flags.Validate()) return 1;
+  if (no_mmap) setenv("PRIVREC_NO_MMAP", "1", 1);
 
   WallTimer timer;
   auto inputs = LoadExperimentInputs(inputs_options);
@@ -88,11 +100,16 @@ int main(int argc, char** argv) {
     auto model = builder.Build(build_options);
     if (!model.ok()) return Result<serving::ServingEngine>(model.status());
     if (!artifact_out.empty()) {
-      Status saved = serving::SaveArtifact(*model, artifact_out);
+      Status saved =
+          shards > 0
+              ? serving::SaveShardedArtifact(*model, artifact_out,
+                                             {.shards = shards})
+              : serving::SaveArtifact(*model, artifact_out);
       if (!saved.ok()) return Result<serving::ServingEngine>(saved);
-      std::printf("saved model artifact to %s (epsilon=%.2f frozen in its "
-                  "provenance)\n",
-                  artifact_out.c_str(), epsilon);
+      std::printf("saved model artifact to %s%s (epsilon=%.2f frozen in "
+                  "its provenance)\n",
+                  artifact_out.c_str(),
+                  shards > 0 ? " [sharded]" : "", epsilon);
       // Serve what was written, proving the round trip.
       return serving::ServingEngine::Load(artifact_out);
     }

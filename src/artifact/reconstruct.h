@@ -30,12 +30,21 @@ namespace privrec::serving {
 // artifact.
 struct ReleaseView {
   const double* values = nullptr;        // row-major [cluster][item]
+  // Optional per-cluster row table for releases whose rows are not one
+  // contiguous block (sharded artifacts). When set it takes precedence
+  // over `values`; when the storage IS contiguous the two describe the
+  // same addresses, so reconstruction is bit-identical either way.
+  const double* const* rows = nullptr;
   const uint8_t* sanitized = nullptr;    // per cluster
   const int64_t* cluster_of = nullptr;   // per user node
   const int64_t* cluster_sizes = nullptr;  // per cluster
   int64_t num_clusters = 0;
   int64_t num_items = 0;
   int64_t num_users = 0;  // |U|, the social graph's node count
+
+  const double* Row(int64_t c) const {
+    return rows != nullptr ? rows[c] : values + c * num_items;
+  }
 };
 
 // Global-average utilities, the fallback row for users with no similarity
@@ -48,7 +57,7 @@ inline std::vector<double> GlobalAverageUtilities(const ReleaseView& r) {
   for (int64_t c = 0; c < r.num_clusters; ++c) {
     double size = static_cast<double>(r.cluster_sizes[c]);
     if (size == 0.0) continue;
-    const double* row = r.values + c * r.num_items;
+    const double* row = r.Row(c);
     for (int64_t i = 0; i < r.num_items; ++i) {
       global[static_cast<size_t>(i)] += size * row[i] / num_users_d;
     }
@@ -72,7 +81,6 @@ Result<int64_t> ReconstructTopN(const ReleaseView& release, RowOf&& row_of,
                                 std::vector<core::DegradationInfo>* degradation) {
   const int64_t num_clusters = release.num_clusters;
   const int64_t num_items = release.num_items;
-  const double* averages = release.values;
   lists->resize(users.size());
   degradation->resize(users.size());
   return ParallelReduce(
@@ -113,7 +121,7 @@ Result<int64_t> ReconstructTopN(const ReleaseView& release, RowOf&& row_of,
               if (release.sanitized[static_cast<size_t>(c)]) {
                 touched_sanitized = true;
               }
-              const double* row = averages + c * num_items;
+              const double* row = release.Row(c);
               for (int64_t i = 0; i < num_items; ++i) {
                 utilities[static_cast<size_t>(i)] += s * row[i];
               }

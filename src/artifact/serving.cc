@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <numeric>
 #include <utility>
 
 #include "artifact/model_io.h"
+#include "artifact/shard_layout.h"
 #include "common/fault_injection.h"
 #include "common/parallel.h"
 #include "common/random.h"
@@ -63,8 +65,17 @@ Status ValidateModel(const ArtifactModel& m) {
     return Invalid(SectionId::kNoisyTable,
                    "cluster count disagrees with the partition");
   }
-  if (m.noisy.values.size() !=
-      static_cast<size_t>(num_clusters) * static_cast<size_t>(num_items)) {
+  // Checked by division, not by comparing against nc * ni: the counts come
+  // from untrusted section headers, and a product in size_t can wrap back
+  // to a plausible value (e.g. items = 2^62, clusters = 4) — the classic
+  // path to sizing a vector smaller than the loop that fills it.
+  const size_t ni = static_cast<size_t>(num_items);
+  const bool noisy_sized =
+      ni == 0 ? m.noisy.values.empty()
+              : m.noisy.values.size() % ni == 0 &&
+                    m.noisy.values.size() / ni ==
+                        static_cast<size_t>(num_clusters);
+  if (!noisy_sized) {
     return Invalid(SectionId::kNoisyTable,
                    "value table is not num_clusters x num_items");
   }
@@ -94,9 +105,16 @@ Status ValidateModel(const ArtifactModel& m) {
 
   if (m.has_lowrank) {
     const auto& lr = m.lowrank;
-    if (lr.rank < 0 ||
-        lr.b.size() != nu * static_cast<size_t>(lr.rank) ||
-        lr.l.size() != static_cast<size_t>(lr.rank) * nu) {
+    // Same overflow discipline as the noisy table: a huge untrusted rank
+    // must not wrap nu * rank into the size the vectors happen to have.
+    const size_t rank = static_cast<size_t>(std::max<int64_t>(lr.rank, 0));
+    const bool b_sized = rank == 0 ? lr.b.empty()
+                                   : lr.b.size() % rank == 0 &&
+                                         lr.b.size() / rank == nu;
+    const bool l_sized = rank == 0 ? lr.l.empty()
+                                   : lr.l.size() % rank == 0 &&
+                                         lr.l.size() / rank == nu;
+    if (lr.rank < 0 || !b_sized || !l_sized) {
       return Invalid(SectionId::kLowRank, "factor dimensions inconsistent");
     }
   }
@@ -488,7 +506,8 @@ class LowRankServe final : public ServeRecommender {
       for (size_t b = 0; b < buyers.size(); ++b) {
         graph::NodeId v = buyers[b];
         double w = weights[b];
-        const double* l_col = lr.l.data();  // row-major rank x num_users
+        // row-major rank x num_users
+        const double* l_col = engine_->lowrank_l();
         for (int64_t k = 0; k < rank; ++k) {
           strategy[static_cast<size_t>(k)] +=
               w * l_col[static_cast<size_t>(k) *
@@ -502,8 +521,8 @@ class LowRankServe final : public ServeRecommender {
       }
       for (size_t k = 0; k < users.size(); ++k) {
         graph::NodeId u = users[k];
-        const double* row = lr.b.data() + static_cast<size_t>(u) *
-                                              static_cast<size_t>(rank);
+        const double* row = engine_->lowrank_b() + static_cast<size_t>(u) *
+                                                       static_cast<size_t>(rank);
         double acc = 0.0;
         for (int64_t r = 0; r < rank; ++r) {
           acc += row[r] * strategy[static_cast<size_t>(r)];
@@ -531,14 +550,217 @@ class LowRankServe final : public ServeRecommender {
 
 ReleaseView ServingEngine::release_view() const {
   ReleaseView view;
-  view.values = model_.noisy.values.data();
-  view.sanitized = model_.noisy.sanitized.data();
-  view.cluster_of = model_.partition.cluster_of.data();
-  view.cluster_sizes = model_.partition.sizes.data();
-  view.num_clusters = model_.noisy.num_clusters;
+  view.values = mapped_ ? nullptr : model_.noisy.values.data();
+  view.rows = cluster_rows_.data();
+  view.sanitized = sanitized_;
+  view.cluster_of = cluster_of_;
+  view.cluster_sizes = cluster_sizes_;
+  view.num_clusters = num_clusters_;
   view.num_items = model_.meta.num_items;
   view.num_users = model_.meta.num_users;
   return view;
+}
+
+void ServingEngine::BuildOwnedViews() {
+  const size_t nu = static_cast<size_t>(model_.meta.num_users);
+  const size_t ni = static_cast<size_t>(model_.meta.num_items);
+  num_clusters_ = model_.noisy.num_clusters;
+  const size_t nc = static_cast<size_t>(num_clusters_);
+
+  cluster_of_ = model_.partition.cluster_of.data();
+  cluster_sizes_ = model_.partition.sizes.data();
+  sanitized_ = model_.noisy.sanitized.data();
+  workload_offsets_ = model_.workload.offsets.data();
+  shard_count_ = 1;
+  shard_of_cluster_.assign(nc, 0);
+
+  cluster_rows_.resize(nc);
+  for (size_t c = 0; c < nc; ++c) {
+    cluster_rows_[c] = model_.noisy.values.data() + c * ni;
+  }
+  workload_row_.resize(nu);
+  for (size_t u = 0; u < nu; ++u) {
+    workload_row_[u] =
+        model_.workload.entries.data() + model_.workload.offsets[u];
+  }
+  if (model_.has_preferences) {
+    const PreferenceSection& p = model_.preferences;
+    pref_offsets_ = p.offsets.data();
+    pref_items_row_.resize(nu);
+    pref_weights_row_.resize(nu);
+    for (size_t u = 0; u < nu; ++u) {
+      pref_items_row_[u] = p.items.data() + p.offsets[u];
+      pref_weights_row_[u] = p.weights.data() + p.offsets[u];
+    }
+  }
+  if (model_.has_lowrank) {
+    lowrank_b_ = model_.lowrank.b.data();
+    lowrank_l_ = model_.lowrank.l.data();
+  }
+}
+
+Status ServingEngine::InitFromMapped() {
+  const int64_t num_users = model_.meta.num_users;
+  const int64_t num_items = model_.meta.num_items;
+  if (num_users < 0 || num_items < 0) {
+    return Invalid(SectionId::kGraphMeta, "negative dimensions");
+  }
+  const size_t nu = static_cast<size_t>(num_users);
+  const size_t ni = static_cast<size_t>(num_items);
+  num_clusters_ = model_.noisy.num_clusters;
+  const size_t nc = static_cast<size_t>(num_clusters_);
+
+  cluster_of_ = mapped_->cluster_of();
+  cluster_sizes_ = mapped_->cluster_sizes();
+  sanitized_ = mapped_->sanitized();
+  workload_offsets_ = mapped_->workload_offsets();
+  pref_offsets_ = mapped_->pref_offsets();
+  lowrank_b_ = mapped_->lowrank_b();
+  lowrank_l_ = mapped_->lowrank_l();
+  shard_count_ = mapped_->shard_count();
+
+  // Semantic validation — the same checks (and messages) ValidateModel
+  // runs on an owned model, rephrased over the mapped views. Everything
+  // here must pass BEFORE any pointer table is trusted.
+  for (size_t u = 0; u < nu; ++u) {
+    const int64_t c = cluster_of_[u];
+    if (c < 0 || c >= num_clusters_) {
+      return Invalid(SectionId::kPartition, "cluster id out of range");
+    }
+  }
+  const std::vector<ShardTableEntry>& table = mapped_->shard_table();
+  uint64_t total_workload = 0;
+  uint64_t total_pref = 0;
+  shard_of_cluster_.assign(nc, 0);
+  for (size_t s = 0; s < table.size(); ++s) {
+    for (int64_t c = table[s].cluster_begin; c < table[s].cluster_end; ++c) {
+      shard_of_cluster_[static_cast<size_t>(c)] = static_cast<int32_t>(s);
+    }
+    total_workload += table[s].workload_entries;
+    total_pref += table[s].pref_edges;
+  }
+  if (workload_offsets_[0] != 0 || workload_offsets_[nu] != total_workload) {
+    return Invalid(SectionId::kWorkload, "offsets do not index the entries");
+  }
+  for (size_t u = 0; u < nu; ++u) {
+    if (workload_offsets_[u] > workload_offsets_[u + 1]) {
+      return Invalid(SectionId::kWorkload, "offsets not monotone");
+    }
+  }
+  if (model_.has_preferences) {
+    if (pref_offsets_[0] != 0 || pref_offsets_[nu] != total_pref) {
+      return Invalid(SectionId::kPreferences,
+                     "offsets do not index the edges");
+    }
+    for (size_t u = 0; u < nu; ++u) {
+      if (pref_offsets_[u] > pref_offsets_[u + 1]) {
+        return Invalid(SectionId::kPreferences, "offsets not monotone");
+      }
+    }
+  }
+  for (size_t s = 0; s < table.size(); ++s) {
+    const MappedArtifact::Shard& sh = mapped_->shards()[s];
+    for (uint64_t k = 0; k < table[s].workload_entries; ++k) {
+      const int64_t v = sh.workload_entries[k].user;
+      if (v < 0 || v >= num_users) {
+        return Invalid(SectionId::kWorkload, "entry user out of range");
+      }
+    }
+    if (model_.has_preferences) {
+      for (uint64_t k = 0; k < table[s].pref_edges; ++k) {
+        const int64_t i = sh.pref_items[k];
+        if (i < 0 || i >= num_items) {
+          return Invalid(SectionId::kPreferences, "item id out of range");
+        }
+      }
+    }
+  }
+
+  // Per-cluster noisy rows, addressed inside their shard's block.
+  cluster_rows_.resize(nc);
+  for (size_t s = 0; s < table.size(); ++s) {
+    const MappedArtifact::Shard& sh = mapped_->shards()[s];
+    for (int64_t c = table[s].cluster_begin; c < table[s].cluster_end; ++c) {
+      cluster_rows_[static_cast<size_t>(c)] =
+          sh.noisy_rows +
+          static_cast<size_t>(c - table[s].cluster_begin) * ni;
+    }
+  }
+
+  // Per-user rows: walk users ascending, advancing one cursor per shard —
+  // exactly the order SaveShardedArtifact concatenated them in. If the
+  // cursors do not land exactly on the per-shard totals the manifest
+  // promised, the shard set is internally inconsistent and nothing built
+  // so far may be served.
+  workload_row_.resize(nu);
+  std::vector<uint64_t> wcursor(table.size(), 0);
+  std::vector<uint64_t> pcursor(table.size(), 0);
+  if (model_.has_preferences) {
+    pref_items_row_.resize(nu);
+    pref_weights_row_.resize(nu);
+  }
+  for (size_t u = 0; u < nu; ++u) {
+    const auto s = static_cast<size_t>(
+        shard_of_cluster_[static_cast<size_t>(cluster_of_[u])]);
+    const MappedArtifact::Shard& sh = mapped_->shards()[s];
+    workload_row_[u] = sh.workload_entries + wcursor[s];
+    wcursor[s] += workload_offsets_[u + 1] - workload_offsets_[u];
+    if (model_.has_preferences) {
+      pref_items_row_[u] = sh.pref_items + pcursor[s];
+      pref_weights_row_[u] = sh.pref_weights + pcursor[s];
+      pcursor[s] += pref_offsets_[u + 1] - pref_offsets_[u];
+    }
+  }
+  for (size_t s = 0; s < table.size(); ++s) {
+    if (wcursor[s] != table[s].workload_entries) {
+      return Invalid(SectionId::kWorkload,
+                     "shard workload rows disagree with the manifest totals");
+    }
+    if (model_.has_preferences && pcursor[s] != table[s].pref_edges) {
+      return Invalid(
+          SectionId::kPreferences,
+          "shard preference rows disagree with the manifest totals");
+    }
+  }
+  return Status::Ok();
+}
+
+void ServingEngine::BuildDerived() {
+  // Derive the item-major preference CSR by a stable counting pass over
+  // the user-major rows: per item, users come out ascending — identical to
+  // PreferenceGraph::UsersOf ordering, which the GS/LRM serve loops need
+  // for bit-identical replay. Runs through the accessors, so owned and
+  // mapped storage produce the same derived arrays.
+  const size_t num_users = static_cast<size_t>(model_.meta.num_users);
+  const size_t num_items = static_cast<size_t>(model_.meta.num_items);
+  item_offsets_.assign(num_items + 1, 0);
+  if (model_.has_preferences) {
+    size_t total = 0;
+    for (size_t u = 0; u < num_users; ++u) {
+      for (int64_t i : ItemsOf(static_cast<graph::NodeId>(u))) {
+        ++item_offsets_[static_cast<size_t>(i) + 1];
+        ++total;
+      }
+    }
+    for (size_t i = 0; i < num_items; ++i) {
+      item_offsets_[i + 1] += item_offsets_[i];
+    }
+    item_users_.resize(total);
+    item_weights_.resize(total);
+    std::vector<uint64_t> cursor(item_offsets_.begin(),
+                                 item_offsets_.end() - 1);
+    for (size_t u = 0; u < num_users; ++u) {
+      auto items = ItemsOf(static_cast<graph::NodeId>(u));
+      auto weights = WeightsOf(static_cast<graph::NodeId>(u));
+      for (size_t k = 0; k < items.size(); ++k) {
+        const size_t i = static_cast<size_t>(items[k]);
+        const uint64_t slot = cursor[i]++;
+        item_users_[slot] = static_cast<int64_t>(u);
+        item_weights_[slot] = weights[k];
+      }
+    }
+  }
+  global_average_ = GlobalAverageUtilities(release_view());
 }
 
 Result<ServingEngine> ServingEngine::FromModel(ArtifactModel model) {
@@ -547,44 +769,59 @@ Result<ServingEngine> ServingEngine::FromModel(ArtifactModel model) {
 
   ServingEngine engine;
   engine.model_ = std::move(model);
+  engine.BuildOwnedViews();
+  engine.BuildDerived();
+  return engine;
+}
 
-  // Derive the item-major preference CSR by a stable counting pass over
-  // the user-major rows: per item, users come out ascending — identical to
-  // PreferenceGraph::UsersOf ordering, which the GS/LRM serve loops need
-  // for bit-identical replay.
-  if (engine.model_.has_preferences) {
-    const PreferenceSection& p = engine.model_.preferences;
-    const size_t num_items = static_cast<size_t>(engine.model_.meta.num_items);
-    engine.item_offsets_.assign(num_items + 1, 0);
-    for (int64_t i : p.items) {
-      ++engine.item_offsets_[static_cast<size_t>(i) + 1];
-    }
-    for (size_t i = 0; i < num_items; ++i) {
-      engine.item_offsets_[i + 1] += engine.item_offsets_[i];
-    }
-    engine.item_users_.resize(p.items.size());
-    engine.item_weights_.resize(p.items.size());
-    std::vector<uint64_t> cursor(engine.item_offsets_.begin(),
-                                 engine.item_offsets_.end() - 1);
-    const size_t num_users = static_cast<size_t>(engine.model_.meta.num_users);
-    for (size_t u = 0; u < num_users; ++u) {
-      for (uint64_t k = p.offsets[u]; k < p.offsets[u + 1]; ++k) {
-        const size_t i = static_cast<size_t>(p.items[k]);
-        const uint64_t slot = cursor[i]++;
-        engine.item_users_[slot] = static_cast<int64_t>(u);
-        engine.item_weights_[slot] = p.weights[k];
-      }
-    }
-  } else {
-    engine.item_offsets_.assign(
-        static_cast<size_t>(engine.model_.meta.num_items) + 1, 0);
-  }
+Result<ServingEngine> ServingEngine::FromMapped(
+    std::shared_ptr<const MappedArtifact> mapped) {
+  PRIVREC_CHECK(mapped != nullptr);
+  ServingEngine engine;
+  engine.mapped_ = std::move(mapped);
 
-  engine.global_average_ = GlobalAverageUtilities(engine.release_view());
+  // Scalars live in the manifest's metadata blob; the arrays stay in the
+  // mapped files and are reached through the views.
+  const ManifestMeta& mm = engine.mapped_->meta();
+  engine.model_.meta = mm.meta;
+  engine.model_.provenance = mm.provenance;
+  engine.model_.workload.max_column_sum = mm.max_column_sum;
+  engine.model_.workload.max_entry = mm.max_entry;
+  engine.model_.noisy.num_clusters = mm.num_clusters;
+  engine.model_.noisy.empty_clusters = mm.empty_clusters;
+  engine.model_.noisy.singleton_clusters = mm.singleton_clusters;
+  engine.model_.noisy.nonfinite_sanitized = mm.nonfinite_sanitized;
+  engine.model_.has_preferences = mm.has_preferences;
+  engine.model_.has_lowrank = mm.has_lowrank;
+  engine.model_.lowrank.rank = mm.lowrank_rank;
+  engine.model_.lowrank.noise_sensitivity = mm.lowrank_noise_sensitivity;
+  engine.model_.lowrank.factorization_error = mm.lowrank_factorization_error;
+
+  Status init = engine.InitFromMapped();
+  if (!init.ok()) return init;
+  engine.BuildDerived();
   return engine;
 }
 
 Result<ServingEngine> ServingEngine::Load(const std::string& path) {
+  // Sniff the container family from the magic so one entry point serves
+  // both layouts (and gives a useful error for a shard file).
+  uint32_t magic = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  }
+  if (magic == kManifestMagic) {
+    Result<std::shared_ptr<const MappedArtifact>> mapped =
+        MappedArtifact::Open(path, MapOptionsFromEnv());
+    if (!mapped.ok()) return mapped.status();
+    return FromMapped(std::move(*mapped));
+  }
+  if (magic == kShardMagic) {
+    return Status::InvalidArgument(
+        "'" + path +
+        "' is a shard file; load its .pvram manifest instead");
+  }
   Result<ArtifactModel> model = LoadArtifact(path);
   if (!model.ok()) return model.status();
   return FromModel(std::move(*model));

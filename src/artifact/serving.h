@@ -1,18 +1,22 @@
 // ServingEngine: the online half of the build/serve split.
 //
-// An engine wraps one immutable ArtifactModel (loaded from a .pvra file or
-// handed over in memory) and constructs serve-side recommenders that read
-// ONLY artifact sections. The private PreferenceGraph type is not merely
-// unused here — it is unlinkable: the privrec_serving library must not
-// depend on privrec_graph, which CMake asserts and artifact_test verifies
-// at the include level. The paper's point (and Machanavajjhala et al.'s):
-// after the ε-DP publication, serving is post-processing and must depend
-// only on the sanitized release.
+// An engine wraps one immutable artifact — either an owned ArtifactModel
+// (loaded from a monolithic .pvra file or handed over in memory) or a
+// zero-copy MappedArtifact view of a sharded .pvram manifest — and
+// constructs serve-side recommenders that read ONLY artifact sections.
+// The private PreferenceGraph type is not merely unused here — it is
+// unlinkable: the privrec_serving library must not depend on
+// privrec_graph, which CMake asserts and artifact_test verifies at the
+// include level. The paper's point (and Machanavajjhala et al.'s): after
+// the ε-DP publication, serving is post-processing and must depend only
+// on the sanitized release.
 //
-// Serve-side mechanisms replicate the in-memory recommenders' arithmetic
-// exactly (same RNG forks, same invocation counters, same accumulation
-// order), so for a fixed seed the k-th serve call is bit-identical to the
-// k-th Recommend of a fresh in-memory recommender at any thread count.
+// Both storage modes expose identical accessors through per-row pointer
+// tables built once at construction, so every serve mechanism is
+// storage-oblivious: for a fixed seed the k-th serve call is bit-identical
+// to the k-th Recommend of a fresh in-memory recommender at any thread
+// count, whether the bytes live in owned vectors, an mmap, or the
+// read-into-buffer fallback. sharded_artifact_test pins the full matrix.
 
 #ifndef PRIVREC_ARTIFACT_SERVING_H_
 #define PRIVREC_ARTIFACT_SERVING_H_
@@ -23,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact/mapped.h"
 #include "artifact/model.h"
 #include "artifact/reconstruct.h"
 #include "common/status.h"
@@ -34,15 +39,41 @@ namespace privrec::serving {
 
 class ServingEngine {
  public:
-  // Load + validate from a .pvra file (errors: kNotFound, kIoError,
-  // kParseError with the damaged section's name, kVersionMismatch).
+  // Load + validate from a .pvra file or a sharded .pvram manifest — the
+  // first four bytes decide which loader runs (errors: kNotFound,
+  // kIoError, kParseError with the damaged section's name,
+  // kVersionMismatch, and for sharded sets kDataLoss / kGraphMismatch /
+  // kProvenanceMismatch / kFailedPrecondition per artifact/mapped.h).
+  // Passing a shard file directly is kInvalidArgument: load the manifest.
   static Result<ServingEngine> Load(const std::string& path);
 
   // Adopt an in-memory model (the no-I/O serve path used by the benches).
   // Validates internal consistency exactly like Load.
   static Result<ServingEngine> FromModel(ArtifactModel model);
 
+  // Adopt a validated mapped artifact and serve its arrays in place. The
+  // engine shares ownership, so the mapping outlives every reader that
+  // reached it through this engine (epoch pinning — see artifact/mapped.h).
+  static Result<ServingEngine> FromMapped(
+      std::shared_ptr<const MappedArtifact> mapped);
+
+  // Default-constructed engines are empty placeholders (epoch snapshots
+  // fill them by move). Move-only otherwise: accessors hand out pointers
+  // into the engine's storage, and vector/mmap storage is stable under
+  // move but not under copy.
+  ServingEngine() = default;
+  ServingEngine(ServingEngine&&) = default;
+  ServingEngine& operator=(ServingEngine&&) = default;
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  // Scalars (meta, provenance, workload bounds, noisy-table counters,
+  // low-rank dimensions) are always populated; in mapped mode the bulk
+  // arrays inside stay empty — go through the accessors below instead.
   const ArtifactModel& model() const { return model_; }
+
+  bool mapped() const { return mapped_ != nullptr; }
+  bool mmap_backed() const { return mapped_ && mapped_->mmap_backed(); }
 
   // ---- Compatibility gates (distinct codes per gate) ----
   // kGraphMismatch: the model was built from a different (G_s, G_p).
@@ -53,11 +84,21 @@ class ServingEngine {
   // ---- Read API for serve paths ----
   int64_t num_users() const { return model_.meta.num_users; }
   int64_t num_items() const { return model_.meta.num_items; }
+  int64_t num_clusters() const { return num_clusters_; }
+
+  // Sharding topology (1 shard for monolithic/owned artifacts). The
+  // sharded runtime routes each user to the shard owning their cluster.
+  uint32_t shard_count() const { return shard_count_; }
+  int32_t ShardOfUser(graph::NodeId u) const {
+    return shard_of_cluster_[static_cast<size_t>(
+        cluster_of_[static_cast<size_t>(u)])];
+  }
 
   std::span<const WorkloadEntry> WorkloadRow(graph::NodeId u) const {
-    const auto& w = model_.workload;
-    return {w.entries.data() + w.offsets[static_cast<size_t>(u)],
-            w.entries.data() + w.offsets[static_cast<size_t>(u) + 1]};
+    const auto i = static_cast<size_t>(u);
+    return {workload_row_[i],
+            static_cast<size_t>(workload_offsets_[i + 1] -
+                                workload_offsets_[i])};
   }
 
   bool has_preferences() const { return model_.has_preferences; }
@@ -65,14 +106,14 @@ class ServingEngine {
 
   // Preference CSR accessors (only valid when has_preferences()).
   std::span<const int64_t> ItemsOf(graph::NodeId u) const {
-    const auto& p = model_.preferences;
-    return {p.items.data() + p.offsets[static_cast<size_t>(u)],
-            p.items.data() + p.offsets[static_cast<size_t>(u) + 1]};
+    const auto i = static_cast<size_t>(u);
+    return {pref_items_row_[i],
+            static_cast<size_t>(pref_offsets_[i + 1] - pref_offsets_[i])};
   }
   std::span<const double> WeightsOf(graph::NodeId u) const {
-    const auto& p = model_.preferences;
-    return {p.weights.data() + p.offsets[static_cast<size_t>(u)],
-            p.weights.data() + p.offsets[static_cast<size_t>(u) + 1]};
+    const auto i = static_cast<size_t>(u);
+    return {pref_weights_row_[i],
+            static_cast<size_t>(pref_offsets_[i + 1] - pref_offsets_[i])};
   }
   // Item-major view, derived once at construction (users ascending per
   // item — the same order PreferenceGraph::UsersOf yields).
@@ -85,13 +126,46 @@ class ServingEngine {
             item_weights_.data() + item_offsets_[static_cast<size_t>(i) + 1]};
   }
 
+  // Low-rank factors (only valid when has_lowrank()): B is num_users x
+  // rank row-major, L is rank x num_users row-major.
+  const double* lowrank_b() const { return lowrank_b_; }
+  const double* lowrank_l() const { return lowrank_l_; }
+
   // The A_w release as a reconstruction view, plus its cached global-
   // average fallback row.
   ReleaseView release_view() const;
   const std::vector<double>& global_average() const { return global_average_; }
 
  private:
+  // View construction. Owned mode points the tables into model_'s
+  // vectors; mapped mode points them into the mapped files and runs the
+  // semantic validation ValidateModel would have run on an owned model
+  // (same error messages for the same defects). BuildDerived then computes
+  // the item-major CSR and the global fallback row through the accessors,
+  // identically in both modes.
+  void BuildOwnedViews();
+  Status InitFromMapped();
+  void BuildDerived();
+
   ArtifactModel model_;
+  std::shared_ptr<const MappedArtifact> mapped_;
+
+  // Unified storage views (owned- or mapped-backed).
+  const uint64_t* workload_offsets_ = nullptr;  // num_users + 1
+  const uint64_t* pref_offsets_ = nullptr;      // num_users + 1 (optional)
+  std::vector<const WorkloadEntry*> workload_row_;  // per user
+  std::vector<const int64_t*> pref_items_row_;      // per user (optional)
+  std::vector<const double*> pref_weights_row_;     // per user (optional)
+  std::vector<const double*> cluster_rows_;         // per cluster
+  const uint8_t* sanitized_ = nullptr;
+  const int64_t* cluster_of_ = nullptr;
+  const int64_t* cluster_sizes_ = nullptr;
+  const double* lowrank_b_ = nullptr;
+  const double* lowrank_l_ = nullptr;
+  int64_t num_clusters_ = 0;
+  uint32_t shard_count_ = 1;
+  std::vector<int32_t> shard_of_cluster_;  // per cluster
+
   // Derived (not persisted): item-major preference CSR and the global
   // fallback row.
   std::vector<uint64_t> item_offsets_;

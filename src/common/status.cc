@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "GRAPH_MISMATCH";
     case StatusCode::kProvenanceMismatch:
       return "PROVENANCE_MISMATCH";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

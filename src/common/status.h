@@ -43,6 +43,12 @@ enum class StatusCode {
   kVersionMismatch,
   kGraphMismatch,
   kProvenanceMismatch,
+  // Stored bytes failed an integrity check (CRC mismatch on a shard or
+  // manifest payload). Distinct from kParseError ("the frame is
+  // structurally wrong / truncated") so corruption triage can tell a
+  // flipped bit from a torn write, and from kIoError ("the device said
+  // no") so it is never confused with a transient read failure.
+  kDataLoss,
 };
 
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -89,6 +95,9 @@ class Status {
   }
   static Status ProvenanceMismatch(std::string msg) {
     return Status(StatusCode::kProvenanceMismatch, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

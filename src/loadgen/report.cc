@@ -144,12 +144,14 @@ std::string LoadReportJson(const LoadSpec& spec, int64_t swap_period_ms,
                            const LoadSummary& summary,
                            const SloBudget& budget,
                            const SloVerdict& verdict,
-                           const std::string& mode, int64_t threads) {
+                           const std::string& mode, int64_t threads,
+                           int64_t shards) {
   std::string out = "{\n";
   out += "  \"context\": {\"git_revision\": \"" +
          std::string(kGitRevision) + "\", \"privrec_version\": \"" +
          std::string(kVersionString) + "\", \"mode\": \"" + mode +
-         "\", \"threads\": " + std::to_string(threads) + "},\n";
+         "\", \"threads\": " + std::to_string(threads) +
+         ", \"artifact_shards\": " + std::to_string(shards) + "},\n";
 
   out += "  \"spec\": {\"seed\": " + std::to_string(spec.seed) +
          ", \"rps\": " + Num(spec.rps) +

@@ -1,0 +1,155 @@
+#include "serve/sharded_runtime.h"
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/recommendation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace privrec::serve {
+
+namespace {
+
+// Same metric names as ServeRuntime — the two paths are one serve surface
+// and dashboards must not care which routed a request.
+obs::Counter& RequestCounter() {
+  static obs::Counter& c = obs::GetCounter("privrec.serve.requests_total");
+  return c;
+}
+
+obs::Counter& FallbackCounter() {
+  static obs::Counter& c = obs::GetCounter("privrec.serve.fallback_total");
+  return c;
+}
+
+obs::Counter& ShardRoutedCounter() {
+  static obs::Counter& c =
+      obs::GetCounter("privrec.serve.shard_routed_total");
+  return c;
+}
+
+obs::Histogram& RequestLatency() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "privrec.serve.request_ms", obs::LatencyBucketsMs());
+  return h;
+}
+
+}  // namespace
+
+ShardedServeRuntime::ShardedServeRuntime(ServeRuntimeOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SteadyClock::Instance()),
+      runtime_(options) {}
+
+Status ShardedServeRuntime::Activate(const std::string& path) {
+  return runtime_.Activate(path);
+}
+
+ServeResponse ShardedServeRuntime::Handle(const ServeRequest& request) {
+  // Pin once; the delegated path re-acquires, which is fine — both
+  // acquisitions happen-before any swap that could retire this epoch, and
+  // the shared_ptr keeps whichever snapshot each path pinned alive.
+  std::shared_ptr<EpochSnapshot> epoch = runtime_.swapper().AcquireMutable();
+  const int64_t num_users =
+      epoch != nullptr ? epoch->engine.num_users() : 0;
+  bool routable = epoch != nullptr && epoch->engine.shard_count() > 1 &&
+                  epoch->recommender->ConcurrentSafe() &&
+                  request.users.size() > 1 && request.top_n > 0;
+  if (routable) {
+    for (graph::NodeId u : request.users) {
+      if (u < 0 || u >= num_users) {
+        routable = false;  // let the delegate's validation policy apply
+        break;
+      }
+    }
+  }
+  if (!routable) return runtime_.Handle(request);
+
+  PRIVREC_SPAN("serve.request");
+  RequestCounter().Increment();
+  ShardRoutedCounter().Increment();
+  sharded_requests_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t start_ms = clock_->NowMs();
+
+  ServeResponse response;
+  response.epoch = epoch->epoch;
+  response.artifact_seed = epoch->artifact_seed;
+
+  // One admission slot covers the whole request: the sub-batches run
+  // sequentially on this thread, so splitting consumes no extra capacity.
+  const int64_t deadline = start_ms + request.deadline_ms;
+  Result<AdmissionTicket> ticket =
+      runtime_.admission_mutable().Admit(deadline);
+  if (!ticket.ok()) {
+    response.status = ticket.status();
+    response.retry_after_ms =
+        ticket.status().code() == StatusCode::kResourceExhausted
+            ? runtime_.admission().RetryAfterHintMs()
+            : 0;
+    if (options_.degraded_fallback) {
+      const std::vector<double>& row = epoch->engine.global_average();
+      core::RecommendationList list =
+          core::TopNFromDense(row, request.top_n);
+      response.batch.lists.assign(request.users.size(), list);
+      response.batch.degradation.assign(
+          request.users.size(),
+          core::DegradationInfo{core::DegradationReason::kLoadShed});
+      response.batch.report.users_degraded =
+          static_cast<int64_t>(request.users.size());
+      response.degraded_fallback = true;
+      FallbackCounter().Increment();
+    }
+    return response;
+  }
+
+  // Split by owning shard, preserving request order inside each group so
+  // every user's list is computed from exactly the inputs the unsplit
+  // batch would have used.
+  const auto shard_count = static_cast<size_t>(epoch->engine.shard_count());
+  std::vector<std::vector<graph::NodeId>> groups(shard_count);
+  std::vector<std::vector<size_t>> slots(shard_count);
+  for (size_t k = 0; k < request.users.size(); ++k) {
+    const auto s = static_cast<size_t>(
+        epoch->engine.ShardOfUser(request.users[k]));
+    groups[s].push_back(request.users[k]);
+    slots[s].push_back(k);
+  }
+
+  response.batch.lists.resize(request.users.size());
+  response.batch.degradation.resize(request.users.size());
+  bool first_group = true;
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (groups[s].empty()) continue;
+    // ConcurrentSafe — no serve_mu needed, same as ServeFromEpoch.
+    core::RecommendedBatch part =
+        epoch->recommender->Recommend(groups[s], request.top_n);
+    for (size_t j = 0; j < slots[s].size(); ++j) {
+      response.batch.lists[slots[s][j]] = std::move(part.lists[j]);
+      response.batch.degradation[slots[s][j]] = part.degradation[j];
+    }
+    // users_degraded accumulates across sub-batches; the release-shape
+    // counters are per-artifact constants, identical in every sub-batch.
+    response.batch.report.users_degraded += part.report.users_degraded;
+    if (first_group) {
+      response.batch.report.empty_clusters = part.report.empty_clusters;
+      response.batch.report.singleton_clusters =
+          part.report.singleton_clusters;
+      response.batch.report.nonfinite_sanitized =
+          part.report.nonfinite_sanitized;
+      response.batch.report.degenerate_groups =
+          part.report.degenerate_groups;
+      first_group = false;
+    }
+  }
+  ticket->Release();
+
+  RequestLatency().Observe(
+      static_cast<double>(clock_->NowMs() - start_ms));
+  return response;
+}
+
+}  // namespace privrec::serve

@@ -1,0 +1,64 @@
+// ShardedServeRuntime: shard-aware request routing on top of ServeRuntime.
+//
+// A sharded artifact (artifact/shard_layout.h) partitions the release by
+// cluster range, and the serving engine knows which shard owns each user's
+// cluster. This runtime splits a batch by owning shard and serves the
+// sub-batches against the SAME pinned epoch snapshot, then scatters the
+// per-user lists back into request order — so shard locality is preserved
+// (each sub-batch walks one shard's mapped pages) without changing a
+// single served byte. Per-user results are independent in every
+// ConcurrentSafe mechanism, so the regrouping is bit-identical to handing
+// the whole batch to ServeRuntime::Handle; sharded_artifact_test pins
+// that.
+//
+// Everything resilient stays in ServeRuntime: the epoch pin, admission
+// (one slot per request, not per sub-batch), degraded fallback, and the
+// swap/rollback machinery. Requests that cannot be shard-routed — no
+// epoch yet, a 1-shard artifact, a stateful (non-ConcurrentSafe)
+// mechanism whose RNG stream must see the batch exactly once, validation
+// errors, or single-user batches — delegate to ServeRuntime::Handle
+// unchanged.
+
+#ifndef PRIVREC_SERVE_SHARDED_RUNTIME_H_
+#define PRIVREC_SERVE_SHARDED_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/clock.h"
+#include "serve/runtime.h"
+
+namespace privrec::serve {
+
+class ShardedServeRuntime {
+ public:
+  explicit ShardedServeRuntime(ServeRuntimeOptions options);
+
+  // Activates / hot-swaps exactly like ServeRuntime::Activate (monolithic
+  // .pvra and sharded .pvram paths both work — the engine sniffs).
+  Status Activate(const std::string& path);
+
+  // Serves one request; shard-routes when profitable, delegates otherwise.
+  // The response contract is identical to ServeRuntime::Handle.
+  ServeResponse Handle(const ServeRequest& request);
+
+  // The underlying runtime, for swap/admission/breaker introspection.
+  ServeRuntime& runtime() { return runtime_; }
+  const ServeRuntime& runtime() const { return runtime_; }
+
+  // Requests served via the shard-routed path (vs delegated).
+  int64_t sharded_requests() const {
+    return sharded_requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ServeRuntimeOptions options_;
+  const Clock* clock_;
+  ServeRuntime runtime_;
+  std::atomic<int64_t> sharded_requests_{0};
+};
+
+}  // namespace privrec::serve
+
+#endif  // PRIVREC_SERVE_SHARDED_RUNTIME_H_
