@@ -43,6 +43,9 @@
 #include "core/item_cf_recommender.h"
 #include "community/kmeans.h"
 #include "eval/exact_reference.h"
+#include "serve/clock.h"
+#include "serve/runtime.h"
+#include "serve/telemetry.h"
 #include "similarity/adamic_adar.h"
 #include "similarity/common_neighbors.h"
 #include "similarity/graph_distance.h"
@@ -430,6 +433,44 @@ BENCHMARK(BM_ArtifactClusterServeThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8);
+
+// --- Serving-runtime hot path: Handle() with and without the telemetry
+// sink, the pair behind ci/obs_overhead.sh's serve gate. A ManualClock
+// pins time so both variants do identical clock work and no deadline can
+// expire mid-run; the delta is exactly the wide-event fill + sink fold.
+void RunServeHandleBench(benchmark::State& state, bool with_telemetry) {
+  ArtifactFixture& f = SharedArtifactFixture();
+  serve::ManualClock clock;
+  serve::ServeTelemetry telemetry;
+  serve::ServeRuntimeOptions options;
+  options.swap.spec.mechanism = "Cluster";
+  options.swap.spec.epsilon = 0.1;
+  options.clock = &clock;
+  if (with_telemetry) options.telemetry = &telemetry;
+  serve::ServeRuntime runtime(options);
+  Status activated = runtime.Activate(f.path);
+  PRIVREC_CHECK_MSG(activated.ok(), "serve activate failed");
+  serve::ServeRequest request;
+  for (graph::NodeId u = 0; u < 8; ++u) request.users.push_back(u);
+  request.top_n = 20;
+  request.deadline_ms = 1000000;
+  for (auto _ : state) {
+    serve::ServeResponse response = runtime.Handle(request);
+    benchmark::DoNotOptimize(response.batch.lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(request.users.size()));
+}
+
+void BM_ServeHandle(benchmark::State& state) {
+  RunServeHandleBench(state, /*with_telemetry=*/false);
+}
+BENCHMARK(BM_ServeHandle);
+
+void BM_ServeHandleTelemetry(benchmark::State& state) {
+  RunServeHandleBench(state, /*with_telemetry=*/true);
+}
+BENCHMARK(BM_ServeHandleTelemetry);
 
 void BM_ExactRecommendPerUser(benchmark::State& state) {
   RecommenderFixture& f = SharedFixture();

@@ -22,6 +22,12 @@
 //                      [--scratch-dir=serve-load-scratch]
 //                      [--load-shards=K]   # serve sharded .pvram artifacts
 //                                          # through the mmap zero-copy path
+//                      [--telemetry-jsonl=PATH      # wide-event stream
+//                       --telemetry-sample-every=16 --telemetry-slow-ms=100
+//                       --telemetry-window-ms=250
+//                       --telemetry-window-p99-ms=... --telemetry-window-shed-rate=...
+//                       --telemetry-burn-lookback=8 --telemetry-burn-threshold=0.25
+//                       --statusz-out=PATH]         # final statusz page
 //
 // Default mode is the virtual-time simulation: same seed -> same arrival
 // schedule, same shed/expired/degraded counts, same latency histogram,
@@ -50,6 +56,8 @@
 #include "obs/export.h"
 #include "serve/clock.h"
 #include "serve/runtime.h"
+#include "serve/statusz.h"
+#include "serve/telemetry.h"
 #include "similarity/common_neighbors.h"
 
 namespace {
@@ -79,6 +87,7 @@ int main(int argc, char** argv) {
   ObsSession obs_session = ApplyDriverFlags(flags);
   const ServeFlagSettings serve_settings = ApplyServeFlags(flags);
   const LoadFlagSettings load_settings = ApplyLoadFlags(flags);
+  const TelemetryFlagSettings tel_settings = ApplyTelemetryFlags(flags);
   const std::string scratch =
       flags.GetString("scratch-dir", "serve-load-scratch");
   const int64_t load_shards = flags.GetInt("load-shards", 0);
@@ -154,9 +163,19 @@ int main(int argc, char** argv) {
     storm.arm_faults = true;
   }
 
-  // ---- Online side: runtime, oracle, harness.
+  // ---- Online side: runtime, telemetry sink, oracle, harness.
   serve::ManualClock virtual_clock;
+  serve::ServeTelemetryOptions tel_options;
+  tel_options.sample_every = tel_settings.sample_every;
+  tel_options.slow_ms = tel_settings.slow_ms;
+  tel_options.window_ms = tel_settings.window_ms;
+  tel_options.budget.p99_ms = tel_settings.window_p99_ms;
+  tel_options.budget.max_shed_rate = tel_settings.window_shed_rate;
+  tel_options.budget.lookback = tel_settings.burn_lookback;
+  tel_options.budget.burn_threshold = tel_settings.burn_threshold;
+  serve::ServeTelemetry telemetry(tel_options);
   serve::ServeRuntimeOptions options;
+  options.telemetry = &telemetry;
   options.swap.spec.mechanism = "Cluster";
   options.swap.spec.epsilon = kEpsilon;
   options.admission.max_concurrency = serve_settings.max_concurrency;
@@ -198,6 +217,13 @@ int main(int argc, char** argv) {
                                      ? harness.RunWall()
                                      : harness.RunVirtual(&virtual_clock);
 
+  // Close the final partial window on the clock the run actually used;
+  // in virtual mode this makes the window series a pure function of the
+  // schedule.
+  telemetry.Flush(load_settings.wall
+                      ? serve::SteadyClock::Instance()->NowMs()
+                      : virtual_clock.NowMs());
+
   loadgen::SloBudget budget;
   budget.p50_ms = load_settings.slo_p50_ms;
   budget.p99_ms = load_settings.slo_p99_ms;
@@ -206,14 +232,43 @@ int main(int argc, char** argv) {
   budget.max_rollback_rate = load_settings.slo_rollback_rate;
   loadgen::SloVerdict verdict = loadgen::EvaluateSlo(budget, summary);
 
+  loadgen::TelemetryReport tel_report;
+  tel_report.recorded = telemetry.recorded();
+  tel_report.sampled = telemetry.sampled();
+  tel_report.dropped = telemetry.dropped_events();
+  tel_report.sample_every = tel_options.sample_every;
+  tel_report.window_ms = tel_options.window_ms;
+  tel_report.burn_rate = telemetry.burn_rate();
+  tel_report.series = telemetry.series();
+
   const std::string mode = load_settings.wall ? "wall" : "virtual";
   const std::string json = loadgen::LoadReportJson(
       run.load, storm.period_ms, summary, budget, verdict, mode,
-      load_settings.wall ? load_settings.threads : 1, load_shards);
+      load_settings.wall ? load_settings.threads : 1, load_shards,
+      &tel_report);
   if (!load_settings.report.empty()) {
     std::string error;
     if (!obs::WriteTextFile(load_settings.report, json, &error)) {
       std::fprintf(stderr, "report write failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!tel_settings.jsonl.empty()) {
+    std::string error;
+    if (!obs::WriteTextFile(tel_settings.jsonl, telemetry.EventsJsonl(),
+                            &error)) {
+      std::fprintf(stderr, "telemetry jsonl write failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
+  if (!tel_settings.statusz_out.empty()) {
+    std::string error;
+    const serve::RuntimeIntrospection status = runtime.Introspect(
+        load_settings.wall ? -1 : virtual_clock.NowMs());
+    if (!obs::WriteTextFile(tel_settings.statusz_out,
+                            serve::StatuszText(status), &error)) {
+      std::fprintf(stderr, "statusz write failed: %s\n", error.c_str());
       return 1;
     }
   }
@@ -238,6 +293,17 @@ int main(int argc, char** argv) {
                static_cast<long long>(summary.swap_attempts),
                static_cast<long long>(summary.rollbacks),
                summary.shed_rate);
+  std::fprintf(stderr,
+               "  telemetry: recorded=%lld sampled=%lld dropped=%lld | "
+               "windows=%lld breaches=%lld burn_alerts=%lld "
+               "burn_rate=%.4f\n",
+               static_cast<long long>(telemetry.recorded()),
+               static_cast<long long>(telemetry.sampled()),
+               static_cast<long long>(telemetry.dropped_events()),
+               static_cast<long long>(tel_report.series.windows.size()),
+               static_cast<long long>(telemetry.window_breaches()),
+               static_cast<long long>(telemetry.burn_alerts()),
+               telemetry.burn_rate());
   if (!verdict.pass) {
     for (const std::string& failure : verdict.failures) {
       std::fprintf(stderr, "SLO FAIL: %s\n", failure.c_str());

@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# Asserts that the always-on observability layer costs less than
-# OBS_OVERHEAD_PCT (default 3%) on the reconstruction hot loop
-# (BM_ClusterRecommendPerUser), by comparing the default build against a
-# PRIVREC_OBS=OFF build of the same revision.
+# Asserts that observability stays off the hot paths:
+#
+#   1. The always-on obs layer (metrics/tracing) costs less than
+#      OBS_OVERHEAD_PCT (default 3%) on the reconstruction hot loop
+#      (BM_ClusterRecommendPerUser), comparing the default build against
+#      a PRIVREC_OBS=OFF build of the same revision.
+#   2. An attached ServeTelemetry sink costs less than the same threshold
+#      on the serve hot path, comparing BM_ServeHandleTelemetry against
+#      BM_ServeHandle inside the default build (the sink folds one wide
+#      event per request under a single mutex — never per user or per
+#      item).
+#   3. The PRIVREC_OBS=OFF build still runs the full load harness with
+#      telemetry flags: wide events, rolling windows and the JSONL stream
+#      are value types that must keep working with the registry compiled
+#      out.
 #
 # Instrumentation sits at record/release granularity — per chunk, per
-# cluster, per trial — never inside per-element loops, so the real cost is
-# a handful of relaxed atomic adds per recommendation batch. The median of
-# several repetitions keeps the check stable on noisy single-core CI
-# hosts; widen the threshold with OBS_OVERHEAD_PCT if a box is too jittery
-# to resolve 3%.
+# cluster, per trial, per request — never inside per-element loops. The
+# median of several repetitions keeps the check stable on noisy
+# single-core CI hosts; widen the threshold with OBS_OVERHEAD_PCT if a
+# box is too jittery to resolve 3%.
 #
 # Usage: ci/obs_overhead.sh [repetitions]
 set -euo pipefail
@@ -17,16 +27,15 @@ cd "$(dirname "$0")/.."
 
 REPS="${1:-7}"
 THRESHOLD="${OBS_OVERHEAD_PCT:-3}"
-BENCH_FILTER="BM_ClusterRecommendPerUser"
 
 cmake --preset default >/dev/null
 cmake --build --preset default -j"$(nproc)" --target bench_perf_micro
 cmake --preset no-obs >/dev/null
-cmake --build --preset no-obs -j"$(nproc)" --target bench_perf_micro
+cmake --build --preset no-obs -j"$(nproc)" --target bench_perf_micro bench_serve_load
 
-run_median() {
+run_median() {  # run_median <binary> <benchmark name>
   "$1" --threads=1 \
-    "--benchmark_filter=^${BENCH_FILTER}\$" \
+    "--benchmark_filter=^$2\$" \
     "--benchmark_repetitions=${REPS}" \
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json 2>/dev/null |
@@ -40,18 +49,61 @@ for b in doc["benchmarks"]:
 '
 }
 
-ON_NS="$(run_median build/bench/bench_perf_micro)"
-OFF_NS="$(run_median build-noobs/bench/bench_perf_micro)"
-
-python3 - "$ON_NS" "$OFF_NS" "$THRESHOLD" <<'EOF'
+compare() {  # compare <label> <on_ns> <off_ns>
+  python3 - "$1" "$2" "$3" "$THRESHOLD" <<'EOF'
 import sys
-on, off, threshold = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+label, on, off, threshold = sys.argv[1], float(sys.argv[2]), float(sys.argv[3]), float(sys.argv[4])
 overhead = (on - off) / off * 100.0
-print(f"obs on:  {on:.0f} ns/iter")
-print(f"obs off: {off:.0f} ns/iter")
-print(f"overhead: {overhead:+.2f}% (threshold {threshold}%)")
+print(f"[{label}] on:  {on:.0f} ns/iter")
+print(f"[{label}] off: {off:.0f} ns/iter")
+print(f"[{label}] overhead: {overhead:+.2f}% (threshold {threshold}%)")
 if overhead > threshold:
-    print("FAIL: observability overhead exceeds threshold", file=sys.stderr)
+    print(f"FAIL: {label} overhead exceeds threshold", file=sys.stderr)
     sys.exit(1)
 print("OK")
 EOF
+}
+
+# Gate 1: obs layer vs compiled-out, reconstruction hot loop.
+ON_NS="$(run_median build/bench/bench_perf_micro BM_ClusterRecommendPerUser)"
+OFF_NS="$(run_median build-noobs/bench/bench_perf_micro BM_ClusterRecommendPerUser)"
+compare "obs layer" "$ON_NS" "$OFF_NS"
+
+# Gate 2: telemetry sink attached vs detached, serve hot path. Both
+# variants live in the same binary, so one process runs them with
+# randomly interleaved repetitions — frequency/thermal drift between two
+# sequential invocations would otherwise dwarf the effect being gated —
+# and the min over repetitions is compared: scheduler noise is strictly
+# additive, so the minimum is the cleanest estimate of the true cost.
+read -r BARE_NS TEL_NS < <(
+  build/bench/bench_perf_micro --threads=1 \
+    '--benchmark_filter=^BM_ServeHandle(Telemetry)?$' \
+    "--benchmark_repetitions=${REPS}" \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_format=json 2>/dev/null |
+    python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+best = {}
+for b in doc["benchmarks"]:
+    if b.get("run_type") == "iteration":
+        name, t = b["run_name"], b["real_time"]
+        best[name] = min(best.get(name, t), t)
+print(best["BM_ServeHandle"], best["BM_ServeHandleTelemetry"])
+'
+)
+compare "serve telemetry" "$TEL_NS" "$BARE_NS"
+
+# Gate 3: the no-obs build serves the telemetry surface end to end.
+SCRATCH=obs-overhead-scratch
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+build-noobs/bench/bench_serve_load --scratch-dir="$SCRATCH/work" \
+  --load-rps=400 --load-duration-ms=500 --load-seed=7 \
+  --telemetry-jsonl="$SCRATCH/events.jsonl" \
+  --statusz-out="$SCRATCH/statusz.txt" \
+  --load-report="$SCRATCH/report.json" > "$SCRATCH/log.txt" 2>&1
+grep -q '"telemetry": {' "$SCRATCH/report.json"
+grep -q 'privrec serve statusz' "$SCRATCH/statusz.txt"
+rm -rf "$SCRATCH"
+echo "no-obs serve harness: telemetry/statusz surface intact with obs compiled out"

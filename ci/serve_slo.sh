@@ -41,6 +41,7 @@ run_rated() {  # run_rated <tag> <extra args...>
   "$BENCH" --scratch-dir="$SCRATCH/work_$tag" \
     --load-rps=600 --load-duration-ms=2000 --load-seed=7 \
     --load-swap-storm --load-swap-period-ms=250 \
+    --telemetry-jsonl="$SCRATCH/events_$tag.jsonl" \
     --load-report="$SCRATCH/report_$tag.json" "$@" \
     > "$SCRATCH/log_$tag.txt" 2>&1
 }
@@ -57,6 +58,10 @@ if ! diff <(normalize "$SCRATCH/report_det1.json") \
   echo "FAIL: same seed produced different load reports" >&2
   exit 1
 fi
+# The telemetry wide-event stream is part of the determinism contract:
+# sampling is keyed off request ids, time is virtual, so the JSONL file
+# must match byte for byte — no normalization allowed.
+cmp "$SCRATCH/events_det1.jsonl" "$SCRATCH/events_det2.jsonl"
 echo "serve load determinism: two runs bit-identical modulo swap pauses"
 
 # Gate 2: the rated load passes its SLO budgets (measured ~5.4ms p50,
@@ -111,6 +116,37 @@ if ! diff <(normalize "$SCRATCH/report_shards.json") \
   exit 1
 fi
 echo "serve sharded gate: mmap-served load within budgets, deterministic"
+
+# Gate 6: SLO burn-rate alerting. Baseline first: a per-window p99
+# budget with ~2x headroom over the measured window quantiles must stay
+# silent across the whole run — zero alerts on a healthy system is as
+# much a part of the contract as firing on a breach.
+run_rated burn_ok --telemetry-window-p99-ms=40 \
+  --telemetry-burn-lookback=8 --telemetry-burn-threshold=0.25
+python3 - "$SCRATCH/report_burn_ok.json" <<'EOF'
+import json, sys
+tel = json.load(open(sys.argv[1]))["telemetry"]
+assert tel is not None, "telemetry block missing from report"
+assert tel["burn_alerts"] == 0, f"baseline fired {tel['burn_alerts']} burn alerts"
+assert tel["recorded"] > 0 and tel["windows"]["windows"], "no windows recorded"
+EOF
+
+# Then enforcement: an absurd per-window p99 budget must breach every
+# window, push the burn rate through the threshold, and interleave alert
+# lines into the JSONL stream — without failing the run (burn alerts are
+# a paging signal, not the SLO verdict; exit codes stay with --load-slo-*).
+run_rated burn_hot --telemetry-window-p99-ms=0.001 \
+  --telemetry-burn-lookback=8 --telemetry-burn-threshold=0.25
+python3 - "$SCRATCH/report_burn_hot.json" <<'EOF'
+import json, sys
+tel = json.load(open(sys.argv[1]))["telemetry"]
+assert tel["burn_alerts"] > 0, "tight window budget raised no burn alerts"
+assert tel["burn_rate"] > 0.25, f"burn rate {tel['burn_rate']} not above threshold"
+breached = [w for w in tel["windows"]["windows"] if w.get("breach")]
+assert breached, "no window marked as breaching"
+EOF
+grep -q '"type": "alert"' "$SCRATCH/events_burn_hot.jsonl"
+echo "serve burn-rate gate: silent on baseline, alerts on injected breach"
 
 rm -rf "$SCRATCH"
 echo "serve_slo: all gates green"

@@ -36,6 +36,12 @@
 //   --serve-deadline-ms --serve-queue-depth --serve-max-concurrency
 //   --serve-breaker-failures --serve-breaker-cooldown-ms
 //   --serve-reload-period (reload every Nth week; default every week)
+//
+// The runtime also carries the serving-telemetry sink: every request the
+// weekly batches issue lands in the wide-event stream and the rolling SLO
+// windows. --statusz-every=N dumps the live statusz page every N weeks
+// (to --statusz-out=PATH, or stderr when unset); --telemetry-jsonl=PATH
+// writes the sampled wide-event stream on exit.
 
 #include <cstdio>
 #include <string>
@@ -48,7 +54,10 @@
 #include "core/dynamic_recommender.h"
 #include "data/synthetic.h"
 #include "eval/exact_reference.h"
+#include "obs/export.h"
 #include "serve/runtime.h"
+#include "serve/statusz.h"
+#include "serve/telemetry.h"
 
 int main(int argc, char** argv) {
   using namespace privrec;
@@ -63,6 +72,7 @@ int main(int argc, char** argv) {
   const bool serve_stale = flags.GetBool("serve_stale", false);
   const std::string artifact_dir = flags.GetString("artifact-dir", "");
   const ServeFlagSettings serve_settings = ApplyServeFlags(flags);
+  const TelemetryFlagSettings tel_settings = ApplyTelemetryFlags(flags);
   if (!flags.Validate()) return 1;
 
   // The live runtime the quarter's snapshots are hot-swapped into. Weekly
@@ -70,6 +80,15 @@ int main(int argc, char** argv) {
   // graph grows every week, so this stream adopts each artifact's
   // provenance ε and does not pin the dataset fingerprint (a static-
   // dataset deployment would leave pin_graph_hash on).
+  serve::ServeTelemetryOptions tel_options;
+  tel_options.sample_every = tel_settings.sample_every;
+  tel_options.slow_ms = tel_settings.slow_ms;
+  tel_options.window_ms = tel_settings.window_ms;
+  tel_options.budget.p99_ms = tel_settings.window_p99_ms;
+  tel_options.budget.max_shed_rate = tel_settings.window_shed_rate;
+  tel_options.budget.lookback = tel_settings.burn_lookback;
+  tel_options.budget.burn_threshold = tel_settings.burn_threshold;
+  serve::ServeTelemetry telemetry(tel_options);
   serve::ServeRuntimeOptions serve_options;
   serve_options.swap.adopt_artifact_epsilon = true;
   serve_options.swap.pin_graph_hash = false;
@@ -77,7 +96,21 @@ int main(int argc, char** argv) {
   serve_options.admission.max_concurrency = serve_settings.max_concurrency;
   serve_options.breaker.failure_threshold = serve_settings.breaker_failures;
   serve_options.breaker.cooldown_ms = serve_settings.breaker_cooldown_ms;
+  serve_options.telemetry = &telemetry;
   serve::ServeRuntime runtime(serve_options);
+  // Dumps the live statusz page: to --statusz-out (overwritten each time,
+  // like a real /statusz endpoint) or stderr.
+  auto dump_statusz = [&] {
+    const std::string page = serve::StatuszText(runtime.Introspect());
+    if (tel_settings.statusz_out.empty()) {
+      std::fprintf(stderr, "%s", page.c_str());
+      return;
+    }
+    std::string error;
+    if (!obs::WriteTextFile(tel_settings.statusz_out, page, &error)) {
+      std::fprintf(stderr, "statusz write failed: %s\n", error.c_str());
+    }
+  };
   const int64_t reload_every =
       serve_settings.reload_period > 0 ? serve_settings.reload_period : 1;
 
@@ -206,6 +239,10 @@ int main(int argc, char** argv) {
                                                : "");
       }
     }
+    if (tel_settings.statusz_every > 0 &&
+        week % tel_settings.statusz_every == 0) {
+      dump_statusz();
+    }
   }
   if (!artifact_dir.empty()) {
     std::printf("\nserving runtime: %lld swaps, %lld rollbacks, epoch %lld "
@@ -223,5 +260,14 @@ int main(int argc, char** argv) {
       "releases; try --allocation=geometric for a session that never "
       "exhausts but decays instead, or --serve_stale to replay the last "
       "paid release when the budget runs dry.\n");
+  telemetry.Flush(serve::SteadyClock::Instance()->NowMs());
+  if (!tel_settings.jsonl.empty()) {
+    std::string error;
+    if (!obs::WriteTextFile(tel_settings.jsonl, telemetry.EventsJsonl(),
+                            &error)) {
+      std::fprintf(stderr, "telemetry jsonl write failed: %s\n",
+                   error.c_str());
+    }
+  }
   return 0;
 }

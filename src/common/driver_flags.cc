@@ -58,6 +58,26 @@ LoadFlagSettings ApplyLoadFlags(FlagParser& flags) {
   return s;
 }
 
+TelemetryFlagSettings ApplyTelemetryFlags(FlagParser& flags) {
+  TelemetryFlagSettings s;
+  s.sample_every =
+      flags.GetInt("telemetry-sample-every", s.sample_every);
+  s.slow_ms = flags.GetDouble("telemetry-slow-ms", s.slow_ms);
+  s.window_ms = flags.GetInt("telemetry-window-ms", s.window_ms);
+  s.burn_lookback =
+      flags.GetInt("telemetry-burn-lookback", s.burn_lookback);
+  s.burn_threshold =
+      flags.GetDouble("telemetry-burn-threshold", s.burn_threshold);
+  s.window_p99_ms =
+      flags.GetDouble("telemetry-window-p99-ms", s.window_p99_ms);
+  s.window_shed_rate =
+      flags.GetDouble("telemetry-window-shed-rate", s.window_shed_rate);
+  s.jsonl = flags.GetString("telemetry-jsonl", s.jsonl);
+  s.statusz_every = flags.GetInt("statusz-every", s.statusz_every);
+  s.statusz_out = flags.GetString("statusz-out", s.statusz_out);
+  return s;
+}
+
 ObsSession ObsSession::FromFlags(FlagParser& flags) {
   ObsSession session;
   session.metrics_json_path_ = flags.GetString("metrics-json", "");

@@ -102,6 +102,27 @@ struct LoadFlagSettings {
 
 LoadFlagSettings ApplyLoadFlags(FlagParser& flags);
 
+// Serving-telemetry knobs (wide-event sampling, rolling SLO windows,
+// burn-rate alerting, statusz dumps) for drivers that attach a
+// serve::ServeTelemetry sink. Plain scalars for the usual layering
+// reason (common must not depend on serve); drivers copy them into
+// serve::ServeTelemetryOptions / obs::WindowBudget. Negative window
+// budgets mean "not enforced".
+struct TelemetryFlagSettings {
+  int64_t sample_every = 16;        // --telemetry-sample-every
+  double slow_ms = 100.0;           // --telemetry-slow-ms
+  int64_t window_ms = 250;          // --telemetry-window-ms
+  int64_t burn_lookback = 8;        // --telemetry-burn-lookback
+  double burn_threshold = 0.25;     // --telemetry-burn-threshold
+  double window_p99_ms = -1.0;      // --telemetry-window-p99-ms
+  double window_shed_rate = -1.0;   // --telemetry-window-shed-rate
+  std::string jsonl;                // --telemetry-jsonl ("" = none)
+  int64_t statusz_every = 0;        // --statusz-every (0 = off)
+  std::string statusz_out;          // --statusz-out ("" = stderr)
+};
+
+TelemetryFlagSettings ApplyTelemetryFlags(FlagParser& flags);
+
 }  // namespace privrec
 
 #endif  // PRIVREC_COMMON_DRIVER_FLAGS_H_

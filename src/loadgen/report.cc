@@ -1,8 +1,6 @@
 #include "loadgen/report.h"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cstdio>
 
 #include "common/version.h"
 #include "obs/export.h"
@@ -12,32 +10,11 @@ namespace privrec::loadgen {
 
 namespace {
 
-// Same shortest-round-trip policy as the obs exporters: integral values
-// without an exponent, everything else with %.17g.
-std::string Num(double x) {
-  char buf[64];
-  if (x == static_cast<double>(static_cast<int64_t>(x)) && x > -1e15 &&
-      x < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(x));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.17g", x);
-  }
-  return buf;
-}
-
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out += c;
-  }
-  return out;
-}
+// One JSON scalar policy for the whole tree: the obs exporters own the
+// shortest-round-trip number format and the escaping table; the report
+// just borrows them under the short local names.
+std::string Num(double x) { return obs::JsonNumber(x); }
+std::string Escape(const std::string& s) { return obs::JsonEscape(s); }
 
 std::string LatencyBlock(const LatencyRecorder& r) {
   return "{\"count\": " + std::to_string(r.count()) +
@@ -145,7 +122,8 @@ std::string LoadReportJson(const LoadSpec& spec, int64_t swap_period_ms,
                            const SloBudget& budget,
                            const SloVerdict& verdict,
                            const std::string& mode, int64_t threads,
-                           int64_t shards) {
+                           int64_t shards,
+                           const TelemetryReport* telemetry) {
   std::string out = "{\n";
   out += "  \"context\": {\"git_revision\": \"" +
          std::string(kGitRevision) + "\", \"privrec_version\": \"" +
@@ -214,7 +192,25 @@ std::string LoadReportJson(const LoadSpec& spec, int64_t swap_period_ms,
     if (i > 0) out += ", ";
     out += "\"" + Escape(verdict.failures[i]) + "\"";
   }
-  out += "]}\n}\n";
+  out += "]},\n";
+
+  out += "  \"telemetry\": ";
+  if (telemetry != nullptr) {
+    out += "{\"recorded\": " + std::to_string(telemetry->recorded) +
+           ", \"sampled\": " + std::to_string(telemetry->sampled) +
+           ", \"dropped\": " + std::to_string(telemetry->dropped) +
+           ", \"sample_every\": " +
+           std::to_string(telemetry->sample_every) +
+           ", \"window_ms\": " + std::to_string(telemetry->window_ms) +
+           ", \"burn_rate\": " + Num(telemetry->burn_rate) +
+           ", \"burn_alerts\": " +
+           std::to_string(telemetry->series.alerts.size()) +
+           ", \"windows\": " + obs::WindowSeriesToJson(telemetry->series) +
+           "}";
+  } else {
+    out += "null";
+  }
+  out += "\n}\n";
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "loadgen/schedule.h"
+#include "obs/rolling_window.h"
 #include "obs/snapshot.h"
 
 namespace privrec::loadgen {
@@ -109,17 +110,33 @@ struct SloVerdict {
 SloVerdict EvaluateSlo(const SloBudget& budget,
                        const LoadSummary& summary);
 
+// Telemetry side of the report: wide-event accounting plus the
+// closed-window trajectory (rps / shed rate / quantiles per window) and
+// burn-rate alerts, copied out of a serve::ServeTelemetry sink after the
+// run is flushed. Optional — a null pointer renders "telemetry": null.
+struct TelemetryReport {
+  int64_t recorded = 0;        // every request seen by the sink
+  int64_t sampled = 0;         // wide events kept by the sampler
+  int64_t dropped = 0;         // events past the in-memory cap
+  int64_t sample_every = 16;   // 1-in-K policy the run used
+  int64_t window_ms = 250;     // rolling-window width
+  double burn_rate = 0.0;      // final burn rate after the last window
+  obs::WindowSeries series;    // closed windows + alerts
+};
+
 // Renders the full BENCH_serve.json document. `mode` is "virtual" or
 // "wall"; `threads` the request-thread count (1 for virtual);
 // swap_period_ms <= 0 means the storm was off. `shards` is the
 // artifact layout the run served: 0 for monolithic .pvra, K > 0 for a
-// K-shard .pvram set over the mmap zero-copy path.
+// K-shard .pvram set over the mmap zero-copy path. `telemetry`, when
+// non-null, adds the per-window SLO trajectory and alert list.
 std::string LoadReportJson(const LoadSpec& spec, int64_t swap_period_ms,
                            const LoadSummary& summary,
                            const SloBudget& budget,
                            const SloVerdict& verdict,
                            const std::string& mode, int64_t threads,
-                           int64_t shards = 0);
+                           int64_t shards = 0,
+                           const TelemetryReport* telemetry = nullptr);
 
 }  // namespace privrec::loadgen
 

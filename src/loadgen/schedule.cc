@@ -56,6 +56,10 @@ std::vector<ScheduledRequest> BuildSchedule(const LoadSpec& spec) {
     r.request.deadline_ms = shape.Bernoulli(spec.short_fraction)
                                 ? spec.deadline_short_ms
                                 : spec.deadline_long_ms;
+    // Wide-event id = 1-based schedule index: a property of the
+    // schedule, not of execution order, so the sampled-event set is
+    // identical in virtual and wall mode at every thread count.
+    r.request.request_id = static_cast<uint64_t>(schedule.size()) + 1;
     schedule.push_back(std::move(r));
   }
   return schedule;

@@ -9,12 +9,7 @@
 
 namespace privrec::obs {
 
-namespace {
-
-// Shortest-round-trip-safe formatting: integral values print without an
-// exponent, everything else with enough digits to reconstruct the double
-// bit-exactly (ε accounting must survive the JSON round trip).
-std::string FormatJsonDouble(double x) {
+std::string JsonNumber(double x) {
   char buf[64];
   if (x == static_cast<double>(static_cast<int64_t>(x)) &&
       x > -1e15 && x < 1e15) {
@@ -46,7 +41,11 @@ std::string JsonEscape(const std::string& s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          // The cast matters: a plain (signed) char would sign-extend
+          // and print "￿ff9f"-style garbage for high-bit bytes.
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -56,11 +55,11 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
 double HistogramQuantile(const HistogramSample& sample, double q) {
   if (sample.count <= 0 || sample.counts.empty()) return 0.0;
-  q = std::min(1.0, std::max(0.0, q));
+  // Clamp NaN-safely: !(q >= 0) catches both negatives and NaN.
+  if (!(q >= 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   // Rank of the target observation (1-based, rounded up: p999 of 1000
   // observations is the 999th).
   const double rank =
@@ -110,13 +109,13 @@ void MetricsToTable(const MetricsSnapshot& snapshot, std::ostream& out) {
   }
   for (const GaugeSample& g : snapshot.gauges) {
     out << std::left << std::setw(static_cast<int>(width)) << g.name
-        << "  " << FormatJsonDouble(g.value) << "\n";
+        << "  " << JsonNumber(g.value) << "\n";
   }
   for (const HistogramSample& h : snapshot.histograms) {
     out << std::left << std::setw(static_cast<int>(width)) << h.name
-        << "  count=" << h.count << " sum=" << FormatJsonDouble(h.sum)
+        << "  count=" << h.count << " sum=" << JsonNumber(h.sum)
         << " mean="
-        << FormatJsonDouble(h.count > 0
+        << JsonNumber(h.count > 0
                                 ? h.sum / static_cast<double>(h.count)
                                 : 0.0)
         << "\n";
@@ -140,7 +139,7 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + JsonEscape(g.name) +
-           "\": " + FormatJsonDouble(g.value);
+           "\": " + JsonNumber(g.value);
   }
   out += first ? "},\n" : "\n  },\n";
 
@@ -152,7 +151,7 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
     out += "    \"" + JsonEscape(h.name) + "\": {\"bounds\": [";
     for (size_t i = 0; i < h.bounds.size(); ++i) {
       if (i > 0) out += ", ";
-      out += FormatJsonDouble(h.bounds[i]);
+      out += JsonNumber(h.bounds[i]);
     }
     out += "], \"counts\": [";
     for (size_t i = 0; i < h.counts.size(); ++i) {
@@ -160,7 +159,7 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
       out += std::to_string(h.counts[i]);
     }
     out += "], \"count\": " + std::to_string(h.count) +
-           ", \"sum\": " + FormatJsonDouble(h.sum) + "}";
+           ", \"sum\": " + JsonNumber(h.sum) + "}";
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
@@ -175,13 +174,17 @@ std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
     first = false;
     out += "  {\"name\": \"" + JsonEscape(s.name) +
            "\", \"cat\": \"privrec\", \"ph\": \"X\", \"ts\": " +
-           FormatJsonDouble(static_cast<double>(s.start_ns) / 1e3) +
+           JsonNumber(static_cast<double>(s.start_ns) / 1e3) +
            ", \"dur\": " +
-           FormatJsonDouble(static_cast<double>(s.duration_ns) / 1e3) +
+           JsonNumber(static_cast<double>(s.duration_ns) / 1e3) +
            ", \"pid\": 1, \"tid\": " + std::to_string(s.thread_id);
     out += ", \"args\": {\"depth\": " + std::to_string(s.depth);
     if (s.chunk >= 0) {
       out += ", \"chunk\": " + std::to_string(s.chunk);
+    }
+    for (const auto& [key, value] : s.args) {
+      out += ", \"" + JsonEscape(key) + "\": \"" + JsonEscape(value) +
+             "\"";
     }
     out += "}}";
   }

@@ -31,8 +31,20 @@ void MetricsToTable(const MetricsSnapshot& snapshot, std::ostream& out);
 // non-negative observations (latencies), by linear interpolation inside
 // the bucket holding the target rank. Observations in the overflow bucket
 // cannot be interpolated; a quantile landing there reports the last
-// bound. Returns 0 for an empty sample.
+// bound. Returns 0 for an empty sample. q is clamped into [0, 1]; a NaN
+// q reads as 0 (the minimum) rather than poisoning the scan.
 double HistogramQuantile(const HistogramSample& sample, double q);
+
+// The JSON emission conventions every privrec exporter shares, public so
+// the wide-event / window / load-report emitters produce byte-identical
+// formatting:
+//   JsonNumber — shortest-round-trip doubles: integral values print
+//     without an exponent, everything else with %.17g (ε accounting must
+//     survive the JSON round trip).
+//   JsonEscape — escapes quotes, backslashes and control characters for
+//     embedding arbitrary strings (span args, alert reasons) in JSON.
+std::string JsonNumber(double x);
+std::string JsonEscape(const std::string& s);
 
 std::string MetricsToJson(const MetricsSnapshot& snapshot);
 

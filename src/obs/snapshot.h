@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace privrec::obs {
@@ -56,6 +57,10 @@ struct SpanRecord {
   int64_t depth = 0;
   // Chunk index from the parallel layer, or -1 outside chunked regions.
   int64_t chunk = -1;
+  // Key/value annotations attached via SpanScope::Arg (request id, epoch,
+  // shard ids, ...), exported verbatim into the Chrome trace "args" block
+  // so traces link to the wide-event JSONL stream.
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 }  // namespace privrec::obs

@@ -95,6 +95,7 @@ SpanScope::~SpanScope() {
   record.thread_id = buffer_->thread_id;
   record.depth = --buffer_->depth;
   record.chunk = chunk_;
+  record.args = std::move(args_);
   std::lock_guard<std::mutex> lock(buffer_->mu);
   buffer_->records.push_back(std::move(record));
 }

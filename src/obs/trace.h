@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/snapshot.h"
@@ -75,11 +76,21 @@ class SpanScope {
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
 
+  // Attaches a key/value annotation to this span (request id, epoch,
+  // shard ids, ...). No-op when tracing was off at entry, so the
+  // disabled-path cost of an annotated span stays one relaxed load plus
+  // one branch per Arg.
+  void Arg(const char* key, std::string value) {
+    if (name_ == nullptr) return;
+    args_.emplace_back(key, std::move(value));
+  }
+
  private:
   const char* name_ = nullptr;  // null when tracing was off at entry
   int64_t start_ns_ = 0;
   int64_t chunk_ = -1;
   internal::ThreadSpanBuffer* buffer_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> args_;
 };
 
 #define PRIVREC_OBS_CONCAT_INNER_(a, b) a##b
@@ -104,6 +115,16 @@ class Tracer {
   bool enabled() const { return false; }
   void Clear() {}
   std::vector<SpanRecord> Snapshot() const { return {}; }
+};
+
+// No-op span shell so runtime code can hold a named SpanScope (and call
+// Arg on it) unconditionally; everything folds to nothing.
+class SpanScope {
+ public:
+  explicit SpanScope(const char*, int64_t = -1) {}
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  void Arg(const char*, const std::string&) {}
 };
 
 #define PRIVREC_SPAN(name) ((void)0)

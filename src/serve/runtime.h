@@ -20,6 +20,7 @@
 #ifndef PRIVREC_SERVE_RUNTIME_H_
 #define PRIVREC_SERVE_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -28,12 +29,16 @@
 
 #include "core/degradation.h"
 #include "graph/ids.h"
+#include "obs/wide_event.h"
 #include "serve/admission.h"
 #include "serve/circuit_breaker.h"
 #include "serve/clock.h"
 #include "serve/swapper.h"
 
 namespace privrec::serve {
+
+class ServeTelemetry;
+struct RuntimeIntrospection;
 
 struct ServeRuntimeOptions {
   SwapPolicy swap;
@@ -45,6 +50,9 @@ struct ServeRuntimeOptions {
   // Null = SteadyClock; tests inject a ManualClock shared with the
   // admission controller and the breaker.
   const Clock* clock = nullptr;
+  // Optional per-request telemetry sink (serve/telemetry.h), not owned;
+  // must outlive the runtime. Null = no wide events.
+  ServeTelemetry* telemetry = nullptr;
 };
 
 struct ServeRequest {
@@ -53,6 +61,11 @@ struct ServeRequest {
   // Relative deadline budget, measured on the runtime's clock from the
   // moment Handle() is entered.
   int64_t deadline_ms = 1000;
+  // Wide-event identity: 0 lets the runtime assign the next id from its
+  // sequence; nonzero ids (the load harness stamps schedule indices) are
+  // taken verbatim so sampled-event sets reproduce across runs, modes,
+  // and thread counts.
+  uint64_t request_id = 0;
 };
 
 struct ServeResponse {
@@ -69,6 +82,9 @@ struct ServeResponse {
   bool degraded_fallback = false;
   // Nonzero on kResourceExhausted: hint for when to retry.
   int64_t retry_after_ms = 0;
+  // The id this request was served under (assigned or taken from the
+  // request) — the join key into the wide-event JSONL stream.
+  uint64_t request_id = 0;
 };
 
 // One in-flight request on the non-blocking serve path (see
@@ -90,6 +106,10 @@ struct AsyncServe {
   bool done = false;
   // True once a slot has been granted and the ticket taken.
   bool admitted = false;
+  // Wide event under construction; emitted to the runtime's telemetry
+  // sink exactly once, at whichever point `done` becomes true.
+  obs::RequestTelemetry telemetry;
+  bool telemetry_emitted = false;
 };
 
 class ServeRuntime {
@@ -139,6 +159,22 @@ class ServeRuntime {
   // PurgeExpired() between arrivals.
   AdmissionController& admission_mutable() { return admission_; }
 
+  const Clock* clock() const { return clock_; }
+  const ServeTelemetry* telemetry() const { return options_.telemetry; }
+
+  // Live status snapshot (serve/statusz.h renders it as text or JSON):
+  // pinned epoch identity, shard map, breaker/admission state, ε gauges,
+  // telemetry windows. `now_ms` < 0 reads the runtime's clock.
+  RuntimeIntrospection Introspect(int64_t now_ms = -1) const;
+
+  // Resolves the wide-event id for a request: the request's own id when
+  // nonzero, else the next value of the runtime's sequence. Public so
+  // composing runtimes (sharded routing) share one id space.
+  uint64_t ResolveRequestId(const ServeRequest& request) {
+    if (request.request_id != 0) return request.request_id;
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
  private:
   ServeResponse Fallback(Status status,
                          const std::shared_ptr<EpochSnapshot>& epoch,
@@ -146,12 +182,18 @@ class ServeRuntime {
                          int64_t retry_after_ms);
   void ServeFromEpoch(EpochSnapshot& epoch, const ServeRequest& request,
                       ServeResponse* response);
+  // Finalizes and hands the wide event to the telemetry sink (no-op when
+  // no sink is configured).
+  void EmitTelemetry(obs::RequestTelemetry& event,
+                     const ServeResponse& response);
+  void EmitAsyncTelemetry(AsyncServe& op);
 
   ServeRuntimeOptions options_;
   const Clock* clock_;
   ArtifactSwapper swapper_;
   AdmissionController admission_;
   CircuitBreaker reload_breaker_;
+  std::atomic<uint64_t> next_request_id_{0};
 };
 
 }  // namespace privrec::serve

@@ -8,6 +8,7 @@
 #include "core/recommendation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/telemetry.h"
 
 namespace privrec::serve {
 
@@ -69,21 +70,41 @@ ServeResponse ShardedServeRuntime::Handle(const ServeRequest& request) {
   }
   if (!routable) return runtime_.Handle(request);
 
-  PRIVREC_SPAN("serve.request");
+  obs::SpanScope span("serve.request");
   RequestCounter().Increment();
   ShardRoutedCounter().Increment();
   sharded_requests_.fetch_add(1, std::memory_order_relaxed);
   const int64_t start_ms = clock_->NowMs();
+  const uint64_t request_id = runtime_.ResolveRequestId(request);
+  span.Arg("request_id", std::to_string(request_id));
+  span.Arg("epoch", std::to_string(epoch->epoch));
+
+  obs::RequestTelemetry event;
+  event.request_id = request_id;
+  event.arrival_ms = start_ms;
+  event.users = static_cast<int64_t>(request.users.size());
+  event.top_n = request.top_n;
+  event.deadline_ms = request.deadline_ms;
+  event.shard_count = epoch->engine.shard_count();
 
   ServeResponse response;
+  response.request_id = request_id;
   response.epoch = epoch->epoch;
   response.artifact_seed = epoch->artifact_seed;
+
+  // Hands the finished event to the shared sink (no-op without one).
+  auto emit = [&] {
+    if (options_.telemetry == nullptr) return;
+    FinalizeRequestTelemetry(event, response, clock_->NowMs());
+    options_.telemetry->Record(event);
+  };
 
   // One admission slot covers the whole request: the sub-batches run
   // sequentially on this thread, so splitting consumes no extra capacity.
   const int64_t deadline = start_ms + request.deadline_ms;
   Result<AdmissionTicket> ticket =
       runtime_.admission_mutable().Admit(deadline);
+  event.queue_wait_ms = clock_->NowMs() - start_ms;
   if (!ticket.ok()) {
     response.status = ticket.status();
     response.retry_after_ms =
@@ -103,12 +124,14 @@ ServeResponse ShardedServeRuntime::Handle(const ServeRequest& request) {
       response.degraded_fallback = true;
       FallbackCounter().Increment();
     }
+    emit();
     return response;
   }
 
   // Split by owning shard, preserving request order inside each group so
   // every user's list is computed from exactly the inputs the unsplit
   // batch would have used.
+  const int64_t route_start_ms = clock_->NowMs();
   const auto shard_count = static_cast<size_t>(epoch->engine.shard_count());
   std::vector<std::vector<graph::NodeId>> groups(shard_count);
   std::vector<std::vector<size_t>> slots(shard_count);
@@ -122,11 +145,18 @@ ServeResponse ShardedServeRuntime::Handle(const ServeRequest& request) {
   response.batch.lists.resize(request.users.size());
   response.batch.degradation.resize(request.users.size());
   bool first_group = true;
+  double reconstruct_ms = 0.0;
+  std::string shard_list;
   for (size_t s = 0; s < shard_count; ++s) {
     if (groups[s].empty()) continue;
+    event.shards_touched.push_back(static_cast<int64_t>(s));
+    if (!shard_list.empty()) shard_list += ',';
+    shard_list += std::to_string(s);
     // ConcurrentSafe — no serve_mu needed, same as ServeFromEpoch.
+    const int64_t part_start_ms = clock_->NowMs();
     core::RecommendedBatch part =
         epoch->recommender->Recommend(groups[s], request.top_n);
+    reconstruct_ms += static_cast<double>(clock_->NowMs() - part_start_ms);
     for (size_t j = 0; j < slots[s].size(); ++j) {
       response.batch.lists[slots[s][j]] = std::move(part.lists[j]);
       response.batch.degradation[slots[s][j]] = part.degradation[j];
@@ -146,9 +176,15 @@ ServeResponse ShardedServeRuntime::Handle(const ServeRequest& request) {
     }
   }
   ticket->Release();
+  span.Arg("shards", shard_list);
 
-  RequestLatency().Observe(
-      static_cast<double>(clock_->NowMs() - start_ms));
+  const int64_t end_ms = clock_->NowMs();
+  event.reconstruct_ms = reconstruct_ms;
+  // Route time = split/scatter overhead around the recommender calls.
+  event.route_ms =
+      static_cast<double>(end_ms - route_start_ms) - reconstruct_ms;
+  RequestLatency().Observe(static_cast<double>(end_ms - start_ms));
+  emit();
   return response;
 }
 

@@ -52,6 +52,10 @@ class ShardedServeRuntime {
     return sharded_requests_.load(std::memory_order_relaxed);
   }
 
+  // Live status snapshot (serve/statusz.h): the underlying runtime's
+  // introspection plus the shard-routed request count.
+  RuntimeIntrospection Introspect(int64_t now_ms = -1) const;
+
  private:
   ServeRuntimeOptions options_;
   const Clock* clock_;

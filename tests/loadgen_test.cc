@@ -22,10 +22,13 @@
 
 #include "artifact/builder.h"
 #include "artifact/model_io.h"
+#include "common/parallel.h"
 #include "community/louvain.h"
 #include "data/synthetic.h"
+#include "obs/rolling_window.h"
 #include "serve/clock.h"
 #include "serve/runtime.h"
+#include "serve/telemetry.h"
 #include "similarity/common_neighbors.h"
 
 namespace privrec {
@@ -344,6 +347,59 @@ TEST_F(LoadHarnessTest, RunVirtualIsDeterministicAcrossFreshRuntimes) {
   EXPECT_EQ(first.latency.count(), second.latency.count());
   EXPECT_DOUBLE_EQ(first.latency.Quantile(0.99),
                    second.latency.Quantile(0.99));
+}
+
+// The tentpole determinism gate in miniature: a virtual-time run with a
+// telemetry sink attached reproduces the JSONL wide-event stream and the
+// rolling-window series byte for byte — across fresh runtimes AND across
+// worker thread counts (the sink never reads a clock or RNG; time enters
+// only through the events).
+TEST_F(LoadHarnessTest, TelemetryStreamIsByteIdenticalAcrossRunsAndThreads) {
+  const std::string path = BuildArtifact("a.pvra", 101);
+
+  struct Capture {
+    std::string jsonl;
+    std::string series;
+    int64_t recorded = 0;
+    int64_t sampled = 0;
+  };
+  auto run_once = [&](int64_t threads) -> Capture {
+    ScopedThreadCount scoped(threads);
+    serve::ManualClock clock;
+    serve::ServeTelemetryOptions tel_options;
+    tel_options.sample_every = 16;
+    tel_options.slow_ms = 50.0;
+    tel_options.window_ms = 100;
+    tel_options.budget.p99_ms = 20.0;
+    tel_options.budget.lookback = 4;
+    tel_options.budget.burn_threshold = 0.25;
+    serve::ServeTelemetry telemetry(tel_options);
+    serve::ServeRuntimeOptions options = RuntimeOptions(&clock);
+    options.telemetry = &telemetry;
+    serve::ServeRuntime runtime(options);
+    EXPECT_TRUE(runtime.Activate(path).ok());
+    LoadHarness harness(&runtime, /*oracle=*/nullptr, RunOptions());
+    (void)harness.RunVirtual(&clock);
+    telemetry.Flush(clock.NowMs());
+    return {telemetry.EventsJsonl(),
+            obs::WindowSeriesToJson(telemetry.series()),
+            telemetry.recorded(), telemetry.sampled()};
+  };
+
+  const Capture first = run_once(1);
+  const Capture second = run_once(1);
+  const Capture threaded = run_once(2);
+
+  EXPECT_GT(first.recorded, 0);
+  EXPECT_GT(first.sampled, 0);
+  EXPECT_LT(first.sampled, first.recorded);  // sampling actually thins
+  EXPECT_FALSE(first.jsonl.empty());
+  EXPECT_EQ(first.jsonl, second.jsonl);
+  EXPECT_EQ(first.series, second.series);
+  EXPECT_EQ(first.jsonl, threaded.jsonl);
+  EXPECT_EQ(first.series, threaded.series);
+  EXPECT_EQ(first.recorded, threaded.recorded);
+  EXPECT_EQ(first.sampled, threaded.sampled);
 }
 
 TEST_F(LoadHarnessTest, OverloadedRunShedsWithLoadAwareHints) {

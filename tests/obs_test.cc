@@ -7,6 +7,9 @@
 // stays green in a PRIVREC_OBS=OFF build (where the no-op shells always
 // report zero and exporters emit empty documents).
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -25,7 +28,9 @@
 #include "data/synthetic.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/rolling_window.h"
 #include "obs/trace.h"
+#include "obs/wide_event.h"
 #include "similarity/common_neighbors.h"
 #include "similarity/workload.h"
 
@@ -305,6 +310,316 @@ TEST(ExportTest, JsonEscapesSpecialCharacters) {
   snapshot.counters.push_back({"bad\"name\\with\nnewline", 1});
   std::string json = obs::MetricsToJson(snapshot);
   EXPECT_NE(json.find("bad\\\"name\\\\with\\nnewline"), std::string::npos);
+}
+
+TEST(ExportTest, HistogramQuantileGuardsNanAndOutOfRange) {
+  obs::HistogramSample s;
+  s.bounds = {1.0, 10.0};
+  s.counts = {5, 5, 0};
+  s.count = 10;
+  s.sum = 30.0;
+  // Negative and NaN q both clamp to 0; q > 1 clamps to 1.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, -0.5),
+                   obs::HistogramQuantile(s, 0.0));
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, std::nan("")),
+                   obs::HistogramQuantile(s, 0.0));
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 2.0),
+                   obs::HistogramQuantile(s, 1.0));
+  // Empty sample reads as 0 at every q.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(obs::HistogramSample{}, 0.5),
+                   0.0);
+}
+
+TEST(ExportTest, HistogramQuantileExactRankAtBucketBoundary) {
+  // 10 observations, 5 in (0,1] and 5 in (1,10]: the rank-5 observation
+  // (q=0.5) is the last of bucket 0, so interpolation lands exactly on
+  // the shared bucket edge; rank 6 (q=0.6) steps into the next bucket.
+  obs::HistogramSample s;
+  s.bounds = {1.0, 10.0};
+  s.counts = {5, 5, 0};
+  s.count = 10;
+  s.sum = 30.0;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.6),
+                   1.0 + (10.0 - 1.0) * (1.0 / 5.0));
+  // All mass in the overflow bucket: no upper edge, report the last bound.
+  obs::HistogramSample overflow;
+  overflow.bounds = {1.0, 10.0};
+  overflow.counts = {0, 0, 3};
+  overflow.count = 3;
+  overflow.sum = 300.0;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(overflow, 0.99), 10.0);
+}
+
+TEST(ExportTest, HistogramQuantileBracketsBruteForceOracle) {
+  // Oracle check on the serving grid: fold a deterministic sample into
+  // the histogram, sort the same values exactly, and require the
+  // interpolated quantile to land inside the bucket holding the true
+  // rank-statistic.
+  const std::vector<double> bounds = obs::LatencyBucketsMs();
+  obs::HistogramSample s;
+  s.bounds = bounds;
+  s.counts.assign(bounds.size() + 1, 0);
+  std::vector<double> values;
+  uint64_t x = 42;
+  for (int i = 0; i < 500; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double v =
+        static_cast<double>(x >> 40) / 16777216.0 * 200.0;  // [0, 200)
+    values.push_back(v);
+    const size_t b = static_cast<size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), v) -
+        bounds.begin());
+    ++s.counts[b];
+    ++s.count;
+    s.sum += v;
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const size_t rank = static_cast<size_t>(std::max(
+        1.0, std::ceil(q * static_cast<double>(values.size()))));
+    const double exact = values[rank - 1];
+    const size_t b = static_cast<size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), exact) -
+        bounds.begin());
+    ASSERT_LT(b, bounds.size()) << "oracle value fell off the grid";
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    const double estimate = obs::HistogramQuantile(s, q);
+    EXPECT_GE(estimate, lo) << "q=" << q;
+    EXPECT_LE(estimate, hi) << "q=" << q;
+  }
+}
+
+TEST(ExportTest, ChromeTraceSpanArgsGolden) {
+  std::vector<obs::SpanRecord> spans;
+  spans.push_back({"serve.request", 1000, 5000, 0, 0, -1});
+  spans.back().args = {{"request_id", "17"}, {"ba\"d", "line\nbreak"}};
+  EXPECT_EQ(obs::SpansToChromeTrace(spans),
+            "{\"traceEvents\": [\n"
+            "  {\"name\": \"serve.request\", \"cat\": \"privrec\", "
+            "\"ph\": \"X\", \"ts\": 1, \"dur\": 5, \"pid\": 1, "
+            "\"tid\": 0, \"args\": {\"depth\": 0, "
+            "\"request_id\": \"17\", \"ba\\\"d\": \"line\\nbreak\"}}\n"
+            "],\n"
+            "\"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(ExportTest, JsonEscapeControlCharactersAreUnicodeEscaped) {
+  // Bytes below 0x20 must come out as \u00XX even when char is signed —
+  // the cast chain must not sign-extend.
+  EXPECT_EQ(obs::JsonEscape("a" + std::string(1, '\x01') + "b"),
+            "a\\u0001b");
+  EXPECT_EQ(obs::JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(obs::JsonEscape("q\"b\\s"), "q\\\"b\\\\s");
+}
+
+TEST(TracerTest, SpanScopeArgsReachTheSnapshot) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::Tracer::Instance().Clear();
+  obs::Tracer::Instance().SetEnabled(true);
+  {
+    obs::SpanScope span("test.args_span");
+    span.Arg("request_id", "99");
+    span.Arg("epoch", "4");
+  }
+  obs::Tracer::Instance().SetEnabled(false);
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Instance().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[0].first, "request_id");
+  EXPECT_EQ(spans[0].args[0].second, "99");
+  EXPECT_EQ(spans[0].args[1].first, "epoch");
+  EXPECT_EQ(spans[0].args[1].second, "4");
+  obs::Tracer::Instance().Clear();
+}
+
+// ------------------------------------------------------------ Wide events
+
+obs::RequestTelemetry GoldenEvent() {
+  obs::RequestTelemetry event;
+  event.request_id = 7;
+  event.arrival_ms = 100;
+  event.resolve_ms = 106;
+  event.latency_ms = 6.5;
+  event.outcome = obs::RequestOutcome::kOk;
+  event.admission = obs::AdmissionOutcome::kQueued;
+  event.queue_wait_ms = 1;
+  event.route_ms = 0.5;
+  event.reconstruct_ms = 4.0;
+  event.epoch = 3;
+  event.artifact_seed = 42;
+  event.shard_count = 2;
+  event.shards_touched = {0, 1};
+  event.users = 4;
+  event.top_n = 10;
+  event.deadline_ms = 400;
+  event.degraded = false;
+  event.users_degraded = 0;
+  event.retry_after_ms = 0;
+  return event;
+}
+
+TEST(WideEventTest, JsonGolden) {
+  EXPECT_EQ(obs::RequestTelemetryToJson(GoldenEvent()),
+            "{\"type\": \"request\", \"id\": 7, \"arrival_ms\": 100, "
+            "\"resolve_ms\": 106, \"latency_ms\": 6.5, "
+            "\"outcome\": \"ok\", \"admission\": \"queued\", "
+            "\"queue_ms\": 1, \"route_ms\": 0.5, "
+            "\"reconstruct_ms\": 4, \"epoch\": 3, \"artifact_seed\": 42, "
+            "\"shard_count\": 2, \"shards\": [0, 1], \"users\": 4, "
+            "\"top_n\": 10, \"deadline_ms\": 400, \"degraded\": false, "
+            "\"users_degraded\": 0, \"retry_after_ms\": 0}");
+}
+
+TEST(WideEventTest, SamplingKeepsEveryInterestingRequest) {
+  obs::WideEventSampling sampling;  // 1-in-16, slow at 100 ms
+  obs::RequestTelemetry event = GoldenEvent();
+  event.outcome = obs::RequestOutcome::kShed;
+  EXPECT_TRUE(obs::SampleWideEvent(event, sampling));
+  event = GoldenEvent();
+  event.degraded = true;
+  EXPECT_TRUE(obs::SampleWideEvent(event, sampling));
+  event = GoldenEvent();
+  event.latency_ms = 250.0;
+  EXPECT_TRUE(obs::SampleWideEvent(event, sampling));
+  // slow_ms < 0 disables the slow keep.
+  obs::WideEventSampling no_slow;
+  no_slow.slow_ms = -1.0;
+  no_slow.sample_every = 1u << 20;
+  EXPECT_FALSE(obs::SampleWideEvent(event, no_slow));
+  // sample_every <= 1 keeps everything.
+  obs::WideEventSampling keep_all;
+  keep_all.sample_every = 1;
+  EXPECT_TRUE(obs::SampleWideEvent(GoldenEvent(), keep_all));
+}
+
+TEST(WideEventTest, OkSamplingIsAPureFunctionOfTheRequestId) {
+  // The 1-in-K subset is keyed off a splitmix64 mix of the id: the same
+  // id set always yields the same sample, and the rate is close to 1/K.
+  obs::WideEventSampling sampling;
+  sampling.sample_every = 16;
+  sampling.slow_ms = -1.0;
+  int64_t kept = 0;
+  for (uint64_t id = 1; id <= 4096; ++id) {
+    obs::RequestTelemetry event = GoldenEvent();
+    event.request_id = id;
+    const bool sampled = obs::SampleWideEvent(event, sampling);
+    EXPECT_EQ(sampled, obs::MixRequestId(id) % 16 == 0) << "id " << id;
+    kept += sampled ? 1 : 0;
+  }
+  EXPECT_GT(kept, 4096 / 16 / 2);
+  EXPECT_LT(kept, 4096 / 16 * 2);
+}
+
+// -------------------------------------------------------- Rolling windows
+
+TEST(RollingWindowsTest, AlignsToGridAndClosesEmptyWindows) {
+  obs::RollingWindows windows(100);
+  windows.Observe(37, obs::RequestOutcome::kOk, false, 2.0);
+  windows.Observe(95, obs::RequestOutcome::kShed, true, 0.0);
+  windows.Observe(105, obs::RequestOutcome::kOk, false, 4.0);
+  // Jump over three idle windows: every one must be closed (idle periods
+  // still count toward burn-down), not silently skipped.
+  windows.Observe(450, obs::RequestOutcome::kExpired, false, 50.0);
+  windows.Flush();
+  const obs::WindowSeries& series = windows.series();
+  ASSERT_EQ(series.windows.size(), 5u);
+  EXPECT_EQ(series.windows[0].start_ms, 0);
+  EXPECT_EQ(series.windows[0].requests, 2);
+  EXPECT_EQ(series.windows[0].ok, 1);
+  EXPECT_EQ(series.windows[0].shed, 1);
+  EXPECT_EQ(series.windows[0].degraded, 1);
+  EXPECT_DOUBLE_EQ(series.windows[0].rps, 20.0);
+  EXPECT_DOUBLE_EQ(series.windows[0].shed_rate, 0.5);
+  EXPECT_EQ(series.windows[1].start_ms, 100);
+  EXPECT_EQ(series.windows[1].requests, 1);
+  EXPECT_EQ(series.windows[2].requests, 0);
+  EXPECT_EQ(series.windows[3].requests, 0);
+  EXPECT_EQ(series.windows[4].start_ms, 400);
+  EXPECT_EQ(series.windows[4].expired, 1);
+  for (size_t i = 0; i < series.windows.size(); ++i) {
+    EXPECT_EQ(series.windows[i].index, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(windows.observed(), 4);
+}
+
+TEST(RollingWindowsTest, BudgetBreachRaisesBurnAlert) {
+  obs::WindowBudget budget;
+  budget.p99_ms = 5.0;
+  budget.lookback = 4;
+  budget.burn_threshold = 0.2;  // strictly-greater: 1/4 must fire
+  obs::RollingWindows windows(100, budget);
+  // Two fast windows, then two slow ones: burn crosses the threshold on
+  // the first breach (1/4) and stays up on the second.
+  windows.Observe(10, obs::RequestOutcome::kOk, false, 1.0);
+  windows.Observe(110, obs::RequestOutcome::kOk, false, 1.0);
+  windows.Observe(210, obs::RequestOutcome::kOk, false, 80.0);
+  windows.Observe(310, obs::RequestOutcome::kOk, false, 80.0);
+  windows.Flush();
+  const obs::WindowSeries& series = windows.series();
+  ASSERT_EQ(series.windows.size(), 4u);
+  EXPECT_FALSE(series.windows[0].breach);
+  EXPECT_FALSE(series.windows[1].breach);
+  EXPECT_TRUE(series.windows[2].breach);
+  EXPECT_TRUE(series.windows[3].breach);
+  EXPECT_NE(series.windows[2].breach_reason.find("p99"),
+            std::string::npos);
+  EXPECT_EQ(windows.breaches(), 2);
+  ASSERT_EQ(series.alerts.size(), 2u);
+  EXPECT_EQ(series.alerts[0].window_index, 2);
+  EXPECT_DOUBLE_EQ(series.alerts[0].burn_rate, 0.25);
+  EXPECT_DOUBLE_EQ(series.alerts[1].burn_rate, 0.5);
+  EXPECT_DOUBLE_EQ(windows.burn_rate(), 0.5);
+}
+
+TEST(RollingWindowsTest, BurnRateDecaysThroughIdleWindows) {
+  obs::WindowBudget budget;
+  budget.max_shed_rate = 0.0;  // any shed at all breaches
+  budget.lookback = 2;
+  budget.burn_threshold = 0.75;
+  obs::RollingWindows windows(100, budget);
+  windows.Observe(10, obs::RequestOutcome::kShed, true, 0.0);
+  EXPECT_DOUBLE_EQ(windows.burn_rate(), 0.0);  // window still open
+  // Six empty windows close behind this observation; the breach bit ages
+  // out of the 2-deep ring.
+  windows.Observe(710, obs::RequestOutcome::kOk, false, 1.0);
+  EXPECT_DOUBLE_EQ(windows.burn_rate(), 0.0);
+  EXPECT_EQ(windows.breaches(), 1);
+  EXPECT_TRUE(windows.series().alerts.empty());  // 0.5 never beat 0.75
+  windows.Flush();
+}
+
+TEST(RollingWindowsTest, EvictsOldestWindowPastTheCap) {
+  obs::RollingWindows windows(100, obs::WindowBudget{}, /*max_windows=*/3);
+  for (int64_t w = 0; w < 6; ++w) {
+    windows.Observe(w * 100 + 10, obs::RequestOutcome::kOk, false, 1.0);
+  }
+  windows.Flush();
+  const obs::WindowSeries& series = windows.series();
+  ASSERT_EQ(series.windows.size(), 3u);
+  EXPECT_EQ(series.dropped_windows, 3);
+  EXPECT_EQ(series.windows.front().index, 3);
+  EXPECT_EQ(series.windows.back().index, 5);
+}
+
+TEST(RollingWindowsTest, SeriesJsonIsDeterministic) {
+  auto run = [] {
+    obs::WindowBudget budget;
+    budget.p99_ms = 3.0;
+    obs::RollingWindows windows(50, budget);
+    for (int64_t i = 0; i < 40; ++i) {
+      windows.Observe(i * 13,
+                      i % 7 == 0 ? obs::RequestOutcome::kShed
+                                 : obs::RequestOutcome::kOk,
+                      i % 7 == 0, static_cast<double>(i % 9));
+    }
+    windows.Flush();
+    return obs::WindowSeriesToJson(windows.series());
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("\"windows\": ["), std::string::npos);
 }
 
 // ------------------------------------------------------------ ScopedTimer

@@ -23,6 +23,8 @@
 #include "artifact/shard_layout.h"
 #include "serve/runtime.h"
 #include "serve/sharded_runtime.h"
+#include "serve/statusz.h"
+#include "serve/telemetry.h"
 
 #if defined(PRIVREC_GRAPH_PREFERENCE_GRAPH_H_) || \
     defined(PRIVREC_GRAPH_SOCIAL_GRAPH_H_)
@@ -45,6 +47,7 @@
 #include "community/louvain.h"
 #include "core/recommender_factory.h"
 #include "data/synthetic.h"
+#include "obs/wide_event.h"
 #include "similarity/common_neighbors.h"
 
 namespace privrec {
@@ -583,6 +586,66 @@ TEST_F(ShardedArtifactTest, ShardedRuntimeMatchesDelegateBitForBit) {
   ASSERT_TRUE(single.status.ok());
   EXPECT_EQ(single.batch.lists[0], want.batch.lists[0]);
   EXPECT_EQ(sharded.sharded_requests(), 1);
+}
+
+// The routed path attributes its wide events: which shards a batch
+// touched, route/reconstruct split, and the sharded request count on the
+// statusz surface.
+TEST_F(ShardedArtifactTest, ShardedTelemetryAttributesShardsTouched) {
+  serving::ArtifactModel model = BuildFullModel();
+  const std::string manifest = Path("route.pvram");
+  ASSERT_TRUE(
+      serving::SaveShardedArtifact(model, manifest, {.shards = 3}).ok());
+
+  serve::ServeTelemetryOptions tel_options;
+  tel_options.sample_every = 1;
+  serve::ServeTelemetry telemetry(tel_options);
+  serve::ServeRuntimeOptions options;
+  options.swap.spec.mechanism = "Cluster";
+  options.swap.spec.epsilon = kEps;
+  options.telemetry = &telemetry;
+  serve::ShardedServeRuntime sharded(options);
+  ASSERT_TRUE(sharded.Activate(manifest).ok());
+
+  // All 120 users: every shard owns a slice, so the event lists all
+  // three shards in ascending order.
+  serve::ServeRequest request;
+  request.users = users_;
+  request.top_n = kTopN;
+  serve::ServeResponse response = sharded.Handle(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  std::vector<obs::RequestTelemetry> events = telemetry.sampled_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].outcome, obs::RequestOutcome::kOk);
+  EXPECT_EQ(events[0].shard_count, 3);
+  EXPECT_EQ(events[0].shards_touched, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_GE(events[0].route_ms, 0.0);
+  EXPECT_GE(events[0].reconstruct_ms, 0.0);
+  const std::string jsonl = telemetry.EventsJsonl();
+  EXPECT_NE(jsonl.find("\"shards\": [0, 1, 2]"), std::string::npos);
+
+  // A single-user batch delegates to the unsharded runtime; its event
+  // carries the one owning shard the delegate resolved against.
+  request.users = {users_[0]};
+  ASSERT_TRUE(sharded.Handle(request).status.ok());
+  events = telemetry.sampled_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].shard_count, 3);
+
+  serve::RuntimeIntrospection status = sharded.Introspect();
+  EXPECT_EQ(status.sharded_requests, 1);
+  EXPECT_EQ(status.shard_count, 3);
+  ASSERT_EQ(status.shard_users.size(), 3u);
+  int64_t owned = 0;
+  for (int64_t n : status.shard_users) owned += n;
+  EXPECT_EQ(owned, status.num_users);
+  ASSERT_TRUE(status.has_telemetry);
+  EXPECT_EQ(status.telemetry_recorded, 2);
+  EXPECT_NE(serve::StatuszText(status).find("routing:    1 shard-routed"),
+            std::string::npos);
+  EXPECT_NE(serve::StatuszJson(status).find("\"sharded_requests\": 1"),
+            std::string::npos);
 }
 
 }  // namespace
