@@ -100,8 +100,11 @@ inline std::vector<graph::NodeId> SampleUsers(graph::NodeId n,
 // single-process path, not to change results.
 inline eval::RecommenderFactory ClusterFactory(
     bool in_memory, const core::RecommenderContext& context,
-    const community::Partition& partition) {
+    const community::Partition& partition, bool table_f32 = false) {
   if (in_memory) {
+    PRIVREC_CHECK_MSG(!table_f32,
+                      "--table-f32 is an artifact section; the in-memory "
+                      "path has no quantized table");
     return [&context, &partition](double eps, uint64_t seed) {
       return std::make_unique<core::ClusterRecommender>(
           context, partition,
@@ -112,12 +115,13 @@ inline eval::RecommenderFactory ClusterFactory(
       context.social, context.preferences);
   builder->SetPartition(&partition);
   builder->SetWorkload(context.workload);
-  return [builder](double eps,
-                   uint64_t seed) -> std::unique_ptr<core::Recommender> {
+  return [builder, table_f32](
+             double eps, uint64_t seed) -> std::unique_ptr<core::Recommender> {
     artifact::BuildOptions options;
     options.epsilon = eps;
     options.seed = seed;
     options.include_reference_sections = false;
+    options.table_f32 = table_f32;
     auto model = builder->Build(options);
     PRIVREC_CHECK_MSG(model.ok(), "artifact build failed");
     auto engine = serving::ServingEngine::FromModel(std::move(*model));

@@ -10,7 +10,16 @@
 //
 //   ./bench_fig2_flixster_sweep [--trials=3] [--users=12000]
 //                               [--items=8000] [--eval_users=1500]
+//                               [--table-f32]
+//
+// --table-f32 appends the quantization gate: the sweep reruns at the
+// high-signal grid points (ε ≥ 0.5, where quantization error is not
+// drowned by DP noise) with the artifact's f32 noisy-table mirror, and
+// the run fails unless |NDCG@50(f64) − NDCG@50(f32)| < 0.001 at every
+// point. This is the accuracy budget that licenses serving from the
+// half-width table.
 
+#include <cmath>
 #include <iostream>
 #include <map>
 
@@ -36,6 +45,7 @@ int Main(int argc, char** argv) {
   const int64_t num_items = flags.GetInt("items", 8000);
   const int64_t eval_count = flags.GetInt("eval_users", 1500);
   const bool in_memory = flags.GetBool("in-memory", false);
+  const bool table_f32 = flags.GetBool("table-f32", false);
   if (!flags.Validate()) return 1;
 
   std::cout << "=== Figure 2: NDCG@N vs epsilon on Flixster-synth ("
@@ -100,6 +110,56 @@ int Main(int argc, char** argv) {
     }
     table.Print(std::cout);
   }
+  if (table_f32) {
+    // Quantization gate: same users, same reference, same sweep seeds —
+    // the only varied input is the table width, so the delta isolates
+    // the f64→f32 rounding cost.
+    std::cout << "\n--- f32 quantization gate (NDCG@50, eps >= 0.5) ---\n";
+    const std::string name = bench::MeasureNames().front();
+    auto measure = bench::MakeMeasure(name);
+    similarity::SimilarityWorkload workload =
+        similarity::SimilarityWorkload::ComputeForUsers(dataset.social,
+                                                        *measure, users);
+    core::RecommenderContext context{&dataset.social, &dataset.preferences,
+                                     &workload};
+    eval::ExactReference reference =
+        eval::ExactReference::Compute(context, users, 50);
+    eval::SweepOptions sweep;
+    for (double eps : bench::PaperEpsilons()) {
+      if (eps >= 0.5) sweep.epsilons.push_back(eps);
+    }
+    sweep.ns = {50};
+    sweep.trials = trials;
+    sweep.seed = 2000;
+    std::vector<eval::SweepCell> f64_cells = eval::RunNdcgSweep(
+        bench::ClusterFactory(false, context, louvain.partition), reference,
+        sweep);
+    std::vector<eval::SweepCell> f32_cells = eval::RunNdcgSweep(
+        bench::ClusterFactory(false, context, louvain.partition,
+                              /*table_f32=*/true),
+        reference, sweep);
+    constexpr double kMaxNdcgDelta = 0.001;
+    bool gate_ok = f64_cells.size() == f32_cells.size();
+    for (size_t i = 0; gate_ok && i < f64_cells.size(); ++i) {
+      const double delta =
+          std::abs(f64_cells[i].mean_ndcg - f32_cells[i].mean_ndcg);
+      const bool ok = delta < kMaxNdcgDelta;
+      std::cout << "eps=" << bench::EpsilonLabel(f64_cells[i].epsilon)
+                << ": f64=" << FormatDouble(f64_cells[i].mean_ndcg, 4)
+                << " f32=" << FormatDouble(f32_cells[i].mean_ndcg, 4)
+                << " |delta|=" << FormatDouble(delta, 6)
+                << (ok ? "  [ok]" : "  [FAIL]") << "\n";
+      if (!ok) gate_ok = false;
+    }
+    if (!gate_ok) {
+      std::cerr << "f32 quantization gate FAILED: NDCG@50 moved by >= "
+                << kMaxNdcgDelta << " at eps >= 0.5\n";
+      return 1;
+    }
+    std::cout << "f32 quantization gate passed (threshold "
+              << kMaxNdcgDelta << ")\n";
+  }
+
   std::cout << "\ntotal time: "
             << FormatDouble(total_timer.ElapsedSeconds(), 0) << "s\n";
   return 0;

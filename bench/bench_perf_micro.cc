@@ -21,10 +21,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "artifact/builder.h"
 #include "artifact/model_io.h"
@@ -43,6 +46,9 @@
 #include "core/item_cf_recommender.h"
 #include "community/kmeans.h"
 #include "eval/exact_reference.h"
+#include "kernels/accumulate.h"
+#include "kernels/dispatch.h"
+#include "kernels/select.h"
 #include "serve/clock.h"
 #include "serve/runtime.h"
 #include "serve/telemetry.h"
@@ -472,6 +478,206 @@ void BM_ServeHandleTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeHandleTelemetry);
 
+// --- Reconstruction kernels (src/kernels/): the dispatched SIMD paths
+// against their scalar references. Shape mirrors a hot reconstruction
+// call: a few dozen touched cluster rows over a few thousand items. The
+// scalar reference is compiled with auto-vectorization off, so the
+// Simd/Scalar ratio measures the hand-written lanes; ci/perf_gate.sh
+// asserts the ratio (>= 2x on AVX2 hosts) from BENCH_kernels.json,
+// keyed on the kernel_dispatch context below.
+
+constexpr int64_t kKernelRows = 32;
+constexpr int64_t kKernelItems = 4096;
+
+struct KernelFixture {
+  KernelFixture() {
+    Rng rng(21);
+    storage.resize(kKernelRows);
+    storage_f32.resize(kKernelRows);
+    for (int64_t k = 0; k < kKernelRows; ++k) {
+      auto& row = storage[static_cast<size_t>(k)];
+      row.resize(kKernelItems);
+      for (double& v : row) v = rng.Normal();
+      storage_f32[static_cast<size_t>(k)].assign(row.begin(), row.end());
+      rows.push_back(row.data());
+      rows_f32.push_back(storage_f32[static_cast<size_t>(k)].data());
+      scales.push_back(rng.Normal());
+    }
+    out.resize(kKernelItems);
+  }
+
+  std::vector<std::vector<double>> storage;
+  std::vector<std::vector<float>> storage_f32;
+  std::vector<const double*> rows;
+  std::vector<const float*> rows_f32;
+  std::vector<double> scales;
+  std::vector<double> out;
+};
+
+KernelFixture& SharedKernelFixture() {
+  static KernelFixture& fixture = *new KernelFixture();
+  return fixture;
+}
+
+void BM_KernelAccumulateScalar(benchmark::State& state) {
+  KernelFixture& f = SharedKernelFixture();
+  for (auto _ : state) {
+    std::fill(f.out.begin(), f.out.end(), 0.0);
+    kernels::AccumulateRowsScalar(f.rows.data(), f.scales.data(),
+                                  kKernelRows, kKernelItems, f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kKernelRows * kKernelItems *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_KernelAccumulateScalar);
+
+void BM_KernelAccumulateSimd(benchmark::State& state) {
+  KernelFixture& f = SharedKernelFixture();
+  for (auto _ : state) {
+    std::fill(f.out.begin(), f.out.end(), 0.0);
+    kernels::AccumulateRows(f.rows.data(), f.scales.data(), kKernelRows,
+                            kKernelItems, f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kKernelRows * kKernelItems *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_KernelAccumulateSimd);
+
+void BM_KernelAccumulateF32Scalar(benchmark::State& state) {
+  KernelFixture& f = SharedKernelFixture();
+  for (auto _ : state) {
+    std::fill(f.out.begin(), f.out.end(), 0.0);
+    kernels::AccumulateRowsF32Scalar(f.rows_f32.data(), f.scales.data(),
+                                     kKernelRows, kKernelItems,
+                                     f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kKernelRows * kKernelItems *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_KernelAccumulateF32Scalar);
+
+void BM_KernelAccumulateF32Simd(benchmark::State& state) {
+  KernelFixture& f = SharedKernelFixture();
+  for (auto _ : state) {
+    std::fill(f.out.begin(), f.out.end(), 0.0);
+    kernels::AccumulateRowsF32(f.rows_f32.data(), f.scales.data(),
+                               kKernelRows, kKernelItems, f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kKernelRows * kKernelItems *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_KernelAccumulateF32Simd);
+
+// Top-N selection: the nth_element kernel against the historical
+// materialize-pairs-and-partial_sort block it replaced.
+
+struct SelectFixture {
+  SelectFixture() {
+    Rng rng(22);
+    values.resize(10000);
+    for (double& v : values) v = rng.Normal();
+  }
+  std::vector<double> values;
+};
+
+SelectFixture& SharedSelectFixture() {
+  static SelectFixture& fixture = *new SelectFixture();
+  return fixture;
+}
+
+void BM_KernelSelectTopNBaseline(benchmark::State& state) {
+  SelectFixture& f = SharedSelectFixture();
+  struct Pair {
+    int64_t item;
+    double utility;
+  };
+  for (auto _ : state) {
+    std::vector<Pair> pairs;
+    pairs.reserve(f.values.size());
+    for (size_t i = 0; i < f.values.size(); ++i) {
+      pairs.push_back({static_cast<int64_t>(i), f.values[i]});
+    }
+    std::partial_sort(pairs.begin(), pairs.begin() + 50, pairs.end(),
+                      kernels::RankOrderBetter{});
+    pairs.resize(50);
+    benchmark::DoNotOptimize(pairs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.values.size()));
+}
+BENCHMARK(BM_KernelSelectTopNBaseline);
+
+void BM_KernelSelectTopN(benchmark::State& state) {
+  SelectFixture& f = SharedSelectFixture();
+  std::vector<int64_t> out;
+  for (auto _ : state) {
+    kernels::SelectTopNIndicesDense(
+        f.values.data(), static_cast<int64_t>(f.values.size()), 50, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.values.size()));
+}
+BENCHMARK(BM_KernelSelectTopN);
+
+// --- Cross-request batching: four admitted async operations finished
+// one by one vs in one FinishAsyncBatch group (one merged Recommend).
+// The delta is the per-call reconstruction overhead batching amortizes;
+// the results are bit-identical (serve_test pins that).
+void RunServeAsyncGroupBench(benchmark::State& state, bool batched) {
+  ArtifactFixture& f = SharedArtifactFixture();
+  serve::ManualClock clock;
+  serve::ServeRuntimeOptions options;
+  options.swap.spec.mechanism = "Cluster";
+  options.swap.spec.epsilon = 0.1;
+  options.clock = &clock;
+  options.admission.max_concurrency = 8;
+  serve::ServeRuntime runtime(options);
+  Status activated = runtime.Activate(f.path);
+  PRIVREC_CHECK_MSG(activated.ok(), "serve activate failed");
+
+  constexpr int kGroup = 4;
+  std::vector<serve::ServeRequest> requests(kGroup);
+  for (int r = 0; r < kGroup; ++r) {
+    for (graph::NodeId u = 0; u < 8; ++u) {
+      requests[static_cast<size_t>(r)].users.push_back(r * 8 + u);
+    }
+    requests[static_cast<size_t>(r)].top_n = 20;
+    requests[static_cast<size_t>(r)].deadline_ms = 1000000;
+  }
+  for (auto _ : state) {
+    std::vector<serve::AsyncServe> ops;
+    ops.reserve(kGroup);
+    for (const serve::ServeRequest& request : requests) {
+      ops.push_back(runtime.BeginAsync(request, clock.NowMs()));
+    }
+    if (batched) {
+      std::vector<serve::AsyncServe*> group;
+      group.reserve(kGroup);
+      for (serve::AsyncServe& op : ops) group.push_back(&op);
+      runtime.FinishAsyncBatch(group);
+    } else {
+      for (serve::AsyncServe& op : ops) (void)runtime.FinishAsync(op);
+    }
+    benchmark::DoNotOptimize(ops.back().response.batch.lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kGroup * 8);
+}
+
+void BM_ServeFinishAsyncSingle(benchmark::State& state) {
+  RunServeAsyncGroupBench(state, /*batched=*/false);
+}
+BENCHMARK(BM_ServeFinishAsyncSingle);
+
+void BM_ServeFinishAsyncBatched(benchmark::State& state) {
+  RunServeAsyncGroupBench(state, /*batched=*/true);
+}
+BENCHMARK(BM_ServeFinishAsyncBatched);
+
 void BM_ExactRecommendPerUser(benchmark::State& state) {
   RecommenderFixture& f = SharedFixture();
   core::ExactRecommender rec(f.context);
@@ -517,6 +723,11 @@ int main(int argc, char** argv) {
                       " chunks (DefaultChunkSize = ceil(n/target))");
   benchmark::AddCustomContext(
       "obs_compiled_in", privrec::obs::kCompiledIn ? "true" : "false");
+  // Resolved SIMD level for the BM_Kernel* group; ci/perf_gate.sh only
+  // asserts the Simd/Scalar speedup ratio when this says "avx2".
+  benchmark::AddCustomContext(
+      "kernel_dispatch",
+      privrec::kernels::DispatchLevelName(privrec::kernels::ActiveDispatchLevel()));
   // On-disk size of the model the BM_Artifact* group saves/loads/serves,
   // so BENCH_artifact.json records pair byte-size with latency.
   benchmark::AddCustomContext(

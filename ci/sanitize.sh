@@ -15,6 +15,14 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$(nproc)"
 ctest --preset asan-ubsan -j"$(nproc)" "$@"
 
+# Forced-scalar pass: PRIVREC_NO_SIMD=1 pins the kernel dispatch to the
+# scalar reference (a runtime switch, mirroring PRIVREC_NO_MMAP — same
+# build). The whole suite must stay green and, because every kernel is
+# bit-identical across dispatch levels, every golden in it must match
+# without re-baselining.
+PRIVREC_NO_SIMD=1 ctest --preset asan-ubsan -j"$(nproc)" "$@"
+echo "forced-scalar pass: full suite green with PRIVREC_NO_SIMD=1"
+
 # ThreadSanitizer pass: the tests that drive the deterministic parallel
 # layer (common/parallel.h) and the lock-free metrics/tracing fast paths
 # (src/obs) through their concurrent paths.
@@ -144,3 +152,9 @@ echo "serve runtime symbol check: clean (no preference/social graph code)"
 # runtime, with determinism, budget-enforcement and TSan wall-mode gates
 # (see ci/serve_slo.sh for the budgets and methodology).
 ci/serve_slo.sh
+
+# Kernel performance gate: the dispatched SIMD reconstruction kernels
+# must clear their speedup floors over the scalar references, and
+# PRIVREC_NO_SIMD must verifiably pin dispatch to scalar (see
+# ci/perf_gate.sh for floors and methodology).
+ci/perf_gate.sh

@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
   const std::string artifact_in = flags.GetString("artifact-in", "");
   const int64_t shards = flags.GetInt("shards", 0);
   const bool no_mmap = flags.GetBool("no-mmap", false);
+  const bool table_f32 = flags.GetBool("table-f32", false);
   if (!flags.Validate()) return 1;
   if (no_mmap) setenv("PRIVREC_NO_MMAP", "1", 1);
 
@@ -97,6 +98,9 @@ int main(int argc, char** argv) {
     build_options.seed = 11;
     // The sanitized sections alone serve the paper's mechanism.
     build_options.include_reference_sections = false;
+    // Optional f32 mirror of the noisy table: DP-free post-processing,
+    // halves the reconstruction read set at bounded NDCG cost.
+    build_options.table_f32 = table_f32;
     auto model = builder.Build(build_options);
     if (!model.ok()) return Result<serving::ServingEngine>(model.status());
     if (!artifact_out.empty()) {

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32.h"
 #include "core/recommender.h"
 #include "graph/metrics.h"
 #include "obs/trace.h"
@@ -123,6 +124,19 @@ Result<serving::ArtifactModel> ModelArtifactBuilder::Build(
   model.noisy.empty_clusters = release.empty_clusters;
   model.noisy.singleton_clusters = release.singleton_clusters;
   model.noisy.nonfinite_sanitized = release.nonfinite_sanitized;
+
+  if (options.table_f32) {
+    // Quantize the released table to f32 and bind the mirror to its f64
+    // source by CRC so a serve path can prove the widths agree.
+    model.has_noisy_f32 = true;
+    model.noisy_f32.values.reserve(model.noisy.values.size());
+    for (double v : model.noisy.values) {
+      model.noisy_f32.values.push_back(static_cast<float>(v));
+    }
+    model.noisy_f32.source_crc32 =
+        Crc32(model.noisy.values.data(),
+              model.noisy.values.size() * sizeof(double));
+  }
 
   model.provenance.epsilon = options.epsilon;
   model.provenance.sensitivity = preferences_->max_weight();

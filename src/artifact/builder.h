@@ -49,6 +49,10 @@ struct BuildOptions {
   // artifact should turn this off: the sanitized sections alone serve the
   // paper's mechanism.
   bool include_reference_sections = true;
+  // Also emit the f32-quantized kNoisyTableF32 mirror of the release.
+  // Pure post-processing of the sanitized table (no extra privacy cost);
+  // the serve path prefers it for row accumulation when present.
+  bool table_f32 = false;
   // Additionally run the LRM factorization and persist B/L.
   bool include_lowrank = false;
   int64_t lrm_target_rank = 200;

@@ -24,6 +24,8 @@ const char* SectionName(SectionId id) {
       return "preferences";
     case SectionId::kLowRank:
       return "low_rank";
+    case SectionId::kNoisyTableF32:
+      return "noisy_table_f32";
   }
   return "unknown";
 }

@@ -433,6 +433,8 @@ Result<std::shared_ptr<const MappedArtifact>> MappedArtifact::Open(
     };
     const ShardSpec shard_specs[] = {
         {ShardSectionId::kNoisyRows, rows * num_items, 8, true},
+        {ShardSectionId::kNoisyRowsF32, rows * num_items, 4,
+         meta.has_noisy_f32},
         {ShardSectionId::kWorkloadEntries, e.workload_entries,
          sizeof(WorkloadEntry), true},
         {ShardSectionId::kPrefItems, e.pref_edges, 8, meta.has_preferences},
@@ -454,6 +456,17 @@ Result<std::shared_ptr<const MappedArtifact>> MappedArtifact::Open(
     }
     shard.noisy_rows = reinterpret_cast<const double*>(
         file.data() + find_shard(ShardSectionId::kNoisyRows)->offset);
+    if (meta.has_noisy_f32) {
+      const AlignedSectionView* f32 =
+          find_shard(ShardSectionId::kNoisyRowsF32);
+      if (f32 == nullptr) {
+        return Status::ParseError(
+            shard_what + " is missing section 'noisy_rows_f32' the "
+            "manifest promised");
+      }
+      shard.noisy_rows_f32 =
+          reinterpret_cast<const float*>(file.data() + f32->offset);
+    }
     shard.workload_entries = reinterpret_cast<const WorkloadEntry*>(
         file.data() + find_shard(ShardSectionId::kWorkloadEntries)->offset);
     if (meta.has_preferences) {

@@ -82,6 +82,7 @@ class MappedArtifact {
   struct Shard {
     ShardHeader header;
     const double* noisy_rows = nullptr;           // (ce-cb) x num_items
+    const float* noisy_rows_f32 = nullptr;        // null without f32 mirror
     const WorkloadEntry* workload_entries = nullptr;
     const int64_t* pref_items = nullptr;          // null without prefs
     const double* pref_weights = nullptr;

@@ -31,6 +31,7 @@ enum class SectionId : uint32_t {
   kProvenance = 5,
   kPreferences = 6,  // optional (reference baselines only)
   kLowRank = 7,      // optional (LRM baseline only)
+  kNoisyTableF32 = 8,  // optional (f32-quantized mirror of kNoisyTable)
 };
 
 // Stable human-readable section name for error messages.
@@ -100,6 +101,17 @@ struct PreferenceSection {
   std::vector<double> weights;
 };
 
+// Section 8 (optional): the same A_w release quantized to f32, written by
+// the builder's table_f32 option. Pure post-processing of the released
+// table (no additional privacy cost); `source_crc32` is the CRC-32 of the
+// f64 value bytes it was quantized from, so a serve path can prove the
+// two widths describe the same release. The f64 section stays required —
+// global-average fallback and provenance always read full width.
+struct NoisyTableF32Section {
+  std::vector<float> values;   // row-major [cluster][item]
+  uint32_t source_crc32 = 0;   // Crc32 of the f64 values it mirrors
+};
+
 // Section 7 (optional): LRM factors W ≈ B L (row-major, dense).
 struct LowRankSection {
   int64_t rank = 0;
@@ -119,6 +131,8 @@ struct ArtifactModel {
   PreferenceSection preferences;
   bool has_lowrank = false;
   LowRankSection lowrank;
+  bool has_noisy_f32 = false;
+  NoisyTableF32Section noisy_f32;
 };
 
 }  // namespace privrec::serving

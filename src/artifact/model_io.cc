@@ -1,5 +1,6 @@
 #include "artifact/model_io.h"
 
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -90,6 +91,16 @@ std::string EncodePreferences(const PreferenceSection& s) {
   w.U64(s.items.size());
   for (int64_t i : s.items) w.I64(i);
   for (double x : s.weights) w.F64(x);
+  return w.Take();
+}
+
+std::string EncodeNoisyTableF32(const NoisyTableF32Section& s) {
+  ByteWriter w;
+  w.U64(s.values.size());
+  // f32 as its IEEE-754 bit pattern (the container only speaks
+  // fixed-width integers), byte-deterministic like F64.
+  for (float v : s.values) w.U32(std::bit_cast<uint32_t>(v));
+  w.U32(s.source_crc32);
   return w.Take();
 }
 
@@ -212,6 +223,21 @@ Status DecodePreferences(const std::string& payload, PreferenceSection* s) {
   return Status::Ok();
 }
 
+Status DecodeNoisyTableF32(const std::string& payload,
+                           NoisyTableF32Section* s) {
+  ByteReader r(payload, Name(SectionId::kNoisyTableF32));
+  uint64_t n;
+  if (!r.U64(&n) || !r.FitsCount(n, 4)) return r.Truncated();
+  s->values.resize(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    uint32_t bits;
+    if (!r.U32(&bits)) return r.Truncated();
+    s->values[k] = std::bit_cast<float>(bits);
+  }
+  if (!r.U32(&s->source_crc32) || !r.AtEnd()) return r.Truncated();
+  return Status::Ok();
+}
+
 Status DecodeLowRank(const std::string& payload, LowRankSection* s) {
   ByteReader r(payload, Name(SectionId::kLowRank));
   uint64_t n;
@@ -255,6 +281,10 @@ std::string EncodeArtifact(const ArtifactModel& model) {
     sections.push_back(
         Encode(SectionId::kLowRank, EncodeLowRank(model.lowrank)));
   }
+  if (model.has_noisy_f32) {
+    sections.push_back(Encode(SectionId::kNoisyTableF32,
+                              EncodeNoisyTableF32(model.noisy_f32)));
+  }
   return EncodeContainer(kArtifactVersion, sections);
 }
 
@@ -264,7 +294,7 @@ Result<ArtifactModel> DecodeArtifact(const std::string& bytes) {
   if (!sections.ok()) return sections.status();
 
   ArtifactModel model;
-  bool seen[8] = {};
+  bool seen[9] = {};
   for (const RawSection& s : *sections) {
     Status st = Status::Ok();
     switch (static_cast<SectionId>(s.id)) {
@@ -291,6 +321,10 @@ Result<ArtifactModel> DecodeArtifact(const std::string& bytes) {
         st = DecodeLowRank(s.payload, &model.lowrank);
         model.has_lowrank = st.ok();
         break;
+      case SectionId::kNoisyTableF32:
+        st = DecodeNoisyTableF32(s.payload, &model.noisy_f32);
+        model.has_noisy_f32 = st.ok();
+        break;
       default:
         // Unknown sections are skipped (forward compatibility within a
         // version is not promised, but choking on an extra section helps
@@ -298,7 +332,7 @@ Result<ArtifactModel> DecodeArtifact(const std::string& bytes) {
         break;
     }
     if (!st.ok()) return st;
-    if (s.id >= 1 && s.id < 8) seen[s.id] = true;
+    if (s.id >= 1 && s.id < 9) seen[s.id] = true;
   }
   for (SectionId required :
        {SectionId::kGraphMeta, SectionId::kPartition, SectionId::kWorkload,
@@ -361,7 +395,8 @@ Status SaveArtifact(const ArtifactModel& model, const std::string& path) {
       obs::GetGauge("privrec.artifact.sections");
   bytes_gauge.Set(static_cast<double>(bytes.size()));
   sections_gauge.Set(5.0 + (model.has_preferences ? 1.0 : 0.0) +
-                     (model.has_lowrank ? 1.0 : 0.0));
+                     (model.has_lowrank ? 1.0 : 0.0) +
+                     (model.has_noisy_f32 ? 1.0 : 0.0));
   return Status::Ok();
 }
 

@@ -6,9 +6,17 @@
 // there is exactly one FP accumulation order, one fallback rule, and one
 // degradation policy, not two copies that could drift.
 //
+// The math itself lives one layer lower, in src/kernels/: the
+// similarity-weighted row sum is kernels::AccumulateRows (cache-blocked,
+// runtime-dispatched SIMD, bit-identical to its scalar reference) and the
+// top-N cut is kernels::SelectTopN via core::TopNFromDense. This header
+// only orchestrates: gather the touched rows and their weights per user,
+// hand them to the kernels, apply the fallback/degradation policy.
+//
 // Reconstruction is pure post-processing of the released noisy table — it
 // never reads the preference graph — which is why this header lives in the
-// serving layer and depends only on ids, lists, and the parallel runtime.
+// serving layer and depends only on ids, lists, the kernels, and the
+// parallel runtime.
 
 #ifndef PRIVREC_ARTIFACT_RECONSTRUCT_H_
 #define PRIVREC_ARTIFACT_RECONSTRUCT_H_
@@ -22,6 +30,7 @@
 #include "core/degradation.h"
 #include "core/recommendation.h"
 #include "graph/ids.h"
+#include "kernels/accumulate.h"
 
 namespace privrec::serving {
 
@@ -35,6 +44,13 @@ struct ReleaseView {
   // over `values`; when the storage IS contiguous the two describe the
   // same addresses, so reconstruction is bit-identical either way.
   const double* const* rows = nullptr;
+  // Optional f32-quantized mirror of the same table (the artifact's
+  // kNoisyTableF32 / kNoisyRowsF32 sections). When present it is
+  // preferred for the per-user accumulation — halving row traffic — and
+  // the fig2 sweep gates its NDCG cost. The f64 table is still required
+  // (global average and fallback stay full-width).
+  const float* values_f32 = nullptr;
+  const float* const* rows_f32 = nullptr;
   const uint8_t* sanitized = nullptr;    // per cluster
   const int64_t* cluster_of = nullptr;   // per user node
   const int64_t* cluster_sizes = nullptr;  // per cluster
@@ -45,12 +61,19 @@ struct ReleaseView {
   const double* Row(int64_t c) const {
     return rows != nullptr ? rows[c] : values + c * num_items;
   }
+  bool HasF32() const {
+    return rows_f32 != nullptr || values_f32 != nullptr;
+  }
+  const float* RowF32(int64_t c) const {
+    return rows_f32 != nullptr ? rows_f32[c] : values_f32 + c * num_items;
+  }
 };
 
 // Global-average utilities, the fallback row for users with no similarity
 // support: Σ_c |c|·ŵ_c^i / |U| re-weights the released cluster rows back
 // into one population-level row. Pure post-processing of the same release,
-// so serving it costs no additional privacy.
+// so serving it costs no additional privacy. Always computed from the f64
+// table: the fallback tier is cold, so it takes accuracy over row traffic.
 inline std::vector<double> GlobalAverageUtilities(const ReleaseView& r) {
   const double num_users_d = static_cast<double>(r.num_users);
   std::vector<double> global(static_cast<size_t>(r.num_items), 0.0);
@@ -68,19 +91,24 @@ inline std::vector<double> GlobalAverageUtilities(const ReleaseView& r) {
 // Per-user reconstruction, parallel over fixed chunks of the request batch.
 // `row_of(u)` yields u's sparse similarity row as a range of entries with
 // `.user` / `.score` members (similarity::SimilarityEntry in-memory, the
-// artifact's own record type when serving). `global` must come from
-// GlobalAverageUtilities on the same view. Lists and diagnostics are
-// written to their slots in `lists` / `degradation` (resized here); the
-// return value is the number of degraded users, folded in chunk order.
-template <typename RowOf>
+// artifact's own record type when serving). `global_fn()` returns the
+// GlobalAverageUtilities row for the same view; it is only invoked for
+// isolated users, so callers that cache the row lazily (the serving
+// engine, which skips the O(C·I) pass across swap storms) never pay for
+// it on the personalized path. It must be safe to call from concurrent
+// chunks. Lists and diagnostics are written to their slots in `lists` /
+// `degradation` (resized here); the return value is the number of
+// degraded users, folded in chunk order.
+template <typename RowOf, typename GlobalFn>
 Result<int64_t> ReconstructTopN(const ReleaseView& release, RowOf&& row_of,
-                                const std::vector<double>& global,
+                                GlobalFn&& global_fn,
                                 const std::vector<graph::NodeId>& users,
                                 int64_t top_n,
                                 std::vector<core::RecommendationList>* lists,
                                 std::vector<core::DegradationInfo>* degradation) {
   const int64_t num_clusters = release.num_clusters;
   const int64_t num_items = release.num_items;
+  const bool use_f32 = release.HasF32();
   lists->resize(users.size());
   degradation->resize(users.size());
   return ParallelReduce(
@@ -92,6 +120,9 @@ Result<int64_t> ReconstructTopN(const ReleaseView& release, RowOf&& row_of,
         thread_local std::vector<double> sim_sum;
         thread_local std::vector<int64_t> touched;
         thread_local std::vector<double> utilities;
+        thread_local std::vector<double> scales;
+        thread_local std::vector<const double*> row_ptrs;
+        thread_local std::vector<const float*> row_ptrs_f32;
         if (sim_sum.size() < static_cast<size_t>(num_clusters)) {
           sim_sum.assign(static_cast<size_t>(num_clusters), 0.0);
         }
@@ -112,20 +143,37 @@ Result<int64_t> ReconstructTopN(const ReleaseView& release, RowOf&& row_of,
             // arbitrary tie-break.
             info.reason = core::DegradationReason::kIsolatedUser;
             (*lists)[static_cast<size_t>(k)] =
-                core::TopNFromDense(global, top_n);
+                core::TopNFromDense(global_fn(), top_n);
           } else {
+            // Gather the touched rows and their weights in first-touch
+            // order — the kernel adds them per element in exactly this
+            // order, so the FP stream matches the historical loop.
             std::fill(utilities.begin(), utilities.end(), 0.0);
+            scales.clear();
+            row_ptrs.clear();
+            row_ptrs_f32.clear();
             bool touched_sanitized = false;
             for (int64_t c : touched) {
-              double s = sim_sum[static_cast<size_t>(c)];
+              scales.push_back(sim_sum[static_cast<size_t>(c)]);
               if (release.sanitized[static_cast<size_t>(c)]) {
                 touched_sanitized = true;
               }
-              const double* row = release.Row(c);
-              for (int64_t i = 0; i < num_items; ++i) {
-                utilities[static_cast<size_t>(i)] += s * row[i];
+              if (use_f32) {
+                row_ptrs_f32.push_back(release.RowF32(c));
+              } else {
+                row_ptrs.push_back(release.Row(c));
               }
               sim_sum[static_cast<size_t>(c)] = 0.0;
+            }
+            const auto num_rows = static_cast<int64_t>(scales.size());
+            if (use_f32) {
+              kernels::AccumulateRowsF32(row_ptrs_f32.data(), scales.data(),
+                                         num_rows, num_items,
+                                         utilities.data());
+            } else {
+              kernels::AccumulateRows(row_ptrs.data(), scales.data(),
+                                      num_rows, num_items,
+                                      utilities.data());
             }
             if (touched_sanitized) {
               info.reason = core::DegradationReason::kNonFiniteSanitized;

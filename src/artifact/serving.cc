@@ -8,6 +8,7 @@
 
 #include "artifact/model_io.h"
 #include "artifact/shard_layout.h"
+#include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "common/parallel.h"
 #include "common/random.h"
@@ -81,6 +82,21 @@ Status ValidateModel(const ArtifactModel& m) {
   }
   if (m.noisy.sanitized.size() != static_cast<size_t>(num_clusters)) {
     return Invalid(SectionId::kNoisyTable, "sanitized flags size mismatch");
+  }
+
+  if (m.has_noisy_f32) {
+    if (m.noisy_f32.values.size() != m.noisy.values.size()) {
+      return Invalid(SectionId::kNoisyTableF32,
+                     "f32 table size disagrees with the f64 table");
+    }
+    // The mirror must bind to THIS release: a stale f32 section quantized
+    // from an older f64 table would silently change rankings.
+    const uint32_t source = Crc32(m.noisy.values.data(),
+                                  m.noisy.values.size() * sizeof(double));
+    if (m.noisy_f32.source_crc32 != source) {
+      return Invalid(SectionId::kNoisyTableF32,
+                     "source_crc32 does not match the f64 table it mirrors");
+    }
   }
 
   if (m.has_preferences) {
@@ -199,8 +215,10 @@ class ClusterServe final : public ServeRecommender {
     Result<int64_t> degraded = ReconstructTopN(
         engine_->release_view(),
         [this](graph::NodeId u) { return engine_->WorkloadRow(u); },
-        engine_->global_average(), users, top_n, &batch.lists,
-        &batch.degradation);
+        [this]() -> const std::vector<double>& {
+          return engine_->global_average();
+        },
+        users, top_n, &batch.lists, &batch.degradation);
     PRIVREC_CHECK_MSG(degraded.ok(), degraded.status().message().c_str());
     batch.report.users_degraded = *degraded;
     core::RecordServingMetrics(batch);
@@ -552,6 +570,11 @@ ReleaseView ServingEngine::release_view() const {
   ReleaseView view;
   view.values = mapped_ ? nullptr : model_.noisy.values.data();
   view.rows = cluster_rows_.data();
+  if (!cluster_rows_f32_.empty()) {
+    view.values_f32 =
+        mapped_ ? nullptr : model_.noisy_f32.values.data();
+    view.rows_f32 = cluster_rows_f32_.data();
+  }
   view.sanitized = sanitized_;
   view.cluster_of = cluster_of_;
   view.cluster_sizes = cluster_sizes_;
@@ -577,6 +600,12 @@ void ServingEngine::BuildOwnedViews() {
   cluster_rows_.resize(nc);
   for (size_t c = 0; c < nc; ++c) {
     cluster_rows_[c] = model_.noisy.values.data() + c * ni;
+  }
+  if (model_.has_noisy_f32) {
+    cluster_rows_f32_.resize(nc);
+    for (size_t c = 0; c < nc; ++c) {
+      cluster_rows_f32_[c] = model_.noisy_f32.values.data() + c * ni;
+    }
   }
   workload_row_.resize(nu);
   for (size_t u = 0; u < nu; ++u) {
@@ -678,12 +707,17 @@ Status ServingEngine::InitFromMapped() {
 
   // Per-cluster noisy rows, addressed inside their shard's block.
   cluster_rows_.resize(nc);
+  if (model_.has_noisy_f32) cluster_rows_f32_.resize(nc);
   for (size_t s = 0; s < table.size(); ++s) {
     const MappedArtifact::Shard& sh = mapped_->shards()[s];
     for (int64_t c = table[s].cluster_begin; c < table[s].cluster_end; ++c) {
-      cluster_rows_[static_cast<size_t>(c)] =
-          sh.noisy_rows +
+      const auto local =
           static_cast<size_t>(c - table[s].cluster_begin) * ni;
+      cluster_rows_[static_cast<size_t>(c)] = sh.noisy_rows + local;
+      if (model_.has_noisy_f32) {
+        cluster_rows_f32_[static_cast<size_t>(c)] =
+            sh.noisy_rows_f32 + local;
+      }
     }
   }
 
@@ -760,7 +794,17 @@ void ServingEngine::BuildDerived() {
       }
     }
   }
-  global_average_ = GlobalAverageUtilities(release_view());
+  // The global-average fallback row is NOT computed here: it is lazy (see
+  // global_average()), so constructing an epoch during a swap storm costs
+  // no O(C·I) pass unless an isolated user actually arrives.
+}
+
+const std::vector<double>& ServingEngine::global_average() const {
+  std::call_once(global_->once, [this] {
+    PRIVREC_SPAN("artifact.global_average");
+    global_->row = GlobalAverageUtilities(release_view());
+  });
+  return global_->row;
 }
 
 Result<ServingEngine> ServingEngine::FromModel(ArtifactModel model) {
@@ -793,6 +837,8 @@ Result<ServingEngine> ServingEngine::FromMapped(
   engine.model_.noisy.nonfinite_sanitized = mm.nonfinite_sanitized;
   engine.model_.has_preferences = mm.has_preferences;
   engine.model_.has_lowrank = mm.has_lowrank;
+  engine.model_.has_noisy_f32 = mm.has_noisy_f32;
+  engine.model_.noisy_f32.source_crc32 = mm.noisy_f32_source_crc32;
   engine.model_.lowrank.rank = mm.lowrank_rank;
   engine.model_.lowrank.noise_sensitivity = mm.lowrank_noise_sensitivity;
   engine.model_.lowrank.factorization_error = mm.lowrank_factorization_error;

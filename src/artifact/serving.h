@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -131,10 +132,15 @@ class ServingEngine {
   const double* lowrank_b() const { return lowrank_b_; }
   const double* lowrank_l() const { return lowrank_l_; }
 
-  // The A_w release as a reconstruction view, plus its cached global-
-  // average fallback row.
+  // The A_w release as a reconstruction view. The view carries the f32
+  // mirror when the artifact has one, so reconstruction runs half-width.
   ReleaseView release_view() const;
-  const std::vector<double>& global_average() const { return global_average_; }
+
+  // The global-average fallback row, computed lazily on first use (it is
+  // an O(C·I) pass over the release, and the personalized path never needs
+  // it — swap storms should not pay for it per epoch). Safe to call from
+  // concurrent serve chunks; the first caller computes under a once_flag.
+  const std::vector<double>& global_average() const;
 
  private:
   // View construction. Owned mode points the tables into model_'s
@@ -157,6 +163,7 @@ class ServingEngine {
   std::vector<const int64_t*> pref_items_row_;      // per user (optional)
   std::vector<const double*> pref_weights_row_;     // per user (optional)
   std::vector<const double*> cluster_rows_;         // per cluster
+  std::vector<const float*> cluster_rows_f32_;      // per cluster (optional)
   const uint8_t* sanitized_ = nullptr;
   const int64_t* cluster_of_ = nullptr;
   const int64_t* cluster_sizes_ = nullptr;
@@ -166,12 +173,17 @@ class ServingEngine {
   uint32_t shard_count_ = 1;
   std::vector<int32_t> shard_of_cluster_;  // per cluster
 
-  // Derived (not persisted): item-major preference CSR and the global
-  // fallback row.
+  // Derived (not persisted): item-major preference CSR and the lazy
+  // global fallback row. The row lives behind a shared_ptr because the
+  // engine is move-only while std::once_flag is not movable at all.
   std::vector<uint64_t> item_offsets_;
   std::vector<int64_t> item_users_;
   std::vector<double> item_weights_;
-  std::vector<double> global_average_;
+  struct LazyGlobal {
+    std::once_flag once;
+    std::vector<double> row;
+  };
+  std::shared_ptr<LazyGlobal> global_ = std::make_shared<LazyGlobal>();
 };
 
 // What to serve from an engine. `epsilon` is the gate value for the

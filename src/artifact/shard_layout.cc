@@ -24,6 +24,7 @@ static_assert(sizeof(WorkloadEntry) == 16 &&
                   offsetof(WorkloadEntry, score) == 8,
               "WorkloadEntry must match its 16-byte on-disk record layout");
 static_assert(sizeof(double) == 8, "f64 storage assumed");
+static_assert(sizeof(float) == 4, "f32 storage assumed");
 
 namespace {
 
@@ -111,6 +112,7 @@ const char* ShardSectionName(ShardSectionId id) {
     case ShardSectionId::kWorkloadEntries: return "workload_entries";
     case ShardSectionId::kPrefItems: return "pref_items";
     case ShardSectionId::kPrefWeights: return "pref_weights";
+    case ShardSectionId::kNoisyRowsF32: return "noisy_rows_f32";
   }
   return "unknown";
 }
@@ -237,12 +239,14 @@ std::string EncodeManifestMeta(const ManifestMeta& m) {
   w.F64(m.lowrank_factorization_error);
   w.U32(m.shard_count);
   w.U64(m.artifact_token);
+  w.U8(m.has_noisy_f32 ? 1 : 0);
+  w.U32(m.noisy_f32_source_crc32);
   return w.Take();
 }
 
 Status DecodeManifestMeta(const std::string& payload, ManifestMeta* m) {
   ByteReader r(payload, ManifestSectionName(ManifestSectionId::kManifestMeta));
-  uint8_t has_prefs = 0, has_lowrank = 0;
+  uint8_t has_prefs = 0, has_lowrank = 0, has_f32 = 0;
   if (!r.U64(&m->meta.graph_hash) || !r.I64(&m->meta.num_users) ||
       !r.I64(&m->meta.num_items) || !r.I64(&m->meta.num_social_edges) ||
       !r.I64(&m->meta.num_preference_edges) || !r.F64(&m->meta.max_weight) ||
@@ -255,11 +259,13 @@ Status DecodeManifestMeta(const std::string& payload, ManifestMeta* m) {
       !r.U8(&has_lowrank) || !r.I64(&m->lowrank_rank) ||
       !r.F64(&m->lowrank_noise_sensitivity) ||
       !r.F64(&m->lowrank_factorization_error) || !r.U32(&m->shard_count) ||
-      !r.U64(&m->artifact_token) || !r.AtEnd()) {
+      !r.U64(&m->artifact_token) || !r.U8(&has_f32) ||
+      !r.U32(&m->noisy_f32_source_crc32) || !r.AtEnd()) {
     return r.Truncated();
   }
   m->has_preferences = has_prefs != 0;
   m->has_lowrank = has_lowrank != 0;
+  m->has_noisy_f32 = has_f32 != 0;
   if (m->meta.num_users < 0 || m->meta.num_items < 0) return r.Truncated();
   return Status::Ok();
 }
@@ -460,6 +466,14 @@ Status SaveShardedArtifact(const ArtifactModel& model,
                       static_cast<uint64_t>(cb) * num_items,
                   static_cast<uint64_t>(ce - cb) * num_items *
                       sizeof(double))});
+    if (model.has_noisy_f32) {
+      sections.push_back(
+          {static_cast<uint32_t>(ShardSectionId::kNoisyRowsF32),
+           RawBytes(model.noisy_f32.values.data() +
+                        static_cast<uint64_t>(cb) * num_items,
+                    static_cast<uint64_t>(ce - cb) * num_items *
+                        sizeof(float))});
+    }
     sections.push_back(
         {static_cast<uint32_t>(ShardSectionId::kWorkloadEntries),
          std::move(workload_blob)});
@@ -506,6 +520,8 @@ Status SaveShardedArtifact(const ArtifactModel& model,
   meta.lowrank_factorization_error = model.lowrank.factorization_error;
   meta.shard_count = shard_count;
   meta.artifact_token = token;
+  meta.has_noisy_f32 = model.has_noisy_f32;
+  meta.noisy_f32_source_crc32 = model.noisy_f32.source_crc32;
 
   std::vector<AlignedSection> sections;
   sections.push_back({static_cast<uint32_t>(ManifestSectionId::kManifestMeta),

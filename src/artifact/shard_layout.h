@@ -70,6 +70,7 @@ enum class ShardSectionId : uint32_t {
   kWorkloadEntries = 3,   // raw WorkloadEntry[workload_entries] (16 B each)
   kPrefItems = 4,         // raw i64[pref_edges] (optional)
   kPrefWeights = 5,       // raw f64[pref_edges] (optional)
+  kNoisyRowsF32 = 6,      // raw f32, same shape as kNoisyRows (optional)
 };
 
 const char* ManifestSectionName(ManifestSectionId id);
@@ -138,6 +139,12 @@ struct ManifestMeta {
   // spliced in from a different build of the SAME dataset still fails
   // closed (kProvenanceMismatch) instead of serving mixed noise.
   uint64_t artifact_token = 0;
+  // Whether every shard carries a kNoisyRowsF32 mirror, and the CRC-32 of
+  // the f64 values it was quantized from (NoisyTableF32Section semantics).
+  // Appended at the end of the encoded blob, per the meta's
+  // append-extensibility discipline.
+  bool has_noisy_f32 = false;
+  uint32_t noisy_f32_source_crc32 = 0;
 };
 
 struct ShardTableEntry {

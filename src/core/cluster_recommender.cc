@@ -164,10 +164,13 @@ RecommendedBatch ClusterRecommender::RecommendWithReport(
   view.num_clusters = partition_.num_clusters();
   view.num_items = context_.preferences->num_items();
   view.num_users = context_.social->num_nodes();
+  // Eager, unlike the serving engine's lazy row: the release is fresh per
+  // invocation, so there is nothing to cache across calls.
   const std::vector<double> global = serving::GlobalAverageUtilities(view);
   Result<int64_t> degraded = serving::ReconstructTopN(
       view, [&](graph::NodeId u) { return context_.workload->Row(u); },
-      global, users, top_n, &batch.lists, &batch.degradation);
+      [&global]() -> const std::vector<double>& { return global; }, users,
+      top_n, &batch.lists, &batch.degradation);
   PRIVREC_CHECK_MSG(degraded.ok(), degraded.status().message().c_str());
   batch.report.users_degraded = *degraded;
   RecordServingMetrics(batch);

@@ -2,28 +2,26 @@
 
 #include <algorithm>
 
+#include "kernels/select.h"
+
 namespace privrec::core {
 
-namespace {
-
-bool RankOrder(const Recommendation& a, const Recommendation& b) {
-  if (a.utility != b.utility) return a.utility > b.utility;
-  return a.item < b.item;
-}
-
-}  // namespace
+// Rank order (utility desc, item asc) lives in kernels/select.h now so
+// the dense kernel, the in-place helper, and the accumulator heap all
+// share literally the same comparator.
 
 RecommendationList TopNFromDense(std::span<const double> utilities,
                                  int64_t n) {
-  RecommendationList all;
-  all.reserve(utilities.size());
-  for (size_t i = 0; i < utilities.size(); ++i) {
-    all.push_back({static_cast<graph::ItemId>(i), utilities[i]});
+  thread_local std::vector<int64_t> top;
+  kernels::SelectTopNIndicesDense(
+      utilities.data(), static_cast<int64_t>(utilities.size()), n, &top);
+  RecommendationList out;
+  out.reserve(top.size());
+  for (int64_t i : top) {
+    out.push_back(
+        {static_cast<graph::ItemId>(i), utilities[static_cast<size_t>(i)]});
   }
-  int64_t keep = std::min<int64_t>(n, static_cast<int64_t>(all.size()));
-  std::partial_sort(all.begin(), all.begin() + keep, all.end(), RankOrder);
-  all.resize(static_cast<size_t>(keep));
-  return all;
+  return out;
 }
 
 RecommendationList TopNFromSparse(
@@ -31,9 +29,7 @@ RecommendationList TopNFromSparse(
   RecommendationList all;
   all.reserve(entries.size());
   for (auto [item, utility] : entries) all.push_back({item, utility});
-  int64_t keep = std::min<int64_t>(n, static_cast<int64_t>(all.size()));
-  std::partial_sort(all.begin(), all.begin() + keep, all.end(), RankOrder);
-  all.resize(static_cast<size_t>(keep));
+  kernels::SelectTopNInPlace(all, n);
   return all;
 }
 
@@ -59,7 +55,7 @@ void TopNAccumulator::Offer(graph::ItemId item, double utility) {
 RecommendationList TopNAccumulator::Take() {
   RecommendationList out = std::move(heap_);
   heap_.clear();
-  std::sort(out.begin(), out.end(), RankOrder);
+  std::sort(out.begin(), out.end(), kernels::RankOrderBetter{});
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/macros.h"
 #include "graph/ids.h"
+#include "kernels/select.h"
 
 namespace privrec::core {
 
@@ -48,10 +49,9 @@ class TopNAccumulator {
   RecommendationList Take();
 
  private:
-  // True if a beats b in ranking order.
+  // True if a beats b in ranking order (the shared kernel comparator).
   static bool Better(const Recommendation& a, const Recommendation& b) {
-    if (a.utility != b.utility) return a.utility > b.utility;
-    return a.item < b.item;
+    return kernels::RankOrderBetter{}(a, b);
   }
 
   int64_t n_;

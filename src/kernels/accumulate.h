@@ -1,0 +1,57 @@
+// AccumulateRows: the dense similarity-weighted row sum at the heart of
+// the A_R reconstruction (Algorithm 1 lines 8-20) —
+//
+//     out[i] += scales[k] * rows[k][i]    for k in row order, all items i
+//
+// factored out of artifact/reconstruct.h so the in-memory recommender,
+// the artifact serving engine, and the LRM/item-based engines share one
+// kernel instead of re-welding the loop per caller.
+//
+// Determinism contract: for each item i the terms are added in row order
+// k = 0..num_rows-1, exactly one rounding per multiply and one per add —
+// the FP accumulation order of the original scalar loop. The AVX2 path
+// vectorizes across *items* (independent accumulators) with separate
+// mul/add intrinsics (no FMA contraction), so it is bit-identical to the
+// scalar path; kernels_test pins exact equality at every tail length.
+// The scalar path is compiled with auto-vectorization off so it stays a
+// genuinely scalar reference: an exact-equality failure bisects to the
+// SIMD lanes, never to the autovectorizer.
+//
+// Both paths walk items in cache-sized blocks (all rows visit a block
+// before moving on), which keeps the out[] block resident across the
+// whole row set; per-element order over k is unchanged by blocking.
+
+#ifndef PRIVREC_KERNELS_ACCUMULATE_H_
+#define PRIVREC_KERNELS_ACCUMULATE_H_
+
+#include <cstdint>
+
+namespace privrec::kernels {
+
+// Items per cache block: 2048 doubles = 16 KiB, so an out[] block plus
+// one row block stay L1/L2-resident while every row streams through.
+inline constexpr int64_t kAccumulateBlockItems = 2048;
+
+// out[i] += scales[k] * rows[k][i], dispatched (ActiveDispatchLevel).
+// `out` must hold num_items finite doubles (callers zero-fill first);
+// num_rows == 0 is a no-op. Rows are f64 [num_items] each.
+void AccumulateRows(const double* const* rows, const double* scales,
+                    int64_t num_rows, int64_t num_items, double* out);
+
+// Same accumulation from f32-quantized rows: each element is widened to
+// f64 (exact) before the f64 multiply/add, so scalar and SIMD agree
+// bitwise here too.
+void AccumulateRowsF32(const float* const* rows, const double* scales,
+                       int64_t num_rows, int64_t num_items, double* out);
+
+// The scalar reference paths, exposed so tests and benches can compare
+// against the dispatched entry points directly.
+void AccumulateRowsScalar(const double* const* rows, const double* scales,
+                          int64_t num_rows, int64_t num_items, double* out);
+void AccumulateRowsF32Scalar(const float* const* rows,
+                             const double* scales, int64_t num_rows,
+                             int64_t num_items, double* out);
+
+}  // namespace privrec::kernels
+
+#endif  // PRIVREC_KERNELS_ACCUMULATE_H_

@@ -1,0 +1,42 @@
+#include "kernels/dispatch.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace privrec::kernels {
+
+namespace {
+
+// Same convention as MapOptionsFromEnv's PRIVREC_NO_MMAP: set and not
+// "0" disables the SIMD paths for the whole process.
+bool NoSimdFromEnv() {
+  const char* value = std::getenv("PRIVREC_NO_SIMD");
+  return value != nullptr && *value != '\0' && std::string(value) != "0";
+}
+
+DispatchLevel DetectLevel() {
+  if (NoSimdFromEnv()) return DispatchLevel::kScalar;
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return DispatchLevel::kAvx2;
+#endif
+  return DispatchLevel::kScalar;
+}
+
+}  // namespace
+
+DispatchLevel ActiveDispatchLevel() {
+  static const DispatchLevel level = DetectLevel();
+  return level;
+}
+
+const char* DispatchLevelName(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return "scalar";
+    case DispatchLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace privrec::kernels

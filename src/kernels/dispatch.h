@@ -1,0 +1,34 @@
+// Runtime SIMD dispatch for the reconstruction kernels, following the
+// PCLMULQDQ fast path in common/crc32.cc: detect once with
+// __builtin_cpu_supports, cache the answer, and gate at the call site.
+//
+// Two rules keep dispatch out of the determinism story:
+//
+//   1. The scalar path is the bit-identity reference. Every dispatched
+//      path must produce bit-identical output (kernels_test pins
+//      exact equality across all SIMD tail lengths), so the dispatch
+//      level can never change results — only wall-clock.
+//   2. PRIVREC_NO_SIMD (nonempty and not "0") forces kScalar for the
+//      whole process, mirroring PRIVREC_NO_MMAP for the mapped reader.
+//      ci/sanitize.sh runs the full suite once in this mode.
+
+#ifndef PRIVREC_KERNELS_DISPATCH_H_
+#define PRIVREC_KERNELS_DISPATCH_H_
+
+namespace privrec::kernels {
+
+enum class DispatchLevel {
+  kScalar = 0,  // portable reference; always available
+  kAvx2 = 1,    // 4-wide f64 lanes; x86-64 with AVX2 only
+};
+
+// The level the dispatched kernels will take, detected once per process
+// (CPU features, then the PRIVREC_NO_SIMD override) and cached.
+DispatchLevel ActiveDispatchLevel();
+
+// Stable lowercase name for logs, statusz, and bench context.
+const char* DispatchLevelName(DispatchLevel level);
+
+}  // namespace privrec::kernels
+
+#endif  // PRIVREC_KERNELS_DISPATCH_H_

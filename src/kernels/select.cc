@@ -1,0 +1,42 @@
+#include "kernels/select.h"
+
+#include <numeric>
+
+namespace privrec::kernels {
+
+void SelectTopNIndicesDense(const double* values, int64_t num_values,
+                            int64_t n, std::vector<int64_t>* out) {
+  out->clear();
+  const int64_t keep = std::min<int64_t>(n, num_values);
+  if (keep <= 0) return;
+
+  // Worker-local scratch: one index per item, rebuilt (iota) per call so
+  // results never depend on what this worker selected before.
+  thread_local std::vector<int64_t> scratch;
+  scratch.resize(static_cast<size_t>(num_values));
+  std::iota(scratch.begin(), scratch.end(), int64_t{0});
+
+  // Index comparison under (value desc, index asc) — the same total
+  // order as RankOrderBetter on materialized pairs, since the dense
+  // item id IS the index.
+  auto better = [values](int64_t a, int64_t b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;
+  };
+  // Same crossover as SelectTopNInPlace (see kHeapSelectRatio): the
+  // reconstruction shape keeps the bounded heap, a near-full selection
+  // keeps the linear partition.
+  if (keep * kHeapSelectRatio <= num_values) {
+    std::partial_sort(scratch.begin(), scratch.begin() + keep,
+                      scratch.end(), better);
+  } else {
+    if (keep < num_values) {
+      std::nth_element(scratch.begin(), scratch.begin() + keep,
+                       scratch.end(), better);
+    }
+    std::sort(scratch.begin(), scratch.begin() + keep, better);
+  }
+  out->assign(scratch.begin(), scratch.begin() + keep);
+}
+
+}  // namespace privrec::kernels

@@ -1,0 +1,77 @@
+// SelectTopN: partial top-N selection under the library's one ranking
+// order — utility descending, item id ascending on ties. Replaces the
+// full `std::partial_sort` blocks that were duplicated across
+// core::TopNFromDense / TopNFromSparse.
+//
+// Both entry points pick their algorithm by the keep/size ratio: the
+// usual reconstruction shape (n in the tens, items in the thousands) is
+// served by partial_sort's bounded-heap scan — one predictable
+// comparison per element, heap updates only on the rare element that
+// beats the current top-n — while a `keep` that is a large fraction of
+// `size` (where the heap would churn) switches to nth_element + sort of
+// the prefix. Because the comparator is a strict total order (the item
+// id breaks every utility tie), the top-`keep` set and its sorted order
+// are unique, so both algorithms produce element-for-element identical
+// output; BM_KernelSelectTopN* pins the crossover choice.
+
+#ifndef PRIVREC_KERNELS_SELECT_H_
+#define PRIVREC_KERNELS_SELECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace privrec::kernels {
+
+// The shared ranking order over anything with `.utility` and `.item`
+// members (core::Recommendation and friends).
+struct RankOrderBetter {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    if (a.utility != b.utility) return a.utility > b.utility;
+    return a.item < b.item;
+  }
+};
+
+// Selection shape where partial_sort's bounded heap beats nth_element:
+// while keep is a small fraction of size, almost every element loses one
+// comparison against the heap top and moves on; past this ratio the heap
+// churns and nth_element's O(size) partitioning wins.
+inline constexpr int64_t kHeapSelectRatio = 8;
+
+// In-place selection: keeps the top min(n, size) entries of `list` in
+// rank order and truncates the rest. The single selection helper behind
+// every materialized top-N surface; also the scalar SelectTopN
+// reference that kernels_test compares the dense path against.
+template <typename List>
+void SelectTopNInPlace(List& list, int64_t n) {
+  const int64_t size = static_cast<int64_t>(list.size());
+  const int64_t keep = std::min<int64_t>(n, size);
+  if (keep <= 0) {
+    list.clear();
+    return;
+  }
+  if (keep * kHeapSelectRatio <= size) {
+    std::partial_sort(list.begin(), list.begin() + keep, list.end(),
+                      RankOrderBetter{});
+  } else {
+    if (keep < size) {
+      std::nth_element(list.begin(), list.begin() + keep, list.end(),
+                       RankOrderBetter{});
+    }
+    std::sort(list.begin(), list.begin() + keep, RankOrderBetter{});
+  }
+  list.resize(static_cast<typename List::size_type>(keep));
+}
+
+// Dense variant: selects the top min(n, num_values) indices of `values`
+// under the same order (value desc, index asc) without materializing a
+// (item, utility) pair per item — the index scratch is thread-local and
+// reused across calls, which matters in the per-user reconstruction
+// loop. Output indices land in `out` in rank order.
+void SelectTopNIndicesDense(const double* values, int64_t num_values,
+                            int64_t n, std::vector<int64_t>* out);
+
+}  // namespace privrec::kernels
+
+#endif  // PRIVREC_KERNELS_SELECT_H_

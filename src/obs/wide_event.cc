@@ -89,6 +89,8 @@ std::string RequestTelemetryToJson(const RequestTelemetry& event) {
          (event.degraded ? "true" : "false");
   out += ", \"users_degraded\": " + std::to_string(event.users_degraded);
   out += ", \"retry_after_ms\": " + std::to_string(event.retry_after_ms);
+  out += ", \"batch_requests\": " + std::to_string(event.batch_requests);
+  out += ", \"batch_users\": " + std::to_string(event.batch_users);
   out += "}";
   return out;
 }

@@ -97,6 +97,13 @@ struct RequestTelemetry {
   bool degraded = false;
   int64_t users_degraded = 0;
   int64_t retry_after_ms = 0;
+
+  // Cross-request batching occupancy: how many requests (and total users)
+  // shared the reconstruction call that served this one. 1/users on the
+  // unbatched direct path; 0 when the request never reached a
+  // recommender (rejection, validation error, fallback).
+  int64_t batch_requests = 0;
+  int64_t batch_users = 0;
 };
 
 // Deterministic sampling policy: every non-OK, degraded, or slow request

@@ -1,0 +1,98 @@
+// RequestBatcher: cross-request coalescing for the serve runtime.
+//
+// Concurrent requests that pinned the SAME epoch and ask for the same
+// top_n are merged into one recommender call: the first arrival opens a
+// batch and leads it (waiting out a bounded window for followers), later
+// arrivals append their users and block until the leader executes, and
+// every member then slices its own lists back out. Because every
+// batchable mechanism (ConcurrentSafe: Cluster, Exact) computes each
+// user independently, serving the union and slicing is bit-identical to
+// serving each request alone — the batcher changes amortization, never
+// bytes. The fresh-noise baselines are NOT batchable: their RNG stream
+// must see exactly one invocation per request, so the runtime keeps them
+// on the serialized single-request path.
+//
+// Window accounting: expiry is checked on the runtime's injected
+// serve::Clock (authoritative in virtual-time tests), with a real-time
+// cap of the same width so a ManualClock that never advances cannot park
+// a leader forever. A batch also closes early the moment it reaches
+// max_requests or max_users.
+
+#ifndef PRIVREC_SERVE_BATCHER_H_
+#define PRIVREC_SERVE_BATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/degradation.h"
+#include "graph/ids.h"
+#include "serve/clock.h"
+#include "serve/swapper.h"
+
+namespace privrec::serve {
+
+struct BatchOptions {
+  // Batch window in ms; 0 disables cross-request batching entirely (the
+  // runtime then serves every request on the historical direct path).
+  int64_t window_ms = 0;
+  // A batch closes early once it holds this many member requests...
+  int64_t max_requests = 8;
+  // ...or this many total users across its members.
+  int64_t max_users = 256;
+};
+
+class RequestBatcher {
+ public:
+  // Executes one merged user list against the batch's pinned epoch.
+  // Called on exactly one member thread per batch, without the batcher's
+  // lock held.
+  using Executor = std::function<core::RecommendedBatch(
+      EpochSnapshot& epoch, const std::vector<graph::NodeId>& users,
+      int64_t top_n)>;
+
+  // This request's share of an executed batch, plus the occupancy of the
+  // batch that served it (for wide-event telemetry).
+  struct Slice {
+    core::RecommendedBatch batch;
+    int64_t batch_requests = 0;
+    int64_t batch_users = 0;
+  };
+
+  RequestBatcher(const BatchOptions& options, const Clock* clock);
+
+  // Joins (or opens) the batch for (epoch, top_n), blocks until it
+  // executes, and returns this request's slice. `users` must stay valid
+  // for the duration of the call (the caller blocks, so it does). The
+  // report's artifact-shape counters are copied from the merged batch;
+  // users_degraded is recomputed for the slice.
+  Slice Submit(const std::shared_ptr<EpochSnapshot>& epoch,
+               const std::vector<graph::NodeId>& users, int64_t top_n,
+               const Executor& executor);
+
+  // Occupancy counters: merged executions and the member requests they
+  // carried (batches of one count too — occupancy is their ratio).
+  int64_t batches_formed() const {
+    return batches_formed_.load(std::memory_order_relaxed);
+  }
+  int64_t requests_batched() const {
+    return requests_batched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Batch;
+
+  BatchOptions options_;
+  const Clock* clock_;
+  std::mutex mu_;  // guards open_ and every Batch's member state
+  std::shared_ptr<Batch> open_;
+  std::atomic<int64_t> batches_formed_{0};
+  std::atomic<int64_t> requests_batched_{0};
+};
+
+}  // namespace privrec::serve
+
+#endif  // PRIVREC_SERVE_BATCHER_H_

@@ -31,6 +31,7 @@
 #include "graph/ids.h"
 #include "obs/wide_event.h"
 #include "serve/admission.h"
+#include "serve/batcher.h"
 #include "serve/circuit_breaker.h"
 #include "serve/clock.h"
 #include "serve/swapper.h"
@@ -47,6 +48,12 @@ struct ServeRuntimeOptions {
   // Answer shed/expired requests from the global-average fallback tier of
   // the pinned epoch instead of returning the bare rejection.
   bool degraded_fallback = true;
+  // Cross-request coalescing (serve/batcher.h). window_ms = 0 (the
+  // default) keeps the historical one-request-one-Recommend path; > 0
+  // merges concurrent Handle() calls that pinned the same epoch into one
+  // reconstruction. Only ConcurrentSafe recommenders are ever batched, so
+  // the merge is bit-identical to serving each request alone.
+  BatchOptions batch;
   // Null = SteadyClock; tests inject a ManualClock shared with the
   // admission controller and the breaker.
   const Clock* clock = nullptr;
@@ -151,6 +158,16 @@ class ServeRuntime {
   // slot. For an already-done operation this just returns the response.
   ServeResponse FinishAsync(AsyncServe& op);
 
+  // Serves a group of admitted operations together: operations that
+  // pinned the same epoch, ask for the same top_n, and carry a
+  // ConcurrentSafe recommender are concatenated into one Recommend call
+  // and the merged result is sliced back per operation (bit-identical to
+  // finishing each alone). Everything else falls through to FinishAsync.
+  // The single-threaded counterpart of the threaded Handle() batcher —
+  // the open-loop harness collects due operations per tick and amortizes
+  // reconstruction across them without parking threads.
+  void FinishAsyncBatch(const std::vector<AsyncServe*>& ops);
+
   const ArtifactSwapper& swapper() const { return swapper_; }
   const CircuitBreaker& reload_breaker() const { return reload_breaker_; }
   const AdmissionController& admission() const { return admission_; }
@@ -161,6 +178,17 @@ class ServeRuntime {
 
   const Clock* clock() const { return clock_; }
   const ServeTelemetry* telemetry() const { return options_.telemetry; }
+
+  // Null when batching is disabled (batch.window_ms == 0).
+  const RequestBatcher* batcher() const { return batcher_.get(); }
+
+  // Async-path batching counters (FinishAsyncBatch groups).
+  int64_t async_batches() const {
+    return async_batches_.load(std::memory_order_relaxed);
+  }
+  int64_t async_batched_requests() const {
+    return async_batched_requests_.load(std::memory_order_relaxed);
+  }
 
   // Live status snapshot (serve/statusz.h renders it as text or JSON):
   // pinned epoch identity, shard map, breaker/admission state, ε gauges,
@@ -180,8 +208,14 @@ class ServeRuntime {
                          const std::shared_ptr<EpochSnapshot>& epoch,
                          const ServeRequest& request,
                          int64_t retry_after_ms);
-  void ServeFromEpoch(EpochSnapshot& epoch, const ServeRequest& request,
-                      ServeResponse* response);
+  // `use_batcher` routes ConcurrentSafe requests through the window
+  // batcher when one is configured. Only the threaded Handle() path opts
+  // in: a single-threaded async driver parked in the batcher would wait
+  // out every window alone, so FinishAsync serves directly and cross-
+  // request amortization on that path comes from FinishAsyncBatch.
+  void ServeFromEpoch(const std::shared_ptr<EpochSnapshot>& epoch,
+                      const ServeRequest& request, ServeResponse* response,
+                      obs::RequestTelemetry* event, bool use_batcher);
   // Finalizes and hands the wide event to the telemetry sink (no-op when
   // no sink is configured).
   void EmitTelemetry(obs::RequestTelemetry& event,
@@ -193,7 +227,10 @@ class ServeRuntime {
   ArtifactSwapper swapper_;
   AdmissionController admission_;
   CircuitBreaker reload_breaker_;
+  std::unique_ptr<RequestBatcher> batcher_;
   std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<int64_t> async_batches_{0};
+  std::atomic<int64_t> async_batched_requests_{0};
 };
 
 }  // namespace privrec::serve

@@ -177,6 +177,10 @@ ServeResponse ShardedServeRuntime::Handle(const ServeRequest& request) {
   }
   ticket->Release();
   span.Arg("shards", shard_list);
+  // The routed path never merges with other requests (batching happens in
+  // the delegate): occupancy is this request alone.
+  event.batch_requests = 1;
+  event.batch_users = static_cast<int64_t>(request.users.size());
 
   const int64_t end_ms = clock_->NowMs();
   event.reconstruct_ms = reconstruct_ms;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "kernels/dispatch.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serve/runtime.h"
@@ -93,6 +94,15 @@ RuntimeIntrospection ServeRuntime::Introspect(int64_t now_ms) const {
   status.admission_hold_ms = admission_.EstimatedHoldMs();
   status.admission_retry_hint_ms = admission_.RetryAfterHintMs();
 
+  status.kernel_dispatch =
+      kernels::DispatchLevelName(kernels::ActiveDispatchLevel());
+  status.batches_formed = async_batches();
+  status.batched_requests = async_batched_requests();
+  if (batcher_ != nullptr) {
+    status.batches_formed += batcher_->batches_formed();
+    status.batched_requests += batcher_->requests_batched();
+  }
+
   FillRegistrySlices(&status);
   FillTelemetry(options_.telemetry, &status);
   return status;
@@ -156,6 +166,15 @@ std::string StatuszText(const RuntimeIntrospection& status) {
     out += "routing:    " + std::to_string(status.sharded_requests) +
            " shard-routed request(s)\n";
   }
+  out += "kernels:    dispatch " + status.kernel_dispatch + ", " +
+         std::to_string(status.batches_formed) + " batch(es) serving " +
+         std::to_string(status.batched_requests) + " request(s)";
+  if (status.batches_formed > 0) {
+    out += ", occupancy " +
+           JsonNumber(static_cast<double>(status.batched_requests) /
+                      static_cast<double>(status.batches_formed));
+  }
+  out += "\n";
   for (const obs::GaugeSample& g : status.epsilon_gauges) {
     out += "epsilon:    " + g.name + " = " + JsonNumber(g.value) + "\n";
   }
@@ -246,6 +265,13 @@ std::string StatuszJson(const RuntimeIntrospection& status) {
              ? std::to_string(status.sharded_requests)
              : "null";
   out += ",\n";
+
+  out += "  \"kernels\": {\"dispatch\": \"" +
+         JsonEscape(status.kernel_dispatch) +
+         "\", \"batches_formed\": " +
+         std::to_string(status.batches_formed) +
+         ", \"batched_requests\": " +
+         std::to_string(status.batched_requests) + "},\n";
 
   out += "  \"epsilon_gauges\": {";
   for (size_t i = 0; i < status.epsilon_gauges.size(); ++i) {

@@ -73,6 +73,16 @@ struct RuntimeIntrospection {
   // ---- Shard routing (sharded runtime only; -1 = not sharded-routed).
   int64_t sharded_requests = -1;
 
+  // ---- Reconstruction kernels: active SIMD dispatch level ("scalar" /
+  // "avx2", see kernels/dispatch.h) and cross-request batching occupancy.
+  // batches_formed counts merged reconstruction calls (threaded window
+  // batcher + async groups); batched_requests counts the member requests
+  // they carried — their ratio is the mean batch occupancy. Both stay 0
+  // with batching disabled.
+  std::string kernel_dispatch;
+  int64_t batches_formed = 0;
+  int64_t batched_requests = 0;
+
   // ---- Telemetry (has_telemetry == false when no sink is attached).
   bool has_telemetry = false;
   int64_t telemetry_recorded = 0;

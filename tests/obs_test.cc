@@ -457,6 +457,8 @@ obs::RequestTelemetry GoldenEvent() {
   event.degraded = false;
   event.users_degraded = 0;
   event.retry_after_ms = 0;
+  event.batch_requests = 2;
+  event.batch_users = 6;
   return event;
 }
 
@@ -469,7 +471,8 @@ TEST(WideEventTest, JsonGolden) {
             "\"reconstruct_ms\": 4, \"epoch\": 3, \"artifact_seed\": 42, "
             "\"shard_count\": 2, \"shards\": [0, 1], \"users\": 4, "
             "\"top_n\": 10, \"deadline_ms\": 400, \"degraded\": false, "
-            "\"users_degraded\": 0, \"retry_after_ms\": 0}");
+            "\"users_degraded\": 0, \"retry_after_ms\": 0, "
+            "\"batch_requests\": 2, \"batch_users\": 6}");
 }
 
 TEST(WideEventTest, SamplingKeepsEveryInterestingRequest) {

@@ -895,8 +895,11 @@ TEST(ServeFlagsTest, ValuesParsedAndTyposSuggested) {
                         "--serve-max-concurrency=2",
                         "--serve-breaker-failures=5",
                         "--serve-breaker-cooldown-ms=750",
-                        "--serve-reload-period=4"};
-  FlagParser flags(7, const_cast<char**>(argv));
+                        "--serve-reload-period=4",
+                        "--serve-batch-window-ms=5",
+                        "--serve-batch-max-requests=3",
+                        "--serve-batch-max-users=64"};
+  FlagParser flags(10, const_cast<char**>(argv));
   ServeFlagSettings settings = ApplyServeFlags(flags);
   EXPECT_TRUE(flags.Validate());
   EXPECT_EQ(settings.deadline_ms, 250);
@@ -905,6 +908,9 @@ TEST(ServeFlagsTest, ValuesParsedAndTyposSuggested) {
   EXPECT_EQ(settings.breaker_failures, 5);
   EXPECT_EQ(settings.breaker_cooldown_ms, 750);
   EXPECT_EQ(settings.reload_period, 4);
+  EXPECT_EQ(settings.batch_window_ms, 5);
+  EXPECT_EQ(settings.batch_max_requests, 3);
+  EXPECT_EQ(settings.batch_max_users, 64);
 
   const char* typo_argv[] = {"driver", "--serve-quue-depth=9"};
   FlagParser typo(2, const_cast<char**>(typo_argv));
@@ -914,6 +920,8 @@ TEST(ServeFlagsTest, ValuesParsedAndTyposSuggested) {
   EXPECT_EQ(typo.SuggestionFor("serve-deadlin-ms"), "serve-deadline-ms");
   EXPECT_EQ(typo.SuggestionFor("serve-max-concurency"),
             "serve-max-concurrency");
+  EXPECT_EQ(typo.SuggestionFor("serve-batch-windw-ms"),
+            "serve-batch-window-ms");
 }
 
 // ------------------------------------------- telemetry wide events
@@ -1253,6 +1261,221 @@ TEST(LoadFlagsTest, ValuesParsedAndTyposSuggested) {
   EXPECT_EQ(typo.SuggestionFor("load-swap-strom"), "load-swap-storm");
   EXPECT_EQ(typo.SuggestionFor("load-slo-p9-ms"), "load-slo-p99-ms");
   EXPECT_EQ(typo.SuggestionFor("load-durration-ms"), "load-duration-ms");
+}
+
+// ------------------------------------------- cross-request batching
+
+// Tentpole: concurrent Handle() calls coalesced by the window batcher
+// must be bit-identical to serving every request alone — batching may
+// only change amortization, never a single ranked list.
+TEST_F(ServeSwapTest, BatchedHandleBitIdenticalToUnbatchedAcrossThreads) {
+  const std::string path = BuildArtifact("a.pvra", 31, kEps);
+
+  // Reference: unbatched runtime on the same artifact, one Recommend per
+  // request.
+  ServeRuntimeOptions ref_options;
+  ref_options.swap = ClusterPolicy(kEps);
+  ServeRuntime reference(ref_options);
+  ASSERT_TRUE(reference.Activate(path).ok());
+
+  std::vector<std::vector<graph::NodeId>> slices(4);
+  for (size_t i = 0; i < users_.size(); ++i) {
+    slices[i % 4].push_back(users_[i]);
+  }
+  std::vector<core::RecommendedBatch> expected;
+  for (const auto& slice : slices) {
+    ServeResponse resp = reference.Handle({slice, 10, 1000});
+    ASSERT_TRUE(resp.status.ok());
+    expected.push_back(resp.batch);
+  }
+
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.admission.max_concurrency = 4;
+  options.batch.window_ms = 25;
+  options.batch.max_requests = 4;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+  ASSERT_NE(runtime.batcher(), nullptr);
+
+  std::vector<ServeResponse> responses(4);
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      responses[static_cast<size_t>(t)] =
+          runtime.Handle({slices[static_cast<size_t>(t)], 10, 1000});
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (size_t t = 0; t < 4; ++t) {
+    ASSERT_TRUE(responses[t].status.ok());
+    EXPECT_EQ(responses[t].batch.lists, expected[t].lists) << "slice " << t;
+    EXPECT_EQ(responses[t].batch.report.users_degraded,
+              expected[t].report.users_degraded);
+  }
+
+  // Every request went through the batcher; how they coalesced depends
+  // on thread timing, but the occupancy accounting must balance.
+  EXPECT_EQ(runtime.batcher()->requests_batched(), 4);
+  EXPECT_GE(runtime.batcher()->batches_formed(), 1);
+  EXPECT_LE(runtime.batcher()->batches_formed(), 4);
+
+  serve::RuntimeIntrospection status = runtime.Introspect();
+  EXPECT_EQ(status.batched_requests, 4);
+  EXPECT_EQ(status.batches_formed, runtime.batcher()->batches_formed());
+  EXPECT_FALSE(status.kernel_dispatch.empty());
+  const std::string text = serve::StatuszText(status);
+  EXPECT_NE(text.find("kernels:    dispatch " + status.kernel_dispatch),
+            std::string::npos);
+  const std::string json = serve::StatuszJson(status);
+  EXPECT_NE(json.find("\"batched_requests\": 4"), std::string::npos);
+}
+
+// A full batch (max_requests reached) closes before the window expires,
+// so the window is a bound, not a floor.
+TEST_F(ServeSwapTest, FullBatchClosesBeforeWindowExpires) {
+  const std::string path = BuildArtifact("a.pvra", 32, kEps);
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.admission.max_concurrency = 2;
+  // A window far longer than the test budget: if early close were
+  // broken, the 120 s ctest timeout would trip long before this window.
+  options.batch.window_ms = 300000;
+  options.batch.max_requests = 2;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+
+  std::vector<graph::NodeId> left(users_.begin(),
+                                  users_.begin() + users_.size() / 2);
+  std::vector<graph::NodeId> right(users_.begin() + users_.size() / 2,
+                                   users_.end());
+  ServeResponse r1, r2;
+  std::thread t1([&] { r1 = runtime.Handle({left, 10, 1000000}); });
+  std::thread t2([&] { r2 = runtime.Handle({right, 10, 1000000}); });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(r1.status.ok());
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(runtime.batcher()->requests_batched(), 2);
+}
+
+// The async counterpart: FinishAsyncBatch groups admitted operations by
+// (epoch, top_n), serves each group in one Recommend, and the slices are
+// bit-identical to finishing the operations one by one.
+TEST_F(ServeSwapTest, FinishAsyncBatchMatchesIndividualFinishes) {
+  const std::string path = BuildArtifact("a.pvra", 33, kEps);
+  ManualClock clock;
+  clock.Set(10);
+  serve::ServeTelemetryOptions tel_options;
+  tel_options.sample_every = 1;
+  serve::ServeTelemetry telemetry(tel_options);
+  ServeRuntimeOptions options;
+  options.swap = ClusterPolicy(kEps);
+  options.clock = &clock;
+  options.telemetry = &telemetry;
+  options.admission.max_concurrency = 4;
+  ServeRuntime runtime(options);
+  ASSERT_TRUE(runtime.Activate(path).ok());
+
+  ServeRuntimeOptions ref_options;
+  ref_options.swap = ClusterPolicy(kEps);
+  ServeRuntime reference(ref_options);
+  ASSERT_TRUE(reference.Activate(path).ok());
+
+  std::vector<std::vector<graph::NodeId>> slices(3);
+  for (size_t i = 0; i < users_.size(); ++i) {
+    slices[i % 3].push_back(users_[i]);
+  }
+
+  AsyncServe op0 = runtime.BeginAsync({slices[0], 10, 1000}, clock.NowMs());
+  AsyncServe op1 = runtime.BeginAsync({slices[1], 10, 1000}, clock.NowMs());
+  // Different top_n: must land in its own group, never merged with the
+  // top-10 pair.
+  AsyncServe op2 = runtime.BeginAsync({slices[2], 7, 1000}, clock.NowMs());
+  ASSERT_TRUE(op0.admitted && op1.admitted && op2.admitted);
+
+  runtime.FinishAsyncBatch({&op0, &op1, &op2});
+  ASSERT_TRUE(op0.done && op1.done && op2.done);
+  ASSERT_TRUE(op0.response.status.ok());
+  ASSERT_TRUE(op1.response.status.ok());
+  ASSERT_TRUE(op2.response.status.ok());
+
+  EXPECT_EQ(op0.response.batch.lists,
+            reference.Handle({slices[0], 10, 1000}).batch.lists);
+  EXPECT_EQ(op1.response.batch.lists,
+            reference.Handle({slices[1], 10, 1000}).batch.lists);
+  EXPECT_EQ(op2.response.batch.lists,
+            reference.Handle({slices[2], 7, 1000}).batch.lists);
+
+  // Two groups: {op0, op1} merged, {op2} alone.
+  EXPECT_EQ(runtime.async_batches(), 2);
+  EXPECT_EQ(runtime.async_batched_requests(), 3);
+  EXPECT_EQ(op0.telemetry.batch_requests, 2);
+  EXPECT_EQ(op1.telemetry.batch_requests, 2);
+  EXPECT_EQ(op0.telemetry.batch_users,
+            static_cast<int64_t>(slices[0].size() + slices[1].size()));
+  EXPECT_EQ(op2.telemetry.batch_requests, 1);
+  EXPECT_EQ(op2.telemetry.batch_users,
+            static_cast<int64_t>(slices[2].size()));
+
+  // All slots released: the runtime can immediately admit again.
+  EXPECT_EQ(runtime.admission().in_flight(), 0);
+
+  serve::RuntimeIntrospection status = runtime.Introspect();
+  EXPECT_EQ(status.batches_formed, 2);
+  EXPECT_EQ(status.batched_requests, 3);
+}
+
+// ------------------------------------------- lazy global-average row
+
+// Satellite: BuildDerived no longer pays the O(clusters × items)
+// global-average pass, so a swap storm publishes epochs without it; the
+// first fallback-tier request computes the row once per epoch (traced as
+// artifact.global_average) and every later request reuses it.
+TEST_F(ServeSwapTest, SwapSkipsGlobalAverageUntilFallbackNeedsIt) {
+  const std::string a = BuildArtifact("a.pvra", 41, kEps);
+  const std::string b = BuildArtifact("b.pvra", 42, kEps);
+
+  SwapPolicy policy = ClusterPolicy(kEps);
+  policy.probe_users = 0;  // probes may touch isolated users; isolate the
+                           // swap path itself for the span accounting
+  ServeRuntimeOptions options;
+  options.swap = policy;
+  ServeRuntime runtime(options);
+
+  obs::Tracer::Instance().Clear();
+  obs::Tracer::Instance().SetEnabled(true);
+  auto global_spans = [] {
+    int64_t n = 0;
+    for (const obs::SpanRecord& span : obs::Tracer::Instance().Snapshot()) {
+      if (span.name == "artifact.global_average") ++n;
+    }
+    return n;
+  };
+
+  // A two-epoch swap storm: neither activation computes the row.
+  ASSERT_TRUE(runtime.Activate(a).ok());
+  ASSERT_TRUE(runtime.Activate(b).ok());
+  if (obs::kCompiledIn) EXPECT_EQ(global_spans(), 0);
+
+  // First fallback-tier answer (deadline 0 expires at admission) pays
+  // the pass exactly once...
+  ServeResponse first = runtime.Handle({users_, 10, 0});
+  EXPECT_EQ(first.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(first.degraded_fallback);
+  const int64_t after_first = global_spans();
+  if (obs::kCompiledIn) EXPECT_EQ(after_first, 1);
+
+  // ...and the cached row serves every later fallback on this epoch.
+  ServeResponse second = runtime.Handle({users_, 10, 0});
+  EXPECT_TRUE(second.degraded_fallback);
+  EXPECT_EQ(global_spans(), after_first);
+  EXPECT_EQ(second.batch.lists, first.batch.lists);
+
+  obs::Tracer::Instance().SetEnabled(false);
+  obs::Tracer::Instance().Clear();
 }
 
 }  // namespace
