@@ -1,0 +1,208 @@
+// Streaming-ingestion bench: the cost of the WAL discipline and of
+// incremental community maintenance, the measurement behind
+// BENCH_stream.json.
+//
+// The driver generates a deterministic delta schedule and measures:
+//
+//   wal_append (fsync off / every 64)  journal-then-apply throughput
+//   wal_replay                         cold-start Open() replay of the log
+//   incremental_community              per-delta local moves + drift
+//                                      restarts, vs one full Louvain run
+//                                      on the final graph
+//
+// plus a bit-identity check: the replayed ingester must report the same
+// graph fingerprint as the one that wrote the log.
+//
+//   ./bench_stream_ingest [--deltas=20000] [--users=2000] [--items=1000]
+//                         [--scratch-dir=stream-ingest-scratch]
+//                         [--report=BENCH_stream.json]
+//
+// Exit status: 0 when the replay is bit-identical; 2 otherwise; 1 on
+// setup errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/driver_flags.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "community/incremental.h"
+#include "community/louvain.h"
+#include "obs/export.h"
+#include "stream/ingester.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace privrec;
+
+stream::WalRecord ScheduleRecord(uint64_t seed, int64_t i,
+                                 graph::NodeId users, graph::ItemId items) {
+  const uint64_t bits =
+      SplitMix64(seed ^ (0x5bd1e995ull * static_cast<uint64_t>(i + 1)));
+  const uint64_t kind = bits % 100;
+  const auto u = static_cast<graph::NodeId>((bits >> 8) % users);
+  if (kind < 55) {
+    graph::NodeId v = static_cast<graph::NodeId>((bits >> 32) % users);
+    if (v == u) v = (v + 1) % users;
+    return stream::WalRecord::AddSocial(u, v);
+  }
+  if (kind < 70) {
+    graph::NodeId v = static_cast<graph::NodeId>((bits >> 24) % users);
+    if (v == u) v = (v + 1) % users;
+    return stream::WalRecord::RemoveSocial(u, v);
+  }
+  const auto item = static_cast<graph::ItemId>((bits >> 40) % items);
+  if (kind < 92) {
+    const double weight = 1.0 + static_cast<double>((bits >> 56) % 5);
+    return stream::WalRecord::AddPreference(u, item, weight);
+  }
+  return stream::WalRecord::RemovePreference(u, item);
+}
+
+// Pushes the whole schedule through `ingester`; returns elapsed ms or a
+// negative value on error.
+double RunSchedule(stream::EdgeStreamIngester* ingester, uint64_t seed,
+                   int64_t deltas, graph::NodeId users,
+                   graph::ItemId items) {
+  WallTimer timer;
+  for (int64_t i = 0; i < deltas; ++i) {
+    Status applied =
+        ingester->Apply(ScheduleRecord(seed, i, users, items));
+    if (!applied.ok()) {
+      std::fprintf(stderr, "apply failed at %lld: %s\n",
+                   static_cast<long long>(i),
+                   applied.ToString().c_str());
+      return -1.0;
+    }
+  }
+  return timer.ElapsedMillis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  ObsSession obs_session = ApplyDriverFlags(flags);
+  const int64_t deltas = flags.GetInt("deltas", 20000);
+  const auto users = static_cast<graph::NodeId>(flags.GetInt("users", 2000));
+  const auto items = static_cast<graph::ItemId>(flags.GetInt("items", 1000));
+  const std::string scratch =
+      flags.GetString("scratch-dir", "stream-ingest-scratch");
+  const std::string report = flags.GetString("report", "BENCH_stream.json");
+  if (!flags.Validate()) return 1;
+  const uint64_t seed = 29;
+
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  // ---- Journaled ingest, fsync off: the raw append+apply cost.
+  stream::EdgeStreamOptions wal_options;
+  wal_options.num_users = users;
+  wal_options.num_items = items;
+  wal_options.wal_path = scratch + "/nofsync.wal";
+  wal_options.fsync_every = 0;
+  auto journaled = stream::EdgeStreamIngester::Open(wal_options);
+  if (!journaled.ok()) {
+    std::fprintf(stderr, "%s\n", journaled.status().ToString().c_str());
+    return 1;
+  }
+  const double nofsync_ms =
+      RunSchedule(&*journaled, seed, deltas, users, items);
+  if (nofsync_ms < 0) return 1;
+  const uint64_t fingerprint = journaled->GraphFingerprint();
+
+  // ---- Journaled ingest, fsync every 64 records: the durability tax.
+  wal_options.wal_path = scratch + "/fsync64.wal";
+  wal_options.fsync_every = 64;
+  auto durable = stream::EdgeStreamIngester::Open(wal_options);
+  if (!durable.ok()) return 1;
+  const double fsync64_ms = RunSchedule(&*durable, seed, deltas, users, items);
+  if (fsync64_ms < 0) return 1;
+
+  // ---- Cold-start replay of the first log.
+  wal_options.wal_path = scratch + "/nofsync.wal";
+  wal_options.fsync_every = 0;
+  WallTimer timer;
+  auto replayed = stream::EdgeStreamIngester::Open(wal_options);
+  const double replay_ms = timer.ElapsedMillis();
+  if (!replayed.ok()) return 1;
+  const bool bit_identical =
+      replayed->delta_records() == deltas &&
+      replayed->GraphFingerprint() == fingerprint;
+
+  // ---- Incremental community maintenance over the same schedule
+  // (unjournaled, so the numbers isolate the maintainer).
+  stream::EdgeStreamOptions shadow_options;
+  shadow_options.num_users = users;
+  shadow_options.num_items = items;
+  community::IncrementalCommunity incremental(users, {});
+  auto shadow = stream::EdgeStreamIngester::Open(
+      shadow_options,
+      [&incremental](const stream::WalRecord& record,
+                     const stream::EdgeStreamIngester&) {
+        if (record.type == stream::WalRecordType::kAddSocial) {
+          incremental.AddEdge(record.a, record.b);
+        } else if (record.type == stream::WalRecordType::kRemoveSocial) {
+          incremental.RemoveEdge(record.a, record.b);
+        }
+      });
+  if (!shadow.ok()) return 1;
+  const double incremental_ms =
+      RunSchedule(&*shadow, seed, deltas, users, items);
+  if (incremental_ms < 0) return 1;
+
+  // ---- One full Louvain run on the final graph, for scale.
+  graph::SocialGraph final_graph = shadow->BuildSocialGraph();
+  timer.Reset();
+  auto louvain = community::RunLouvain(final_graph, {.restarts = 1,
+                                                     .seed = 3});
+  const double louvain_ms = timer.ElapsedMillis();
+
+  const double per_delta_us =
+      deltas > 0 ? 1000.0 * nofsync_ms / static_cast<double>(deltas) : 0.0;
+  char buffer[2048];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"context\": {\"bench\": \"bench_stream_ingest\"},\n"
+      "  \"spec\": {\"deltas\": %lld, \"users\": %lld, \"items\": %lld, "
+      "\"social_edges\": %lld, \"pref_edges\": %lld},\n"
+      "  \"wal\": {\"append_nofsync_ms\": %.1f, \"append_fsync64_ms\": "
+      "%.1f, \"replay_ms\": %.1f, \"append_per_delta_us\": %.2f},\n"
+      "  \"community\": {\"incremental_ms\": %.1f, \"full_louvain_ms\": "
+      "%.1f, \"local_moves\": %lld, \"drift_restarts\": %lld, "
+      "\"modularity\": %.6f, \"louvain_modularity\": %.6f},\n"
+      "  \"results\": {\"replay_bit_identical\": %s, \"pass\": %s}\n"
+      "}\n",
+      static_cast<long long>(deltas), static_cast<long long>(users),
+      static_cast<long long>(items),
+      static_cast<long long>(shadow->social_edges()),
+      static_cast<long long>(shadow->preference_edges()), nofsync_ms,
+      fsync64_ms, replay_ms, per_delta_us, incremental_ms, louvain_ms,
+      static_cast<long long>(incremental.local_moves()),
+      static_cast<long long>(incremental.full_restarts()),
+      incremental.modularity(), louvain.modularity,
+      bit_identical ? "true" : "false", bit_identical ? "true" : "false");
+
+  if (!report.empty()) {
+    std::string error;
+    if (!obs::WriteTextFile(report, buffer, &error)) {
+      std::fprintf(stderr, "report write failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "bench_stream_ingest: append %.1f ms (fsync64 %.1f ms), "
+               "replay %.1f ms, incremental community %.1f ms "
+               "(full louvain %.1f ms), bit_identical=%d -> %s\n",
+               nofsync_ms, fsync64_ms, replay_ms, incremental_ms,
+               louvain_ms, bit_identical ? 1 : 0,
+               bit_identical ? "PASS" : "FAIL");
+  fs::remove_all(scratch);
+  return bit_identical ? 0 : 2;
+}

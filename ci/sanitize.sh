@@ -44,6 +44,16 @@ PRIVREC_CHAOS_ITERS=500 \
   ctest --preset tsan -j"$(nproc)" -R "^(serve_test|serve_chaos_test)\$" "$@"
 echo "chaos soak: 500 swap iterations with faults, clean under TSan"
 
+# Streaming chaos pass: the churn soak — grow/ingest/crash/restart/
+# republish/swap cycles with 4 request threads hammering the runtime while
+# the pipeline journals, publishes and hot-swaps. TSan shakes the
+# WAL-ingest / publish / epoch-swap interleavings; stream_test rides along
+# for the journal replay and scheduler state machines.
+cmake --build --preset tsan -j"$(nproc)" --target stream_test stream_soak_test
+PRIVREC_CHAOS_ITERS=500 \
+  ctest --preset tsan -j"$(nproc)" -R "^(stream_test|stream_soak_test)\$" "$@"
+echo "stream soak: 500 churn iterations with crashes and faults, clean under TSan"
+
 # Probes-compiled-out pass for the serving runtime: with
 # PRIVREC_NO_FAULT_INJECTION the fault probes in the artifact I/O and
 # serve paths are constexpr no-ops, and the runtime (plus its tests, which
@@ -147,6 +157,14 @@ if nm --defined-only build-asan-ubsan/src/serve/libprivrec_serve.a \
   exit 1
 fi
 echo "serve runtime symbol check: clean (no preference/social graph code)"
+
+# Crash-recovery matrix: kill the streaming service at every journaling
+# stage (WAL append/fsync, ledger intent/commit, post-journal window,
+# artifact write/rename/reopen), restart, and require bit-identical
+# convergence with clean ε audits (see ci/stream_soak.sh for the matrix).
+# Runs against the asan-ubsan tree so every crash path is also
+# memory-checked.
+ci/stream_soak.sh build-asan-ubsan
 
 # Rated-load SLO gate: open-loop load + swap storm against the serving
 # runtime, with determinism, budget-enforcement and TSan wall-mode gates

@@ -9,7 +9,6 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <thread>
 #include <utility>
 
@@ -129,24 +128,83 @@ Result<MappedFile> MappedFile::Open(const std::string& path, bool use_mmap) {
     return file;
   }
 
-  // Portable fallback: read the whole file into a heap buffer. operator
-  // new returns at-least-16-byte-aligned storage and the format's element
-  // types need at most 8, so in-place addressing stays valid.
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::NotFound("cannot open '" + path + "'");
+  // Portable fallback: read the whole file into a heap buffer through a
+  // plain read(2) loop. operator new returns at-least-16-byte-aligned
+  // storage and the format's element types need at most 8, so in-place
+  // addressing stays valid. Transient failures — EINTR, a short read from
+  // a slow or networked filesystem — are retried a bounded number of
+  // times rather than failing the open: artifact swaps happen exactly
+  // when the page cache is cold and I/O is at its flakiest. Fault point:
+  // artifact.fallback_read (kIoError: transient EINTR-shaped failure,
+  // consumed by the retry budget; kShortRead: the next read returns at
+  // most one byte, forcing the loop to take another lap).
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("cannot open '" + path + "'");
+    }
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
   }
-  const std::streamoff size = in.tellg();
-  in.seekg(0);
-  file.size_ = static_cast<uint64_t>(size);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path + "'");
+  }
+  file.size_ = static_cast<uint64_t>(st.st_size);
   if (file.size_ > 0) {
     file.owned_ = std::make_unique<char[]>(file.size_);
-    in.read(file.owned_.get(), static_cast<std::streamsize>(file.size_));
-    if (!in) {
-      return Status::IoError("read of '" + path + "' failed");
+    static obs::Counter& retries =
+        obs::GetCounter("privrec.artifact.fallback_read_retries");
+    constexpr int kMaxRetries = 64;
+    int budget = kMaxRetries;
+    uint64_t done = 0;
+    while (done < file.size_) {
+      size_t want = static_cast<size_t>(file.size_ - done);
+      switch (fault::Hit("artifact.fallback_read")) {
+        case fault::FaultKind::kIoError:
+          if (--budget < 0) {
+            ::close(fd);
+            return Status::IoError("read of '" + path + "' failed after " +
+                                   std::to_string(kMaxRetries) +
+                                   " retries (injected fault)");
+          }
+          retries.Increment();
+          continue;
+        case fault::FaultKind::kShortRead:
+          want = 1;
+          break;
+        default:
+          break;
+      }
+      const ssize_t n = ::read(fd, file.owned_.get() + done, want);
+      if (n < 0) {
+        if (errno == EINTR && --budget >= 0) {
+          retries.Increment();
+          continue;
+        }
+        ::close(fd);
+        return Status::IoError("read of '" + path + "' failed: " +
+                               std::strerror(errno));
+      }
+      if (n == 0) {
+        // EOF short of the stat size: the file shrank underneath us or
+        // the filesystem returned a spurious zero; bounded retries
+        // distinguish a hiccup from real truncation.
+        if (--budget >= 0) {
+          retries.Increment();
+          continue;
+        }
+        ::close(fd);
+        return Status::IoError("unexpected EOF reading '" + path + "' at " +
+                               std::to_string(done) + " of " +
+                               std::to_string(file.size_) + " bytes");
+      }
+      done += static_cast<uint64_t>(n);
     }
     file.data_ = file.owned_.get();
   }
+  ::close(fd);
   return file;
 }
 

@@ -84,6 +84,22 @@ TelemetryFlagSettings ApplyTelemetryFlags(FlagParser& flags) {
   return s;
 }
 
+StreamFlagSettings ApplyStreamFlags(FlagParser& flags) {
+  StreamFlagSettings s;
+  s.wal = flags.GetString("stream-wal", s.wal);
+  s.fsync_every = flags.GetInt("stream-fsync-every", s.fsync_every);
+  s.drift_threshold =
+      flags.GetDouble("stream-drift-threshold", s.drift_threshold);
+  s.republish_drift =
+      flags.GetDouble("stream-republish-drift", s.republish_drift);
+  s.republish_growth =
+      flags.GetDouble("stream-republish-growth", s.republish_growth);
+  s.republish_every =
+      flags.GetInt("stream-republish-every", s.republish_every);
+  s.min_deltas = flags.GetInt("stream-min-deltas", s.min_deltas);
+  return s;
+}
+
 ObsSession ObsSession::FromFlags(FlagParser& flags) {
   ObsSession session;
   session.metrics_json_path_ = flags.GetString("metrics-json", "");

@@ -127,6 +127,22 @@ struct TelemetryFlagSettings {
 
 TelemetryFlagSettings ApplyTelemetryFlags(FlagParser& flags);
 
+// Streaming-pipeline knobs (WAL-journaled ingestion + re-publication
+// scheduling) for drivers that embed a stream::StreamPipeline. Plain
+// scalars for the usual layering reason (common must not depend on
+// stream); drivers copy these into StreamPipelineOptions.
+struct StreamFlagSettings {
+  std::string wal;                  // --stream-wal ("" = unjournaled)
+  int64_t fsync_every = 1;          // --stream-fsync-every (0 = never)
+  double drift_threshold = 0.05;    // --stream-drift-threshold (restart)
+  double republish_drift = 0.05;    // --stream-republish-drift
+  double republish_growth = 0.25;   // --stream-republish-growth
+  int64_t republish_every = 0;      // --stream-republish-every (0 = off)
+  int64_t min_deltas = 8;           // --stream-min-deltas
+};
+
+StreamFlagSettings ApplyStreamFlags(FlagParser& flags);
+
 }  // namespace privrec
 
 #endif  // PRIVREC_COMMON_DRIVER_FLAGS_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "artifact/builder.h"
@@ -67,7 +68,8 @@ double DynamicRecommenderSession::EpsilonForSnapshot(int64_t t) const {
 
 Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
     const RecommenderContext& context,
-    const std::vector<graph::NodeId>& users, int64_t top_n) {
+    const std::vector<graph::NodeId>& users, int64_t top_n,
+    const community::Partition* partition) {
   context.CheckValid();
   const int64_t t = snapshots_processed_;
   PRIVREC_SPAN_CHUNK("core.dynamic.snapshot", t);
@@ -123,14 +125,24 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
         " (injected fault)");
   }
 
-  // Re-cluster the public social graph for this snapshot. Both the
+  // Cluster the public social graph for this snapshot: the caller's
+  // partition when one was injected (streaming keeps an incrementally
+  // maintained clustering), otherwise a fresh Louvain run. Both the
   // clustering seed and the noise seed are pure functions of (seed, t),
   // which is what makes re-deriving a crashed release bit-identical.
-  community::LouvainOptions louvain_options = options_.louvain;
-  louvain_options.seed =
-      SplitMix64(options_.seed ^ static_cast<uint64_t>(t));
-  community::LouvainResult louvain =
-      community::RunLouvain(*context.social, louvain_options);
+  community::Partition clustering;
+  if (partition != nullptr) {
+    PRIVREC_CHECK_MSG(partition->num_nodes() == context.social->num_nodes(),
+                      "injected partition does not cover the snapshot's "
+                      "social graph");
+    clustering = *partition;
+  } else {
+    community::LouvainOptions louvain_options = options_.louvain;
+    louvain_options.seed =
+        SplitMix64(options_.seed ^ static_cast<uint64_t>(t));
+    clustering =
+        community::RunLouvain(*context.social, louvain_options).partition;
+  }
 
   const uint64_t noise_seed =
       SplitMix64(options_.seed + 0x9e37 + static_cast<uint64_t>(t));
@@ -146,26 +158,55 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
       return Status::IoError("cannot create artifact dir '" +
                              options_.artifact_dir + "': " + ec.message());
     }
-    artifact::ModelArtifactBuilder builder(context.social,
-                                           context.preferences);
-    builder.SetPartition(&louvain.partition);
-    builder.SetWorkload(context.workload);
-    artifact::BuildOptions build_options;
-    build_options.epsilon = epsilon;
-    build_options.seed = noise_seed;
-    build_options.include_reference_sections = false;
-    build_options.ledger_id =
-        options_.ledger_path.empty()
-            ? "snapshot_" + std::to_string(t)
-            : options_.ledger_path + "#" + std::to_string(t);
-    Result<serving::ArtifactModel> model = builder.Build(build_options);
-    if (!model.ok()) return model.status();
     const std::string path = options_.artifact_dir + "/snapshot_" +
                              std::to_string(t) + ".pvra";
-    Status saved = serving::SaveArtifact(*model, path);
-    if (!saved.ok()) return saved;
-    Result<serving::ServingEngine> engine = serving::ServingEngine::Load(path);
-    if (!engine.ok()) return engine.status();
+    // A crash mid-save leaves a temp file next to the destination; it is
+    // garbage from a torn write, never a resumable artifact.
+    std::filesystem::remove(path + ".tmp", ec);
+
+    artifact::ModelArtifactBuilder builder(context.social,
+                                           context.preferences);
+    builder.SetPartition(&clustering);
+    builder.SetWorkload(context.workload);
+
+    // Crash recovery may find snapshot t's artifact already on disk (the
+    // previous run died after the rename committed but before the ledger
+    // commit landed). If it loads cleanly and its provenance matches the
+    // (ε_t, seed) this call would rebuild with, serve straight from it —
+    // the noise inside is exactly the deterministic draw a rebuild would
+    // reproduce. Any mismatch or load failure (torn file, wrong epoch)
+    // falls through to skip-and-rebuild, overwriting the bad file.
+    std::optional<serving::ServingEngine> engine;
+    if (resumed_intent && std::filesystem::exists(path)) {
+      Result<serving::ServingEngine> reloaded =
+          serving::ServingEngine::Load(path);
+      if (reloaded.ok() &&
+          reloaded->model().provenance.epsilon == epsilon &&
+          reloaded->model().provenance.seed == noise_seed) {
+        static obs::Counter& reused =
+            obs::GetCounter("privrec.dynamic.artifact_reused");
+        reused.Increment();
+        engine.emplace(std::move(reloaded).value());
+      }
+    }
+    if (!engine) {
+      artifact::BuildOptions build_options;
+      build_options.epsilon = epsilon;
+      build_options.seed = noise_seed;
+      build_options.include_reference_sections = false;
+      build_options.ledger_id =
+          options_.ledger_path.empty()
+              ? "snapshot_" + std::to_string(t)
+              : options_.ledger_path + "#" + std::to_string(t);
+      Result<serving::ArtifactModel> model = builder.Build(build_options);
+      if (!model.ok()) return model.status();
+      Status saved = serving::SaveArtifact(*model, path);
+      if (!saved.ok()) return saved;
+      Result<serving::ServingEngine> loaded =
+          serving::ServingEngine::Load(path);
+      if (!loaded.ok()) return loaded.status();
+      engine.emplace(std::move(loaded).value());
+    }
     serving::ServeSpec spec;
     spec.mechanism = "Cluster";
     spec.epsilon = epsilon;
@@ -175,7 +216,7 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
     if (!server.ok()) return server.status();
     batch = (*server)->Recommend(users, top_n);
   } else {
-    ClusterRecommender recommender(context, louvain.partition,
+    ClusterRecommender recommender(context, clustering,
                                    {.epsilon = epsilon, .seed = noise_seed});
     batch = recommender.RecommendWithReport(users, top_n);
   }
@@ -187,7 +228,7 @@ Result<SnapshotRelease> DynamicRecommenderSession::ProcessSnapshot(
   release.epsilon_spent = resumed_intent ? 0.0 : epsilon;
   release.cumulative_epsilon = epsilon_spent();
   release.snapshot_index = t;
-  release.num_clusters = louvain.partition.num_clusters();
+  release.num_clusters = clustering.num_clusters();
   release.resumed_from_intent = resumed_intent;
   if (resumed_intent) resumed.Increment();
 

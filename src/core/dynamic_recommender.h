@@ -118,9 +118,16 @@ class DynamicRecommenderSession {
   // and must stay alive only for the duration of the call. Fails with
   // RESOURCE_EXHAUSTED once the budget cannot cover the next allocation
   // (unless serve_stale_on_exhaustion is set and a paid release exists).
+  //
+  // `partition` non-null skips the per-snapshot Louvain run and clusters
+  // with the caller's partition instead — the streaming pipeline passes
+  // its incrementally-maintained clustering here. The caller must keep
+  // the partition deterministic across crash recovery (a resumed intent
+  // re-derives its release from it bit-for-bit).
   Result<SnapshotRelease> ProcessSnapshot(
       const RecommenderContext& context,
-      const std::vector<graph::NodeId>& users, int64_t top_n);
+      const std::vector<graph::NodeId>& users, int64_t top_n,
+      const community::Partition* partition = nullptr);
 
   // ε allocated to snapshot t (0-based) under the configured policy.
   double EpsilonForSnapshot(int64_t t) const;

@@ -1,7 +1,12 @@
 #include "dp/ledger.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "common/fault_injection.h"
 #include "common/macros.h"
@@ -267,6 +272,143 @@ int64_t BudgetLedger::NumCommitted() const {
     if (e.committed) ++n;
   }
   return n;
+}
+
+std::string LedgerAuditReport::ToString() const {
+  std::string s = "ledger audit: total=" + FormatDouble(total_epsilon, 6) +
+                  " spent=" + FormatDouble(epsilon_spent, 6) +
+                  " intents=" + std::to_string(intents) + " commits=" +
+                  std::to_string(commits) + " uncommitted=" +
+                  std::to_string(uncommitted);
+  if (recovered_torn_tail) s += " torn-tail";
+  if (violations.empty()) {
+    s += " OK";
+  } else {
+    for (const std::string& v : violations) s += "\n  VIOLATION: " + v;
+  }
+  return s;
+}
+
+Result<LedgerAuditReport> AuditLedgerReplay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open ledger " + path);
+
+  LedgerAuditReport report;
+  bool saw_total = false;
+  // Per-(group, seq) intent occurrences, per-group last intent seq, and
+  // the set of committed seqs — everything the invariants need.
+  std::set<std::pair<std::string, int64_t>> seen_intents;
+  std::map<std::string, int64_t> last_seq;
+  std::map<int64_t, int64_t> intents_by_seq;
+  std::set<int64_t> committed;
+
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (in.eof() && !line.empty()) {
+      report.recovered_torn_tail = true;
+      break;
+    }
+    if (line_no == 1) {
+      if (Trim(line) != kHeader) {
+        return Status::ParseError(path + ": not a privrec budget ledger");
+      }
+      continue;
+    }
+    std::string_view body;
+    if (!ChecksumOk(Trim(line), &body)) {
+      if (in.peek() == std::ifstream::traits_type::eof()) {
+        report.recovered_torn_tail = true;
+        break;
+      }
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": ledger checksum mismatch");
+    }
+    auto fields = SplitWhitespace(body);
+    if (fields.empty()) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": empty ledger record");
+    }
+    if (fields[0] == "total") {
+      double total = 0.0;
+      if (fields.size() != 2 || !ParseDouble(fields[1], &total)) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad total record");
+      }
+      if (saw_total) {
+        report.violations.push_back("line " + std::to_string(line_no) +
+                                    ": duplicate total record");
+      }
+      report.total_epsilon = total;
+      saw_total = true;
+    } else if (fields[0] == "intent") {
+      int64_t seq = 0;
+      double eps = 0.0;
+      if (fields.size() != 4 || !ParseInt64(fields[1], &seq) ||
+          !ParseDouble(fields[3], &eps) || eps < 0.0 ||
+          !std::isfinite(eps)) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad intent record");
+      }
+      const std::string group(fields[2]);
+      if (!seen_intents.insert({group, seq}).second) {
+        report.violations.push_back(
+            "line " + std::to_string(line_no) + ": duplicate intent for " +
+            group + "/" + std::to_string(seq) +
+            " — replaying both would double-spend ε");
+      } else if (auto it = last_seq.find(group);
+                 it != last_seq.end() && seq <= it->second) {
+        report.violations.push_back(
+            "line " + std::to_string(line_no) + ": intent seq " +
+            std::to_string(seq) + " for group " + group +
+            " does not advance past " + std::to_string(it->second));
+      }
+      if (auto it = last_seq.find(group); it == last_seq.end()) {
+        last_seq[group] = seq;
+      } else {
+        it->second = std::max(it->second, seq);
+      }
+      ++intents_by_seq[seq];
+      ++report.intents;
+      report.epsilon_spent += eps;
+    } else if (fields[0] == "commit") {
+      int64_t seq = 0;
+      if (fields.size() != 2 || !ParseInt64(fields[1], &seq)) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad commit record");
+      }
+      if (intents_by_seq.find(seq) == intents_by_seq.end()) {
+        report.violations.push_back(
+            "line " + std::to_string(line_no) +
+            ": commit without intent for seq " + std::to_string(seq));
+      } else if (!committed.insert(seq).second) {
+        report.violations.push_back("line " + std::to_string(line_no) +
+                                    ": duplicate commit for seq " +
+                                    std::to_string(seq));
+      }
+      ++report.commits;
+    } else {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": unknown ledger record type");
+    }
+  }
+  if (!saw_total) {
+    return Status::ParseError(path + ": ledger has no total record");
+  }
+  for (const auto& [seq, count] : intents_by_seq) {
+    if (committed.find(seq) == committed.end()) {
+      report.uncommitted += count;
+    }
+  }
+  if (report.epsilon_spent >
+      report.total_epsilon * (1.0 + 1e-9)) {
+    report.violations.push_back(
+        "spent ε " + FormatDouble(report.epsilon_spent, 6) +
+        " exceeds ledger total " +
+        FormatDouble(report.total_epsilon, 6));
+  }
+  return report;
 }
 
 void BudgetLedger::ReplayInto(PrivacyBudget* budget) const {

@@ -44,6 +44,8 @@ class BudgetLedger {
     std::string group;
     double epsilon = 0.0;
     bool committed = false;
+
+    bool operator==(const Entry&) const = default;
   };
 
   // A detached ledger; Append* calls fail until Open() succeeds.
@@ -90,6 +92,40 @@ class BudgetLedger {
   std::vector<Entry> entries_;
   std::ofstream out_;
 };
+
+// The result of an independent ledger replay audit (AuditLedgerReplay).
+struct LedgerAuditReport {
+  double total_epsilon = 0.0;
+  // Σ intent ε across all groups — every journaled intent is paid ε,
+  // committed or not.
+  double epsilon_spent = 0.0;
+  int64_t intents = 0;
+  int64_t commits = 0;
+  // Intent records whose seq was never committed: paid-but-unreleased
+  // charges (at most one trailing intent in a healthy session).
+  int64_t uncommitted = 0;
+  // The file ends in a partially-written record. Reported, not repaired —
+  // the audit never mutates the ledger.
+  bool recovered_torn_tail = false;
+  // Human-readable invariant violations; empty for a clean ledger.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Re-derives all paid releases from the journal at `path` and checks the
+// no-double-spend invariants:
+//   - no duplicate intent for the same (group, seq);
+//   - intent seqs strictly increase within each group;
+//   - every commit references a prior intent, and commits once;
+//   - Σ intent ε never exceeds the recorded total (tolerance 1e-9·total).
+// Deliberately a from-scratch parser rather than a call into
+// BudgetLedger::Open — an auditor re-derives, it does not trust the
+// implementation under audit. Structural corruption mid-file (bad
+// checksum, malformed record) is a Status error; a torn FINAL record is
+// legal crash fallout and only sets recovered_torn_tail.
+Result<LedgerAuditReport> AuditLedgerReplay(const std::string& path);
 
 }  // namespace privrec::dp
 

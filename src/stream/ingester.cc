@@ -1,0 +1,195 @@
+#include "stream/ingester.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace privrec::stream {
+
+namespace {
+
+uint64_t FnvMix(uint64_t h, uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<EdgeStreamIngester> EdgeStreamIngester::Open(
+    const EdgeStreamOptions& options, DeltaObserver observer) {
+  PRIVREC_CHECK(options.num_users > 0);
+  PRIVREC_CHECK(options.num_items >= 0);
+  EdgeStreamIngester ingester(options);
+  ingester.observer_ = std::move(observer);
+  if (options.wal_path.empty()) return ingester;
+
+  Result<StreamWal> wal =
+      StreamWal::Open(options.wal_path, options.fsync_every);
+  if (!wal.ok()) return wal.status();
+  ingester.wal_ = std::move(wal).value();
+  for (const WalRecord& record : ingester.wal_->replayed()) {
+    // Journal contents predate this process; validation failures here mean
+    // the journal was written against different dimensions — corruption of
+    // the deployment, not a recoverable tail.
+    Status valid = ingester.Validate(record);
+    if (!valid.ok()) {
+      return Status::FailedPrecondition(
+          "wal '" + options.wal_path + "' replay rejected a " +
+          std::string(WalRecordTypeName(record.type)) +
+          " record: " + valid.message());
+    }
+    ingester.ApplyToState(record);
+    if (ingester.observer_) ingester.observer_(record, ingester);
+  }
+  return ingester;
+}
+
+Status EdgeStreamIngester::Validate(const WalRecord& record) const {
+  switch (record.type) {
+    case WalRecordType::kAddSocial:
+    case WalRecordType::kRemoveSocial:
+      if (record.a < 0 || record.a >= options_.num_users || record.b < 0 ||
+          record.b >= options_.num_users) {
+        return Status::InvalidArgument(
+            "social edge endpoint out of range [0, " +
+            std::to_string(options_.num_users) + ")");
+      }
+      if (record.a == record.b) {
+        return Status::InvalidArgument("social self-loops are not allowed");
+      }
+      return Status::Ok();
+    case WalRecordType::kAddPreference:
+    case WalRecordType::kRemovePreference:
+      if (record.a < 0 || record.a >= options_.num_users) {
+        return Status::InvalidArgument("preference user out of range");
+      }
+      if (record.b < 0 || record.b >= options_.num_items) {
+        return Status::InvalidArgument("preference item out of range");
+      }
+      if (record.type == WalRecordType::kAddPreference) {
+        const double w = record.weight();
+        if (!std::isfinite(w) || w <= 0.0) {
+          return Status::InvalidArgument(
+              "preference weights must be positive and finite");
+        }
+      }
+      return Status::Ok();
+    case WalRecordType::kPublishMark:
+      if (record.a < 0) {
+        return Status::InvalidArgument("publish snapshot index negative");
+      }
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown wal record type");
+}
+
+void EdgeStreamIngester::ApplyToState(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kAddSocial: {
+      const auto e = std::minmax(record.a, record.b);
+      social_.insert({e.first, e.second});
+      ++delta_records_;
+      break;
+    }
+    case WalRecordType::kRemoveSocial: {
+      const auto e = std::minmax(record.a, record.b);
+      social_.erase({e.first, e.second});
+      ++delta_records_;
+      break;
+    }
+    case WalRecordType::kAddPreference:
+      preferences_[{record.a, record.b}] = record.weight();
+      ++delta_records_;
+      break;
+    case WalRecordType::kRemovePreference:
+      preferences_.erase({record.a, record.b});
+      ++delta_records_;
+      break;
+    case WalRecordType::kPublishMark:
+      if (record.a > last_publish_index_) last_publish_index_ = record.a;
+      break;
+  }
+}
+
+Status EdgeStreamIngester::Apply(WalRecord record) {
+  Status valid = Validate(record);
+  if (!valid.ok()) return valid;
+  if (wal_) {
+    Status journaled = wal_->Append(record);
+    if (!journaled.ok()) return journaled;
+  }
+  ApplyToState(record);
+  static obs::Counter& applied =
+      obs::GetCounter("privrec.stream.deltas_applied");
+  if (record.type != WalRecordType::kPublishMark) applied.Increment();
+  if (observer_) observer_(record, *this);
+  return Status::Ok();
+}
+
+Status EdgeStreamIngester::AddSocialEdge(graph::NodeId u, graph::NodeId v) {
+  return Apply(WalRecord::AddSocial(u, v));
+}
+
+Status EdgeStreamIngester::RemoveSocialEdge(graph::NodeId u,
+                                            graph::NodeId v) {
+  return Apply(WalRecord::RemoveSocial(u, v));
+}
+
+Status EdgeStreamIngester::AddPreference(graph::NodeId user,
+                                         graph::ItemId item, double weight) {
+  return Apply(WalRecord::AddPreference(user, item, weight));
+}
+
+Status EdgeStreamIngester::RemovePreference(graph::NodeId user,
+                                            graph::ItemId item) {
+  return Apply(WalRecord::RemovePreference(user, item));
+}
+
+Status EdgeStreamIngester::MarkPublish(int64_t snapshot_index) {
+  return Apply(WalRecord::PublishMark(snapshot_index, delta_records_,
+                                      GraphFingerprint()));
+}
+
+graph::SocialGraph EdgeStreamIngester::BuildSocialGraph() const {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges(social_.begin(),
+                                                             social_.end());
+  return graph::SocialGraph::FromEdges(options_.num_users, edges);
+}
+
+graph::PreferenceGraph EdgeStreamIngester::BuildPreferenceGraph() const {
+  std::vector<graph::PreferenceEdge> edges;
+  edges.reserve(preferences_.size());
+  for (const auto& [key, weight] : preferences_) {
+    edges.push_back({key.first, key.second, weight});
+  }
+  return graph::PreferenceGraph::FromWeightedEdges(
+      options_.num_users, options_.num_items, edges);
+}
+
+uint64_t EdgeStreamIngester::GraphFingerprint() const {
+  uint64_t h = 1469598103934665603ull;
+  h = FnvMix(h, static_cast<uint64_t>(options_.num_users));
+  h = FnvMix(h, static_cast<uint64_t>(options_.num_items));
+  h = FnvMix(h, social_.size());
+  for (const auto& [u, v] : social_) {
+    h = FnvMix(h, static_cast<uint64_t>(u));
+    h = FnvMix(h, static_cast<uint64_t>(v));
+  }
+  h = FnvMix(h, preferences_.size());
+  for (const auto& [key, weight] : preferences_) {
+    h = FnvMix(h, static_cast<uint64_t>(key.first));
+    h = FnvMix(h, static_cast<uint64_t>(key.second));
+    h = FnvMix(h, std::bit_cast<uint64_t>(weight));
+  }
+  return h;
+}
+
+}  // namespace privrec::stream

@@ -1,0 +1,127 @@
+// EdgeStreamIngester: journaled ingestion of social/preference deltas — the
+// front half of the streaming pipeline (ROADMAP item #4, the paper's E3
+// future work taken from batch snapshots to a live stream).
+//
+// Discipline: every valid delta is journaled to the StreamWal BEFORE it is
+// applied to the in-memory edge state (write-ahead, mirroring dp/ledger).
+// Replay on Open() rebuilds the state record by record, so a process kill
+// at any instant resumes to a bit-identical graph: a record that reached
+// the journal is re-applied, a torn record was never observed as applied.
+// Application is idempotent — re-adding a present edge or removing an
+// absent one is a state no-op — which makes duplicated replay harmless and
+// lets the delta schedule of a driver be positioned by delta_records().
+//
+// The observer hook fires for every record, replayed AND live, after the
+// record is applied. Downstream state fed exclusively through the observer
+// (incremental community maintenance, the re-publication scheduler's
+// trigger baselines) is therefore a pure function of the journal prefix —
+// the property the crash-recovery bit-identity tests pin.
+
+#ifndef PRIVREC_STREAM_INGESTER_H_
+#define PRIVREC_STREAM_INGESTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "graph/preference_graph.h"
+#include "graph/social_graph.h"
+#include "stream/wal.h"
+
+namespace privrec::stream {
+
+struct EdgeStreamOptions {
+  graph::NodeId num_users = 0;
+  graph::ItemId num_items = 0;
+  // Non-empty: journal every delta to this WAL (created if absent,
+  // replayed if present). Empty: an unjournaled in-memory stream — the
+  // shadow-reference mode the soak uses to cross-check crash recovery.
+  std::string wal_path;
+  // Fsync cadence of the journal (1 = every record; 0 = never).
+  int64_t fsync_every = 1;
+};
+
+class EdgeStreamIngester {
+ public:
+  // Fires after a record is applied; `ingester` is the applying instance
+  // (counts and edge totals already reflect the record).
+  using DeltaObserver =
+      std::function<void(const WalRecord&, const EdgeStreamIngester&)>;
+
+  // Opens the journal (replaying any existing records through the state
+  // and the observer) or constructs an empty unjournaled stream.
+  static Result<EdgeStreamIngester> Open(const EdgeStreamOptions& options,
+                                         DeltaObserver observer = {});
+
+  EdgeStreamIngester(EdgeStreamIngester&&) = default;
+  EdgeStreamIngester& operator=(EdgeStreamIngester&&) = default;
+
+  // Journal-then-apply. Validation failures (ids out of range, self loops,
+  // non-positive or non-finite weights) reject with kInvalidArgument
+  // BEFORE journaling; journal failures reject the delta unapplied.
+  Status AddSocialEdge(graph::NodeId u, graph::NodeId v);
+  Status RemoveSocialEdge(graph::NodeId u, graph::NodeId v);
+  Status AddPreference(graph::NodeId user, graph::ItemId item,
+                       double weight = 1.0);
+  Status RemovePreference(graph::NodeId user, graph::ItemId item);
+
+  // Journals the audit record for a committed release: snapshot index plus
+  // the current delta count and graph fingerprint.
+  Status MarkPublish(int64_t snapshot_index);
+
+  // Generic entry point (the four typed wrappers route through this).
+  Status Apply(WalRecord record);
+
+  // Materialized snapshots of the live edge state.
+  graph::SocialGraph BuildSocialGraph() const;
+  graph::PreferenceGraph BuildPreferenceGraph() const;
+
+  // FNV-1a fingerprint of (num_users, num_items, sorted social edges,
+  // sorted weighted preference edges) — the bit-identity witness the
+  // crash-recovery tests and the publish marks use.
+  uint64_t GraphFingerprint() const;
+
+  graph::NodeId num_users() const { return options_.num_users; }
+  graph::ItemId num_items() const { return options_.num_items; }
+  // Delta records observed (journaled or replayed; publish marks excluded).
+  int64_t delta_records() const { return delta_records_; }
+  int64_t social_edges() const {
+    return static_cast<int64_t>(social_.size());
+  }
+  int64_t preference_edges() const {
+    return static_cast<int64_t>(preferences_.size());
+  }
+  // Highest snapshot index seen in a publish mark; -1 before any.
+  int64_t last_publish_index() const { return last_publish_index_; }
+  bool journaled() const { return wal_.has_value(); }
+  bool recovered_torn_tail() const {
+    return wal_ && wal_->recovered_torn_tail();
+  }
+
+ private:
+  explicit EdgeStreamIngester(const EdgeStreamOptions& options)
+      : options_(options) {}
+
+  Status Validate(const WalRecord& record) const;
+  void ApplyToState(const WalRecord& record);
+
+  EdgeStreamOptions options_;
+  DeltaObserver observer_;
+  std::optional<StreamWal> wal_;
+  int64_t delta_records_ = 0;
+  int64_t last_publish_index_ = -1;
+  // Social edges normalized to u < v; preferences keyed (user, item) with
+  // last-write-wins weights. Ordered containers keep the fingerprint and
+  // the materialized graphs deterministic.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> social_;
+  std::map<std::pair<graph::NodeId, graph::ItemId>, double> preferences_;
+};
+
+}  // namespace privrec::stream
+
+#endif  // PRIVREC_STREAM_INGESTER_H_

@@ -1,0 +1,126 @@
+// StreamPipeline: the long-running streaming service loop — WAL-journaled
+// ingestion, incremental community maintenance, budget-disciplined
+// re-publication, and live rollout through the serving runtime. This is
+// the subsystem that turns the batch-snapshot DynamicRecommenderSession
+// into a pipeline where the graph grows continuously, ε is never
+// double-spent, and serving never stops (ROADMAP item #4).
+//
+// Crash model (every arrow is a kill point; all recover on Open):
+//
+//   delta  → wal append → state apply → community/scheduler observe
+//   publish→ ledger intent → build/save artifact → load/serve → ledger
+//            commit → runtime Activate (swap) → wal publish mark
+//
+//   - kill before the wal append lands: the delta never happened.
+//   - kill after: replay re-applies it; community + scheduler state are
+//     rebuilt from the journal, bit-identically.
+//   - kill between ledger intent and commit: the ε is spent; the restarted
+//     pipeline MUST Republish() before ingesting new deltas (see
+//     HasPendingRelease) so the re-derived release — same graph prefix,
+//     same deterministic partition and noise seeds — is bit-identical to
+//     the one that crashed. Re-randomizing would be a silent double-spend.
+//   - kill between commit and publish mark: the trigger stays armed and the
+//     next publish charges a FRESH snapshot's ε — at-least-once
+//     publication, fully accounted, never a double-spend.
+//   - swap failure: the swapper rolls back and the previous epoch keeps
+//     serving; the ε stays spent (audited, not refunded).
+
+#ifndef PRIVREC_STREAM_PIPELINE_H_
+#define PRIVREC_STREAM_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "community/incremental.h"
+#include "core/dynamic_recommender.h"
+#include "serve/runtime.h"
+#include "stream/ingester.h"
+#include "stream/scheduler.h"
+
+namespace privrec::stream {
+
+struct StreamPipelineOptions {
+  EdgeStreamOptions ingest;
+  community::IncrementalCommunityOptions community;
+  RepublishPolicy republish;
+  // ledger_path / artifact_dir / allocation / total_epsilon etc.; the
+  // session's Louvain options are unused (the incremental maintainer owns
+  // clustering), and artifact_dir must be set for live rollout.
+  core::DynamicRecommenderOptions session;
+};
+
+struct PublishOutcome {
+  core::SnapshotRelease release;
+  // Path of the published artifact ("" for stale replays).
+  std::string artifact_path;
+  // The serving runtime adopted the new artifact (false also when no
+  // runtime is attached).
+  bool swapped = false;
+  Status swap_status = Status::Ok();
+  std::string reason;
+};
+
+class StreamPipeline {
+ public:
+  // Opens (or resumes) the pipeline: replays the WAL through the community
+  // maintainer and the scheduler, then replays the budget ledger into the
+  // session. `runtime` is an optional rollout target (not owned; must
+  // outlive the pipeline). A crashed publish leaves HasPendingRelease()
+  // true — call Republish() before ingesting new deltas.
+  static Result<StreamPipeline> Open(const StreamPipelineOptions& options,
+                                     serve::ServeRuntime* runtime = nullptr);
+
+  StreamPipeline(StreamPipeline&&) = default;
+  StreamPipeline& operator=(StreamPipeline&&) = default;
+
+  Status AddSocialEdge(graph::NodeId u, graph::NodeId v);
+  Status RemoveSocialEdge(graph::NodeId u, graph::NodeId v);
+  Status AddPreference(graph::NodeId user, graph::ItemId item,
+                       double weight = 1.0);
+  Status RemovePreference(graph::NodeId user, graph::ItemId item);
+
+  // True when the ledger holds a journaled-but-uncommitted intent for the
+  // next snapshot: a previous run paid its ε and crashed before releasing.
+  bool HasPendingRelease() const;
+
+  // Non-empty when a publish should happen now (pending release first,
+  // then the scheduler's triggers).
+  std::string RepublishDue() const;
+
+  // Builds the snapshot graphs and workload from the live edge state, runs
+  // one ProcessSnapshot with the incrementally-maintained partition, and —
+  // on a paid (non-stale) release with an artifact directory — activates
+  // the artifact on the attached runtime and journals the publish mark. A
+  // failed swap is reported in the outcome, not an error: the previous
+  // epoch keeps serving.
+  Result<PublishOutcome> Republish(const std::vector<graph::NodeId>& users,
+                                   int64_t top_n);
+
+  const EdgeStreamIngester& ingester() const { return *ingester_; }
+  const community::IncrementalCommunity& community() const {
+    return *community_;
+  }
+  const RepublishScheduler& scheduler() const { return *scheduler_; }
+  const core::DynamicRecommenderSession& session() const { return *session_; }
+  int64_t publishes() const { return publishes_; }
+
+ private:
+  StreamPipeline() = default;
+
+  StreamPipelineOptions options_;
+  // unique_ptrs so the ingester's observer can hold stable raw pointers
+  // across pipeline moves.
+  std::unique_ptr<community::IncrementalCommunity> community_;
+  std::unique_ptr<RepublishScheduler> scheduler_;
+  std::unique_ptr<EdgeStreamIngester> ingester_;
+  std::optional<core::DynamicRecommenderSession> session_;
+  serve::ServeRuntime* runtime_ = nullptr;
+  int64_t publishes_ = 0;
+};
+
+}  // namespace privrec::stream
+
+#endif  // PRIVREC_STREAM_PIPELINE_H_

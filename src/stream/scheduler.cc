@@ -1,0 +1,52 @@
+#include "stream/scheduler.h"
+
+#include "obs/metrics.h"
+
+namespace privrec::stream {
+
+void RepublishScheduler::Observe(const WalRecord& record, double modularity,
+                                 int64_t live_edges) {
+  last_modularity_ = modularity;
+  last_edges_ = live_edges;
+  if (record.type == WalRecordType::kPublishMark) {
+    ++publish_marks_;
+    deltas_at_publish_ = deltas_total_;
+    edges_at_publish_ = live_edges;
+    modularity_at_publish_ = modularity;
+    return;
+  }
+  ++deltas_total_;
+  static obs::Gauge& drift =
+      obs::GetGauge("privrec.stream.publish_drift");
+  const double d = modularity_at_publish_ - modularity;
+  drift.Set(publish_marks_ > 0 && d > 0.0 ? d : 0.0);
+}
+
+std::string RepublishScheduler::DueReason() const {
+  if (exhausted_) return "";
+  if (deltas_since_publish() < policy_.min_deltas_between) return "";
+  if (publish_marks_ == 0) return "initial publication";
+  if (policy_.every_deltas > 0 &&
+      deltas_since_publish() >= policy_.every_deltas) {
+    return "periodic: " + std::to_string(deltas_since_publish()) +
+           " deltas since last publish";
+  }
+  const double drift = modularity_at_publish_ - last_modularity_;
+  if (drift > policy_.drift_threshold) {
+    return "community drift " + std::to_string(drift) + " > " +
+           std::to_string(policy_.drift_threshold);
+  }
+  if (edges_at_publish_ > 0 &&
+      static_cast<double>(last_edges_) >=
+          static_cast<double>(edges_at_publish_) *
+              (1.0 + policy_.min_growth)) {
+    return "graph growth: " + std::to_string(edges_at_publish_) + " -> " +
+           std::to_string(last_edges_) + " edges";
+  }
+  if (edges_at_publish_ == 0 && last_edges_ > 0) {
+    return "graph growth from empty";
+  }
+  return "";
+}
+
+}  // namespace privrec::stream

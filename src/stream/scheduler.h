@@ -1,0 +1,87 @@
+// RepublishScheduler: decides WHEN a fresh artifact is worth a budget
+// charge. Every release costs ε under sequential composition (Theorem 2),
+// so the streaming pipeline spends only when the published model has
+// measurably decayed (the utility-vs-ε framing of arXiv 1105.4254):
+//
+//   triggers (checked after the hysteresis floor `min_deltas_between`):
+//     periodic   every_deltas > 0 and that many deltas since last publish
+//     drift      community modularity fell more than drift_threshold
+//                below its value at the last publish
+//     growth     live edge count grew by min_growth (fraction) since the
+//                last publish
+//     initial    nothing published yet and the floor is reached
+//
+// The scheduler is fed every WAL record through Observe() — replayed and
+// live — so its baselines (modularity / edge count / delta count at the
+// last publish mark) are a pure function of the journal prefix and survive
+// crashes bit-identically. Publish marks are journaled AFTER the ledger
+// commit; a crash in between re-arms the trigger on restart, making
+// publication at-least-once (an extra *accounted* charge, never a
+// double-spend — the ledger is the authority on ε, the WAL on deltas).
+
+#ifndef PRIVREC_STREAM_SCHEDULER_H_
+#define PRIVREC_STREAM_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/wal.h"
+
+namespace privrec::stream {
+
+struct RepublishPolicy {
+  // Community-drift trigger: modularity at last publish minus current.
+  double drift_threshold = 0.05;
+  // Growth trigger: fractional increase in live (social + preference)
+  // edges since the last publish.
+  double min_growth = 0.25;
+  // Periodic trigger: publish every N delta records (0 = disabled).
+  int64_t every_deltas = 0;
+  // Hysteresis floor: no trigger until this many deltas since the last
+  // publish (and before the first).
+  int64_t min_deltas_between = 8;
+};
+
+class RepublishScheduler {
+ public:
+  explicit RepublishScheduler(const RepublishPolicy& policy)
+      : policy_(policy) {}
+
+  // Feed one applied WAL record plus the post-record community modularity
+  // and live edge count. Publish marks reset the trigger baselines.
+  void Observe(const WalRecord& record, double modularity,
+               int64_t live_edges);
+
+  // Non-empty when a publish is due (the reason string names the trigger).
+  std::string DueReason() const;
+
+  // Budget exhausted and the session fell back to stale replay: suppress
+  // further automatic triggers (manual publishes stay possible). Replay
+  // clears this — a restarted session re-discovers exhaustion on its
+  // first attempt, cheaply.
+  void MuteExhausted() { exhausted_ = true; }
+  bool exhausted() const { return exhausted_; }
+
+  int64_t deltas_total() const { return deltas_total_; }
+  int64_t deltas_since_publish() const {
+    return deltas_total_ - deltas_at_publish_;
+  }
+  int64_t publish_marks() const { return publish_marks_; }
+  double modularity_at_publish() const { return modularity_at_publish_; }
+  int64_t edges_at_publish() const { return edges_at_publish_; }
+
+ private:
+  RepublishPolicy policy_;
+  int64_t deltas_total_ = 0;
+  int64_t publish_marks_ = 0;
+  int64_t deltas_at_publish_ = 0;
+  int64_t edges_at_publish_ = 0;
+  double modularity_at_publish_ = 0.0;
+  double last_modularity_ = 0.0;
+  int64_t last_edges_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace privrec::stream
+
+#endif  // PRIVREC_STREAM_SCHEDULER_H_

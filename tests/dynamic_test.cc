@@ -3,12 +3,17 @@
 // generation.
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "artifact/serving.h"
+#include "common/fault_injection.h"
 #include "core/dynamic_recommender.h"
 #include "data/synthetic.h"
 #include "eval/exact_reference.h"
+#include "obs/metrics.h"
 #include "similarity/common_neighbors.h"
 
 namespace privrec::core {
@@ -123,6 +128,104 @@ TEST_F(DynamicTest, ReleasesAreRankedLists) {
     }
   }
   EXPECT_GT(release->num_clusters, 1);
+}
+
+// Artifact-directory crash recovery (the streaming pipeline's resume
+// path): a kill mid-publish can leave a torn snapshot_<t>.pvra or a stale
+// .tmp — the resumed session must skip-and-rebuild; an INTACT artifact
+// whose provenance matches the resumed intent is reused instead of
+// rebuilt, and both paths re-derive bit-identical lists.
+TEST_F(DynamicTest, ArtifactResumeSkipsTornFilesAndReusesIntactOnes) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault injection compiled out";
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "privrec_dynamic_resume";
+  const fs::path ref_dir =
+      fs::temp_directory_path() / "privrec_dynamic_resume_ref";
+  for (const fs::path& d : {dir, ref_dir}) {
+    fs::remove_all(d);
+    fs::create_directories(d / "artifacts");
+  }
+  DynamicRecommenderOptions opt;
+  opt.total_epsilon = 1.0;
+  opt.planned_snapshots = 4;
+  opt.louvain.restarts = 1;
+  opt.seed = 77;
+  opt.ledger_path = (dir / "budget.ledger").string();
+  opt.artifact_dir = (dir / "artifacts").string();
+
+  // The no-crash reference: snapshot noise is a function of (seed, t), so
+  // these lists are what every recovery below must reproduce exactly.
+  DynamicRecommenderOptions ref_opt = opt;
+  ref_opt.ledger_path = (ref_dir / "budget.ledger").string();
+  ref_opt.artifact_dir = (ref_dir / "artifacts").string();
+  auto reference = DynamicRecommenderSession::Open(ref_opt);
+  ASSERT_TRUE(reference.ok());
+  auto ref0 = reference->ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(ref0.ok()) << ref0.status().ToString();
+  auto ref1 = reference->ProcessSnapshot(context_, users_, 5);
+  ASSERT_TRUE(ref1.ok());
+
+  // Crash 1: the rename fails after the intent is journaled — no artifact
+  // lands. Scatter torn crash debris where the artifact would go.
+  {
+    auto session = DynamicRecommenderSession::Open(opt);
+    ASSERT_TRUE(session.ok());
+    fault::FaultInjector::Instance().ArmNth(
+        "artifact.rename", fault::FaultKind::kIoError, 1);
+    auto crashed = session->ProcessSnapshot(context_, users_, 5);
+    fault::FaultInjector::Instance().Reset();
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.status().code(), StatusCode::kIoError);
+  }
+  const std::string torn = opt.artifact_dir + "/snapshot_0.pvra";
+  for (const std::string& path : {torn, torn + ".tmp"}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "PVRA torn garbage";
+  }
+
+  // Resume: the pending intent is re-derived, the torn file is skipped
+  // and overwritten by a clean rebuild, and no ε is re-charged.
+  obs::Counter& reused =
+      obs::GetCounter("privrec.dynamic.artifact_reused");
+  const int64_t reused_before = reused.value();
+  {
+    auto session = DynamicRecommenderSession::Open(opt);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    auto release = session->ProcessSnapshot(context_, users_, 5);
+    ASSERT_TRUE(release.ok()) << release.status().ToString();
+    EXPECT_TRUE(release->resumed_from_intent);
+    EXPECT_EQ(release->epsilon_spent, 0.0);
+    EXPECT_EQ(release->lists, ref0->lists);
+    EXPECT_EQ(reused.value(), reused_before);  // rebuilt, not reused
+    auto rebuilt = serving::ServingEngine::Load(torn);
+    EXPECT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_FALSE(fs::exists(torn + ".tmp"));
+
+    // Crash 2: snapshot 1's artifact lands intact but the ledger COMMIT
+    // fails (the second ledger.append of this call; the intent is the
+    // first).
+    fault::FaultInjector::Instance().ArmNth(
+        "ledger.append", fault::FaultKind::kIoError, 2);
+    auto crashed = session->ProcessSnapshot(context_, users_, 5);
+    fault::FaultInjector::Instance().Reset();
+    ASSERT_FALSE(crashed.ok());
+  }
+
+  // Resume again: this time the on-disk artifact matches the resumed
+  // intent's (ε, seed) provenance and is served as-is — the reuse counter
+  // moves, and the bits still match the reference.
+  {
+    auto session = DynamicRecommenderSession::Open(opt);
+    ASSERT_TRUE(session.ok());
+    EXPECT_EQ(session->snapshots_processed(), 1);
+    auto release = session->ProcessSnapshot(context_, users_, 5);
+    ASSERT_TRUE(release.ok()) << release.status().ToString();
+    EXPECT_TRUE(release->resumed_from_intent);
+    EXPECT_EQ(release->lists, ref1->lists);
+    EXPECT_EQ(reused.value(), reused_before + 1);
+    EXPECT_NEAR(session->epsilon_spent(), 0.5, 1e-9);
+  }
 }
 
 // ------------------------------------------------- snapshot generation

@@ -151,6 +151,160 @@ TEST_F(LedgerTest, AppendFaultFailsCleanly) {
   EXPECT_FALSE(ledger->HasIntent(0));
 }
 
+// ------------------------------------------------------- independent audit
+//
+// AuditLedgerReplay re-derives the spend from raw bytes — it must agree
+// with a healthy BudgetLedger, flag every invariant break the ledger
+// class itself cannot see (it happily appends what it is told), and never
+// mutate the file it audits.
+
+TEST_F(LedgerTest, AuditAgreesWithACleanLedger) {
+  const std::string path = Path("budget.ledger");
+  {
+    auto ledger = BudgetLedger::Open(path, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(0, "snapshots", 0.25).ok());
+    ASSERT_TRUE(ledger->AppendCommit(0).ok());
+    ASSERT_TRUE(ledger->AppendIntent(1, "snapshots", 0.25).ok());
+    ASSERT_TRUE(ledger->AppendCommit(1).ok());
+    ASSERT_TRUE(ledger->AppendIntent(2, "snapshots", 0.25).ok());
+    // seq 2 is paid but never released: legal crash fallout, not a
+    // violation.
+  }
+  auto report = AuditLedgerReplay(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToString();
+  EXPECT_EQ(report->total_epsilon, 1.0);
+  EXPECT_NEAR(report->epsilon_spent, 0.75, 1e-15);
+  EXPECT_EQ(report->intents, 3);
+  EXPECT_EQ(report->commits, 2);
+  EXPECT_EQ(report->uncommitted, 1);
+  EXPECT_FALSE(report->recovered_torn_tail);
+  EXPECT_NE(report->ToString().find(" OK"), std::string::npos);
+}
+
+TEST_F(LedgerTest, AuditFlagsDuplicateAndNonAdvancingIntents) {
+  // BudgetLedger does not police seq discipline — a buggy caller can
+  // journal the same (group, seq) twice, and replay would then charge it
+  // twice. Only the auditor catches this.
+  const std::string path = Path("budget.ledger");
+  {
+    auto ledger = BudgetLedger::Open(path, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(3, "g", 0.1).ok());
+    ASSERT_TRUE(ledger->AppendIntent(3, "g", 0.1).ok());  // duplicate
+    ASSERT_TRUE(ledger->AppendIntent(1, "g", 0.1).ok());  // goes backwards
+  }
+  auto report = AuditLedgerReplay(path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->violations.size(), 2u) << report->ToString();
+  EXPECT_NE(report->violations[0].find("duplicate intent"),
+            std::string::npos);
+  EXPECT_NE(report->violations[1].find("does not advance"),
+            std::string::npos);
+  EXPECT_NE(report->ToString().find("VIOLATION"), std::string::npos);
+}
+
+TEST_F(LedgerTest, AuditFlagsOverdraft) {
+  const std::string path = Path("budget.ledger");
+  {
+    auto ledger = BudgetLedger::Open(path, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(0, "g", 0.6).ok());
+    ASSERT_TRUE(ledger->AppendIntent(1, "g", 0.6).ok());
+  }
+  auto report = AuditLedgerReplay(path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->epsilon_spent, 1.2, 1e-15);
+  ASSERT_EQ(report->violations.size(), 1u) << report->ToString();
+  EXPECT_NE(report->violations[0].find("exceeds ledger total"),
+            std::string::npos);
+}
+
+TEST_F(LedgerTest, AuditFlagsOrphanAndDuplicateCommits) {
+  // The commit checksum covers only "commit <seq>", so a commit line
+  // spliced in from another ledger verifies fine — structurally valid,
+  // semantically an orphan. BudgetLedger::Open refuses to load such a
+  // file; the auditor must instead report it as the violation it is.
+  const std::string victim = Path("victim.ledger");
+  const std::string donor = Path("donor.ledger");
+  {
+    auto ledger = BudgetLedger::Open(victim, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(0, "g", 0.1).ok());
+    ASSERT_TRUE(ledger->AppendCommit(0).ok());
+    ASSERT_TRUE(ledger->AppendCommit(0).ok());  // duplicate commit
+  }
+  {
+    auto ledger = BudgetLedger::Open(donor, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(5, "g", 0.1).ok());
+    ASSERT_TRUE(ledger->AppendCommit(5).ok());
+  }
+  std::string spliced;
+  {
+    std::ifstream in(donor);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("commit 5 ", 0) == 0) spliced = line;
+    }
+  }
+  ASSERT_FALSE(spliced.empty());
+  {
+    std::ofstream out(victim, std::ios::app);
+    out << spliced << '\n';
+  }
+
+  auto report = AuditLedgerReplay(victim);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->violations.size(), 2u) << report->ToString();
+  EXPECT_NE(report->violations[0].find("duplicate commit"),
+            std::string::npos);
+  EXPECT_NE(report->violations[1].find("commit without intent for seq 5"),
+            std::string::npos);
+}
+
+TEST_F(LedgerTest, AuditReportsTornTailWithoutRepairingIt) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "fault probes compiled out";
+  const std::string path = Path("budget.ledger");
+  {
+    auto ledger = BudgetLedger::Open(path, 1.0);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE(ledger->AppendIntent(0, "g", 0.3).ok());
+    fault::ScopedFaultInjection scope(
+        "ledger.append", fault::FaultSpec{.kind = fault::FaultKind::kShortRead});
+    EXPECT_FALSE(ledger->AppendIntent(1, "g", 0.3).ok());
+  }
+  const auto bytes_before = fs::file_size(path);
+
+  auto report = AuditLedgerReplay(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->recovered_torn_tail);
+  EXPECT_TRUE(report->ok()) << report->ToString();  // torn tail is legal
+  EXPECT_EQ(report->intents, 1);
+  EXPECT_NE(report->ToString().find("torn-tail"), std::string::npos);
+  // Read-only: the torn bytes are still there after the audit...
+  EXPECT_EQ(fs::file_size(path), bytes_before);
+
+  // ...and it is BudgetLedger::Open that actually repairs them.
+  ASSERT_TRUE(BudgetLedger::Open(path, 1.0).ok());
+  EXPECT_LT(fs::file_size(path), bytes_before);
+  auto clean = AuditLedgerReplay(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->recovered_torn_tail);
+}
+
+TEST_F(LedgerTest, EntryComparesAllFields) {
+  const BudgetLedger::Entry a{1, "g", 0.5, true};
+  EXPECT_EQ(a, (BudgetLedger::Entry{1, "g", 0.5, true}));
+  EXPECT_NE(a, (BudgetLedger::Entry{2, "g", 0.5, true}));
+  EXPECT_NE(a, (BudgetLedger::Entry{1, "h", 0.5, true}));
+  EXPECT_NE(a, (BudgetLedger::Entry{1, "g", 0.25, true}));
+  EXPECT_NE(a, (BudgetLedger::Entry{1, "g", 0.5, false}));
+}
+
 // ------------------------------------------------ crash/resume end-to-end
 
 class CrashResumeTest : public LedgerTest {

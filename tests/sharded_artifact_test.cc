@@ -47,6 +47,7 @@
 #include "community/louvain.h"
 #include "core/recommender_factory.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "obs/wide_event.h"
 #include "similarity/common_neighbors.h"
 
@@ -320,6 +321,94 @@ TEST_F(ShardedArtifactTest, EnvVarSelectsReadFallback) {
   auto mapped = serving::ServingEngine::Load(manifest);
   ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
   EXPECT_TRUE(mapped->mmap_backed());
+}
+
+// The read-fallback open retries transient failures (EINTR-shaped errors,
+// short reads from a cold or networked filesystem) instead of failing the
+// swap, and the recovered bytes serve bit-identically to the mmap route.
+TEST_F(ShardedArtifactTest, FallbackReadRetriesTransientFaultsBitIdentically) {
+  if (!fault::kCompiledIn) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  serving::ArtifactModel model = BuildFullModel();
+  const std::string manifest = Path("retry.pvram");
+  ASSERT_TRUE(
+      serving::SaveShardedArtifact(model, manifest, {.shards = 2}).ok());
+
+  std::vector<std::vector<RecommendationList>> reference;
+  {
+    auto mapped = serving::MappedArtifact::Open(manifest, {});
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    auto engine = serving::ServingEngine::FromMapped(*mapped);
+    ASSERT_TRUE(engine.ok());
+    reference = ServeTwice(&*engine, "Cluster");
+  }
+
+  auto& injector = fault::FaultInjector::Instance();
+  obs::Counter& retries =
+      obs::GetCounter("privrec.artifact.fallback_read_retries");
+
+  // Transient I/O errors: three failed laps, well inside the 64-retry
+  // budget, then the reads go through.
+  const int64_t retries_before = retries.value();
+  injector.Arm("artifact.fallback_read", {fault::FaultKind::kIoError, 1, 3});
+  {
+    serving::MapOptions map_options;
+    map_options.use_mmap = false;
+    auto mapped = serving::MappedArtifact::Open(manifest, map_options);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_FALSE((*mapped)->mmap_backed());
+    EXPECT_GE(injector.HitCount("artifact.fallback_read"), 3);
+    EXPECT_GE(retries.value() - retries_before, 3);
+    auto engine = serving::ServingEngine::FromMapped(*mapped);
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ(ServeTwice(&*engine, "Cluster"), reference);
+  }
+  injector.Reset();
+
+  // Short reads: the loop crawls one byte per lap for a stretch and must
+  // still assemble the exact file.
+  injector.Arm("artifact.fallback_read",
+               {fault::FaultKind::kShortRead, 1, 200});
+  {
+    serving::MapOptions map_options;
+    map_options.use_mmap = false;
+    auto mapped = serving::MappedArtifact::Open(manifest, map_options);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    auto engine = serving::ServingEngine::FromMapped(*mapped);
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ(ServeTwice(&*engine, "Cluster"), reference);
+  }
+  injector.Reset();
+}
+
+// A filesystem that fails EVERY read must exhaust the bounded budget and
+// fail the open closed — never spin forever, never serve a partial buffer.
+TEST_F(ShardedArtifactTest, FallbackReadRetryBudgetIsBounded) {
+  if (!fault::kCompiledIn) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  serving::ArtifactModel model = BuildFullModel();
+  const std::string manifest = Path("exhaust.pvram");
+  ASSERT_TRUE(
+      serving::SaveShardedArtifact(model, manifest, {.shards = 2}).ok());
+
+  auto& injector = fault::FaultInjector::Instance();
+  injector.Arm("artifact.fallback_read",
+               {fault::FaultKind::kIoError});  // count defaults to forever
+  serving::MapOptions map_options;
+  map_options.use_mmap = false;
+  auto mapped = serving::MappedArtifact::Open(manifest, map_options);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIoError);
+  EXPECT_NE(mapped.status().ToString().find("after 64 retries"),
+            std::string::npos)
+      << mapped.status().ToString();
+  injector.Reset();
+
+  // Nothing was damaged: with the fault disarmed the same open succeeds.
+  auto recovered = serving::MappedArtifact::Open(manifest, map_options);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
 }
 
 // ------------------------------------------------- corruption, fail-closed
